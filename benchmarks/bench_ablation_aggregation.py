@@ -1,0 +1,69 @@
+"""Ablation — which aggregation stage buys what.
+
+DESIGN.md calls out the two optimisations the paper stacks at fog layer 1
+(redundant-data elimination and compression).  This ablation measures the
+daily backhaul volume under four configurations: neither, dedup only,
+compression only, and both — per category and citywide — confirming the
+contribution of each stage and that they compose multiplicatively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimation import TrafficEstimator
+from repro.sensors.catalog import BARCELONA_CATALOG, CATEGORY_REDUNDANCY, SensorCategory
+
+
+def run_ablation():
+    plain = TrafficEstimator(BARCELONA_CATALOG, redundancy_override={c: 0.0 for c in SensorCategory})
+    dedup_only = TrafficEstimator(BARCELONA_CATALOG)
+    results = {}
+    for category in BARCELONA_CATALOG.categories:
+        raw = plain.category_traffic(category).cloud_model_per_day
+        dedup = dedup_only.category_traffic(category).f2c_fog2_per_day
+        compression_only = round(raw * dedup_only.compression_ratio)
+        both = round(dedup * dedup_only.compression_ratio)
+        results[category] = {
+            "neither": raw,
+            "dedup_only": dedup,
+            "compression_only": compression_only,
+            "both": both,
+        }
+    return results
+
+
+def test_ablation_aggregation(benchmark, report):
+    results = benchmark(run_ablation)
+
+    for category, volumes in results.items():
+        assert volumes["both"] < volumes["dedup_only"] < volumes["neither"]
+        assert volumes["both"] < volumes["compression_only"] < volumes["neither"]
+        # Stages compose multiplicatively.
+        expected = volumes["neither"] * (1 - CATEGORY_REDUNDANCY[category])
+        assert volumes["dedup_only"] == pytest.approx(expected, rel=0.001)
+
+    lines = [
+        "Daily cloud-bound bytes per category under each aggregation configuration:",
+        "",
+        f"  {'category':<10} {'neither':>14} {'dedup only':>14} {'compress only':>14} {'both':>14}",
+    ]
+    totals = {"neither": 0, "dedup_only": 0, "compression_only": 0, "both": 0}
+    for category, volumes in results.items():
+        lines.append(
+            f"  {category.value:<10} {volumes['neither']:>14,} {volumes['dedup_only']:>14,} "
+            f"{volumes['compression_only']:>14,} {volumes['both']:>14,}"
+        )
+        for key in totals:
+            totals[key] += volumes[key]
+    lines.append(
+        f"  {'TOTAL':<10} {totals['neither']:>14,} {totals['dedup_only']:>14,} "
+        f"{totals['compression_only']:>14,} {totals['both']:>14,}"
+    )
+    lines.append("")
+    lines.append(
+        f"  total reduction: dedup only {1 - totals['dedup_only'] / totals['neither']:.1%}, "
+        f"compression only {1 - totals['compression_only'] / totals['neither']:.1%}, "
+        f"both {1 - totals['both'] / totals['neither']:.1%}"
+    )
+    report("ablation_aggregation", "\n".join(lines))

@@ -1,0 +1,100 @@
+"""End-to-end simulation throughput and the headline comparison.
+
+Runs the full pipeline — synthetic sensors for a scaled-down Barcelona,
+acquisition with aggregation at 73 fog layer-1 nodes, periodic upward
+movement, preservation at the cloud — for one simulated day, and reports the
+measured per-layer traffic next to the analytic Table I estimate.
+"""
+
+from __future__ import annotations
+
+from repro.core.architecture import F2CDataManagement
+from repro.core.baseline import CentralizedCloudDataManagement
+from repro.core.comparison import analytic_comparison, measured_comparison
+from repro.core.movement import MovementPolicy
+from repro.sensors.catalog import BARCELONA_CATALOG
+from repro.sensors.generator import ReadingGenerator
+
+SCALE = 0.00002  # ~20 sensors per type; extrapolation handled by the estimator
+SYNC_INTERVAL_S = 3_600.0
+
+
+def run_full_day():
+    catalog = BARCELONA_CATALOG.scaled(SCALE)
+    generator = ReadingGenerator(catalog, devices_per_type=3, seed=99)
+
+    f2c = F2CDataManagement(
+        catalog=catalog,
+        movement_policy=MovementPolicy(
+            fog1_to_fog2_interval_s=SYNC_INTERVAL_S, fog2_to_cloud_interval_s=SYNC_INTERVAL_S
+        ),
+    )
+    centralized = CentralizedCloudDataManagement(catalog=catalog)
+    sections = [s.section_id for s in f2c.city.sections]
+
+    total_readings = 0
+    for hour in range(24):
+        window_start = hour * 3600.0
+        # One hour of accumulated readings (four 15-minute transactions), the
+        # granularity at which fog layer 1 runs its aggregation before the
+        # hourly upward sync.
+        from repro.sensors.readings import ReadingBatch
+
+        batch = ReadingBatch()
+        for transaction in generator.transactions(count=4, start=window_start, interval=900.0):
+            batch.extend(transaction)
+        total_readings += len(batch)
+        section = sections[hour % len(sections)]
+        f2c.ingest_readings(batch, now=window_start, default_section=section)
+        centralized.ingest_readings(batch, now=window_start)
+        f2c.scheduler.full_sync(now=window_start + 3_599.0)
+
+    return f2c, centralized, total_readings
+
+
+def test_end_to_end_day(benchmark, report):
+    f2c, centralized, total_readings = benchmark(run_full_day)
+
+    f2c_report = f2c.traffic_report()
+    centralized_report = centralized.traffic_report()
+
+    # The measured run shows the same ordering as the analytic estimate:
+    # fog L1 receives everything, the cloud receives strictly less under F2C,
+    # and the centralized cloud receives the full raw volume.
+    assert f2c_report["fog_layer_1"] == centralized_report["cloud"]
+    assert f2c_report["cloud"] < centralized_report["cloud"]
+    assert f2c.cloud.archive.total_versions() > 0
+
+    comparison = measured_comparison(
+        workload=f"scaled Barcelona, 24 hourly transactions, {total_readings:,} readings",
+        f2c_traffic_report=f2c_report,
+        centralized_traffic_report=centralized_report,
+    )
+    analytic = analytic_comparison(BARCELONA_CATALOG, apply_compression=False)
+    report(
+        "end_to_end",
+        "\n".join(
+            [
+                "Measured (event-level simulation, scaled sensor population):",
+                comparison.format(),
+                "",
+                "Analytic estimate for the full catalog (Table I):",
+                analytic.format(),
+            ]
+        ),
+    )
+
+
+def test_ingest_throughput(benchmark):
+    """Acquisition throughput of a single fog layer-1 node (readings/second)."""
+    catalog = BARCELONA_CATALOG.scaled(0.0001)
+    generator = ReadingGenerator(catalog, devices_per_type=5, seed=1)
+    batch = generator.transaction(0.0)
+    system = F2CDataManagement(catalog=catalog)
+    section = system.city.sections[0].section_id
+
+    def ingest():
+        system.ingest_readings(batch, now=0.0, default_section=section)
+
+    benchmark(ingest)
+    assert len(system.fog1_for_section(section).storage) >= len(batch)

@@ -1,0 +1,109 @@
+"""Section IV.D — fault-tolerance claim, made measurable.
+
+"By reducing the data transmission length, the security risks and the
+probability of communication failure are reduced as well."
+
+The paper does not evaluate this claim; this bench quantifies the blast
+radius of single failures in both architectures on the Barcelona deployment:
+
+* F2C: one failed fog layer-1 node affects one section out of 73 (and a
+  sibling node can take its sections over); one failed backhaul link affects
+  only one district's *cloud path*, while real-time service continues in all
+  73 sections.
+* Centralized: a failed backhaul/cloud path makes the just-collected data of
+  all 73 sections unreachable at once.
+"""
+
+from __future__ import annotations
+
+from repro.core.architecture import F2CDataManagement
+from repro.core.faults import FailureInjector, centralized_outage_impact
+from repro.sensors.readings import Reading, ReadingBatch
+
+
+def _reading(section_index: int) -> Reading:
+    return Reading(
+        sensor_id=f"probe-{section_index:03d}",
+        sensor_type="temperature",
+        category="energy",
+        value=21.0,
+        timestamp=0.0,
+        size_bytes=22,
+    )
+
+
+def run_failure_scenarios():
+    system = F2CDataManagement()
+    injector = FailureInjector(system)
+    sections = [s.section_id for s in system.city.sections]
+
+    # Baseline: everything healthy.
+    healthy = injector.availability()
+
+    # Scenario 1: one fog layer-1 node fails, then fails over to a sibling.
+    failed_fog1 = system.fog1_for_section(sections[0])
+    failed_fog1.ingest(ReadingBatch([_reading(0)]), now=0.0)
+    injector.fail_node(failed_fog1.node_id)
+    after_fog1_failure = injector.availability()
+    failover = injector.failover_node(failed_fog1.node_id)[0]
+    after_failover = injector.availability()
+    served_by = injector.ingest_with_failover([_reading(1)], sections[0], now=1.0)
+
+    # Scenario 2: one district's backhaul link to the cloud fails.
+    injector.fail_link("fog2/district-01", "cloud")
+    after_backhaul_failure = injector.availability()
+
+    return {
+        "healthy": healthy,
+        "after_fog1_failure": after_fog1_failure,
+        "after_failover": after_failover,
+        "failover_record": failover,
+        "failover_served_by": served_by,
+        "after_backhaul_failure": after_backhaul_failure,
+        "centralized_backhaul_down": centralized_outage_impact(len(sections), backhaul_down=True),
+    }
+
+
+def test_fault_tolerance(benchmark, report):
+    results = benchmark(run_failure_scenarios)
+
+    healthy = results["healthy"]
+    fog1_failure = results["after_fog1_failure"]
+    failover = results["after_failover"]
+    backhaul_failure = results["after_backhaul_failure"]
+
+    assert healthy.section_availability == 1.0
+    # One fog node down: exactly one of 73 sections affected...
+    assert fog1_failure.served_sections == healthy.total_sections - 1
+    # ...and failover restores full real-time availability.
+    assert failover.section_availability == 1.0
+    assert results["failover_served_by"] is not None
+    # A backhaul failure only degrades one district's cloud path.
+    assert backhaul_failure.section_availability == 1.0
+    assert backhaul_failure.cloud_reachable_districts == healthy.total_districts - 1
+    # The centralized model loses access to every section's fresh data instead.
+    assert results["centralized_backhaul_down"] == 1.0
+
+    record = results["failover_record"]
+    report(
+        "fault_tolerance",
+        "\n".join(
+            [
+                "Single-failure blast radius on the Barcelona deployment (73 sections, 10 districts):",
+                "",
+                "  F2C, one fog layer-1 node fails:",
+                f"    sections without real-time service : 1 / {healthy.total_sections} "
+                f"({1 - fog1_failure.section_availability:.1%})",
+                f"    after failover to {record.replacement_node}: 0 / {healthy.total_sections}",
+                f"    readings at risk (not yet propagated): {record.readings_at_risk}",
+                "",
+                "  F2C, one district backhaul link fails:",
+                f"    sections without real-time service : 0 / {healthy.total_sections}",
+                f"    districts without a cloud path     : 1 / {healthy.total_districts}",
+                "",
+                "  Centralized cloud, backhaul fails:",
+                f"    sections whose fresh data is unreachable: "
+                f"{results['centralized_backhaul_down']:.0%} (all of them)",
+            ]
+        ),
+    )

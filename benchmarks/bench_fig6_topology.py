@@ -1,0 +1,55 @@
+"""Fig. 6 — representation of the F2C data management in Barcelona.
+
+Regenerates the deployment of Fig. 6: 73 fog layer-1 nodes (one per city
+section, ~1 km² each), 10 fog layer-2 nodes (one per district) and one cloud
+node, and reports the node counts, the per-district fan-out and the latency
+profile of the hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.city.barcelona import BARCELONA, CLOUD_NODE_ID, build_barcelona_topology, fog2_node_id
+from repro.core.architecture import F2CDataManagement
+from repro.network.topology import LayerName
+
+
+def build_deployment():
+    system = F2CDataManagement()
+    return system
+
+
+def test_fig6_topology(benchmark, report):
+    system = benchmark(build_deployment)
+    topology = system.topology
+
+    assert topology.node_count(LayerName.FOG_1) == 73
+    assert topology.node_count(LayerName.FOG_2) == 10
+    assert topology.node_count(LayerName.CLOUD) == 1
+    topology.validate_hierarchy()
+
+    lines = ["F2C deployment for Barcelona (Fig. 6):", ""]
+    summary = system.summary()
+    lines.append(
+        f"  fog layer 1: {summary['fog_layer_1_nodes']} nodes (city sections, ~{100/73:.2f} km² each)"
+    )
+    lines.append(f"  fog layer 2: {summary['fog_layer_2_nodes']} nodes (city districts)")
+    lines.append("  cloud layer: 1 node")
+    lines.append("")
+    lines.append("  district fan-out (fog L1 children per fog L2 node):")
+    for district in BARCELONA.districts:
+        children = topology.children_of(fog2_node_id(district.district_id))
+        lines.append(f"    {district.name:<22} {len(children):>3} fog layer-1 nodes")
+    lines.append("")
+    sample_fog1 = topology.children_of(fog2_node_id(BARCELONA.districts[0].district_id))[0]
+    lines.append(
+        "  one-way propagation latency from a fog L1 node: "
+        f"to its fog L2 parent {1e3 * topology.path_latency(sample_fog1, topology.parent_of(sample_fog1)):.1f} ms, "
+        f"to the cloud {1e3 * topology.path_latency(sample_fog1, CLOUD_NODE_ID):.1f} ms"
+    )
+    report("fig6_topology", "\n".join(lines))
+
+
+def test_fig6_topology_build_scales(benchmark):
+    """Building the full 84-node topology is cheap enough to rebuild per experiment."""
+    topology = benchmark(build_barcelona_topology)
+    assert topology.node_count() == 84

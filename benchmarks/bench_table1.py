@@ -1,0 +1,72 @@
+"""Table I — the redundant data aggregation model.
+
+Regenerates every row of the paper's Table I (per sensor type: sensor count,
+bytes per transaction and per day under the centralized cloud model and the
+F2C model with redundancy elimination at fog layer 1), the per-category
+"Total number" rows, and the citywide grand totals, and checks them against
+the values printed in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimation import TrafficEstimator
+from repro.sensors.catalog import (
+    BARCELONA_CATALOG,
+    PAPER_TABLE1_GRAND_TOTAL_DAILY_CLOUD,
+    PAPER_TABLE1_GRAND_TOTAL_DAILY_F2C,
+    PAPER_TABLE1_GRAND_TOTAL_PER_TRANSACTION_CLOUD,
+    PAPER_TABLE1_GRAND_TOTAL_PER_TRANSACTION_F2C,
+    PAPER_TABLE1_GRAND_TOTAL_SENSORS,
+    SensorCategory,
+)
+
+
+def build_table1():
+    estimator = TrafficEstimator(BARCELONA_CATALOG)
+    return estimator, estimator.table1_rows(), estimator.citywide()
+
+
+def test_table1_reproduction(benchmark, report):
+    estimator, rows, totals = benchmark(build_table1)
+
+    # --- fidelity checks against the paper's printed values -------------- #
+    assert len(rows) == 21
+    assert totals.total_sensors == PAPER_TABLE1_GRAND_TOTAL_SENSORS
+    assert totals.cloud_model_per_transaction == PAPER_TABLE1_GRAND_TOTAL_PER_TRANSACTION_CLOUD
+    assert totals.f2c_fog2_per_transaction == PAPER_TABLE1_GRAND_TOTAL_PER_TRANSACTION_F2C
+    assert totals.cloud_model_per_day == PAPER_TABLE1_GRAND_TOTAL_DAILY_CLOUD
+    assert totals.f2c_cloud_per_day == PAPER_TABLE1_GRAND_TOTAL_DAILY_F2C
+
+    lines = [estimator.format_table1(), ""]
+    lines.append("Category totals (bytes/day, cloud model vs F2C after redundancy elimination):")
+    for category in BARCELONA_CATALOG.categories:
+        traffic = estimator.category_traffic(category)
+        lines.append(
+            f"  {category.value:<8} cloud={traffic.cloud_model_per_day:>14,}  "
+            f"F2C={traffic.f2c_fog2_per_day:>14,}  (redundancy {traffic.redundancy_rate:.0%})"
+        )
+    lines.append("")
+    lines.append(
+        f"Citywide: {totals.total_sensors:,} sensors, "
+        f"{totals.cloud_model_per_day:,} bytes/day centralized vs "
+        f"{totals.f2c_cloud_per_day:,} bytes/day F2C "
+        f"({1 - totals.f2c_cloud_per_day / totals.cloud_model_per_day:.1%} backhaul reduction)"
+    )
+    report("table1", "\n".join(lines))
+
+
+def test_table1_section2_estimate_8gb_per_day(benchmark):
+    """Section II: 'we estimated that 8 GB of data could be generated every day'."""
+    totals = benchmark(TrafficEstimator(BARCELONA_CATALOG).citywide)
+    assert totals.cloud_model_per_day / 1e9 == pytest.approx(8.58, abs=0.01)
+
+
+def test_table1_energy_category_halves(benchmark):
+    """'almost fifty percent efficiency at fog layer 1 ... in the energy category'."""
+    estimator = TrafficEstimator(BARCELONA_CATALOG)
+    traffic = benchmark(estimator.category_traffic, SensorCategory.ENERGY)
+    assert traffic.redundancy_rate == pytest.approx(0.5)
+    assert traffic.cloud_model_per_day == 2_539_023_168
+    assert traffic.f2c_fog2_per_day == 1_269_511_584

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark both *times* the computation (pytest-benchmark) and
+*reproduces* the corresponding table or figure: the reproduced rows/series
+are printed (visible with ``pytest -s``) and written to
+``benchmarks/results/<name>.txt`` so they survive output capturing.  Running
+``python benchmarks/run_all.py`` prints every report without pytest.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a reproduction report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+@pytest.fixture()
+def report():
+    """Fixture exposing :func:`emit_report` to benchmark tests."""
+    return emit_report

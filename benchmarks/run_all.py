@@ -1,0 +1,52 @@
+"""Print every reproduced table and figure without pytest.
+
+Usage::
+
+    python benchmarks/run_all.py
+
+This regenerates Table I, the Fig. 6 topology summary, all five Fig. 7
+panels, the compression-factor measurement and the headline F2C-vs-cloud
+comparison, printing them to stdout (the same text the pytest benchmarks
+write under ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+from repro.core.architecture import F2CDataManagement
+from repro.core.comparison import analytic_comparison
+from repro.core.estimation import TrafficEstimator
+from repro.sensors.catalog import BARCELONA_CATALOG
+
+
+def main() -> None:
+    estimator = TrafficEstimator(BARCELONA_CATALOG)
+
+    print("=" * 100)
+    print("Table I — redundant data aggregation model")
+    print("=" * 100)
+    print(estimator.format_table1())
+    print()
+
+    print("=" * 100)
+    print("Fig. 6 — F2C deployment for Barcelona")
+    print("=" * 100)
+    system = F2CDataManagement()
+    for key, value in system.summary().items():
+        print(f"  {key}: {value}")
+    print()
+
+    print("=" * 100)
+    print("Fig. 7 — per-category reduction at fog layer 1")
+    print("=" * 100)
+    for category in BARCELONA_CATALOG.categories:
+        print("  " + estimator.format_fig7(category))
+    print()
+
+    print("=" * 100)
+    print("Headline comparison (one day, future Barcelona deployment)")
+    print("=" * 100)
+    print(analytic_comparison(BARCELONA_CATALOG).format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Comparing aggregation techniques on the same fog layer-1 stream.
+
+The paper evaluates two basic techniques (redundant-data elimination and
+compression) and points at richer families (decomposable functions,
+sketches).  This example runs them all — individually and stacked — on one
+day of synthetic readings from a single fog node and reports the bytes that
+would cross the backhaul under each, along with what information each
+technique preserves.
+
+Run with::
+
+    python examples/aggregation_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.aggregation.averaging import WindowAveraging
+from repro.aggregation.base import NoOpAggregation
+from repro.aggregation.compression import CalibratedCompression, DeflateCompression
+from repro.aggregation.pipeline import AggregationPipeline
+from repro.aggregation.redundancy import RedundantDataElimination
+from repro.aggregation.sketches import SketchSummaryAggregation
+from repro.common.units import format_bytes
+from repro.sensors.catalog import BARCELONA_CATALOG, SensorCategory
+from repro.sensors.generator import ReadingGenerator
+
+
+def build_day_batch():
+    catalog = BARCELONA_CATALOG.subset([SensorCategory.ENERGY, SensorCategory.URBAN]).scaled(0.0001)
+    generator = ReadingGenerator(catalog, devices_per_type=4, seed=5)
+    return generator.day_batch()
+
+
+def main() -> None:
+    batch = build_day_batch()
+    print(
+        f"One day of readings from one fog node's sampled sensors: "
+        f"{len(batch):,} readings, {format_bytes(batch.total_bytes)}\n"
+    )
+
+    techniques = {
+        "no aggregation (centralized baseline)": NoOpAggregation(),
+        "redundant-data elimination (consecutive)": RedundantDataElimination(scope="consecutive"),
+        "redundant-data elimination (batch-wide)": RedundantDataElimination(scope="batch"),
+        "DEFLATE compression only": DeflateCompression(level=6),
+        "window averaging (30 min)": WindowAveraging(window_seconds=1_800.0),
+        "sketch summary (count-min + distinct)": SketchSummaryAggregation(),
+        "dedup + compression (the paper's pipeline)": AggregationPipeline(
+            [RedundantDataElimination(scope="consecutive"), DeflateCompression(level=6)]
+        ),
+        "dedup + averaging + calibrated zip": AggregationPipeline(
+            [
+                RedundantDataElimination(scope="consecutive"),
+                WindowAveraging(window_seconds=1_800.0),
+                CalibratedCompression(),
+            ]
+        ),
+    }
+
+    lossless = {
+        "no aggregation (centralized baseline)",
+        "DEFLATE compression only",
+    }
+
+    print(f"{'technique':<44} {'backhaul bytes':>16} {'reduction':>10}   information kept")
+    print("-" * 110)
+    for name, technique in techniques.items():
+        result = technique.apply(batch)
+        if name in lossless:
+            kept = "every reading (lossless)"
+        elif "elimination" in name or "dedup" in name:
+            kept = "every distinct observation"
+        elif "averaging" in name:
+            kept = "per-sensor window means"
+        elif "sketch" in name:
+            kept = "frequency / distinct-count estimates"
+        else:
+            kept = "depends on pipeline stages"
+        print(
+            f"{name:<44} {result.output_bytes:>16,} {result.reduction_ratio:>9.1%}   {kept}"
+        )
+
+    print(
+        "\nThe paper's choice (dedup then compression) keeps every distinct observation while "
+        "removing most of the backhaul volume; averaging and sketches go further when consumers "
+        "only need summaries."
+    )
+
+
+if __name__ == "__main__":
+    main()

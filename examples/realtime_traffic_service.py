@@ -1,0 +1,87 @@
+"""A critical real-time service at the edge: traffic-incident detection.
+
+Section IV.C's first class of consumers are "critical real-time services
+executed at fog layer 1 in order to have a faster access to the (just
+generated) real-time data".  This example places a traffic-incident detector
+with a 50 ms latency bound, shows the placement engine choosing fog layer 1,
+runs it against live readings, and contrasts the data-access latency with
+what the same service would pay in the centralized architecture.
+
+Run with::
+
+    python examples/realtime_traffic_service.py
+"""
+
+from __future__ import annotations
+
+from repro import F2CDataManagement
+from repro.city.services import RealTimeService, ServiceRequirements
+from repro.core.baseline import CentralizedCloudDataManagement
+from repro.core.placement import ServicePlacementEngine
+from repro.sensors.readings import Reading, ReadingBatch
+
+
+def traffic_readings(section: str, count: int = 20) -> ReadingBatch:
+    """Synthetic traffic-intensity readings with one incident spike."""
+    readings = []
+    for index in range(count):
+        value = 60.0 + index if index != count - 1 else 450.0  # the incident
+        readings.append(
+            Reading(
+                sensor_id=f"traffic-{section}-{index % 5}",
+                sensor_type="traffic",
+                category="urban",
+                value=value,
+                timestamp=float(index),
+                size_bytes=44,
+            )
+        )
+    return ReadingBatch(readings)
+
+
+def main() -> None:
+    system = F2CDataManagement()
+    section = system.city.sections[0].section_id
+    engine = ServicePlacementEngine(system)
+
+    service = RealTimeService(
+        name="traffic-incident-detection",
+        category="urban",
+        threshold=300.0,
+        requirements=ServiceRequirements(
+            latency_bound_s=0.050, data_window_s=300.0, compute_units=2.0, data_scope="section"
+        ),
+    )
+
+    decision = engine.place(service.name, service.requirements, home_section=section)
+    print(f"Placement decision: run {service.name!r} on {decision.node_id} ({decision.layer.value})")
+    print(f"  estimated data-access latency: {decision.estimated_access_latency_s * 1e3:.3f} ms")
+    print(f"  reason: {decision.reason}")
+
+    # Ingest live readings; they become available at the local fog node.
+    batch = traffic_readings(section)
+    system.ingest_readings(batch, now=20.0, default_section=section)
+    fog1 = system.fog1_for_section(section)
+    window = fog1.query_window(category="urban")
+
+    alerts = service.evaluate(list(window), access_latency_s=decision.estimated_access_latency_s)
+    print(f"\nEvaluated {len(window)} readings, {len(alerts)} incident(s) detected:")
+    for alert in alerts:
+        print(f"  sensor {alert.sensor_id} reported intensity {alert.value}")
+    print(f"Latency bound respected: {service.meets_latency_bound()}")
+
+    # What the same service would pay in the centralized architecture.
+    centralized = CentralizedCloudDataManagement()
+    centralized.ingest_readings(batch, now=20.0)
+    centralized_latency = centralized.end_to_end_realtime_latency(reading_bytes=44, response_bytes=4_096)
+    print("\nCentralized alternative:")
+    print(f"  upload + read-back latency: {centralized_latency * 1e3:.2f} ms")
+    print(
+        "  the F2C placement serves the same data locally "
+        f"({decision.estimated_access_latency_s * 1e3:.3f} ms) — "
+        f"{centralized_latency / max(decision.estimated_access_latency_s, 1e-6):,.0f}x faster"
+    )
+
+
+if __name__ == "__main__":
+    main()

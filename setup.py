@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable (``pip install -e .``) in offline
+environments whose setuptools predates PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

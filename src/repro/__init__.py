@@ -1,0 +1,82 @@
+"""repro — Fog-to-Cloud (F2C) data management for smart cities.
+
+A full reproduction of "A Novel Architecture for Efficient Fog to Cloud Data
+Management in Smart Cities" (Sinaeepourfard, Garcia, Masip-Bruin,
+Marin-Tordera — ICDCS 2017): the SCC-DLC data life-cycle model, the
+hierarchical F2C architecture it is mapped onto, the data-aggregation
+optimisations evaluated at fog layer 1, the centralized-cloud baseline, and
+the simulated substrates (sensor catalog, messaging, network, storage, city
+model) everything runs on.
+
+Quick start::
+
+    from repro import F2CDataManagement, ReadingGenerator, BARCELONA_CATALOG
+
+    system = F2CDataManagement()
+    generator = ReadingGenerator(BARCELONA_CATALOG.scaled(0.0001), devices_per_type=5)
+    system.ingest_readings(generator.transaction(timestamp=0.0))
+    system.synchronise()
+    print(system.traffic_report())
+"""
+
+from repro.aggregation import (
+    AggregationPipeline,
+    CalibratedCompression,
+    DeflateCompression,
+    RedundantDataElimination,
+    WindowAveraging,
+)
+from repro.city import BARCELONA, build_barcelona_city, build_barcelona_topology
+from repro.core import (
+    CentralizedCloudDataManagement,
+    CloudNode,
+    F2CDataManagement,
+    FogNodeLevel1,
+    FogNodeLevel2,
+    MovementPolicy,
+    ServicePlacementEngine,
+    TrafficEstimator,
+)
+from repro.dlc import AcquisitionBlock, DataLifeCycle, PreservationBlock, ProcessingBlock
+from repro.sensors import (
+    BARCELONA_CATALOG,
+    Reading,
+    ReadingBatch,
+    ReadingGenerator,
+    SensorCatalog,
+    SensorCategory,
+    SentiloPlatform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationPipeline",
+    "AcquisitionBlock",
+    "BARCELONA",
+    "BARCELONA_CATALOG",
+    "CalibratedCompression",
+    "CentralizedCloudDataManagement",
+    "CloudNode",
+    "DataLifeCycle",
+    "DeflateCompression",
+    "F2CDataManagement",
+    "FogNodeLevel1",
+    "FogNodeLevel2",
+    "MovementPolicy",
+    "PreservationBlock",
+    "ProcessingBlock",
+    "Reading",
+    "ReadingBatch",
+    "ReadingGenerator",
+    "RedundantDataElimination",
+    "SensorCatalog",
+    "SensorCategory",
+    "SentiloPlatform",
+    "ServicePlacementEngine",
+    "TrafficEstimator",
+    "WindowAveraging",
+    "build_barcelona_city",
+    "build_barcelona_topology",
+    "__version__",
+]

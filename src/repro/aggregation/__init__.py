@@ -1,0 +1,39 @@
+"""Data-aggregation techniques applied at fog layer 1.
+
+Section V of the paper applies two basic techniques — redundant-data
+elimination and compression — at fog layer 1 before data moves upwards, and
+surveys richer families (decomposable functions such as averaging, and
+sketch-based summaries).  This package implements:
+
+* :mod:`repro.aggregation.base` — the technique interface and result record.
+* :mod:`repro.aggregation.redundancy` — redundant-data elimination.
+* :mod:`repro.aggregation.compression` — DEFLATE compression of accumulated
+  batches, plus a calibrated mode pinned to the paper's measured zip factor.
+* :mod:`repro.aggregation.averaging` — window-averaging (a decomposable
+  function from the survey's computation taxonomy).
+* :mod:`repro.aggregation.sketches` — count-min sketch and a probabilistic
+  distinct counter (the "sketches" family).
+* :mod:`repro.aggregation.pipeline` — chaining techniques in order, as the
+  paper does (redundancy elimination, then compression).
+"""
+
+from repro.aggregation.averaging import WindowAveraging
+from repro.aggregation.base import AggregationResult, AggregationTechnique, NoOpAggregation
+from repro.aggregation.compression import CalibratedCompression, DeflateCompression
+from repro.aggregation.pipeline import AggregationPipeline
+from repro.aggregation.redundancy import RedundantDataElimination
+from repro.aggregation.sketches import CountMinSketch, DistinctCounter, SketchSummaryAggregation
+
+__all__ = [
+    "AggregationPipeline",
+    "AggregationResult",
+    "AggregationTechnique",
+    "CalibratedCompression",
+    "CountMinSketch",
+    "DeflateCompression",
+    "DistinctCounter",
+    "NoOpAggregation",
+    "RedundantDataElimination",
+    "SketchSummaryAggregation",
+    "WindowAveraging",
+]

@@ -1,0 +1,97 @@
+"""Window averaging — a decomposable aggregation function.
+
+The distributed-aggregation survey the paper cites ([20]) classifies
+*averaging* among the decomposable computation approaches: each fog node can
+average its own window and the parent can combine child averages weighted by
+their counts.  Averaging is a lossy technique: a window of N readings from a
+sensor is replaced by a single summary reading, so it trades temporal
+resolution for a large volume reduction.  It is one of the "many other data
+aggregation techniques [that] could be easily applied in this architecture"
+the paper mentions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.aggregation.base import AggregationResult, AggregationTechnique
+from repro.sensors.readings import Reading, ReadingBatch
+
+
+class WindowAveraging(AggregationTechnique):
+    """Replaces each sensor's readings within a time window by their average.
+
+    Non-numeric readings are passed through untouched.  The summary reading
+    keeps the sensor's identity and wire size, is stamped with the window's
+    end time, and carries ``aggregated_count`` in its tags so parents can
+    compute correctly weighted combined averages.
+    """
+
+    name = "window_averaging"
+
+    def __init__(self, window_seconds: float = 900.0) -> None:
+        if window_seconds <= 0:
+            raise ConfigurationError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+
+    def _window_index(self, timestamp: float) -> int:
+        return math.floor(timestamp / self.window_seconds)
+
+    def apply(self, batch: ReadingBatch) -> AggregationResult:
+        groups: Dict[Tuple[str, int], List[Reading]] = {}
+        passthrough: List[Reading] = []
+        for reading in batch:
+            if isinstance(reading.value, (int, float)) and not isinstance(reading.value, bool):
+                key = (reading.sensor_id, self._window_index(reading.timestamp))
+                groups.setdefault(key, []).append(reading)
+            else:
+                passthrough.append(reading)
+
+        output = ReadingBatch()
+        for (_, window_index), readings in sorted(groups.items()):
+            values = [float(r.value) for r in readings]
+            template = readings[-1]
+            window_end = (window_index + 1) * self.window_seconds
+            summary = Reading(
+                sensor_id=template.sensor_id,
+                sensor_type=template.sensor_type,
+                category=template.category,
+                value=round(sum(values) / len(values), 6),
+                timestamp=window_end,
+                fog_node_id=template.fog_node_id,
+                size_bytes=template.size_bytes,
+                sequence=template.sequence,
+                tags={**template.tags, "aggregated_count": len(readings), "technique": self.name},
+            )
+            output.append(summary)
+        for reading in passthrough:
+            output.append(reading)
+
+        return self._result(
+            batch,
+            output,
+            windows=len(groups),
+            window_seconds=self.window_seconds,
+            passthrough=len(passthrough),
+        )
+
+    @staticmethod
+    def combine_averages(summaries: ReadingBatch) -> Dict[str, float]:
+        """Combine per-node averages into per-sensor global averages.
+
+        Demonstrates the decomposable property: given summary readings that
+        carry ``aggregated_count`` tags, the correctly weighted global mean
+        per sensor is recovered without the raw data.
+        """
+        weighted: Dict[str, Tuple[float, int]] = {}
+        for summary in summaries:
+            count = int(summary.tags.get("aggregated_count", 1))
+            total, existing = weighted.get(summary.sensor_id, (0.0, 0))
+            weighted[summary.sensor_id] = (total + float(summary.value) * count, existing + count)
+        return {
+            sensor_id: total / count
+            for sensor_id, (total, count) in weighted.items()
+            if count > 0
+        }

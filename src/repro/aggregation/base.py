@@ -1,0 +1,90 @@
+"""Aggregation technique interface.
+
+A technique consumes a :class:`~repro.sensors.readings.ReadingBatch` and
+produces an :class:`AggregationResult`: the (possibly reduced) batch that
+continues through the pipeline, plus byte accounting.  Techniques that work
+on the *encoded* representation (compression) cannot express their output as
+readings; they report the post-encoding byte count in ``encoded_bytes`` while
+passing the logical batch through unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sensors.readings import ReadingBatch
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of applying one technique (or a pipeline) to a batch."""
+
+    technique: str
+    batch: ReadingBatch
+    input_readings: int
+    input_bytes: int
+    encoded_bytes: Optional[int] = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def output_readings(self) -> int:
+        return len(self.batch)
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes that would be transmitted upwards after this technique.
+
+        For reading-level techniques this is the surviving readings' wire
+        size; for encoding-level techniques it is the encoded size.
+        """
+        if self.encoded_bytes is not None:
+            return self.encoded_bytes
+        return self.batch.total_bytes
+
+    @property
+    def bytes_removed(self) -> int:
+        return self.input_bytes - self.output_bytes
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of input bytes eliminated (the paper's "efficiency")."""
+        if self.input_bytes == 0:
+            return 0.0
+        return self.bytes_removed / self.input_bytes
+
+
+class AggregationTechnique(ABC):
+    """Base class for all aggregation techniques."""
+
+    name: str = "aggregation"
+
+    @abstractmethod
+    def apply(self, batch: ReadingBatch) -> AggregationResult:
+        """Apply the technique to *batch* and return the result."""
+
+    def _result(
+        self,
+        input_batch: ReadingBatch,
+        output_batch: ReadingBatch,
+        encoded_bytes: Optional[int] = None,
+        **details: object,
+    ) -> AggregationResult:
+        return AggregationResult(
+            technique=self.name,
+            batch=output_batch,
+            input_readings=len(input_batch),
+            input_bytes=input_batch.total_bytes,
+            encoded_bytes=encoded_bytes,
+            details=dict(details),
+        )
+
+
+class NoOpAggregation(AggregationTechnique):
+    """Passes the batch through untouched (the centralized baseline's 'filtering')."""
+
+    name = "noop"
+
+    def apply(self, batch: ReadingBatch) -> AggregationResult:
+        return self._result(batch, batch)

@@ -1,0 +1,73 @@
+"""Redundant-data elimination.
+
+"In this technique we focus on providing a basic yet effective solution to
+easily reduce the amount of duplicated data collected from the sensors
+layer.  For example, in case of weather measurement, each sensor sends the
+current temperature measurements, but this type of data is prone to
+repetitions, so eliminating them may easily reduce such amount of data."
+(Section V.A.)
+
+Two policies are provided:
+
+* ``scope="batch"`` — a reading is redundant if an identical
+  (sensor, type, value) observation already appeared in the batch.
+* ``scope="consecutive"`` — a reading is redundant only if it repeats that
+  sensor's *immediately previous* value (a stricter, order-aware policy that
+  never discards a genuine return to an earlier value).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.aggregation.base import AggregationResult, AggregationTechnique
+from repro.sensors.readings import ReadingBatch
+
+
+class RedundantDataElimination(AggregationTechnique):
+    """Removes duplicated readings from a batch."""
+
+    name = "redundant_data_elimination"
+
+    def __init__(self, scope: str = "batch") -> None:
+        if scope not in ("batch", "consecutive"):
+            raise ConfigurationError(f"unknown scope: {scope!r} (use 'batch' or 'consecutive')")
+        self.scope = scope
+
+    def apply(self, batch: ReadingBatch) -> AggregationResult:
+        if self.scope == "batch":
+            output, removed = self._dedup_batch(batch)
+        else:
+            output, removed = self._dedup_consecutive(batch)
+        return self._result(batch, output, removed_readings=removed, scope=self.scope)
+
+    @staticmethod
+    def _dedup_batch(batch: ReadingBatch) -> Tuple[ReadingBatch, int]:
+        seen: Set[tuple] = set()
+        output = ReadingBatch()
+        removed = 0
+        for reading in batch:
+            key = reading.dedup_key()
+            if key in seen:
+                removed += 1
+                continue
+            seen.add(key)
+            output.append(reading)
+        return output, removed
+
+    @staticmethod
+    def _dedup_consecutive(batch: ReadingBatch) -> Tuple[ReadingBatch, int]:
+        last_value: Dict[Tuple[str, str], object] = {}
+        output = ReadingBatch()
+        removed = 0
+        # Process in timestamp order per sensor so "previous value" is well defined.
+        ordered = sorted(batch, key=lambda r: (r.sensor_id, r.timestamp, r.sequence))
+        for reading in ordered:
+            key = (reading.sensor_id, reading.sensor_type)
+            if key in last_value and last_value[key] == reading.value:
+                removed += 1
+                continue
+            last_value[key] = reading.value
+            output.append(reading)
+        return output, removed

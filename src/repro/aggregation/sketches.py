@@ -1,0 +1,183 @@
+"""Sketch-based aggregation summaries.
+
+The distributed-aggregation survey the paper builds on classifies *sketches*
+among the decomposable computation approaches: fixed-size probabilistic
+summaries that can be merged across nodes.  Two classic sketches are
+provided — a count-min sketch for per-key frequency estimation and a
+probabilistic distinct counter (a simplified Flajolet–Martin / HyperLogLog
+scheme) — plus an :class:`AggregationTechnique` wrapper that replaces a
+batch by a constant-size sketch summary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Hashable, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.aggregation.base import AggregationResult, AggregationTechnique
+from repro.sensors.readings import Reading, ReadingBatch
+
+
+def _hash64(value: Hashable, seed: int) -> int:
+    """A stable 64-bit hash of *value* mixed with *seed*."""
+    digest = hashlib.blake2b(
+        repr(value).encode("utf-8"), digest_size=8, key=seed.to_bytes(8, "little")
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class CountMinSketch:
+    """Count-min sketch: mergeable approximate per-key counters.
+
+    Estimates never under-count; over-counting is bounded by
+    ``epsilon * total_count`` with probability ``1 - delta`` for
+    ``width = ceil(e / epsilon)`` and ``depth = ceil(ln(1 / delta))``.
+    """
+
+    def __init__(self, width: int = 256, depth: int = 4) -> None:
+        if width <= 0 or depth <= 0:
+            raise ConfigurationError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self._table: List[List[int]] = [[0] * width for _ in range(depth)]
+        self._total = 0
+
+    @classmethod
+    def from_error_bounds(cls, epsilon: float, delta: float) -> "CountMinSketch":
+        """Build a sketch sized for the requested error bounds."""
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ConfigurationError("epsilon and delta must be in (0, 1)")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=max(1, depth))
+
+    def add(self, key: Hashable, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for row in range(self.depth):
+            column = _hash64(key, row) % self.width
+            self._table[row][column] += count
+        self._total += count
+
+    def estimate(self, key: Hashable) -> int:
+        """Estimated count of *key* (never below the true count)."""
+        return min(
+            self._table[row][_hash64(key, row) % self.width] for row in range(self.depth)
+        )
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Merge two sketches of identical dimensions (cell-wise sum)."""
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise ConfigurationError("cannot merge sketches with different dimensions")
+        merged = CountMinSketch(width=self.width, depth=self.depth)
+        for row in range(self.depth):
+            for column in range(self.width):
+                merged._table[row][column] = self._table[row][column] + other._table[row][column]
+        merged._total = self._total + other._total
+        return merged
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def size_bytes(self) -> int:
+        """Approximate serialised size (4 bytes per cell)."""
+        return self.width * self.depth * 4
+
+
+class DistinctCounter:
+    """Probabilistic distinct-value counter (stochastic averaging of max leading zeros).
+
+    A simplified HyperLogLog: values hash into ``2**precision`` registers,
+    each remembering the maximum number of leading zero bits seen.  Accuracy
+    is roughly ``1.04 / sqrt(2**precision)`` relative error, and two counters
+    merge by taking register-wise maxima.
+    """
+
+    def __init__(self, precision: int = 10) -> None:
+        if not 4 <= precision <= 16:
+            raise ConfigurationError("precision must be between 4 and 16")
+        self.precision = precision
+        self._register_count = 1 << precision
+        self._registers = [0] * self._register_count
+
+    def add(self, value: Hashable) -> None:
+        hashed = _hash64(value, seed=0xC0FFEE)
+        register = hashed & (self._register_count - 1)
+        remaining = hashed >> self.precision
+        rank = 1
+        while remaining & 1 == 0 and rank < 64 - self.precision:
+            rank += 1
+            remaining >>= 1
+        self._registers[register] = max(self._registers[register], rank)
+
+    def estimate(self) -> float:
+        """Estimated number of distinct values added."""
+        m = self._register_count
+        alpha = 0.7213 / (1.0 + 1.079 / m)
+        indicator = sum(2.0 ** (-register) for register in self._registers)
+        raw = alpha * m * m / indicator
+        zero_registers = self._registers.count(0)
+        if raw <= 2.5 * m and zero_registers:
+            return m * math.log(m / zero_registers)
+        return raw
+
+    def merge(self, other: "DistinctCounter") -> "DistinctCounter":
+        if self.precision != other.precision:
+            raise ConfigurationError("cannot merge counters with different precision")
+        merged = DistinctCounter(precision=self.precision)
+        merged._registers = [max(a, b) for a, b in zip(self._registers, other._registers)]
+        return merged
+
+    def size_bytes(self) -> int:
+        """Approximate serialised size (1 byte per register)."""
+        return self._register_count
+
+
+class SketchSummaryAggregation(AggregationTechnique):
+    """Replaces a batch by a constant-size sketch summary reading.
+
+    The output batch contains one synthetic reading per category whose wire
+    size is the serialised sketch size — a drastic (lossy) reduction suitable
+    for consumers that only need frequency/distinct statistics upstream.
+    """
+
+    name = "sketch_summary"
+
+    def __init__(self, width: int = 256, depth: int = 4, precision: int = 10) -> None:
+        self.width = width
+        self.depth = depth
+        self.precision = precision
+        self.last_frequency_sketches: dict[str, CountMinSketch] = {}
+        self.last_distinct_counters: dict[str, DistinctCounter] = {}
+
+    def apply(self, batch: ReadingBatch) -> AggregationResult:
+        frequency: dict[str, CountMinSketch] = {}
+        distinct: dict[str, DistinctCounter] = {}
+        latest_timestamp: dict[str, float] = {}
+        for reading in batch:
+            category = reading.category
+            frequency.setdefault(category, CountMinSketch(self.width, self.depth)).add(reading.sensor_id)
+            distinct.setdefault(category, DistinctCounter(self.precision)).add(reading.sensor_id)
+            latest_timestamp[category] = max(latest_timestamp.get(category, 0.0), reading.timestamp)
+
+        output = ReadingBatch()
+        for category in sorted(frequency):
+            sketch = frequency[category]
+            counter = distinct[category]
+            output.append(
+                Reading(
+                    sensor_id=f"sketch/{category}",
+                    sensor_type="sketch_summary",
+                    category=category,
+                    value=round(counter.estimate(), 2),
+                    timestamp=latest_timestamp[category],
+                    size_bytes=sketch.size_bytes() + counter.size_bytes(),
+                    tags={"total_readings": sketch.total, "technique": self.name},
+                )
+            )
+        self.last_frequency_sketches = frequency
+        self.last_distinct_counters = distinct
+        return self._result(batch, output, categories=len(frequency))

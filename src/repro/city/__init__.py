@@ -1,0 +1,26 @@
+"""Smart-city model: administrative layout, topology building and services.
+
+* :mod:`repro.city.model` — generic city description (districts, sections,
+  sensor distribution over sections).
+* :mod:`repro.city.barcelona` — the concrete Barcelona layout used in the
+  paper's evaluation: 10 districts, 73 sections (≈1 km² each), which map
+  1:1 onto 10 fog layer-2 nodes and 73 fog layer-1 nodes (Fig. 6).
+* :mod:`repro.city.services` — representative smart-city services (real-time
+  and batch consumers) used by the latency and placement experiments.
+"""
+
+from repro.city.barcelona import BARCELONA, build_barcelona_city, build_barcelona_topology
+from repro.city.model import City, District, Section
+from repro.city.services import BatchAnalyticsService, RealTimeService, ServiceRequirements
+
+__all__ = [
+    "BARCELONA",
+    "BatchAnalyticsService",
+    "City",
+    "District",
+    "RealTimeService",
+    "Section",
+    "ServiceRequirements",
+    "build_barcelona_city",
+    "build_barcelona_topology",
+]

@@ -1,0 +1,158 @@
+"""The Barcelona layout used in the paper's evaluation.
+
+Section V.B: "According to the current distribution of districts and
+sections in Barcelona, we estimate that our fog layer 1 can be covers with
+73 fog nodes, which is matched with the number of sections in Barcelona.
+In this case, our fog node covers almost 1 km², which is a reasonable fog
+node size.  In addition, the fog layer 2 can be defined as 10 main nodes
+which are matched with the number of district in Barcelona."
+
+This module builds that layout: the ten real districts of Barcelona with
+their real number of administrative sections (73 in total, the figure the
+paper uses), and the corresponding F2C network topology of Fig. 6
+(73 fog layer-1 nodes → 10 fog layer-2 nodes → 1 cloud).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.city.model import City, District, Section
+from repro.network.link import DIURNAL_PROFILE, LinkProfile
+from repro.network.topology import LayerName, NetworkTopology
+
+#: The ten districts of Barcelona and their number of administrative sections
+#: ("grans barris" groupings); the counts sum to the 73 sections the paper
+#: matches fog layer 1 against.
+BARCELONA_DISTRICT_SECTIONS: Tuple[Tuple[str, int], ...] = (
+    ("Ciutat Vella", 4),
+    ("Eixample", 6),
+    ("Sants-Montjuic", 8),
+    ("Les Corts", 3),
+    ("Sarria-Sant Gervasi", 6),
+    ("Gracia", 5),
+    ("Horta-Guinardo", 11),
+    ("Nou Barris", 13),
+    ("Sant Andreu", 7),
+    ("Sant Marti", 10),
+)
+
+#: Approximate total municipal area (km²) the paper quotes.
+BARCELONA_AREA_KM2 = 100.0
+
+#: Approximate population the paper quotes (1.62 million people).
+BARCELONA_POPULATION = 1_620_000
+
+
+def _slug(name: str) -> str:
+    return name.lower().replace(" ", "-")
+
+
+def build_barcelona_city() -> City:
+    """Build the Barcelona :class:`~repro.city.model.City` (10 districts, 73 sections)."""
+    total_sections = sum(count for _, count in BARCELONA_DISTRICT_SECTIONS)
+    section_area = BARCELONA_AREA_KM2 / total_sections
+    districts = []
+    for district_index, (district_name, section_count) in enumerate(BARCELONA_DISTRICT_SECTIONS, start=1):
+        district_id = f"district-{district_index:02d}"
+        sections = tuple(
+            Section(
+                section_id=f"{district_id}/section-{section_index:02d}",
+                district_id=district_id,
+                name=f"{district_name} / section {section_index}",
+                area_km2=section_area,
+            )
+            for section_index in range(1, section_count + 1)
+        )
+        districts.append(District(district_id=district_id, name=district_name, sections=sections))
+    return City(name="Barcelona", districts=districts)
+
+
+#: A ready-made Barcelona city instance (10 districts, 73 sections).
+BARCELONA = build_barcelona_city()
+
+
+#: Default link characteristics for the three tiers of the hierarchy.
+#: Fog layer-1 nodes talk to their district node over metropolitan links;
+#: district nodes reach the cloud over a wide-area link with much higher
+#: latency (the property the paper's latency argument rests on).
+DEFAULT_LINK_PARAMETERS: Dict[str, Dict[str, float]] = {
+    "edge_to_fog1": {"latency_s": 0.002, "bandwidth_bps": 12_500_000},     # ~2 ms, 100 Mbit/s
+    "fog1_to_fog2": {"latency_s": 0.005, "bandwidth_bps": 125_000_000},    # ~5 ms, 1 Gbit/s
+    "fog2_to_cloud": {"latency_s": 0.050, "bandwidth_bps": 1_250_000_000}, # ~50 ms, 10 Gbit/s
+}
+
+CLOUD_NODE_ID = "cloud"
+
+
+def fog1_node_id(section_id: str) -> str:
+    """Topology node id of the fog layer-1 node covering *section_id*."""
+    return f"fog1/{section_id}"
+
+
+def fog2_node_id(district_id: str) -> str:
+    """Topology node id of the fog layer-2 node covering *district_id*."""
+    return f"fog2/{district_id}"
+
+
+def build_barcelona_topology(
+    city: Optional[City] = None,
+    link_parameters: Optional[Dict[str, Dict[str, float]]] = None,
+    backhaul_profile: Optional[LinkProfile] = DIURNAL_PROFILE,
+) -> NetworkTopology:
+    """Build the Fig. 6 topology: 73 fog-L1 nodes, 10 fog-L2 nodes, 1 cloud.
+
+    Parameters
+    ----------
+    city:
+        The city layout; defaults to :data:`BARCELONA`.
+    link_parameters:
+        Override latency/bandwidth per tier (keys as in
+        :data:`DEFAULT_LINK_PARAMETERS`).
+    backhaul_profile:
+        Diurnal background-load profile applied to the fog L2 → cloud links
+        (used by the transmission-scheduling experiments); pass ``None`` for
+        constant available bandwidth.
+    """
+    if city is None:
+        city = BARCELONA
+    parameters = dict(DEFAULT_LINK_PARAMETERS)
+    if link_parameters:
+        parameters.update(link_parameters)
+
+    topology = NetworkTopology()
+    topology.add_node(CLOUD_NODE_ID, LayerName.CLOUD, description="central cloud data center")
+
+    for district in city.districts:
+        fog2_id = fog2_node_id(district.district_id)
+        topology.add_node(
+            fog2_id,
+            LayerName.FOG_2,
+            district=district.district_id,
+            district_name=district.name,
+        )
+        topology.connect(
+            fog2_id,
+            CLOUD_NODE_ID,
+            latency_s=parameters["fog2_to_cloud"]["latency_s"],
+            bandwidth_bps=parameters["fog2_to_cloud"]["bandwidth_bps"],
+            profile=backhaul_profile,
+        )
+        for section in district.sections:
+            fog1_id = fog1_node_id(section.section_id)
+            topology.add_node(
+                fog1_id,
+                LayerName.FOG_1,
+                section=section.section_id,
+                district=district.district_id,
+                area_km2=section.area_km2,
+            )
+            topology.connect(
+                fog1_id,
+                fog2_id,
+                latency_s=parameters["fog1_to_fog2"]["latency_s"],
+                bandwidth_bps=parameters["fog1_to_fog2"]["bandwidth_bps"],
+            )
+
+    topology.validate_hierarchy()
+    return topology

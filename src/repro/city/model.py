@@ -1,0 +1,158 @@
+"""Generic city description.
+
+A :class:`City` is a set of :class:`District` objects, each containing
+:class:`Section` objects.  Sections are the geographic unit a fog layer-1
+node covers (about 1 km² in the Barcelona use case) and districts are the
+unit a fog layer-2 node covers.  The city also knows how the sensor
+population of a catalog is distributed over sections (uniformly by default,
+proportional to section area when areas are given).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.sensors.catalog import SensorCatalog, SensorTypeSpec
+
+
+@dataclass(frozen=True)
+class Section:
+    """A city section — the coverage area of one fog layer-1 node."""
+
+    section_id: str
+    district_id: str
+    name: str = ""
+    area_km2: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.area_km2 <= 0:
+            raise ConfigurationError(f"section {self.section_id}: area must be positive")
+
+
+@dataclass(frozen=True)
+class District:
+    """A city district — the coverage area of one fog layer-2 node."""
+
+    district_id: str
+    name: str = ""
+    sections: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.sections:
+            raise ConfigurationError(f"district {self.district_id} has no sections")
+        for section in self.sections:
+            if section.district_id != self.district_id:
+                raise ConfigurationError(
+                    f"section {section.section_id} claims district {section.district_id}, "
+                    f"but belongs to {self.district_id}"
+                )
+
+    @property
+    def area_km2(self) -> float:
+        return sum(section.area_km2 for section in self.sections)
+
+
+class City:
+    """A city with districts, sections, and sensor-distribution helpers."""
+
+    def __init__(self, name: str, districts: List[District]) -> None:
+        if not districts:
+            raise ConfigurationError("a city needs at least one district")
+        self.name = name
+        self._districts: Dict[str, District] = {}
+        self._sections: Dict[str, Section] = {}
+        for district in districts:
+            if district.district_id in self._districts:
+                raise ConfigurationError(f"duplicate district id: {district.district_id}")
+            self._districts[district.district_id] = district
+            for section in district.sections:
+                if section.section_id in self._sections:
+                    raise ConfigurationError(f"duplicate section id: {section.section_id}")
+                self._sections[section.section_id] = section
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def districts(self) -> List[District]:
+        return list(self._districts.values())
+
+    @property
+    def sections(self) -> List[Section]:
+        return list(self._sections.values())
+
+    def district(self, district_id: str) -> District:
+        return self._districts[district_id]
+
+    def section(self, section_id: str) -> Section:
+        return self._sections[section_id]
+
+    def sections_of(self, district_id: str) -> List[Section]:
+        return list(self._districts[district_id].sections)
+
+    def district_of(self, section_id: str) -> District:
+        return self._districts[self._sections[section_id].district_id]
+
+    @property
+    def district_count(self) -> int:
+        return len(self._districts)
+
+    @property
+    def section_count(self) -> int:
+        return len(self._sections)
+
+    @property
+    def area_km2(self) -> float:
+        return sum(district.area_km2 for district in self._districts.values())
+
+    def iter_sections(self) -> Iterator[Section]:
+        return iter(self._sections.values())
+
+    # ------------------------------------------------------------------ #
+    # Sensor distribution
+    # ------------------------------------------------------------------ #
+    def sensors_per_section(
+        self,
+        spec: SensorTypeSpec,
+        weight_by_area: bool = True,
+    ) -> Dict[str, int]:
+        """Distribute *spec*'s sensors over sections.
+
+        By default the count is proportional to section area (larger sections
+        host more sensors); remainders are assigned to the largest sections
+        so the per-section counts always sum to ``spec.sensor_count``.
+        """
+        sections = self.sections
+        if weight_by_area:
+            total_area = sum(s.area_km2 for s in sections)
+            weights = {s.section_id: s.area_km2 / total_area for s in sections}
+        else:
+            weights = {s.section_id: 1.0 / len(sections) for s in sections}
+
+        allocation = {
+            section_id: int(spec.sensor_count * weight)
+            for section_id, weight in weights.items()
+        }
+        remainder = spec.sensor_count - sum(allocation.values())
+        # Hand out the remainder to the highest-weighted sections, largest first,
+        # with a deterministic tie-break on the section id.
+        by_weight = sorted(weights.items(), key=lambda item: (-item[1], item[0]))
+        for section_id, _ in by_weight[:remainder]:
+            allocation[section_id] += 1
+        return allocation
+
+    def catalog_distribution(
+        self,
+        catalog: SensorCatalog,
+        weight_by_area: bool = True,
+    ) -> Dict[str, Dict[str, int]]:
+        """Per-section, per-type sensor counts for a whole catalog."""
+        distribution: Dict[str, Dict[str, int]] = {s.section_id: {} for s in self.sections}
+        for spec in catalog:
+            per_section = self.sensors_per_section(spec, weight_by_area=weight_by_area)
+            for section_id, count in per_section.items():
+                if count:
+                    distribution[section_id][spec.name] = count
+        return distribution

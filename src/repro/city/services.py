@@ -1,0 +1,150 @@
+"""Representative smart-city services.
+
+Section IV.C of the paper distinguishes three kinds of consumers:
+
+* critical real-time services executed at fog layer 1, reading just-collected
+  data with very low latency (e.g. traffic-incident detection);
+* deep-computing batch applications executed at the cloud over large
+  historical data sets (e.g. monthly energy planning);
+* everything in between, executed at "the lowest fog layer that provides the
+  required computing capabilities and contains the required data set".
+
+The classes here model a service's requirements (latency bound, data window,
+computing demand) and provide simple concrete services used by the examples
+and the placement/latency benchmarks.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.sensors.readings import Reading, ReadingBatch
+
+
+@dataclass(frozen=True)
+class ServiceRequirements:
+    """What a service needs from the layer that hosts it.
+
+    Attributes
+    ----------
+    latency_bound_s:
+        Maximum acceptable data-access latency; ``None`` means no bound
+        (batch workloads).
+    data_window_s:
+        How far back in time the service needs data.
+    compute_units:
+        Abstract computing demand, compared against node capacity.
+    data_scope:
+        ``"section"`` (one fog-L1 area), ``"district"`` (one fog-L2 area) or
+        ``"city"`` (the whole data set, only complete at the cloud).
+    """
+
+    latency_bound_s: Optional[float] = None
+    data_window_s: float = 3600.0
+    compute_units: float = 1.0
+    data_scope: str = "section"
+
+    def __post_init__(self) -> None:
+        if self.latency_bound_s is not None and self.latency_bound_s <= 0:
+            raise ConfigurationError("latency_bound_s must be positive when set")
+        if self.data_window_s <= 0:
+            raise ConfigurationError("data_window_s must be positive")
+        if self.compute_units <= 0:
+            raise ConfigurationError("compute_units must be positive")
+        if self.data_scope not in ("section", "district", "city"):
+            raise ConfigurationError(f"unknown data_scope: {self.data_scope!r}")
+
+    @property
+    def is_realtime(self) -> bool:
+        return self.latency_bound_s is not None
+
+
+class RealTimeService:
+    """A critical real-time consumer (e.g. traffic incident detection).
+
+    The service watches a single category inside one fog-L1 area and raises
+    an alert when the most recent value crosses a threshold.  It records the
+    data-access latency of every evaluation so benchmarks can compare fog-L1
+    hosting against the centralized baseline.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        threshold: float,
+        requirements: Optional[ServiceRequirements] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.threshold = threshold
+        self.requirements = requirements or ServiceRequirements(
+            latency_bound_s=0.1, data_window_s=300.0, compute_units=1.0, data_scope="section"
+        )
+        self.alerts: List[Reading] = []
+        self.access_latencies: List[float] = []
+
+    def evaluate(self, readings: Sequence[Reading], access_latency_s: float) -> List[Reading]:
+        """Evaluate new readings; returns (and records) those that alert."""
+        self.access_latencies.append(access_latency_s)
+        triggered = [
+            reading
+            for reading in readings
+            if reading.category == self.category
+            and isinstance(reading.value, (int, float))
+            and reading.value >= self.threshold
+        ]
+        self.alerts.extend(triggered)
+        return triggered
+
+    @property
+    def mean_access_latency(self) -> float:
+        if not self.access_latencies:
+            return 0.0
+        return statistics.fmean(self.access_latencies)
+
+    def meets_latency_bound(self) -> bool:
+        """Did every observed access respect the service's latency bound?"""
+        bound = self.requirements.latency_bound_s
+        if bound is None:
+            return True
+        return all(latency <= bound for latency in self.access_latencies)
+
+
+class BatchAnalyticsService:
+    """A deep-computing batch consumer (e.g. city-wide energy planning).
+
+    Runs over large historical windows (the whole city's data), producing
+    per-category summary statistics.  It represents the workloads the paper
+    keeps at the cloud layer.
+    """
+
+    def __init__(self, name: str, requirements: Optional[ServiceRequirements] = None) -> None:
+        self.name = name
+        self.requirements = requirements or ServiceRequirements(
+            latency_bound_s=None,
+            data_window_s=30 * 86_400.0,
+            compute_units=100.0,
+            data_scope="city",
+        )
+        self.runs = 0
+
+    def analyse(self, batch: ReadingBatch) -> Dict[str, Dict[str, float]]:
+        """Compute per-category count / mean / min / max over a batch."""
+        self.runs += 1
+        values_by_category: Dict[str, List[float]] = {}
+        for reading in batch:
+            if isinstance(reading.value, (int, float)):
+                values_by_category.setdefault(reading.category, []).append(float(reading.value))
+        report: Dict[str, Dict[str, float]] = {}
+        for category, values in sorted(values_by_category.items()):
+            report[category] = {
+                "count": float(len(values)),
+                "mean": statistics.fmean(values),
+                "min": min(values),
+                "max": max(values),
+            }
+        return report

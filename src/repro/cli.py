@@ -1,0 +1,143 @@
+"""Command-line interface for the reproduction.
+
+Usage (after installation)::
+
+    python -m repro table1              # print Table I
+    python -m repro fig6                # print the Barcelona deployment summary
+    python -m repro fig7 [--category energy]
+    python -m repro compare [--no-compression]
+    python -m repro simulate [--hours 6] [--scale 0.00005]
+
+Every subcommand prints the same text the benchmark harness writes under
+``benchmarks/results/``; the ``simulate`` subcommand runs the event-level
+pipeline on a sampled sensor population and reports the measured per-layer
+traffic next to the analytic estimate.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.core.architecture import F2CDataManagement
+from repro.core.baseline import CentralizedCloudDataManagement
+from repro.core.comparison import analytic_comparison, measured_comparison
+from repro.core.estimation import TrafficEstimator
+from repro.core.movement import MovementPolicy
+from repro.sensors.catalog import BARCELONA_CATALOG, SensorCategory
+from repro.sensors.generator import ReadingGenerator
+from repro.sensors.readings import ReadingBatch
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the ICDCS 2017 F2C smart-city data-management evaluation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table1", help="print Table I (redundant data aggregation model)")
+    subparsers.add_parser("fig6", help="print the Fig. 6 deployment summary for Barcelona")
+
+    fig7 = subparsers.add_parser("fig7", help="print the Fig. 7 reduction series")
+    fig7.add_argument(
+        "--category",
+        choices=[c.value for c in SensorCategory],
+        default=None,
+        help="restrict to one category (default: all five panels)",
+    )
+
+    compare = subparsers.add_parser("compare", help="print the F2C vs centralized comparison")
+    compare.add_argument(
+        "--no-compression",
+        action="store_true",
+        help="report redundancy elimination only (skip the zip factor)",
+    )
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run the event-level pipeline on a sampled sensor population"
+    )
+    simulate.add_argument("--hours", type=int, default=6, help="simulated hours (default 6)")
+    simulate.add_argument(
+        "--scale", type=float, default=0.00005, help="sensor-population scale factor (default 5e-5)"
+    )
+    simulate.add_argument("--seed", type=int, default=11, help="random seed (default 11)")
+    return parser
+
+
+def _cmd_table1() -> str:
+    return TrafficEstimator(BARCELONA_CATALOG).format_table1()
+
+
+def _cmd_fig6() -> str:
+    summary = F2CDataManagement().summary()
+    lines = ["F2C deployment for Barcelona (Fig. 6):"]
+    lines.extend(f"  {key}: {value}" for key, value in summary.items())
+    return "\n".join(lines)
+
+
+def _cmd_fig7(category: Optional[str]) -> str:
+    estimator = TrafficEstimator(BARCELONA_CATALOG)
+    categories = (
+        [SensorCategory(category)] if category is not None else list(BARCELONA_CATALOG.categories)
+    )
+    return "\n".join(estimator.format_fig7(c) for c in categories)
+
+
+def _cmd_compare(apply_compression: bool) -> str:
+    return analytic_comparison(BARCELONA_CATALOG, apply_compression=apply_compression).format()
+
+
+def _cmd_simulate(hours: int, scale: float, seed: int) -> str:
+    if hours <= 0:
+        raise SystemExit("--hours must be positive")
+    if scale <= 0:
+        raise SystemExit("--scale must be positive")
+    catalog = BARCELONA_CATALOG.scaled(scale)
+    generator = ReadingGenerator(catalog, devices_per_type=3, seed=seed)
+    f2c = F2CDataManagement(
+        catalog=catalog,
+        movement_policy=MovementPolicy(fog1_to_fog2_interval_s=3_600.0, fog2_to_cloud_interval_s=3_600.0),
+    )
+    centralized = CentralizedCloudDataManagement(catalog=catalog)
+    sections = [s.section_id for s in f2c.city.sections]
+
+    total_readings = 0
+    for hour in range(hours):
+        start = hour * 3_600.0
+        batch = ReadingBatch()
+        for transaction in generator.transactions(count=4, start=start, interval=900.0):
+            batch.extend(transaction)
+        total_readings += len(batch)
+        f2c.ingest_readings(batch, now=start, default_section=sections[hour % len(sections)])
+        centralized.ingest_readings(batch, now=start)
+        f2c.synchronise(now=start + 3_599.0)
+
+    comparison = measured_comparison(
+        workload=f"{hours} simulated hours, {total_readings:,} readings (scale {scale})",
+        f2c_traffic_report=f2c.traffic_report(),
+        centralized_traffic_report=centralized.traffic_report(),
+    )
+    return comparison.format()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        output = _cmd_table1()
+    elif args.command == "fig6":
+        output = _cmd_fig6()
+    elif args.command == "fig7":
+        output = _cmd_fig7(args.category)
+    elif args.command == "compare":
+        output = _cmd_compare(apply_compression=not args.no_compression)
+    elif args.command == "simulate":
+        output = _cmd_simulate(args.hours, args.scale, args.seed)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Time sources for the simulation substrate.
+
+Everything in the library that needs "now" takes a :class:`Clock`.  In tests
+and benchmarks a :class:`SimulatedClock` is used so a full simulated day in
+Barcelona runs in milliseconds and produces deterministic timestamps; the
+:class:`WallClock` is available for interactive / demo use.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Minimal time-source protocol: seconds since an arbitrary epoch."""
+
+    def now(self) -> float:  # pragma: no cover - protocol definition
+        ...
+
+
+class WallClock:
+    """Real wall-clock time (``time.time``)."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class SimulatedClock:
+    """A manually advanced clock used by the discrete-event simulator.
+
+    The clock only moves forward; attempts to set it backwards raise
+    ``ValueError`` so causality violations in the event loop are caught
+    early.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by *seconds* (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock to an absolute *timestamp* (must not be in the past)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, requested={timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now})"

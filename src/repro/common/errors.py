@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications embedding the library can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed or configured inconsistently.
+
+    Examples: a fog node with negative capacity, a sensor type with a
+    non-positive message size, a topology whose layers do not form a tree.
+    """
+
+
+class ValidationError(ReproError):
+    """Raised when data fails a validation or quality check.
+
+    The data-quality phase of the SCC-DLC acquisition block raises this when
+    a reading is structurally invalid (as opposed to merely low-quality,
+    which is reported through a score).
+    """
+
+
+class StorageError(ReproError):
+    """Raised by the storage substrate for missing keys, closed stores, or
+    attempts to mutate immutable archived versions."""
+
+
+class RoutingError(ReproError):
+    """Raised by the messaging and network substrates when a destination is
+    unknown or a link does not exist in the topology."""
+
+
+class CapacityError(ReproError):
+    """Raised when a node cannot accept work or data because it would exceed
+    its configured computing or storage capacity."""
+
+
+class PlacementError(ReproError):
+    """Raised by the placement engine when no layer can satisfy a service's
+    requirements (capacity, data locality, latency bound)."""

@@ -1,0 +1,81 @@
+"""A minimal synchronous publish/subscribe event bus.
+
+The event bus is used for *intra-process* coordination between components of
+a single node (for example, the acquisition block notifying the data-movement
+scheduler that a batch is ready).  Inter-node communication goes through the
+messaging and network substrates instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class Event:
+    """A named event with an arbitrary payload and a timestamp."""
+
+    name: str
+    payload: Any = None
+    timestamp: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+
+EventHandler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous topic-based event dispatch.
+
+    Handlers subscribe to exact event names or to the wildcard ``"*"`` which
+    receives every event.  Dispatch order is subscription order, and handler
+    exceptions propagate to the publisher (fail loudly rather than silently
+    swallowing errors).
+    """
+
+    WILDCARD = "*"
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, List[EventHandler]] = {}
+        self._published_count = 0
+
+    def subscribe(self, event_name: str, handler: EventHandler) -> None:
+        """Register *handler* to be invoked for events named *event_name*."""
+        if not event_name:
+            raise ValueError("event_name must be non-empty")
+        self._handlers.setdefault(event_name, []).append(handler)
+
+    def unsubscribe(self, event_name: str, handler: EventHandler) -> bool:
+        """Remove a handler; returns ``True`` if it was registered."""
+        handlers = self._handlers.get(event_name, [])
+        try:
+            handlers.remove(handler)
+        except ValueError:
+            return False
+        return True
+
+    def publish(self, event: Event) -> int:
+        """Deliver *event* to all matching handlers; returns delivery count."""
+        delivered = 0
+        for handler in self._handlers.get(event.name, []):
+            handler(event)
+            delivered += 1
+        for handler in self._handlers.get(self.WILDCARD, []):
+            handler(event)
+            delivered += 1
+        self._published_count += 1
+        return delivered
+
+    def emit(self, name: str, payload: Any = None, timestamp: float = 0.0, **metadata: Any) -> int:
+        """Convenience wrapper building an :class:`Event` and publishing it."""
+        return self.publish(Event(name=name, payload=payload, timestamp=timestamp, metadata=metadata))
+
+    @property
+    def published_count(self) -> int:
+        """Total number of events published on this bus."""
+        return self._published_count
+
+    def handler_count(self, event_name: str) -> int:
+        """Number of handlers currently subscribed to *event_name*."""
+        return len(self._handlers.get(event_name, []))

@@ -1,0 +1,66 @@
+"""Payload serialization helpers.
+
+Sensor readings travel through the messaging and network substrates as byte
+payloads.  The encoders here produce Sentilo-flavoured representations: a
+compact CSV-like line format (what a constrained device would send) and a
+JSON format (what the platform API exposes).  The encoded size is what the
+traffic accounting measures, so encoders are deliberately simple and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+
+def encode_json(record: Mapping[str, Any]) -> bytes:
+    """Encode a mapping as canonical (sorted-key, compact) JSON bytes."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def decode_json(payload: bytes) -> dict:
+    """Inverse of :func:`encode_json`."""
+    return json.loads(payload.decode("utf-8"))
+
+
+def encode_csv_line(values: Iterable[Any]) -> bytes:
+    """Encode a flat sequence of values as a single CSV line (no quoting).
+
+    Values containing commas or newlines are rejected to keep the format
+    unambiguous; telemetry values never legitimately contain them.
+    """
+    parts = []
+    for value in values:
+        text = str(value)
+        if "," in text or "\n" in text:
+            raise ValueError(f"value not representable in CSV line format: {text!r}")
+        parts.append(text)
+    return (",".join(parts) + "\n").encode("utf-8")
+
+
+def decode_csv_line(payload: bytes) -> list[str]:
+    """Inverse of :func:`encode_csv_line` (values come back as strings)."""
+    text = payload.decode("utf-8")
+    if text.endswith("\n"):
+        text = text[:-1]
+    if not text:
+        return []
+    return text.split(",")
+
+
+def pad_to_size(payload: bytes, target_size: int, fill: bytes = b" ") -> bytes:
+    """Pad *payload* with *fill* bytes up to *target_size*.
+
+    Used by the synthetic reading generator to make every message of a sensor
+    type occupy exactly the wire size the paper's Table I specifies,
+    regardless of how many digits the particular measurement happened to
+    have.  Payloads already longer than the target are returned unchanged.
+    """
+    if target_size < 0:
+        raise ValueError("target_size must be non-negative")
+    if len(fill) != 1:
+        raise ValueError("fill must be a single byte")
+    if len(payload) >= target_size:
+        return payload
+    return payload + fill * (target_size - len(payload))

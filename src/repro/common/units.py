@@ -1,0 +1,114 @@
+"""Data-size units and helpers.
+
+The paper reports traffic figures in bytes and (decimal) gigabytes — e.g.
+"8,583,503,168 bytes ≈ 8 GB per day".  To keep the reproduction comparable
+we use decimal units (1 GB = 10**9 bytes) throughout, matching the paper's
+arithmetic (149,354,304 bytes is reported as "0.149 GB"-scale figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BYTES_PER_KB = 10**3
+BYTES_PER_MB = 10**6
+BYTES_PER_GB = 10**9
+
+_SECONDS_PER_DAY = 86_400
+
+
+def kilobytes(value: float) -> int:
+    """Return *value* kilobytes expressed in bytes (decimal KB)."""
+    return int(round(value * BYTES_PER_KB))
+
+
+def megabytes(value: float) -> int:
+    """Return *value* megabytes expressed in bytes (decimal MB)."""
+    return int(round(value * BYTES_PER_MB))
+
+
+def gigabytes(value: float) -> int:
+    """Return *value* gigabytes expressed in bytes (decimal GB)."""
+    return int(round(value * BYTES_PER_GB))
+
+
+def format_bytes(num_bytes: float, precision: int = 2) -> str:
+    """Render a byte count with an adaptive decimal unit suffix.
+
+    >>> format_bytes(8_583_503_168)
+    '8.58 GB'
+    >>> format_bytes(1500)
+    '1.50 KB'
+    >>> format_bytes(12)
+    '12 B'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    if num_bytes >= BYTES_PER_GB:
+        return f"{num_bytes / BYTES_PER_GB:.{precision}f} GB"
+    if num_bytes >= BYTES_PER_MB:
+        return f"{num_bytes / BYTES_PER_MB:.{precision}f} MB"
+    if num_bytes >= BYTES_PER_KB:
+        return f"{num_bytes / BYTES_PER_KB:.{precision}f} KB"
+    return f"{int(num_bytes)} B"
+
+
+@dataclass(frozen=True, order=True)
+class DataSize:
+    """An immutable byte count with convenience arithmetic and formatting.
+
+    ``DataSize`` values are ordered and hashable, support addition,
+    subtraction, and scaling by a number, and render themselves with
+    :func:`format_bytes`.
+    """
+
+    bytes: int
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0:
+            raise ValueError(f"DataSize must be non-negative, got {self.bytes}")
+
+    @classmethod
+    def of(cls, *, gb: float = 0.0, mb: float = 0.0, kb: float = 0.0, b: float = 0.0) -> "DataSize":
+        """Build a size from a mixture of units."""
+        total = gb * BYTES_PER_GB + mb * BYTES_PER_MB + kb * BYTES_PER_KB + b
+        return cls(int(round(total)))
+
+    @property
+    def kb(self) -> float:
+        return self.bytes / BYTES_PER_KB
+
+    @property
+    def mb(self) -> float:
+        return self.bytes / BYTES_PER_MB
+
+    @property
+    def gb(self) -> float:
+        return self.bytes / BYTES_PER_GB
+
+    def __add__(self, other: "DataSize") -> "DataSize":
+        if not isinstance(other, DataSize):
+            return NotImplemented
+        return DataSize(self.bytes + other.bytes)
+
+    def __sub__(self, other: "DataSize") -> "DataSize":
+        if not isinstance(other, DataSize):
+            return NotImplemented
+        return DataSize(self.bytes - other.bytes)
+
+    def __mul__(self, factor: float) -> "DataSize":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        return DataSize(int(round(self.bytes * factor)))
+
+    __rmul__ = __mul__
+
+    def __str__(self) -> str:
+        return format_bytes(self.bytes)
+
+
+def transactions_per_day(interval_seconds: float) -> float:
+    """Number of sensor transactions in a day given a sampling interval."""
+    if interval_seconds <= 0:
+        raise ValueError("interval must be positive")
+    return _SECONDS_PER_DAY / interval_seconds

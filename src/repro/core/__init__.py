@@ -1,0 +1,54 @@
+"""The paper's primary contribution: F2C data management for smart cities.
+
+This package maps the SCC-DLC model onto the hierarchical fog-to-cloud
+resource-management architecture (Section IV):
+
+* :mod:`repro.core.nodes` — fog layer-1, fog layer-2 and cloud nodes, each
+  owning local storage, capacity and the DLC blocks the paper assigns to its
+  layer.
+* :mod:`repro.core.architecture` — :class:`F2CDataManagement`, which wires
+  the city, catalog, topology and nodes together: sensor ingestion at fog
+  layer 1, periodic upward data movement, per-layer queries.
+* :mod:`repro.core.movement` — the upward data-movement scheduler (periodic
+  transfers, off-peak transmission shaping).
+* :mod:`repro.core.placement` — the service-placement cost model ("run at
+  the lowest layer with the data and the capacity").
+* :mod:`repro.core.baseline` — the centralized cloud architecture the paper
+  compares against (all raw data travels to the cloud).
+* :mod:`repro.core.estimation` — the analytic traffic estimator that
+  reproduces Table I and Fig. 7 from catalog parameters.
+"""
+
+from repro.core.architecture import F2CDataManagement
+from repro.core.baseline import CentralizedCloudDataManagement
+from repro.core.comparison import ComparisonReport, analytic_comparison, measured_comparison
+from repro.core.estimation import (
+    CategoryTraffic,
+    Fig7Series,
+    Table1Row,
+    TrafficEstimator,
+)
+from repro.core.faults import FailureInjector
+from repro.core.movement import DataMovementScheduler, MovementPolicy
+from repro.core.nodes import CloudNode, FogNodeLevel1, FogNodeLevel2
+from repro.core.placement import PlacementDecision, ServicePlacementEngine
+
+__all__ = [
+    "CategoryTraffic",
+    "CentralizedCloudDataManagement",
+    "CloudNode",
+    "ComparisonReport",
+    "DataMovementScheduler",
+    "F2CDataManagement",
+    "FailureInjector",
+    "Fig7Series",
+    "FogNodeLevel1",
+    "FogNodeLevel2",
+    "MovementPolicy",
+    "PlacementDecision",
+    "ServicePlacementEngine",
+    "Table1Row",
+    "TrafficEstimator",
+    "analytic_comparison",
+    "measured_comparison",
+]

@@ -1,0 +1,302 @@
+"""The F2C data-management architecture (Section IV).
+
+:class:`F2CDataManagement` assembles the full system for a city:
+
+* one :class:`~repro.core.nodes.FogNodeLevel1` per city section, running the
+  acquisition block (with the configured aggregation pipeline) and keeping a
+  short real-time window locally;
+* one :class:`~repro.core.nodes.FogNodeLevel2` per district, combining its
+  children's data;
+* one :class:`~repro.core.nodes.CloudNode`, preserving everything
+  permanently;
+* the network topology and simulator connecting them, and a
+  :class:`~repro.core.movement.DataMovementScheduler` that moves data
+  upwards periodically.
+
+Readings enter through :meth:`ingest_readings` (direct) or through an
+MQTT-style broker subscription (:meth:`attach_broker`), reproducing the data
+path of a real deployment.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.aggregation.base import AggregationTechnique
+from repro.aggregation.pipeline import AggregationPipeline
+from repro.aggregation.redundancy import RedundantDataElimination
+from repro.city.model import City
+from repro.city.barcelona import (
+    BARCELONA,
+    CLOUD_NODE_ID,
+    build_barcelona_topology,
+    fog1_node_id,
+    fog2_node_id,
+)
+from repro.common.errors import ConfigurationError, RoutingError
+from repro.core.movement import DataMovementScheduler, MovementPolicy
+from repro.core.nodes import CloudNode, FogNodeLevel1, FogNodeLevel2
+from repro.messaging.broker import Broker, Message
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import LayerName, NetworkTopology
+from repro.network.traffic import TrafficAccountant
+from repro.sensors.catalog import SensorCatalog
+from repro.sensors.readings import Reading, ReadingBatch
+
+
+#: Builds the default fog layer-1 aggregator the paper evaluates: redundant
+#: data elimination (compression is applied at transmission time by the
+#: movement scheduler / estimator, because it operates on the encoded batch).
+def default_fog1_aggregator() -> AggregationTechnique:
+    return RedundantDataElimination(scope="batch")
+
+
+class F2CDataManagement:
+    """A deployed F2C data-management system for one city."""
+
+    def __init__(
+        self,
+        city: Optional[City] = None,
+        catalog: Optional[SensorCatalog] = None,
+        topology: Optional[NetworkTopology] = None,
+        fog1_aggregator_factory: Optional[Callable[[], AggregationTechnique]] = default_fog1_aggregator,
+        fog2_aggregator_factory: Optional[Callable[[], AggregationTechnique]] = None,
+        movement_policy: Optional[MovementPolicy] = None,
+    ) -> None:
+        self.city = city if city is not None else BARCELONA
+        self.catalog = catalog
+        self.topology = topology if topology is not None else build_barcelona_topology(self.city)
+        self.simulator = NetworkSimulator(self.topology, accountant=TrafficAccountant())
+
+        self._fog1: Dict[str, FogNodeLevel1] = {}
+        self._fog2: Dict[str, FogNodeLevel2] = {}
+        self._section_to_fog1: Dict[str, str] = {}
+        self.cloud = CloudNode(node_id=CLOUD_NODE_ID)
+
+        self._build_nodes(fog1_aggregator_factory, fog2_aggregator_factory)
+        self.scheduler = DataMovementScheduler(
+            architecture=self, simulator=self.simulator, policy=movement_policy
+        )
+        self._broker: Optional[Broker] = None
+        self._sensor_to_section: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _build_nodes(
+        self,
+        fog1_aggregator_factory: Optional[Callable[[], AggregationTechnique]],
+        fog2_aggregator_factory: Optional[Callable[[], AggregationTechnique]],
+    ) -> None:
+        for district in self.city.districts:
+            fog2_id = fog2_node_id(district.district_id)
+            if not self.topology.has_node(fog2_id):
+                raise ConfigurationError(f"topology is missing fog layer-2 node {fog2_id}")
+            fog2 = FogNodeLevel2(
+                node_id=fog2_id,
+                district_id=district.district_id,
+                aggregator=fog2_aggregator_factory() if fog2_aggregator_factory else None,
+            )
+            self._fog2[fog2_id] = fog2
+            for section in district.sections:
+                fog1_id = fog1_node_id(section.section_id)
+                if not self.topology.has_node(fog1_id):
+                    raise ConfigurationError(f"topology is missing fog layer-1 node {fog1_id}")
+                fog1 = FogNodeLevel1(
+                    node_id=fog1_id,
+                    section_id=section.section_id,
+                    aggregator=fog1_aggregator_factory() if fog1_aggregator_factory else None,
+                    catalog=self.catalog,
+                    city_name=self.city.name.lower(),
+                )
+                self._fog1[fog1_id] = fog1
+                fog2.register_child(fog1_id)
+
+    # ------------------------------------------------------------------ #
+    # Node access
+    # ------------------------------------------------------------------ #
+    def fog1_nodes(self) -> List[FogNodeLevel1]:
+        return list(self._fog1.values())
+
+    def fog2_nodes(self) -> List[FogNodeLevel2]:
+        return list(self._fog2.values())
+
+    def fog1_node(self, node_id: str) -> FogNodeLevel1:
+        try:
+            return self._fog1[node_id]
+        except KeyError as exc:
+            raise RoutingError(f"unknown fog layer-1 node: {node_id}") from exc
+
+    def fog2_node(self, node_id: str) -> FogNodeLevel2:
+        try:
+            return self._fog2[node_id]
+        except KeyError as exc:
+            raise RoutingError(f"unknown fog layer-2 node: {node_id}") from exc
+
+    def fog1_for_section(self, section_id: str) -> FogNodeLevel1:
+        return self.fog1_node(fog1_node_id(section_id))
+
+    def parent_of(self, node_id: str) -> str:
+        parent = self.topology.parent_of(node_id)
+        if parent is None:
+            raise RoutingError(f"node {node_id} has no parent in the topology")
+        return parent
+
+    def node_by_id(self, node_id: str):
+        """Any node of the hierarchy by id (fog L1, fog L2, or the cloud)."""
+        if node_id in self._fog1:
+            return self._fog1[node_id]
+        if node_id in self._fog2:
+            return self._fog2[node_id]
+        if node_id == self.cloud.node_id:
+            return self.cloud
+        raise RoutingError(f"unknown node: {node_id}")
+
+    # ------------------------------------------------------------------ #
+    # Sensor placement
+    # ------------------------------------------------------------------ #
+    def assign_sensor(self, sensor_id: str, section_id: str) -> None:
+        """Record that *sensor_id* is physically located in *section_id*."""
+        if section_id not in {s.section_id for s in self.city.sections}:
+            raise ConfigurationError(f"unknown section: {section_id}")
+        self._sensor_to_section[sensor_id] = section_id
+
+    def section_of_sensor(self, sensor_id: str) -> Optional[str]:
+        return self._sensor_to_section.get(sensor_id)
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def ingest_readings(
+        self,
+        readings: Iterable[Reading],
+        now: Optional[float] = None,
+        default_section: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Route readings to their section's fog layer-1 node and acquire them.
+
+        Readings from sensors without an explicit assignment are spread over
+        sections deterministically (hash of the sensor id), or sent to
+        *default_section* when given.  Returns the number of readings
+        acquired per fog layer-1 node.
+
+        The edge→fog hop is also recorded in the traffic accountant, so the
+        per-layer byte report includes what fog layer 1 received from the
+        sensors themselves.
+        """
+        timestamp = now if now is not None else self.simulator.clock.now()
+        sections = [s.section_id for s in self.city.sections]
+        per_node: Dict[str, ReadingBatch] = defaultdict(ReadingBatch)
+        for reading in readings:
+            section_id = self._sensor_to_section.get(reading.sensor_id)
+            if section_id is None:
+                if default_section is not None:
+                    section_id = default_section
+                else:
+                    section_id = sections[hash(reading.sensor_id) % len(sections)]
+            per_node[fog1_node_id(section_id)].append(reading)
+
+        acquired_counts: Dict[str, int] = {}
+        for node_id, batch in per_node.items():
+            fog1 = self.fog1_node(node_id)
+            self.simulator.accountant.record_transfer(
+                timestamp=timestamp,
+                source=f"sensors/{fog1.section_id}",
+                target=node_id,
+                target_layer=LayerName.FOG_1,
+                size_bytes=batch.total_bytes,
+                message_count=len(batch),
+            )
+            acquired = fog1.ingest(batch, timestamp)
+            acquired_counts[node_id] = len(acquired)
+        return acquired_counts
+
+    # ------------------------------------------------------------------ #
+    # Broker integration
+    # ------------------------------------------------------------------ #
+    def attach_broker(self, broker: Broker, city_slug: str = "bcn") -> None:
+        """Subscribe every fog layer-1 node to its section's topic subtree.
+
+        Topics follow ``city/<city>/<district>/<section>/<category>/<type>``;
+        the payload must be the reading's wire encoding produced by
+        :meth:`repro.sensors.readings.Reading.encode` and is re-parsed into a
+        minimal reading (value as string) for acquisition.
+        """
+        self._broker = broker
+        for district in self.city.districts:
+            for section in district.sections:
+                node_id = fog1_node_id(section.section_id)
+                # Section ids contain '/', which is fine for MQTT topics.
+                topic_filter = f"city/{city_slug}/{section.section_id}/#"
+                broker.subscribe(
+                    client_id=node_id,
+                    topic_filter=topic_filter,
+                    handler=self._broker_handler(node_id),
+                )
+
+    def _broker_handler(self, node_id: str):
+        def handle(message: Message) -> None:
+            from repro.common.serialization import decode_csv_line
+
+            fields = decode_csv_line(message.payload.rstrip(b" "))
+            if len(fields) < 4:
+                return
+            sensor_id, sensor_type, value_text, timestamp_text = fields[:4]
+            try:
+                value: object = float(value_text)
+            except ValueError:
+                value = value_text
+            category = message.topic.split("/")[-2] if message.topic.count("/") >= 2 else "unknown"
+            reading = Reading(
+                sensor_id=sensor_id,
+                sensor_type=sensor_type,
+                category=category,
+                value=value,
+                timestamp=float(timestamp_text),
+                size_bytes=len(message.payload),
+            )
+            fog1 = self.fog1_node(node_id)
+            self.simulator.accountant.record_transfer(
+                timestamp=reading.timestamp,
+                source=f"broker/{node_id}",
+                target=node_id,
+                target_layer=LayerName.FOG_1,
+                size_bytes=reading.size_bytes,
+                message_count=1,
+            )
+            fog1.ingest(ReadingBatch([reading]), reading.timestamp)
+
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # Data movement & reporting
+    # ------------------------------------------------------------------ #
+    def synchronise(self, now: Optional[float] = None) -> Dict[str, Dict[str, int]]:
+        """Move pending data fog L1 → fog L2 → cloud immediately."""
+        return self.scheduler.full_sync(now)
+
+    def traffic_report(self) -> Dict[str, int]:
+        """Bytes received per layer (the paper's core comparison quantity)."""
+        return self.simulator.accountant.layer_report()
+
+    def storage_report(self) -> Dict[str, Dict[str, object]]:
+        """Storage statistics per node, keyed by node id."""
+        report: Dict[str, Dict[str, object]] = {}
+        for fog1 in self.fog1_nodes():
+            report[fog1.node_id] = fog1.stats()
+        for fog2 in self.fog2_nodes():
+            report[fog2.node_id] = fog2.stats()
+        report[self.cloud.node_id] = self.cloud.stats()
+        return report
+
+    def summary(self) -> Dict[str, object]:
+        """Compact deployment summary (Fig. 6 style): node counts per layer."""
+        return {
+            "city": self.city.name,
+            "fog_layer_1_nodes": len(self._fog1),
+            "fog_layer_2_nodes": len(self._fog2),
+            "cloud_nodes": 1,
+            "districts": self.city.district_count,
+            "sections": self.city.section_count,
+        }

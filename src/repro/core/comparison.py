@@ -1,0 +1,152 @@
+"""Side-by-side comparison of the F2C model against the centralized baseline.
+
+Benchmarks and examples need the same report repeatedly: for a given
+workload, how many bytes reach each layer under each model, what latency a
+real-time consumer pays, and what fraction of the backhaul the F2C
+optimisations remove.  This module centralises that logic so every harness
+prints consistent numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.units import format_bytes
+from repro.core.estimation import CitywideEstimate, TrafficEstimator
+from repro.sensors.catalog import SensorCatalog, SensorCategory
+
+
+@dataclass
+class ModelTraffic:
+    """Traffic observed (or estimated) under one architecture."""
+
+    name: str
+    bytes_into_fog1: int = 0
+    bytes_into_fog2: int = 0
+    bytes_into_cloud: int = 0
+    realtime_access_latency_s: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.name,
+            "fog_layer_1": self.bytes_into_fog1,
+            "fog_layer_2": self.bytes_into_fog2,
+            "cloud": self.bytes_into_cloud,
+            "realtime_access_latency_s": self.realtime_access_latency_s,
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """F2C vs centralized traffic and latency for one workload."""
+
+    workload: str
+    centralized: ModelTraffic
+    f2c: ModelTraffic
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def backhaul_reduction(self) -> float:
+        """Fraction of cloud-bound bytes removed by the F2C model."""
+        if self.centralized.bytes_into_cloud == 0:
+            return 0.0
+        return 1.0 - self.f2c.bytes_into_cloud / self.centralized.bytes_into_cloud
+
+    @property
+    def latency_speedup(self) -> Optional[float]:
+        """How many times faster real-time access is under F2C."""
+        if (
+            self.centralized.realtime_access_latency_s is None
+            or self.f2c.realtime_access_latency_s is None
+            or self.f2c.realtime_access_latency_s == 0
+        ):
+            return None
+        return self.centralized.realtime_access_latency_s / self.f2c.realtime_access_latency_s
+
+    def format(self) -> str:
+        lines = [
+            f"workload: {self.workload}",
+            f"  centralized cloud : cloud receives {format_bytes(self.centralized.bytes_into_cloud)}",
+            (
+                "  fog-to-cloud (F2C): "
+                f"fog L1 {format_bytes(self.f2c.bytes_into_fog1)}, "
+                f"fog L2 {format_bytes(self.f2c.bytes_into_fog2)}, "
+                f"cloud {format_bytes(self.f2c.bytes_into_cloud)}"
+            ),
+            f"  backhaul reduction: {self.backhaul_reduction:.1%}",
+        ]
+        if self.latency_speedup is not None:
+            lines.append(
+                "  real-time access  : "
+                f"{self.centralized.realtime_access_latency_s * 1e3:.2f} ms (centralized) vs "
+                f"{self.f2c.realtime_access_latency_s * 1e3:.2f} ms (F2C), "
+                f"{self.latency_speedup:.0f}x faster"
+            )
+        for key, value in self.notes.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+def analytic_comparison(
+    catalog: SensorCatalog,
+    estimator: Optional[TrafficEstimator] = None,
+    apply_compression: bool = True,
+) -> ComparisonReport:
+    """Build the paper's headline comparison from the analytic estimator.
+
+    The centralized model delivers the whole daily volume to the cloud; the
+    F2C model delivers it to fog layer 1, applies redundancy elimination
+    before fog layer 2, and optionally compression before the cloud.
+    """
+    estimator = estimator or TrafficEstimator(catalog)
+    totals: CitywideEstimate = estimator.citywide()
+    cloud_bound = totals.f2c_cloud_per_day_compressed if apply_compression else totals.f2c_cloud_per_day
+    report = ComparisonReport(
+        workload="one day of the future Barcelona sensor deployment (Table I)",
+        centralized=ModelTraffic(
+            name="centralized cloud",
+            bytes_into_fog1=0,
+            bytes_into_fog2=0,
+            bytes_into_cloud=totals.cloud_model_per_day,
+        ),
+        f2c=ModelTraffic(
+            name="fog-to-cloud",
+            bytes_into_fog1=totals.f2c_fog1_per_day,
+            bytes_into_fog2=totals.f2c_fog2_per_day,
+            bytes_into_cloud=cloud_bound,
+        ),
+        notes={
+            "redundancy elimination only": format_bytes(totals.f2c_cloud_per_day),
+            "per-category reductions": {
+                category.value: f"{traffic.redundancy_rate:.0%}"
+                for category, traffic in totals.per_category.items()
+            },
+        },
+    )
+    return report
+
+
+def measured_comparison(
+    workload: str,
+    f2c_traffic_report: Dict[str, int],
+    centralized_traffic_report: Dict[str, int],
+    f2c_latency_s: Optional[float] = None,
+    centralized_latency_s: Optional[float] = None,
+) -> ComparisonReport:
+    """Build a comparison from two measured traffic reports (simulation runs)."""
+    return ComparisonReport(
+        workload=workload,
+        centralized=ModelTraffic(
+            name="centralized cloud",
+            bytes_into_cloud=centralized_traffic_report.get("cloud", 0),
+            realtime_access_latency_s=centralized_latency_s,
+        ),
+        f2c=ModelTraffic(
+            name="fog-to-cloud",
+            bytes_into_fog1=f2c_traffic_report.get("fog_layer_1", 0),
+            bytes_into_fog2=f2c_traffic_report.get("fog_layer_2", 0),
+            bytes_into_cloud=f2c_traffic_report.get("cloud", 0),
+            realtime_access_latency_s=f2c_latency_s,
+        ),
+    )

@@ -1,0 +1,233 @@
+"""Failure injection and failover for the F2C hierarchy.
+
+Section IV.D claims the distributed model improves fault tolerance: "by
+reducing the data transmission length, the security risks and the
+probability of communication failure are reduced as well".  The paper does
+not evaluate this claim; this module makes it testable.
+
+:class:`FailureInjector` wraps a deployed
+:class:`~repro.core.architecture.F2CDataManagement` and lets experiments
+
+* fail and recover fog layer-1 / fog layer-2 nodes and the backhaul links,
+* re-route a failed fog node's sections to a healthy sibling (failover),
+* account for the data at risk (readings acquired but not yet propagated
+  upwards when the node failed), and
+* measure service availability: which sections still have a live fog node
+  serving real-time data, and whether the cloud keeps receiving data.
+
+The centralized baseline's failure mode — a single backhaul/link or cloud
+outage making *every* section's just-collected data unreachable — is modelled
+by :func:`centralized_outage_impact` for the comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.common.errors import ConfigurationError, RoutingError
+from repro.core.architecture import F2CDataManagement
+from repro.core.nodes import FogNodeLevel1
+from repro.sensors.readings import Reading, ReadingBatch
+
+
+@dataclass
+class FailureState:
+    """Currently injected failures."""
+
+    failed_nodes: Set[str] = field(default_factory=set)
+    failed_links: Set[tuple] = field(default_factory=set)
+
+    def is_node_failed(self, node_id: str) -> bool:
+        return node_id in self.failed_nodes
+
+    def is_link_failed(self, source: str, target: str) -> bool:
+        return (source, target) in self.failed_links or (target, source) in self.failed_links
+
+
+@dataclass(frozen=True)
+class FailoverRecord:
+    """A section re-homed from a failed fog node to a healthy sibling."""
+
+    section_id: str
+    failed_node: str
+    replacement_node: str
+    readings_at_risk: int
+    bytes_at_risk: int
+
+
+@dataclass
+class AvailabilityReport:
+    """Service availability under the current failure state."""
+
+    total_sections: int
+    served_sections: int
+    failed_fog1_nodes: int
+    failed_fog2_nodes: int
+    cloud_reachable_districts: int
+    total_districts: int
+
+    @property
+    def section_availability(self) -> float:
+        if self.total_sections == 0:
+            return 0.0
+        return self.served_sections / self.total_sections
+
+    @property
+    def cloud_path_availability(self) -> float:
+        if self.total_districts == 0:
+            return 0.0
+        return self.cloud_reachable_districts / self.total_districts
+
+
+class FailureInjector:
+    """Injects node/link failures into an F2C deployment and drives failover."""
+
+    def __init__(self, architecture: F2CDataManagement) -> None:
+        self.architecture = architecture
+        self.state = FailureState()
+        self.failovers: List[FailoverRecord] = []
+        #: section -> node currently serving it (after any failover).
+        self._serving_node: Dict[str, str] = {
+            fog1.section_id: fog1.node_id for fog1 in architecture.fog1_nodes()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Failure injection
+    # ------------------------------------------------------------------ #
+    def fail_node(self, node_id: str) -> None:
+        """Mark a fog node as failed (the cloud is assumed highly available)."""
+        if node_id == self.architecture.cloud.node_id:
+            raise ConfigurationError(
+                "the cloud node is modelled as highly available; fail the backhaul "
+                "links instead to model a cloud outage"
+            )
+        self.architecture.node_by_id(node_id)  # validates the id
+        self.state.failed_nodes.add(node_id)
+
+    def recover_node(self, node_id: str) -> None:
+        self.state.failed_nodes.discard(node_id)
+
+    def fail_link(self, source: str, target: str) -> None:
+        self.architecture.topology.link(source, target)  # validates the link
+        self.state.failed_links.add((source, target))
+
+    def recover_link(self, source: str, target: str) -> None:
+        self.state.failed_links.discard((source, target))
+        self.state.failed_links.discard((target, source))
+
+    # ------------------------------------------------------------------ #
+    # Failover
+    # ------------------------------------------------------------------ #
+    def failover_node(self, node_id: str) -> List[FailoverRecord]:
+        """Re-home a failed fog L1 node's sections onto a healthy sibling.
+
+        The replacement is the first healthy fog L1 node under the same fog
+        layer-2 parent (a neighbouring section of the same district), which is
+        the locality the paper's cost model prefers.  Data the failed node had
+        acquired but not yet pushed upwards is counted as at risk (it survives
+        only if the node comes back).
+        """
+        if node_id not in self.state.failed_nodes:
+            raise ConfigurationError(f"node {node_id} is not failed; nothing to fail over")
+        failed = self.architecture.fog1_node(node_id)
+        siblings = self.architecture.topology.siblings_of(node_id)
+        replacement = next(
+            (sibling for sibling in siblings if not self.state.is_node_failed(sibling)), None
+        )
+        if replacement is None:
+            raise RoutingError(
+                f"no healthy sibling fog node available to take over {node_id}"
+            )
+        record = FailoverRecord(
+            section_id=failed.section_id,
+            failed_node=node_id,
+            replacement_node=replacement,
+            readings_at_risk=failed.storage.pending_upward_count,
+            bytes_at_risk=failed.storage.pending_upward_bytes,
+        )
+        self._serving_node[failed.section_id] = replacement
+        self.failovers.append(record)
+        return [record]
+
+    def serving_node_for(self, section_id: str) -> Optional[str]:
+        """The fog node currently serving *section_id*, or ``None`` if dark."""
+        node_id = self._serving_node.get(section_id)
+        if node_id is None or self.state.is_node_failed(node_id):
+            return None
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    # Routing-aware ingestion
+    # ------------------------------------------------------------------ #
+    def ingest_with_failover(
+        self,
+        readings: Iterable[Reading],
+        section_id: str,
+        now: float,
+    ) -> Optional[str]:
+        """Ingest readings for a section, honouring failures and failovers.
+
+        Returns the node id that acquired the data, or ``None`` when the
+        section currently has no serving node (data is lost at the edge, the
+        worst case the F2C model tries to avoid).
+        """
+        node_id = self.serving_node_for(section_id)
+        if node_id is None:
+            return None
+        node: FogNodeLevel1 = self.architecture.fog1_node(node_id)
+        batch = ReadingBatch(readings)
+        self.architecture.simulator.accountant.record_transfer(
+            timestamp=now,
+            source=f"sensors/{section_id}",
+            target=node_id,
+            target_layer=node.layer,
+            size_bytes=batch.total_bytes,
+            message_count=len(batch),
+        )
+        node.ingest(batch, now)
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    # Availability accounting
+    # ------------------------------------------------------------------ #
+    def availability(self) -> AvailabilityReport:
+        architecture = self.architecture
+        served = sum(
+            1 for section in architecture.city.sections if self.serving_node_for(section.section_id)
+        )
+        failed_fog1 = sum(
+            1 for node in architecture.fog1_nodes() if self.state.is_node_failed(node.node_id)
+        )
+        failed_fog2 = sum(
+            1 for node in architecture.fog2_nodes() if self.state.is_node_failed(node.node_id)
+        )
+        cloud_id = architecture.cloud.node_id
+        reachable_districts = 0
+        for fog2 in architecture.fog2_nodes():
+            if self.state.is_node_failed(fog2.node_id):
+                continue
+            if self.state.is_link_failed(fog2.node_id, cloud_id):
+                continue
+            reachable_districts += 1
+        return AvailabilityReport(
+            total_sections=architecture.city.section_count,
+            served_sections=served,
+            failed_fog1_nodes=failed_fog1,
+            failed_fog2_nodes=failed_fog2,
+            cloud_reachable_districts=reachable_districts,
+            total_districts=architecture.city.district_count,
+        )
+
+
+def centralized_outage_impact(total_sections: int, backhaul_down: bool) -> float:
+    """Fraction of sections whose just-collected data is unreachable under the
+    centralized model.
+
+    In the centralized architecture every section's data lives only behind
+    the single backhaul/cloud path, so a backhaul outage makes all of it
+    unreachable; with the path up, none of it is (0.0).
+    """
+    if total_sections <= 0:
+        raise ConfigurationError("total_sections must be positive")
+    return 1.0 if backhaul_down else 0.0

@@ -1,0 +1,203 @@
+"""Service placement and the data-access cost model (Section IV.C).
+
+The paper's placement rule: critical real-time services run at fog layer 1;
+deep-computing applications over large historical data sets run at the
+cloud; everything else runs at "the lowest fog layer that provides the
+required computing capabilities and the lowest fog layer that contains the
+required data set".  When the required data is not present at the local fog
+node, it may be fetched from a neighbour node at the same layer or from a
+node at a higher layer, "solved using some sort of cost model to estimate
+the effects of both cases and proceed according to the lowest cost".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.city.services import ServiceRequirements
+from repro.common.errors import PlacementError
+from repro.network.topology import LayerName
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking only
+    from repro.core.architecture import F2CDataManagement
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Where a service should run and why."""
+
+    service_name: str
+    node_id: str
+    layer: LayerName
+    estimated_access_latency_s: float
+    reason: str
+
+    @property
+    def is_fog(self) -> bool:
+        return self.layer in (LayerName.FOG_1, LayerName.FOG_2)
+
+
+@dataclass(frozen=True)
+class DataAccessOption:
+    """One way of obtaining a required data set from a given execution node."""
+
+    execution_node: str
+    data_node: str
+    transfer_latency_s: float
+    transfer_bytes: int
+
+    @property
+    def cost(self) -> float:
+        """The cost model: latency is the dominant term for interactive services."""
+        return self.transfer_latency_s
+
+
+class ServicePlacementEngine:
+    """Implements the paper's layer-selection rule over a deployed architecture."""
+
+    #: Typical response payload used when estimating access latencies.
+    DEFAULT_RESPONSE_BYTES = 4_096
+
+    def __init__(self, architecture: "F2CDataManagement") -> None:
+        self.architecture = architecture
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def place(
+        self,
+        service_name: str,
+        requirements: ServiceRequirements,
+        home_section: str,
+        response_bytes: int = DEFAULT_RESPONSE_BYTES,
+    ) -> PlacementDecision:
+        """Choose the execution layer for a service anchored at *home_section*.
+
+        Candidate layers are walked from the lowest upwards; the first layer
+        that (a) holds the data scope the service needs, (b) has the
+        computing capacity, and (c) meets the latency bound (when one is
+        set), wins.  If no layer qualifies, a :class:`PlacementError` is
+        raised describing what failed.
+        """
+        architecture = self.architecture
+        fog1 = architecture.fog1_for_section(home_section)
+        fog2 = architecture.fog2_node(architecture.parent_of(fog1.node_id))
+        cloud = architecture.cloud
+        topology = architecture.topology
+
+        candidates = []
+        # Layer eligibility by data scope: a section-scoped data set exists at
+        # every layer; a district scope needs fog L2 or above; city scope only
+        # exists in full at the cloud.
+        if requirements.data_scope == "section":
+            candidates = [fog1, fog2, cloud]
+        elif requirements.data_scope == "district":
+            candidates = [fog2, cloud]
+        else:
+            candidates = [cloud]
+
+        failures: List[str] = []
+        for node in candidates:
+            if node.compute_available < requirements.compute_units:
+                failures.append(f"{node.node_id}: insufficient compute")
+                continue
+            if node is fog1:
+                access_latency = 0.0  # data is local to the executing node
+            else:
+                access_latency = topology.transfer_time(
+                    node.node_id, fog1.node_id, response_bytes
+                )
+            if requirements.latency_bound_s is not None and access_latency > requirements.latency_bound_s:
+                failures.append(
+                    f"{node.node_id}: access latency {access_latency:.4f}s exceeds bound "
+                    f"{requirements.latency_bound_s:.4f}s"
+                )
+                continue
+            node.allocate_compute(requirements.compute_units)
+            return PlacementDecision(
+                service_name=service_name,
+                node_id=node.node_id,
+                layer=node.layer,
+                estimated_access_latency_s=access_latency,
+                reason=(
+                    "lowest layer satisfying data scope "
+                    f"'{requirements.data_scope}', compute and latency requirements"
+                ),
+            )
+        raise PlacementError(
+            f"no layer can host service {service_name!r}: " + "; ".join(failures)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Data-access cost model
+    # ------------------------------------------------------------------ #
+    def data_access_options(
+        self,
+        execution_node_id: str,
+        data_bytes: int,
+        candidate_data_nodes: Optional[List[str]] = None,
+    ) -> List[DataAccessOption]:
+        """Enumerate ways of fetching *data_bytes* to *execution_node_id*.
+
+        Candidates default to: the executing node itself (zero cost when it
+        already holds the data), its neighbour fog nodes at the same layer,
+        and its ancestors up to the cloud — the alternatives Section IV.C
+        discusses.
+        """
+        topology = self.architecture.topology
+        if candidate_data_nodes is None:
+            candidate_data_nodes = [execution_node_id]
+            candidate_data_nodes.extend(topology.siblings_of(execution_node_id))
+            candidate_data_nodes.extend(topology.ancestors_of(execution_node_id))
+        options = []
+        for data_node in candidate_data_nodes:
+            if data_node == execution_node_id:
+                latency = 0.0
+            else:
+                latency = topology.transfer_time(data_node, execution_node_id, data_bytes)
+            options.append(
+                DataAccessOption(
+                    execution_node=execution_node_id,
+                    data_node=data_node,
+                    transfer_latency_s=latency,
+                    transfer_bytes=data_bytes if data_node != execution_node_id else 0,
+                )
+            )
+        return options
+
+    def cheapest_data_access(
+        self,
+        execution_node_id: str,
+        data_bytes: int,
+        nodes_holding_data: List[str],
+    ) -> DataAccessOption:
+        """Pick the lowest-cost source among the nodes that actually hold the data."""
+        if not nodes_holding_data:
+            raise PlacementError("no node holds the required data")
+        options = self.data_access_options(
+            execution_node_id, data_bytes, candidate_data_nodes=nodes_holding_data
+        )
+        return min(options, key=lambda option: option.cost)
+
+    def compare_layers_latency(
+        self,
+        home_section: str,
+        response_bytes: int = DEFAULT_RESPONSE_BYTES,
+    ) -> Dict[str, float]:
+        """Access latency from a section's fog L1 node to each layer's data.
+
+        Used by the latency benchmarks: the F2C claim is that the fog L1
+        figure is dramatically smaller than the cloud figure.
+        """
+        architecture = self.architecture
+        topology = architecture.topology
+        fog1 = architecture.fog1_for_section(home_section)
+        fog2_id = architecture.parent_of(fog1.node_id)
+        return {
+            LayerName.FOG_1.value: 0.0,
+            LayerName.FOG_2.value: topology.transfer_time(fog2_id, fog1.node_id, response_bytes),
+            LayerName.CLOUD.value: topology.transfer_time(
+                architecture.cloud.node_id, fog1.node_id, response_bytes
+            ),
+        }

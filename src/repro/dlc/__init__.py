@@ -1,0 +1,68 @@
+"""The Smart City Comprehensive Data LifeCycle (SCC-DLC) model.
+
+Section II of the paper describes the SCC-DLC model (an adaptation of the
+scenario-agnostic COSA-DLC model): three blocks, each implemented as a set
+of phases —
+
+* **Data acquisition** — data collection, data filtering (where aggregation
+  optimisations run), data quality, and data description (tagging).
+* **Data processing** — data process (transforming raw data) and data
+  analysis (extracting knowledge).
+* **Data preservation** — data classification, data archive and data
+  dissemination.
+
+The package provides the generic block/phase framework
+(:mod:`repro.dlc.model`) and concrete implementations of each block.  The
+F2C core (:mod:`repro.core`) instantiates these blocks at the layers the
+paper maps them onto (acquisition at fog L1, preservation mainly at the
+cloud, processing at any layer).
+"""
+
+from repro.dlc.acquisition import (
+    AcquisitionBlock,
+    DataCollectionPhase,
+    DataDescriptionPhase,
+    DataFilteringPhase,
+    DataQualityPhase,
+)
+from repro.dlc.model import (
+    BlockResult,
+    DataAge,
+    DataLifeCycle,
+    LifeCycleBlock,
+    Phase,
+    PhaseResult,
+    classify_age,
+)
+from repro.dlc.preservation import (
+    DataArchivePhase,
+    DataClassificationPhase,
+    DataDisseminationPhase,
+    PreservationBlock,
+)
+from repro.dlc.processing import DataAnalysisPhase, DataProcessPhase, ProcessingBlock
+from repro.dlc.quality import QualityPolicy, QualityReport
+
+__all__ = [
+    "AcquisitionBlock",
+    "BlockResult",
+    "DataAge",
+    "DataAnalysisPhase",
+    "DataArchivePhase",
+    "DataClassificationPhase",
+    "DataCollectionPhase",
+    "DataDescriptionPhase",
+    "DataDisseminationPhase",
+    "DataFilteringPhase",
+    "DataLifeCycle",
+    "DataProcessPhase",
+    "DataQualityPhase",
+    "LifeCycleBlock",
+    "Phase",
+    "PhaseResult",
+    "PreservationBlock",
+    "ProcessingBlock",
+    "QualityPolicy",
+    "QualityReport",
+    "classify_age",
+]

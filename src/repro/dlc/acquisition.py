@@ -1,0 +1,179 @@
+"""The data-acquisition block (runs mainly at fog layer 1).
+
+Phases, in the order Fig. 2 prescribes:
+
+1. **Data collection** — pull readings in from the local sources (sensors in
+   the fog node's area, or messages arriving over the broker).
+2. **Data filtering** — apply aggregation optimisations (redundant-data
+   elimination, and optionally more) to reduce the managed volume.
+3. **Data quality** — score readings and drop those below the policy's bar.
+4. **Data description** — tag readings with timing, location, authoring and
+   privacy metadata according to the city's business model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+from repro.dlc.model import LifeCycleBlock, Phase, PhaseResult
+from repro.dlc.quality import QualityAssessor, QualityPolicy, QualityReport
+from repro.sensors.catalog import SensorCatalog
+from repro.sensors.readings import Reading, ReadingBatch
+
+
+class DataCollectionPhase(Phase):
+    """Gathers readings from registered sources into a single batch.
+
+    Sources are callables returning an iterable of readings (e.g. "drain the
+    broker inbox", "poll the local sensors").  When the phase is run as part
+    of a block over an externally supplied batch, the sourced readings are
+    appended to it, so both push and pull ingestion styles are supported.
+    """
+
+    name = "data_collection"
+
+    def __init__(self, sources: Optional[Sequence[Callable[[], Iterable[Reading]]]] = None) -> None:
+        self._sources = list(sources) if sources is not None else []
+        self.collected_total = 0
+
+    def add_source(self, source: Callable[[], Iterable[Reading]]) -> None:
+        self._sources.append(source)
+
+    def run(self, batch: ReadingBatch, now: float) -> tuple[ReadingBatch, PhaseResult]:
+        output = batch.copy()
+        pulled = 0
+        for source in self._sources:
+            for reading in source():
+                output.append(reading)
+                pulled += 1
+        self.collected_total += pulled
+        result = self._result(batch, output, pulled_from_sources=pulled, source_count=len(self._sources))
+        return output, result
+
+
+class DataFilteringPhase(Phase):
+    """Applies aggregation techniques to reduce the volume of managed data.
+
+    The phase delegates to an aggregation pipeline (see
+    :mod:`repro.aggregation`); by default it performs no reduction, which
+    lets the acquisition block model the paper's *centralized* baseline where
+    raw data flows straight to the cloud.
+    """
+
+    name = "data_filtering"
+
+    def __init__(self, aggregator: Optional[object] = None) -> None:
+        # ``aggregator`` is anything exposing ``apply(batch) -> AggregationResult``
+        # (an AggregationTechnique or AggregationPipeline).  Typed loosely to
+        # avoid a circular import between dlc and aggregation.
+        self.aggregator = aggregator
+
+    def run(self, batch: ReadingBatch, now: float) -> tuple[ReadingBatch, PhaseResult]:
+        if self.aggregator is None:
+            return batch, self._result(batch, batch, technique="none")
+        aggregation_result = self.aggregator.apply(batch)
+        output = aggregation_result.batch
+        result = self._result(
+            batch,
+            output,
+            technique=aggregation_result.technique,
+            bytes_after_encoding=aggregation_result.encoded_bytes,
+        )
+        return output, result
+
+
+class DataQualityPhase(Phase):
+    """Scores readings and admits only those above the quality policy's bar."""
+
+    name = "data_quality"
+
+    def __init__(
+        self,
+        policy: Optional[QualityPolicy] = None,
+        catalog: Optional[SensorCatalog] = None,
+    ) -> None:
+        self.assessor = QualityAssessor(policy=policy, catalog=catalog)
+        self.last_report: Optional[QualityReport] = None
+
+    def run(self, batch: ReadingBatch, now: float) -> tuple[ReadingBatch, PhaseResult]:
+        report = QualityReport()
+        output = ReadingBatch()
+        for reading in batch:
+            score, reason = self.assessor.score(reading, now)
+            report.assessed += 1
+            report.scores.append(score)
+            if reason is None:
+                report.admitted += 1
+                output.append(reading.with_tags(quality_score=round(score, 3)))
+            else:
+                report.record_rejection(reason)
+        self.last_report = report
+        result = self._result(
+            batch,
+            output,
+            admitted=report.admitted,
+            rejected=report.rejected,
+            mean_score=round(report.mean_score, 3),
+            rejection_reasons=dict(report.rejection_reasons),
+        )
+        return output, result
+
+
+class DataDescriptionPhase(Phase):
+    """Tags readings with business-model metadata.
+
+    The paper lists timing information, location positioning, authoring and
+    privacy as examples; the phase adds those tags plus any static tags the
+    city configures (e.g. licence, provider).
+    """
+
+    name = "data_description"
+
+    def __init__(
+        self,
+        city_name: str = "barcelona",
+        static_tags: Optional[Dict[str, object]] = None,
+        fog_node_resolver: Optional[Callable[[Reading], Optional[str]]] = None,
+    ) -> None:
+        self.city_name = city_name
+        self.static_tags = dict(static_tags or {})
+        self._fog_node_resolver = fog_node_resolver
+
+    def run(self, batch: ReadingBatch, now: float) -> tuple[ReadingBatch, PhaseResult]:
+        output = ReadingBatch()
+        for reading in batch:
+            tags: Dict[str, object] = {
+                "collected_at": now,
+                "city": self.city_name,
+                "category": reading.category,
+                **self.static_tags,
+            }
+            if self._fog_node_resolver is not None and reading.fog_node_id is None:
+                fog_node = self._fog_node_resolver(reading)
+                if fog_node is not None:
+                    reading = reading.with_fog_node(fog_node)
+            if reading.fog_node_id is not None:
+                tags["fog_node"] = reading.fog_node_id
+            output.append(reading.with_tags(**tags))
+        result = self._result(batch, output, tagged=len(output))
+        return output, result
+
+
+class AcquisitionBlock(LifeCycleBlock):
+    """The complete acquisition block: collection → filtering → quality → description."""
+
+    def __init__(
+        self,
+        collection: Optional[DataCollectionPhase] = None,
+        filtering: Optional[DataFilteringPhase] = None,
+        quality: Optional[DataQualityPhase] = None,
+        description: Optional[DataDescriptionPhase] = None,
+    ) -> None:
+        self.collection = collection or DataCollectionPhase()
+        self.filtering = filtering or DataFilteringPhase()
+        self.quality = quality or DataQualityPhase()
+        self.description = description or DataDescriptionPhase()
+        super().__init__(
+            name="data_acquisition",
+            phases=[self.collection, self.filtering, self.quality, self.description],
+        )

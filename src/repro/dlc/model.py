@@ -1,0 +1,201 @@
+"""Generic data life-cycle framework (blocks, phases, data flow).
+
+A :class:`Phase` transforms a :class:`~repro.sensors.readings.ReadingBatch`
+and reports what it did; a :class:`LifeCycleBlock` chains phases; a
+:class:`DataLifeCycle` chains blocks, mirroring Fig. 1 and Fig. 2 of the
+paper.  The framework is deliberately scenario-agnostic (the COSA-DLC idea):
+blocks and phases are composable, and the smart-city specialisation simply
+chooses which concrete phases go into which block.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.sensors.readings import ReadingBatch
+
+
+class DataAge(str, Enum):
+    """The paper's data-age characterisation (Section II).
+
+    Real-time data is "generated and just consumed" (very recent, served at
+    fog layer 1); historical data has been accumulated and stored (served
+    from higher layers); higher-value data is the output of processing that
+    has been stored back through the preservation block.
+    """
+
+    REAL_TIME = "real_time"
+    HISTORICAL = "historical"
+    HIGHER_VALUE = "higher_value"
+
+
+def classify_age(
+    reading_timestamp: float,
+    now: float,
+    realtime_window_s: float = 300.0,
+    higher_value: bool = False,
+) -> DataAge:
+    """Classify a reading's age per the paper's terminology.
+
+    Data more recent than *realtime_window_s* counts as real-time; anything
+    older is historical; data flagged as produced by the processing block is
+    higher-value regardless of age.
+    """
+    if higher_value:
+        return DataAge.HIGHER_VALUE
+    if now - reading_timestamp <= realtime_window_s:
+        return DataAge.REAL_TIME
+    return DataAge.HISTORICAL
+
+
+@dataclass
+class PhaseResult:
+    """Outcome of running one phase over a batch."""
+
+    phase_name: str
+    input_readings: int
+    output_readings: int
+    input_bytes: int
+    output_bytes: int
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def readings_removed(self) -> int:
+        return self.input_readings - self.output_readings
+
+    @property
+    def bytes_removed(self) -> int:
+        return self.input_bytes - self.output_bytes
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of input bytes removed by the phase (0 when input empty)."""
+        if self.input_bytes == 0:
+            return 0.0
+        return self.bytes_removed / self.input_bytes
+
+
+@dataclass
+class BlockResult:
+    """Outcome of running a block (an ordered list of phase results)."""
+
+    block_name: str
+    phase_results: List[PhaseResult] = field(default_factory=list)
+
+    @property
+    def input_bytes(self) -> int:
+        return self.phase_results[0].input_bytes if self.phase_results else 0
+
+    @property
+    def output_bytes(self) -> int:
+        return self.phase_results[-1].output_bytes if self.phase_results else 0
+
+    @property
+    def total_reduction_ratio(self) -> float:
+        if self.input_bytes == 0:
+            return 0.0
+        return (self.input_bytes - self.output_bytes) / self.input_bytes
+
+    def phase(self, name: str) -> PhaseResult:
+        for result in self.phase_results:
+            if result.phase_name == name:
+                return result
+        raise KeyError(f"no phase result named {name!r}")
+
+
+class Phase(ABC):
+    """One data life-cycle phase: a named transformation over a batch."""
+
+    name: str = "phase"
+
+    @abstractmethod
+    def run(self, batch: ReadingBatch, now: float) -> tuple[ReadingBatch, PhaseResult]:
+        """Transform *batch*; return the output batch and a result record."""
+
+    def _result(
+        self,
+        input_batch: ReadingBatch,
+        output_batch: ReadingBatch,
+        **details: object,
+    ) -> PhaseResult:
+        """Helper building a :class:`PhaseResult` from input/output batches."""
+        return PhaseResult(
+            phase_name=self.name,
+            input_readings=len(input_batch),
+            output_readings=len(output_batch),
+            input_bytes=input_batch.total_bytes,
+            output_bytes=output_batch.total_bytes,
+            details=dict(details),
+        )
+
+
+class LifeCycleBlock:
+    """An ordered set of phases executed as a unit (Fig. 2's blocks)."""
+
+    def __init__(self, name: str, phases: Sequence[Phase]) -> None:
+        if not phases:
+            raise ConfigurationError(f"block {name!r} needs at least one phase")
+        self.name = name
+        self.phases = list(phases)
+
+    def run(self, batch: ReadingBatch, now: float) -> tuple[ReadingBatch, BlockResult]:
+        """Run every phase in order, feeding each the previous phase's output."""
+        result = BlockResult(block_name=self.name)
+        current = batch
+        for phase in self.phases:
+            current, phase_result = phase.run(current, now)
+            result.phase_results.append(phase_result)
+        return current, result
+
+    def phase_names(self) -> List[str]:
+        return [phase.name for phase in self.phases]
+
+
+class DataLifeCycle:
+    """A complete data life cycle: acquisition → processing / preservation.
+
+    The flows follow Fig. 1: acquired data can go to processing (real-time
+    path), to preservation (archival path), or both; processing output can
+    itself be preserved as higher-value data.
+    """
+
+    def __init__(
+        self,
+        acquisition: LifeCycleBlock,
+        processing: Optional[LifeCycleBlock] = None,
+        preservation: Optional[LifeCycleBlock] = None,
+    ) -> None:
+        self.acquisition = acquisition
+        self.processing = processing
+        self.preservation = preservation
+
+    def run(
+        self,
+        batch: ReadingBatch,
+        now: float,
+        process: bool = True,
+        preserve: bool = True,
+    ) -> Dict[str, BlockResult]:
+        """Run the configured blocks over *batch* and return per-block results."""
+        results: Dict[str, BlockResult] = {}
+        acquired, acquisition_result = self.acquisition.run(batch, now)
+        results[self.acquisition.name] = acquisition_result
+        if process and self.processing is not None:
+            _, processing_result = self.processing.run(acquired, now)
+            results[self.processing.name] = processing_result
+        if preserve and self.preservation is not None:
+            _, preservation_result = self.preservation.run(acquired, now)
+            results[self.preservation.name] = preservation_result
+        return results
+
+    def block_names(self) -> List[str]:
+        names = [self.acquisition.name]
+        if self.processing is not None:
+            names.append(self.processing.name)
+        if self.preservation is not None:
+            names.append(self.preservation.name)
+        return names

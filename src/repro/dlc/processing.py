@@ -1,0 +1,120 @@
+"""The data-processing block.
+
+Two phases (Fig. 2): **data process** transforms raw readings into more
+sophisticated data/information (normalisation, unit conversion, derived
+quantities), and **data analysis** extracts knowledge (summary statistics,
+anomaly detection).  Processing can run at any F2C layer; the placement
+engine decides where (Section IV.C).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional
+
+from repro.dlc.model import LifeCycleBlock, Phase, PhaseResult
+from repro.sensors.readings import Reading, ReadingBatch
+
+#: A transformation applied to each reading by the data-process phase.
+ReadingTransform = Callable[[Reading], Reading]
+
+
+def normalise_value(reading: Reading) -> Reading:
+    """Example transform: round numeric values to three decimals."""
+    if isinstance(reading.value, float):
+        return replace(reading, value=round(reading.value, 3))
+    return reading
+
+
+class DataProcessPhase(Phase):
+    """Applies an ordered list of per-reading transformations."""
+
+    name = "data_process"
+
+    def __init__(self, transforms: Optional[List[ReadingTransform]] = None) -> None:
+        self.transforms = list(transforms) if transforms is not None else [normalise_value]
+
+    def add_transform(self, transform: ReadingTransform) -> None:
+        self.transforms.append(transform)
+
+    def run(self, batch: ReadingBatch, now: float) -> tuple[ReadingBatch, PhaseResult]:
+        output = ReadingBatch()
+        for reading in batch:
+            transformed = reading
+            for transform in self.transforms:
+                transformed = transform(transformed)
+            output.append(transformed)
+        result = self._result(batch, output, transforms=len(self.transforms))
+        return output, result
+
+
+class DataAnalysisPhase(Phase):
+    """Extracts knowledge from a batch: per-category statistics and anomalies.
+
+    A reading is flagged anomalous when it deviates from its category's mean
+    by more than ``anomaly_sigma`` standard deviations.  The analysis result
+    is stored on the phase (``last_analysis``) and summarised in the phase
+    result's details; the batch itself flows through unchanged (analysis is
+    not a reduction step).
+    """
+
+    name = "data_analysis"
+
+    def __init__(self, anomaly_sigma: float = 3.0) -> None:
+        if anomaly_sigma <= 0:
+            raise ValueError("anomaly_sigma must be positive")
+        self.anomaly_sigma = anomaly_sigma
+        self.last_analysis: Dict[str, Dict[str, float]] = {}
+        self.last_anomalies: List[Reading] = []
+
+    def run(self, batch: ReadingBatch, now: float) -> tuple[ReadingBatch, PhaseResult]:
+        values_by_category: Dict[str, List[float]] = {}
+        for reading in batch:
+            if isinstance(reading.value, (int, float)) and not isinstance(reading.value, bool):
+                values_by_category.setdefault(reading.category, []).append(float(reading.value))
+
+        analysis: Dict[str, Dict[str, float]] = {}
+        anomalies: List[Reading] = []
+        for category, values in values_by_category.items():
+            mean = statistics.fmean(values)
+            stdev = statistics.pstdev(values) if len(values) > 1 else 0.0
+            analysis[category] = {
+                "count": float(len(values)),
+                "mean": mean,
+                "stdev": stdev,
+                "min": min(values),
+                "max": max(values),
+            }
+        for reading in batch:
+            if not isinstance(reading.value, (int, float)) or isinstance(reading.value, bool):
+                continue
+            stats = analysis.get(reading.category)
+            if not stats or stats["stdev"] == 0.0:
+                continue
+            deviation = abs(float(reading.value) - stats["mean"]) / stats["stdev"]
+            if deviation > self.anomaly_sigma:
+                anomalies.append(reading)
+
+        self.last_analysis = analysis
+        self.last_anomalies = anomalies
+        result = self._result(
+            batch,
+            batch,
+            categories_analysed=len(analysis),
+            anomalies=len(anomalies),
+        )
+        return batch, result
+
+
+class ProcessingBlock(LifeCycleBlock):
+    """The complete processing block: data process → data analysis."""
+
+    def __init__(
+        self,
+        process: Optional[DataProcessPhase] = None,
+        analysis: Optional[DataAnalysisPhase] = None,
+    ) -> None:
+        self.process = process or DataProcessPhase()
+        self.analysis = analysis or DataAnalysisPhase()
+        super().__init__(name="data_processing", phases=[self.process, self.analysis])

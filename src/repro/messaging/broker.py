@@ -1,0 +1,208 @@
+"""The in-process MQTT-like broker.
+
+Semantics implemented (the subset the F2C data plane relies on):
+
+* **QoS 0** ("at most once") — the broker delivers the message to the
+  subscribers registered at publish time and forgets it.
+* **QoS 1** ("at least once") — the broker additionally keeps the message in
+  a per-subscriber outbox until the subscriber acknowledges it, and can
+  redeliver unacknowledged messages.
+* **Retained messages** — the broker keeps the last retained message per
+  topic and replays it to new subscribers whose filter matches.
+
+Delivery is synchronous (the subscriber callback runs inside ``publish``),
+which keeps the simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, RoutingError
+from repro.messaging.topics import topic_matches, validate_topic
+
+
+@dataclass(frozen=True)
+class Message:
+    """A published message."""
+
+    topic: str
+    payload: bytes
+    qos: int = 0
+    retain: bool = False
+    message_id: int = 0
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.qos not in (0, 1):
+            raise ConfigurationError(f"unsupported QoS level: {self.qos}")
+        if not isinstance(self.payload, (bytes, bytearray)):
+            raise ConfigurationError("payload must be bytes")
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+
+MessageHandler = Callable[[Message], None]
+
+
+@dataclass
+class _Subscription:
+    client_id: str
+    topic_filter: str
+    handler: MessageHandler
+    qos: int = 0
+
+
+class Broker:
+    """An in-process publish/subscribe broker with MQTT-like semantics."""
+
+    def __init__(self, name: str = "broker") -> None:
+        self.name = name
+        self._subscriptions: List[_Subscription] = []
+        self._retained: Dict[str, Message] = {}
+        self._pending_acks: Dict[Tuple[str, int], Message] = {}
+        self._message_ids = itertools.count(1)
+        self._published_count = 0
+        self._delivered_count = 0
+        self._published_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Subscription management
+    # ------------------------------------------------------------------ #
+    def subscribe(
+        self,
+        client_id: str,
+        topic_filter: str,
+        handler: MessageHandler,
+        qos: int = 0,
+    ) -> None:
+        """Register *handler* for messages matching *topic_filter*.
+
+        Retained messages matching the filter are replayed immediately.
+        """
+        validate_topic(topic_filter, allow_wildcards=True)
+        if qos not in (0, 1):
+            raise ConfigurationError(f"unsupported QoS level: {qos}")
+        subscription = _Subscription(
+            client_id=client_id, topic_filter=topic_filter, handler=handler, qos=qos
+        )
+        self._subscriptions.append(subscription)
+        for topic, message in self._retained.items():
+            if topic_matches(topic_filter, topic):
+                self._deliver(subscription, message)
+
+    def unsubscribe(self, client_id: str, topic_filter: Optional[str] = None) -> int:
+        """Remove a client's subscriptions (all of them, or one filter)."""
+        before = len(self._subscriptions)
+        self._subscriptions = [
+            s
+            for s in self._subscriptions
+            if not (s.client_id == client_id and (topic_filter is None or s.topic_filter == topic_filter))
+        ]
+        return before - len(self._subscriptions)
+
+    def subscriptions_for(self, client_id: str) -> List[str]:
+        return [s.topic_filter for s in self._subscriptions if s.client_id == client_id]
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        topic: str,
+        payload: bytes,
+        qos: int = 0,
+        retain: bool = False,
+        timestamp: float = 0.0,
+    ) -> Message:
+        """Publish *payload* on *topic* and deliver to matching subscribers."""
+        validate_topic(topic, allow_wildcards=False)
+        message = Message(
+            topic=topic,
+            payload=bytes(payload),
+            qos=qos,
+            retain=retain,
+            message_id=next(self._message_ids),
+            timestamp=timestamp,
+        )
+        self._published_count += 1
+        self._published_bytes += message.size_bytes
+        if retain:
+            self._retained[topic] = message
+        for subscription in list(self._subscriptions):
+            if topic_matches(subscription.topic_filter, topic):
+                self._deliver(subscription, message)
+        return message
+
+    def _deliver(self, subscription: _Subscription, message: Message) -> None:
+        effective_qos = min(subscription.qos, message.qos)
+        if effective_qos >= 1:
+            self._pending_acks[(subscription.client_id, message.message_id)] = message
+        subscription.handler(message)
+        self._delivered_count += 1
+
+    # ------------------------------------------------------------------ #
+    # QoS 1 acknowledgement
+    # ------------------------------------------------------------------ #
+    def acknowledge(self, client_id: str, message_id: int) -> None:
+        """Acknowledge a QoS 1 delivery; unknown acks raise ``RoutingError``."""
+        key = (client_id, message_id)
+        if key not in self._pending_acks:
+            raise RoutingError(f"no pending delivery for client={client_id} id={message_id}")
+        del self._pending_acks[key]
+
+    def unacknowledged(self, client_id: Optional[str] = None) -> List[Message]:
+        """Messages delivered at QoS 1 that have not been acknowledged yet."""
+        return [
+            message
+            for (owner, _), message in self._pending_acks.items()
+            if client_id is None or owner == client_id
+        ]
+
+    def redeliver(self, client_id: str) -> int:
+        """Redeliver all unacknowledged QoS 1 messages to *client_id*.
+
+        Returns the number of messages redelivered.  Redelivery goes through
+        the client's current subscriptions, so a client that unsubscribed
+        receives nothing (and keeps the messages pending).
+        """
+        redelivered = 0
+        for (owner, _), message in list(self._pending_acks.items()):
+            if owner != client_id:
+                continue
+            for subscription in self._subscriptions:
+                if subscription.client_id == client_id and topic_matches(
+                    subscription.topic_filter, message.topic
+                ):
+                    subscription.handler(message)
+                    redelivered += 1
+                    break
+        return redelivered
+
+    # ------------------------------------------------------------------ #
+    # Retained messages & statistics
+    # ------------------------------------------------------------------ #
+    def retained_message(self, topic: str) -> Optional[Message]:
+        return self._retained.get(topic)
+
+    def clear_retained(self, topic: Optional[str] = None) -> None:
+        if topic is None:
+            self._retained.clear()
+        else:
+            self._retained.pop(topic, None)
+
+    @property
+    def published_count(self) -> int:
+        return self._published_count
+
+    @property
+    def delivered_count(self) -> int:
+        return self._delivered_count
+
+    @property
+    def published_bytes(self) -> int:
+        return self._published_bytes

@@ -1,0 +1,72 @@
+"""A small client facade over the broker.
+
+Components (sensor gateways, fog nodes) use a :class:`MessagingClient`
+rather than talking to the broker directly: the client tracks its own
+identity, buffers received messages, and offers convenience helpers for
+publishing encoded sensor readings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.messaging.broker import Broker, Message
+from repro.sensors.readings import Reading
+
+
+class MessagingClient:
+    """A named participant on the broker."""
+
+    def __init__(self, client_id: str, broker: Broker) -> None:
+        self.client_id = client_id
+        self.broker = broker
+        self._inbox: List[Message] = []
+
+    # ------------------------------------------------------------------ #
+    # Subscribing
+    # ------------------------------------------------------------------ #
+    def subscribe(
+        self,
+        topic_filter: str,
+        handler: Optional[Callable[[Message], None]] = None,
+        qos: int = 0,
+    ) -> None:
+        """Subscribe to *topic_filter*.
+
+        When *handler* is omitted, messages are appended to the client's
+        inbox and can be drained with :meth:`drain_inbox`.
+        """
+        effective_handler = handler if handler is not None else self._inbox.append
+        self.broker.subscribe(self.client_id, topic_filter, effective_handler, qos=qos)
+
+    def unsubscribe(self, topic_filter: Optional[str] = None) -> int:
+        return self.broker.unsubscribe(self.client_id, topic_filter)
+
+    def drain_inbox(self) -> List[Message]:
+        """Return and clear the buffered messages."""
+        messages, self._inbox = self._inbox, []
+        return messages
+
+    @property
+    def inbox_size(self) -> int:
+        return len(self._inbox)
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        topic: str,
+        payload: bytes,
+        qos: int = 0,
+        retain: bool = False,
+        timestamp: float = 0.0,
+    ) -> Message:
+        return self.broker.publish(topic, payload, qos=qos, retain=retain, timestamp=timestamp)
+
+    def publish_reading(self, topic: str, reading: Reading, qos: int = 0) -> Message:
+        """Publish a sensor reading using its wire encoding."""
+        return self.publish(topic, reading.encode(), qos=qos, timestamp=reading.timestamp)
+
+    def acknowledge(self, message: Message) -> None:
+        self.broker.acknowledge(self.client_id, message.message_id)

@@ -1,0 +1,84 @@
+"""MQTT-style topic names and filters.
+
+Topic names are ``/``-separated paths such as
+``city/bcn/district-03/section-21/energy/temperature``.  Filters may use the
+standard MQTT wildcards: ``+`` matches exactly one level, ``#`` matches any
+number of trailing levels and must be the last element of the filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+
+SINGLE_LEVEL_WILDCARD = "+"
+MULTI_LEVEL_WILDCARD = "#"
+
+
+def validate_topic(topic: str, allow_wildcards: bool = False) -> None:
+    """Validate a topic name (or filter, when *allow_wildcards* is true).
+
+    Raises :class:`~repro.common.errors.ValidationError` on malformed input:
+    empty topics, empty levels, embedded wildcards in publish topics, or a
+    ``#`` that is not the final level.
+    """
+    if not topic:
+        raise ValidationError("topic must be non-empty")
+    levels = topic.split("/")
+    for position, level in enumerate(levels):
+        if level == "":
+            raise ValidationError(f"topic has an empty level: {topic!r}")
+        if not allow_wildcards and (SINGLE_LEVEL_WILDCARD in level or MULTI_LEVEL_WILDCARD in level):
+            raise ValidationError(f"wildcards are not allowed in publish topics: {topic!r}")
+        if allow_wildcards:
+            if level == MULTI_LEVEL_WILDCARD and position != len(levels) - 1:
+                raise ValidationError(f"'#' must be the last level: {topic!r}")
+            if MULTI_LEVEL_WILDCARD in level and level != MULTI_LEVEL_WILDCARD:
+                raise ValidationError(f"'#' cannot be part of a level name: {topic!r}")
+            if SINGLE_LEVEL_WILDCARD in level and level != SINGLE_LEVEL_WILDCARD:
+                raise ValidationError(f"'+' cannot be part of a level name: {topic!r}")
+
+
+def topic_matches(filter_topic: str, topic: str) -> bool:
+    """Return ``True`` when *topic* matches *filter_topic* (MQTT semantics)."""
+    validate_topic(filter_topic, allow_wildcards=True)
+    validate_topic(topic, allow_wildcards=False)
+    filter_levels = filter_topic.split("/")
+    topic_levels = topic.split("/")
+
+    for index, filter_level in enumerate(filter_levels):
+        if filter_level == MULTI_LEVEL_WILDCARD:
+            return True
+        if index >= len(topic_levels):
+            return False
+        if filter_level == SINGLE_LEVEL_WILDCARD:
+            continue
+        if filter_level != topic_levels[index]:
+            return False
+    return len(filter_levels) == len(topic_levels)
+
+
+@dataclass(frozen=True)
+class TopicFilter:
+    """A validated, reusable topic filter."""
+
+    pattern: str
+
+    def __post_init__(self) -> None:
+        validate_topic(self.pattern, allow_wildcards=True)
+
+    def matches(self, topic: str) -> bool:
+        return topic_matches(self.pattern, topic)
+
+
+def sensor_topic(city: str, district: str, section: str, category: str, sensor_type: str) -> str:
+    """Build the canonical topic for a sensor's readings.
+
+    The hierarchy mirrors the city's administrative structure so that a fog
+    layer-1 node subscribes to ``city/<city>/<district>/<section>/#`` and a
+    fog layer-2 node to ``city/<city>/<district>/#``.
+    """
+    topic = f"city/{city}/{district}/{section}/{category}/{sensor_type}"
+    validate_topic(topic)
+    return topic

@@ -1,0 +1,113 @@
+"""Point-to-point network links.
+
+A :class:`Link` connects two named endpoints and characterises the cost of
+moving bytes between them: a fixed propagation latency plus a serialisation
+delay derived from the link bandwidth.  An optional :class:`LinkProfile`
+describes how available bandwidth varies over the day, which the
+transmission-scheduling optimisation from Section IV.D exploits (send bulk
+data in off-peak windows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Hourly load profile of a link.
+
+    ``utilisation_by_hour`` holds 24 values in ``[0, 1)`` giving the fraction
+    of the nominal bandwidth already consumed by background traffic during
+    each hour of the day.  The effective bandwidth available to the data
+    management system is ``bandwidth * (1 - utilisation)``.
+    """
+
+    utilisation_by_hour: Sequence[float] = field(default_factory=lambda: (0.0,) * 24)
+
+    def __post_init__(self) -> None:
+        if len(self.utilisation_by_hour) != 24:
+            raise ConfigurationError("utilisation_by_hour must have 24 entries")
+        for value in self.utilisation_by_hour:
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError("hourly utilisation must be in [0, 1)")
+
+    def utilisation_at(self, timestamp: float) -> float:
+        """Background utilisation at simulation time *timestamp* (seconds)."""
+        hour = int(timestamp // 3600) % 24
+        return self.utilisation_by_hour[hour]
+
+    def least_loaded_hours(self, count: int = 1) -> list[int]:
+        """The *count* hours of the day with the lowest background load."""
+        if count < 1:
+            raise ConfigurationError("count must be at least 1")
+        ranked = sorted(range(24), key=lambda h: (self.utilisation_by_hour[h], h))
+        return ranked[:count]
+
+
+#: A typical diurnal urban traffic profile: quiet at night, busy during the
+#: day with morning / evening peaks.  Values are background utilisation.
+DIURNAL_PROFILE = LinkProfile(
+    utilisation_by_hour=(
+        0.10, 0.08, 0.06, 0.05, 0.05, 0.08,  # 00-05
+        0.20, 0.45, 0.60, 0.55, 0.50, 0.50,  # 06-11
+        0.55, 0.55, 0.50, 0.50, 0.55, 0.65,  # 12-17
+        0.70, 0.65, 0.55, 0.40, 0.25, 0.15,  # 18-23
+    )
+)
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link between two nodes of the topology.
+
+    Parameters
+    ----------
+    source, target:
+        Node identifiers.
+    latency_s:
+        One-way propagation latency in seconds.
+    bandwidth_bps:
+        Nominal bandwidth in bytes per second.
+    profile:
+        Optional diurnal background-load profile.
+    """
+
+    source: str
+    target: str
+    latency_s: float
+    bandwidth_bps: float
+    profile: Optional[LinkProfile] = None
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigurationError("latency must be non-negative")
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.source == self.target:
+            raise ConfigurationError("link endpoints must differ")
+
+    def effective_bandwidth(self, timestamp: float = 0.0) -> float:
+        """Bandwidth available after subtracting background load."""
+        if self.profile is None:
+            return self.bandwidth_bps
+        return self.bandwidth_bps * (1.0 - self.profile.utilisation_at(timestamp))
+
+    def transfer_time(self, size_bytes: int, timestamp: float = 0.0) -> float:
+        """Seconds needed to move *size_bytes* across this link at *timestamp*."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        return self.latency_s + size_bytes / self.effective_bandwidth(timestamp)
+
+    def reversed(self) -> "Link":
+        """The same link in the opposite direction."""
+        return Link(
+            source=self.target,
+            target=self.source,
+            latency_s=self.latency_s,
+            bandwidth_bps=self.bandwidth_bps,
+            profile=self.profile,
+        )

@@ -1,0 +1,160 @@
+"""A small discrete-event network simulator.
+
+The simulator owns a :class:`~repro.common.clock.SimulatedClock`, a
+:class:`~repro.network.topology.NetworkTopology` and a
+:class:`~repro.network.traffic.TrafficAccountant`.  Work is scheduled as
+timestamped events; transfers move payloads hop-by-hop along the topology,
+advancing the clock by propagation latency plus serialisation delay, and are
+recorded in the accountant as they arrive.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import ConfigurationError
+from repro.network.topology import LayerName, NetworkTopology
+from repro.network.traffic import TrafficAccountant
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A completed end-to-end transfer returned by :meth:`NetworkSimulator.send`."""
+
+    source: str
+    target: str
+    size_bytes: int
+    departure_time: float
+    arrival_time: float
+    hops: int
+    category: Optional[str] = None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end transfer duration in seconds."""
+        return self.arrival_time - self.departure_time
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    timestamp: float
+    order: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class NetworkSimulator:
+    """Event-driven transfer simulation over a hierarchical topology."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        clock: Optional[SimulatedClock] = None,
+        accountant: Optional[TrafficAccountant] = None,
+    ) -> None:
+        self.topology = topology
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.accountant = accountant if accountant is not None else TrafficAccountant()
+        self._queue: List[_ScheduledEvent] = []
+        self._order = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # Event scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, timestamp: float, action: Callable[[], None]) -> None:
+        """Schedule *action* to run at simulation time *timestamp*."""
+        if timestamp < self.clock.now():
+            raise ConfigurationError(
+                f"cannot schedule in the past: now={self.clock.now()}, requested={timestamp}"
+            )
+        heapq.heappush(self._queue, _ScheduledEvent(timestamp, next(self._order), action))
+
+    def schedule_in(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule *action* to run *delay* seconds from the current time."""
+        self.schedule(self.clock.now() + delay, action)
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Execute queued events in time order.
+
+        Stops when the queue is empty or the next event is later than
+        *until*.  Returns the number of events executed.
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self._queue[0].timestamp > until:
+                break
+            event = heapq.heappop(self._queue)
+            self.clock.advance_to(event.timestamp)
+            event.action()
+            executed += 1
+        if until is not None and until > self.clock.now():
+            self.clock.advance_to(until)
+        return executed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # Transfers
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        source: str,
+        target: str,
+        size_bytes: int,
+        message_count: int = 1,
+        category: Optional[str] = None,
+        departure_time: Optional[float] = None,
+    ) -> Transfer:
+        """Move *size_bytes* from *source* to *target* hop-by-hop, immediately.
+
+        The transfer is recorded in the traffic accountant once per hop
+        destination, so per-layer byte totals reflect what each layer
+        actually received.  The simulator clock is *not* advanced (transfers
+        may be concurrent); the returned :class:`Transfer` carries the
+        arrival time implied by the path's latency and bandwidth.
+        """
+        departure = departure_time if departure_time is not None else self.clock.now()
+        nodes = self.topology.path(source, target)
+        current_time = departure
+        for hop_source, hop_target in zip(nodes, nodes[1:]):
+            link = self.topology.link(hop_source, hop_target)
+            current_time += link.transfer_time(size_bytes, current_time)
+            self.accountant.record_transfer(
+                timestamp=current_time,
+                source=hop_source,
+                target=hop_target,
+                target_layer=self.topology.layer_of(hop_target),
+                size_bytes=size_bytes,
+                message_count=message_count,
+                category=category,
+            )
+        return Transfer(
+            source=source,
+            target=target,
+            size_bytes=size_bytes,
+            departure_time=departure,
+            arrival_time=current_time,
+            hops=len(nodes) - 1,
+            category=category,
+        )
+
+    def round_trip_time(self, source: str, target: str, request_bytes: int, response_bytes: int) -> float:
+        """Latency of a request/response exchange between two nodes.
+
+        Used by the real-time access benchmarks: in the centralized model a
+        just-collected reading must first travel to the cloud and then be
+        fetched back by the edge service, whereas in the F2C model it is
+        served locally from fog layer 1.
+        """
+        up = self.topology.transfer_time(source, target, request_bytes, self.clock.now())
+        down = self.topology.transfer_time(target, source, response_bytes, self.clock.now())
+        return up + down
+
+    def bytes_into_layer(self, layer: LayerName) -> int:
+        """Shortcut to the accountant's per-layer byte total."""
+        return self.accountant.bytes_into_layer(layer)

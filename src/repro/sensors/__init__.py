@@ -1,0 +1,42 @@
+"""Sensor substrate: a Sentilo-like catalog and synthetic reading sources.
+
+The paper's evaluation is driven by the municipal open-data platform of
+Barcelona (Sentilo).  We do not have access to the real platform, so this
+package provides:
+
+* :mod:`repro.sensors.catalog` — the sensor inventory of the *future* smart
+  city of Barcelona exactly as parameterised in the paper's Table I
+  (categories, types, sensor counts, message sizes, sampling rates, and the
+  per-category redundancy rates the authors measured from real Sentilo data).
+* :mod:`repro.sensors.readings` — the reading/observation data model.
+* :mod:`repro.sensors.device` — individual simulated sensor devices.
+* :mod:`repro.sensors.generator` — bulk synthetic stream generation with a
+  controllable duplicate (redundant-reading) fraction.
+* :mod:`repro.sensors.sentilo` — a minimal Sentilo-like platform facade used
+  by the centralized-cloud baseline.
+"""
+
+from repro.sensors.catalog import (
+    BARCELONA_CATALOG,
+    CATEGORY_REDUNDANCY,
+    SensorCategory,
+    SensorCatalog,
+    SensorTypeSpec,
+)
+from repro.sensors.device import Sensor
+from repro.sensors.generator import ReadingGenerator
+from repro.sensors.readings import Reading, ReadingBatch
+from repro.sensors.sentilo import SentiloPlatform
+
+__all__ = [
+    "BARCELONA_CATALOG",
+    "CATEGORY_REDUNDANCY",
+    "Reading",
+    "ReadingBatch",
+    "ReadingGenerator",
+    "Sensor",
+    "SensorCatalog",
+    "SensorCategory",
+    "SensorTypeSpec",
+    "SentiloPlatform",
+]

@@ -1,0 +1,161 @@
+"""A minimal Sentilo-like open-data platform facade.
+
+Sentilo is the real platform managing Barcelona's municipal sensor data; in
+the paper it represents the *centralized cloud* point of comparison.  This
+module provides a small in-process stand-in with the pieces the experiments
+exercise: provider/sensor registration, observation ingestion, a catalog
+endpoint, and per-category statistics that the traffic benchmarks read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError, ValidationError
+from repro.sensors.catalog import SensorCatalog, SensorCategory
+from repro.sensors.readings import Reading, ReadingBatch
+
+
+@dataclass
+class ProviderRecord:
+    """A data provider registered on the platform (e.g. a city department)."""
+
+    provider_id: str
+    description: str = ""
+    sensor_ids: List[str] = field(default_factory=list)
+
+
+@dataclass
+class SensorRecord:
+    """A sensor registered on the platform."""
+
+    sensor_id: str
+    sensor_type: str
+    category: str
+    provider_id: str
+    location: Optional[str] = None
+
+
+class SentiloPlatform:
+    """In-process Sentilo-like platform used by the centralized baseline.
+
+    The platform stores every ingested observation (it models the cloud's
+    effectively unlimited storage), tracks ingestion volume per category,
+    and exposes simple query endpoints mirroring Sentilo's REST API surface:
+    latest observation per sensor, observations in a time window, and the
+    sensor catalog.
+    """
+
+    def __init__(self, catalog: Optional[SensorCatalog] = None) -> None:
+        self.catalog = catalog
+        self._providers: Dict[str, ProviderRecord] = {}
+        self._sensors: Dict[str, SensorRecord] = {}
+        self._observations: Dict[str, List[Reading]] = {}
+        self._ingested_bytes_by_category: Dict[str, int] = {}
+        self._ingested_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Registration (Sentilo "catalog" API)
+    # ------------------------------------------------------------------ #
+    def register_provider(self, provider_id: str, description: str = "") -> ProviderRecord:
+        if provider_id in self._providers:
+            raise ConfigurationError(f"provider already registered: {provider_id}")
+        record = ProviderRecord(provider_id=provider_id, description=description)
+        self._providers[provider_id] = record
+        return record
+
+    def register_sensor(
+        self,
+        sensor_id: str,
+        sensor_type: str,
+        category: str,
+        provider_id: str,
+        location: Optional[str] = None,
+    ) -> SensorRecord:
+        if provider_id not in self._providers:
+            raise ConfigurationError(f"unknown provider: {provider_id}")
+        if sensor_id in self._sensors:
+            raise ConfigurationError(f"sensor already registered: {sensor_id}")
+        if self.catalog is not None and sensor_type not in self.catalog:
+            raise ConfigurationError(f"sensor type not in catalog: {sensor_type}")
+        record = SensorRecord(
+            sensor_id=sensor_id,
+            sensor_type=sensor_type,
+            category=category,
+            provider_id=provider_id,
+            location=location,
+        )
+        self._sensors[sensor_id] = record
+        self._providers[provider_id].sensor_ids.append(sensor_id)
+        return record
+
+    @property
+    def providers(self) -> List[ProviderRecord]:
+        return list(self._providers.values())
+
+    @property
+    def sensors(self) -> List[SensorRecord]:
+        return list(self._sensors.values())
+
+    # ------------------------------------------------------------------ #
+    # Ingestion (Sentilo "data" API)
+    # ------------------------------------------------------------------ #
+    def publish_observation(self, reading: Reading, require_registered: bool = False) -> None:
+        """Ingest one observation.
+
+        When *require_registered* is true, observations from unregistered
+        sensors are rejected (matching a strictly configured platform).
+        """
+        if require_registered and reading.sensor_id not in self._sensors:
+            raise ValidationError(f"observation from unregistered sensor: {reading.sensor_id}")
+        self._observations.setdefault(reading.sensor_id, []).append(reading)
+        self._ingested_bytes_by_category[reading.category] = (
+            self._ingested_bytes_by_category.get(reading.category, 0) + reading.size_bytes
+        )
+        self._ingested_count += 1
+
+    def publish_batch(self, batch: ReadingBatch, require_registered: bool = False) -> int:
+        """Ingest every reading in *batch*; returns the number ingested."""
+        for reading in batch:
+            self.publish_observation(reading, require_registered=require_registered)
+        return len(batch)
+
+    # ------------------------------------------------------------------ #
+    # Query (Sentilo "data" read API)
+    # ------------------------------------------------------------------ #
+    def latest(self, sensor_id: str) -> Optional[Reading]:
+        """Most recent observation of *sensor_id*, or ``None``."""
+        observations = self._observations.get(sensor_id)
+        if not observations:
+            return None
+        return max(observations, key=lambda r: r.timestamp)
+
+    def observations(
+        self,
+        sensor_id: str,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> List[Reading]:
+        """Observations of *sensor_id* with ``since <= timestamp < until``."""
+        return [
+            r
+            for r in self._observations.get(sensor_id, [])
+            if since <= r.timestamp < until
+        ]
+
+    def observation_count(self) -> int:
+        return self._ingested_count
+
+    # ------------------------------------------------------------------ #
+    # Statistics used by the traffic benchmarks
+    # ------------------------------------------------------------------ #
+    def ingested_bytes(self, category: Optional[SensorCategory | str] = None) -> int:
+        """Bytes ingested overall or for one category."""
+        if category is None:
+            return sum(self._ingested_bytes_by_category.values())
+        key = category.value if isinstance(category, SensorCategory) else category
+        return self._ingested_bytes_by_category.get(key, 0)
+
+    def ingested_bytes_by_category(self) -> Dict[str, int]:
+        return dict(self._ingested_bytes_by_category)

@@ -1,0 +1,34 @@
+"""Storage substrate: the "reversed memory hierarchy" of the F2C model.
+
+Section IV.B of the paper describes data storage as a reversed memory
+hierarchy: data is *created* at the lowest level (fog layer 1), kept there
+temporarily for real-time access, moved up to fog layer 2 where a broader but
+less recent window is held, and finally preserved permanently in the cloud.
+
+* :mod:`repro.storage.timeseries` — the basic append-only time-series store
+  readings live in at every layer.
+* :mod:`repro.storage.retention` — retention policies (age-based TTL,
+  count/byte caps) that bound what a fog node keeps locally.
+* :mod:`repro.storage.tiered` — a store plus retention policy, plus the
+  eviction bookkeeping the data-movement scheduler uses.
+* :mod:`repro.storage.archive` — the cloud's permanent archive with
+  versioning, lineage/provenance and dissemination (access) policies.
+"""
+
+from repro.storage.archive import ArchiveEntry, CloudArchive, DisseminationPolicy
+from repro.storage.retention import CompositeRetention, CountRetention, RetentionPolicy, SizeRetention, TtlRetention
+from repro.storage.tiered import TieredStore
+from repro.storage.timeseries import TimeSeriesStore
+
+__all__ = [
+    "ArchiveEntry",
+    "CloudArchive",
+    "CompositeRetention",
+    "CountRetention",
+    "DisseminationPolicy",
+    "RetentionPolicy",
+    "SizeRetention",
+    "TieredStore",
+    "TimeSeriesStore",
+    "TtlRetention",
+]

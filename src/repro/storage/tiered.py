@@ -1,0 +1,132 @@
+"""A storage tier: a time-series store plus a retention policy.
+
+Each node of the F2C hierarchy owns one :class:`TieredStore`.  Fog layer-1
+tiers are small and short-lived (real-time window), fog layer-2 tiers hold a
+broader but less recent window, and the cloud tier keeps everything.  The
+tier tracks which readings have not yet been propagated upwards so the
+data-movement scheduler can drain exactly the new data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.sensors.readings import Reading, ReadingBatch
+from repro.storage.retention import KeepEverything, RetentionPolicy
+from repro.storage.timeseries import TimeSeriesStore
+
+
+class TieredStore:
+    """Node-local storage with retention and upward-propagation bookkeeping."""
+
+    def __init__(
+        self,
+        name: str,
+        retention: Optional[RetentionPolicy] = None,
+    ) -> None:
+        self.name = name
+        self.retention = retention if retention is not None else KeepEverything()
+        self.store = TimeSeriesStore(name=name)
+        self._pending_upward: List[Reading] = []
+        self._ingested_count = 0
+        self._ingested_bytes = 0
+        self._evicted_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(self, reading: Reading, mark_for_upward: bool = True) -> None:
+        """Store a reading locally and optionally queue it for upward transfer."""
+        self.store.append(reading)
+        self._ingested_count += 1
+        self._ingested_bytes += reading.size_bytes
+        if mark_for_upward:
+            self._pending_upward.append(reading)
+
+    def ingest_batch(self, batch: Iterable[Reading], mark_for_upward: bool = True) -> int:
+        count = 0
+        for reading in batch:
+            self.ingest(reading, mark_for_upward=mark_for_upward)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Upward propagation support
+    # ------------------------------------------------------------------ #
+    def drain_pending_upward(self) -> ReadingBatch:
+        """Return and clear the readings not yet propagated to the parent."""
+        batch = ReadingBatch(self._pending_upward)
+        self._pending_upward = []
+        return batch
+
+    @property
+    def pending_upward_count(self) -> int:
+        return len(self._pending_upward)
+
+    @property
+    def pending_upward_bytes(self) -> int:
+        return sum(r.size_bytes for r in self._pending_upward)
+
+    # ------------------------------------------------------------------ #
+    # Queries (delegated to the underlying store)
+    # ------------------------------------------------------------------ #
+    def latest(self, sensor_id: str) -> Reading:
+        return self.store.latest(sensor_id)
+
+    def has_series(self, sensor_id: str) -> bool:
+        return self.store.has_series(sensor_id)
+
+    def query(self, sensor_id: str, since: float = float("-inf"), until: float = float("inf")) -> List[Reading]:
+        return self.store.query(sensor_id, since=since, until=until)
+
+    def query_window(
+        self,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        category: Optional[str] = None,
+    ) -> ReadingBatch:
+        return self.store.query_window(since=since, until=until, category=category)
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.store.total_bytes
+
+    # ------------------------------------------------------------------ #
+    # Retention
+    # ------------------------------------------------------------------ #
+    def enforce_retention(self, now: float) -> int:
+        """Apply the retention policy; returns how many readings were evicted."""
+        evicted = self.retention.enforce(self.store, now)
+        self._evicted_count += evicted
+        return evicted
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def ingested_count(self) -> int:
+        return self._ingested_count
+
+    @property
+    def ingested_bytes(self) -> int:
+        return self._ingested_bytes
+
+    @property
+    def evicted_count(self) -> int:
+        return self._evicted_count
+
+    def stats(self) -> dict:
+        """A snapshot of the tier's counters (used by reports and examples)."""
+        return {
+            "name": self.name,
+            "stored_readings": len(self.store),
+            "stored_bytes": self.store.total_bytes,
+            "ingested_readings": self._ingested_count,
+            "ingested_bytes": self._ingested_bytes,
+            "evicted_readings": self._evicted_count,
+            "pending_upward": len(self._pending_upward),
+            "retention": self.retention.describe(),
+        }

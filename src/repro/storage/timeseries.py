@@ -1,0 +1,160 @@
+"""An in-memory time-series store for sensor readings.
+
+Readings are kept per series (one series per sensor id) in timestamp order.
+The store supports range queries, latest-value queries, per-category volume
+accounting, and bulk removal — everything the fog and cloud layers need for
+the data-preservation block.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import DefaultDict, Dict, Iterable, Iterator, List, Optional
+
+from repro.common.errors import StorageError
+from repro.sensors.readings import Reading, ReadingBatch
+
+
+class TimeSeriesStore:
+    """Append-mostly reading storage with time-range queries."""
+
+    def __init__(self, name: str = "store") -> None:
+        self.name = name
+        self._series: DefaultDict[str, List[Reading]] = defaultdict(list)
+        self._timestamps: DefaultDict[str, List[float]] = defaultdict(list)
+        self._total_bytes = 0
+        self._bytes_by_category: DefaultDict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append(self, reading: Reading) -> None:
+        """Insert a reading, keeping the series ordered by timestamp."""
+        timestamps = self._timestamps[reading.sensor_id]
+        series = self._series[reading.sensor_id]
+        index = bisect.bisect_right(timestamps, reading.timestamp)
+        timestamps.insert(index, reading.timestamp)
+        series.insert(index, reading)
+        self._total_bytes += reading.size_bytes
+        self._bytes_by_category[reading.category] += reading.size_bytes
+
+    def extend(self, readings: Iterable[Reading]) -> int:
+        """Insert many readings; returns the number inserted."""
+        count = 0
+        for reading in readings:
+            self.append(reading)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def latest(self, sensor_id: str) -> Reading:
+        """The most recent reading of *sensor_id*; raises if the series is empty."""
+        series = self._series.get(sensor_id)
+        if not series:
+            raise StorageError(f"no readings stored for sensor {sensor_id!r}")
+        return series[-1]
+
+    def has_series(self, sensor_id: str) -> bool:
+        return bool(self._series.get(sensor_id))
+
+    def query(
+        self,
+        sensor_id: str,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> List[Reading]:
+        """Readings of *sensor_id* with ``since <= timestamp < until``."""
+        series = self._series.get(sensor_id, [])
+        timestamps = self._timestamps.get(sensor_id, [])
+        start = bisect.bisect_left(timestamps, since)
+        end = bisect.bisect_left(timestamps, until)
+        return list(series[start:end])
+
+    def query_window(
+        self,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        category: Optional[str] = None,
+    ) -> ReadingBatch:
+        """All readings across series in the window, optionally per category."""
+        batch = ReadingBatch()
+        for series in self._series.values():
+            for reading in series:
+                if not since <= reading.timestamp < until:
+                    continue
+                if category is not None and reading.category != category:
+                    continue
+                batch.append(reading)
+        return batch
+
+    def all_readings(self) -> Iterator[Reading]:
+        for series in self._series.values():
+            yield from series
+
+    def sensor_ids(self) -> List[str]:
+        return sorted(sid for sid, series in self._series.items() if series)
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return sum(len(series) for series in self._series.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    def bytes_by_category(self) -> Dict[str, int]:
+        return dict(self._bytes_by_category)
+
+    def oldest_timestamp(self) -> Optional[float]:
+        oldest: Optional[float] = None
+        for timestamps in self._timestamps.values():
+            if timestamps and (oldest is None or timestamps[0] < oldest):
+                oldest = timestamps[0]
+        return oldest
+
+    # ------------------------------------------------------------------ #
+    # Removal
+    # ------------------------------------------------------------------ #
+    def remove_older_than(self, cutoff: float) -> int:
+        """Delete readings with ``timestamp < cutoff``; returns the count removed."""
+        removed = 0
+        for sensor_id in list(self._series.keys()):
+            timestamps = self._timestamps[sensor_id]
+            series = self._series[sensor_id]
+            index = bisect.bisect_left(timestamps, cutoff)
+            for reading in series[:index]:
+                self._total_bytes -= reading.size_bytes
+                self._bytes_by_category[reading.category] -= reading.size_bytes
+                removed += 1
+            del series[:index]
+            del timestamps[:index]
+        return removed
+
+    def remove_oldest(self, count: int) -> List[Reading]:
+        """Remove the globally oldest *count* readings; returns them."""
+        if count <= 0:
+            return []
+        flat = sorted(self.all_readings(), key=lambda r: r.timestamp)
+        victims = flat[:count]
+        victim_ids = {id(v) for v in victims}
+        for sensor_id in list(self._series.keys()):
+            series = self._series[sensor_id]
+            kept = [r for r in series if id(r) not in victim_ids]
+            if len(kept) != len(series):
+                self._series[sensor_id] = kept
+                self._timestamps[sensor_id] = [r.timestamp for r in kept]
+        for reading in victims:
+            self._total_bytes -= reading.size_bytes
+            self._bytes_by_category[reading.category] -= reading.size_bytes
+        return victims
+
+    def clear(self) -> None:
+        self._series.clear()
+        self._timestamps.clear()
+        self._total_bytes = 0
+        self._bytes_by_category.clear()

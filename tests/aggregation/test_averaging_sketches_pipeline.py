@@ -1,0 +1,191 @@
+"""Tests for window averaging, sketches and the aggregation pipeline."""
+
+import pytest
+
+from repro.aggregation.averaging import WindowAveraging
+from repro.aggregation.compression import CalibratedCompression
+from repro.aggregation.pipeline import AggregationPipeline
+from repro.aggregation.redundancy import RedundantDataElimination
+from repro.aggregation.sketches import CountMinSketch, DistinctCounter, SketchSummaryAggregation
+from repro.common.errors import ConfigurationError
+from repro.sensors.readings import ReadingBatch
+from tests.conftest import make_reading
+
+
+class TestWindowAveraging:
+    def test_replaces_window_with_average(self):
+        batch = ReadingBatch(
+            [
+                make_reading(sensor_id="s1", value=10.0, timestamp=0.0, size_bytes=22),
+                make_reading(sensor_id="s1", value=20.0, timestamp=100.0, size_bytes=22),
+                make_reading(sensor_id="s1", value=30.0, timestamp=200.0, size_bytes=22),
+            ]
+        )
+        result = WindowAveraging(window_seconds=900.0).apply(batch)
+        assert result.output_readings == 1
+        summary = result.batch[0]
+        assert summary.value == pytest.approx(20.0)
+        assert summary.tags["aggregated_count"] == 3
+        assert result.reduction_ratio == pytest.approx(2 / 3)
+
+    def test_separate_windows_not_merged(self):
+        batch = ReadingBatch(
+            [
+                make_reading(sensor_id="s1", value=10.0, timestamp=0.0),
+                make_reading(sensor_id="s1", value=30.0, timestamp=1_000.0),
+            ]
+        )
+        result = WindowAveraging(window_seconds=900.0).apply(batch)
+        assert result.output_readings == 2
+
+    def test_non_numeric_passthrough(self):
+        batch = ReadingBatch([make_reading(value="offline")])
+        result = WindowAveraging().apply(batch)
+        assert result.output_readings == 1
+        assert result.batch[0].value == "offline"
+
+    def test_combine_averages_weighted(self):
+        averaging = WindowAveraging(window_seconds=1_000.0)
+        node_a = averaging.apply(
+            ReadingBatch(
+                [make_reading(sensor_id="s1", value=10.0, timestamp=t) for t in (0.0, 1.0, 2.0, 3.0)]
+            )
+        ).batch
+        node_b = averaging.apply(
+            ReadingBatch([make_reading(sensor_id="s1", value=50.0, timestamp=5.0)])
+        ).batch
+        merged = ReadingBatch(list(node_a) + list(node_b))
+        combined = WindowAveraging.combine_averages(merged)
+        # (10*4 + 50*1) / 5 = 18
+        assert combined["s1"] == pytest.approx(18.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            WindowAveraging(window_seconds=0.0)
+
+
+class TestCountMinSketch:
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(width=64, depth=4)
+        for i in range(100):
+            sketch.add(f"key-{i % 10}")
+        for i in range(10):
+            assert sketch.estimate(f"key-{i}") >= 10
+
+    def test_exact_for_sparse_keys(self):
+        sketch = CountMinSketch(width=1024, depth=5)
+        sketch.add("a", 3)
+        sketch.add("b", 7)
+        assert sketch.estimate("a") == 3
+        assert sketch.estimate("b") == 7
+        assert sketch.estimate("never-seen") == 0
+
+    def test_merge(self):
+        a = CountMinSketch(width=64, depth=4)
+        b = CountMinSketch(width=64, depth=4)
+        a.add("x", 5)
+        b.add("x", 3)
+        merged = a.merge(b)
+        assert merged.estimate("x") >= 8
+        assert merged.total == 8
+
+    def test_merge_dimension_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(64, 4).merge(CountMinSketch(32, 4))
+
+    def test_from_error_bounds(self):
+        sketch = CountMinSketch.from_error_bounds(epsilon=0.01, delta=0.01)
+        assert sketch.width >= 100
+        assert sketch.depth >= 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch().add("x", count=-1)
+
+
+class TestDistinctCounter:
+    def test_estimate_within_tolerance(self):
+        counter = DistinctCounter(precision=12)
+        true_count = 5_000
+        for i in range(true_count):
+            counter.add(f"sensor-{i}")
+        assert counter.estimate() == pytest.approx(true_count, rel=0.1)
+
+    def test_duplicates_do_not_inflate(self):
+        counter = DistinctCounter(precision=10)
+        for _ in range(50):
+            for i in range(100):
+                counter.add(f"sensor-{i}")
+        assert counter.estimate() == pytest.approx(100, rel=0.25)
+
+    def test_merge_counts_union(self):
+        a = DistinctCounter(precision=12)
+        b = DistinctCounter(precision=12)
+        for i in range(1_000):
+            a.add(f"a-{i}")
+            b.add(f"b-{i}")
+        merged = a.merge(b)
+        assert merged.estimate() == pytest.approx(2_000, rel=0.15)
+
+    def test_invalid_precision(self):
+        with pytest.raises(ConfigurationError):
+            DistinctCounter(precision=2)
+
+    def test_merge_precision_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            DistinctCounter(10).merge(DistinctCounter(12))
+
+
+class TestSketchSummaryAggregation:
+    def test_constant_size_output_per_category(self):
+        batch = ReadingBatch(
+            [make_reading(sensor_id=f"s{i}", category="energy", size_bytes=22) for i in range(500)]
+            + [make_reading(sensor_id=f"n{i}", category="noise", size_bytes=22) for i in range(100)]
+        )
+        result = SketchSummaryAggregation().apply(batch)
+        assert result.output_readings == 2
+        assert result.output_bytes < batch.total_bytes
+        energy_summary = next(r for r in result.batch if r.category == "energy")
+        assert energy_summary.value == pytest.approx(500, rel=0.2)
+
+
+class TestAggregationPipeline:
+    def test_stage_series_matches_fig7_shape(self):
+        batch = ReadingBatch(
+            [make_reading(sensor_id="s1", value=20.0, timestamp=float(t), size_bytes=100) for t in range(10)]
+        )
+        pipeline = AggregationPipeline(
+            [RedundantDataElimination(scope="batch"), CalibratedCompression(ratio=0.25)]
+        )
+        result = pipeline.apply(batch)
+        series = pipeline.stage_bytes()
+        assert len(series) == 3  # raw, after redundancy, after compression
+        assert series[0] == 1_000
+        assert series[1] == 100  # nine duplicates removed
+        assert series[2] == 25
+        assert result.output_bytes == 25
+        assert result.reduction_ratio == pytest.approx(0.975)
+
+    def test_describe(self):
+        pipeline = AggregationPipeline([RedundantDataElimination(), CalibratedCompression()])
+        assert pipeline.describe() == "redundant_data_elimination -> calibrated_compression"
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AggregationPipeline([])
+
+    def test_stage_bytes_before_apply_rejected(self):
+        pipeline = AggregationPipeline([RedundantDataElimination()])
+        with pytest.raises(ConfigurationError):
+            pipeline.stage_bytes()
+
+    def test_details_report_each_stage(self):
+        pipeline = AggregationPipeline([RedundantDataElimination(), CalibratedCompression()])
+        result = pipeline.apply(ReadingBatch([make_reading(size_bytes=100)]))
+        stages = result.details["stages"]
+        assert [s["technique"] for s in stages] == [
+            "redundant_data_elimination",
+            "calibrated_compression",
+        ]

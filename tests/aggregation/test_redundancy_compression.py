@@ -1,0 +1,141 @@
+"""Tests for redundant-data elimination and compression techniques."""
+
+import pytest
+
+from repro.aggregation.base import NoOpAggregation
+from repro.aggregation.compression import (
+    PAPER_COMPRESSION_RATIO,
+    CalibratedCompression,
+    DeflateCompression,
+)
+from repro.aggregation.redundancy import RedundantDataElimination
+from repro.common.errors import ConfigurationError
+from repro.sensors.readings import ReadingBatch
+from tests.conftest import make_reading
+
+
+def duplicate_heavy_batch():
+    """s1 repeats the value 20.0 three times; s2 alternates."""
+    readings = [
+        make_reading(sensor_id="s1", value=20.0, timestamp=0.0, size_bytes=22),
+        make_reading(sensor_id="s1", value=20.0, timestamp=1.0, size_bytes=22),
+        make_reading(sensor_id="s1", value=20.0, timestamp=2.0, size_bytes=22),
+        make_reading(sensor_id="s1", value=21.0, timestamp=3.0, size_bytes=22),
+        make_reading(sensor_id="s2", value=5.0, timestamp=0.0, size_bytes=22),
+        make_reading(sensor_id="s2", value=6.0, timestamp=1.0, size_bytes=22),
+        make_reading(sensor_id="s2", value=5.0, timestamp=2.0, size_bytes=22),
+    ]
+    return ReadingBatch(readings)
+
+
+class TestNoOp:
+    def test_passthrough(self):
+        batch = duplicate_heavy_batch()
+        result = NoOpAggregation().apply(batch)
+        assert result.output_bytes == batch.total_bytes
+        assert result.reduction_ratio == 0.0
+
+
+class TestRedundantDataElimination:
+    def test_batch_scope_removes_all_duplicates(self):
+        batch = duplicate_heavy_batch()
+        result = RedundantDataElimination(scope="batch").apply(batch)
+        # s1: values {20, 21} -> 2 readings; s2: values {5, 6} -> 2 readings.
+        assert result.output_readings == 4
+        assert result.details["removed_readings"] == 3
+        assert result.reduction_ratio == pytest.approx(3 / 7)
+
+    def test_consecutive_scope_keeps_returns_to_previous_values(self):
+        batch = duplicate_heavy_batch()
+        result = RedundantDataElimination(scope="consecutive").apply(batch)
+        # s1: 20,20,20,21 -> 20,21 (2 kept); s2: 5,6,5 -> all kept (value changed each time).
+        assert result.output_readings == 5
+
+    def test_no_duplicates_means_no_reduction(self):
+        batch = ReadingBatch([make_reading(sensor_id=f"s{i}", value=float(i)) for i in range(5)])
+        result = RedundantDataElimination().apply(batch)
+        assert result.output_readings == 5
+        assert result.reduction_ratio == 0.0
+
+    def test_empty_batch(self):
+        result = RedundantDataElimination().apply(ReadingBatch())
+        assert result.output_readings == 0
+        assert result.reduction_ratio == 0.0
+
+    def test_different_sensors_same_value_not_deduplicated(self):
+        batch = ReadingBatch(
+            [make_reading(sensor_id="a", value=1.0), make_reading(sensor_id="b", value=1.0)]
+        )
+        result = RedundantDataElimination().apply(batch)
+        assert result.output_readings == 2
+
+    def test_invalid_scope(self):
+        with pytest.raises(ConfigurationError):
+            RedundantDataElimination(scope="global")
+
+    def test_reduction_tracks_configured_duplicate_rate(self, small_catalog):
+        from repro.sensors.generator import ReadingGenerator
+
+        generator = ReadingGenerator(
+            small_catalog, devices_per_type=5, seed=11, duplicate_probability_override=0.75
+        )
+        batch = ReadingBatch()
+        for device in generator.devices_for("temperature"):
+            batch.extend(device.stream(0.0, 86_400.0))
+        result = RedundantDataElimination(scope="consecutive").apply(batch)
+        assert result.reduction_ratio == pytest.approx(0.75, abs=0.1)
+
+
+class TestDeflateCompression:
+    def test_compresses_repetitive_telemetry_substantially(self):
+        batch = ReadingBatch(
+            [make_reading(sensor_id=f"s{i % 10}", value=20.0, size_bytes=64) for i in range(200)]
+        )
+        result = DeflateCompression().apply(batch)
+        assert result.encoded_bytes < batch.total_bytes
+        assert result.reduction_ratio > 0.5  # telemetry text compresses well
+        assert result.details["uncompressed_bytes"] == batch.total_bytes
+
+    def test_round_trip(self):
+        batch = duplicate_heavy_batch()
+        import zlib
+
+        compressed = zlib.compress(batch.encode(), 6)
+        assert DeflateCompression.decompress(compressed) == batch.encode()
+
+    def test_logical_batch_unchanged(self):
+        batch = duplicate_heavy_batch()
+        result = DeflateCompression().apply(batch)
+        assert result.output_readings == len(batch)
+
+    def test_empty_batch(self):
+        result = DeflateCompression().apply(ReadingBatch())
+        assert result.output_bytes >= 0
+
+    def test_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            DeflateCompression(level=11)
+
+
+class TestCalibratedCompression:
+    def test_default_ratio_matches_paper(self):
+        assert CalibratedCompression().ratio == pytest.approx(PAPER_COMPRESSION_RATIO)
+        assert PAPER_COMPRESSION_RATIO == pytest.approx(0.2172, abs=0.001)
+
+    def test_applies_ratio_to_bytes(self):
+        batch = ReadingBatch([make_reading(size_bytes=1_000)])
+        result = CalibratedCompression(ratio=0.25).apply(batch)
+        assert result.output_bytes == 250
+        assert result.reduction_ratio == pytest.approx(0.75)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ConfigurationError):
+            CalibratedCompression(ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            CalibratedCompression(ratio=1.5)
+
+    def test_paper_measured_sizes_reproduced(self):
+        # 1,360,043,206 bytes -> 295,428,463 bytes in the paper's experiment.
+        batch = ReadingBatch([make_reading(size_bytes=1_360_043_206)])
+        result = CalibratedCompression().apply(batch)
+        assert result.output_bytes == pytest.approx(295_428_463, abs=1)

@@ -1,0 +1,90 @@
+"""Tests for the Barcelona layout and the Fig. 6 topology."""
+
+import pytest
+
+from repro.city.barcelona import (
+    BARCELONA,
+    BARCELONA_AREA_KM2,
+    BARCELONA_DISTRICT_SECTIONS,
+    CLOUD_NODE_ID,
+    build_barcelona_city,
+    build_barcelona_topology,
+    fog1_node_id,
+    fog2_node_id,
+)
+from repro.network.topology import LayerName
+
+
+class TestBarcelonaCity:
+    def test_ten_districts_and_73_sections(self):
+        assert BARCELONA.district_count == 10
+        assert BARCELONA.section_count == 73
+
+    def test_district_section_counts_match_layout(self):
+        for index, (name, expected_sections) in enumerate(BARCELONA_DISTRICT_SECTIONS, start=1):
+            district = BARCELONA.district(f"district-{index:02d}")
+            assert district.name == name
+            assert len(district.sections) == expected_sections
+
+    def test_section_area_about_one_km2(self):
+        # The paper: "our fog node covers almost 1 km2, which is a reasonable size".
+        for section in BARCELONA.sections:
+            assert section.area_km2 == pytest.approx(BARCELONA_AREA_KM2 / 73)
+
+    def test_total_area_matches_quoted_city_area(self):
+        assert BARCELONA.area_km2 == pytest.approx(BARCELONA_AREA_KM2)
+
+    def test_builder_returns_fresh_equal_city(self):
+        rebuilt = build_barcelona_city()
+        assert rebuilt.section_count == BARCELONA.section_count
+        assert rebuilt is not BARCELONA
+
+
+class TestBarcelonaTopology:
+    @pytest.fixture(scope="class")
+    def topology(self):
+        return build_barcelona_topology()
+
+    def test_fig6_node_counts(self, topology):
+        # Fig. 6: 73 fog layer-1 nodes, 10 fog layer-2 nodes, one cloud.
+        assert topology.node_count(LayerName.FOG_1) == 73
+        assert topology.node_count(LayerName.FOG_2) == 10
+        assert topology.node_count(LayerName.CLOUD) == 1
+
+    def test_hierarchy_valid(self, topology):
+        topology.validate_hierarchy()
+
+    def test_every_fog1_parent_is_its_district_fog2(self, topology):
+        for district in BARCELONA.districts:
+            for section in district.sections:
+                parent = topology.parent_of(fog1_node_id(section.section_id))
+                assert parent == fog2_node_id(district.district_id)
+
+    def test_every_fog2_parent_is_cloud(self, topology):
+        for district in BARCELONA.districts:
+            assert topology.parent_of(fog2_node_id(district.district_id)) == CLOUD_NODE_ID
+
+    def test_latency_ordering_fog_below_cloud(self, topology):
+        fog1 = fog1_node_id(BARCELONA.sections[0].section_id)
+        fog2 = topology.parent_of(fog1)
+        to_fog2 = topology.path_latency(fog1, fog2)
+        to_cloud = topology.path_latency(fog1, CLOUD_NODE_ID)
+        assert to_fog2 < to_cloud
+
+    def test_custom_link_parameters(self):
+        topology = build_barcelona_topology(
+            link_parameters={"fog2_to_cloud": {"latency_s": 0.2, "bandwidth_bps": 1e9}},
+            backhaul_profile=None,
+        )
+        fog2 = fog2_node_id(BARCELONA.districts[0].district_id)
+        assert topology.link(fog2, CLOUD_NODE_ID).latency_s == pytest.approx(0.2)
+
+    def test_backhaul_profile_attached(self, topology):
+        fog2 = fog2_node_id(BARCELONA.districts[0].district_id)
+        assert topology.link(fog2, CLOUD_NODE_ID).profile is not None
+
+    def test_summary_matches_fig6(self, topology):
+        summary = topology.summary()
+        assert summary["fog_layer_1"] == 73
+        assert summary["fog_layer_2"] == 10
+        assert summary["cloud"] == 1

@@ -1,0 +1,93 @@
+"""Tests for the generic city model."""
+
+import pytest
+
+from repro.city.model import City, District, Section
+from repro.common.errors import ConfigurationError
+from repro.sensors.catalog import SensorCategory, SensorTypeSpec
+
+
+def section(section_id, district_id, area=1.0):
+    return Section(section_id=section_id, district_id=district_id, area_km2=area)
+
+
+class TestSectionAndDistrict:
+    def test_section_area_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            section("s", "d", area=0.0)
+
+    def test_district_needs_sections(self):
+        with pytest.raises(ConfigurationError):
+            District(district_id="d", sections=())
+
+    def test_district_rejects_foreign_sections(self):
+        with pytest.raises(ConfigurationError):
+            District(district_id="d1", sections=(section("x", "other-district"),))
+
+    def test_district_area_sums_sections(self):
+        district = District(district_id="d", sections=(section("a", "d", 1.0), section("b", "d", 2.5)))
+        assert district.area_km2 == pytest.approx(3.5)
+
+
+class TestCity:
+    def test_lookup_helpers(self, small_city):
+        assert small_city.district_count == 2
+        assert small_city.section_count == 4
+        assert small_city.district("d-01").name == "North"
+        assert small_city.section("d-02/s-01").district_id == "d-02"
+        assert small_city.district_of("d-01/s-02").district_id == "d-01"
+        assert len(small_city.sections_of("d-02")) == 2
+
+    def test_area(self, small_city):
+        assert small_city.area_km2 == pytest.approx(5.0)
+
+    def test_duplicate_district_rejected(self):
+        d = District(district_id="d", sections=(section("s", "d"),))
+        with pytest.raises(ConfigurationError):
+            City("X", [d, d])
+
+    def test_duplicate_section_rejected(self):
+        d1 = District(district_id="d1", sections=(section("shared", "d1"),))
+        d2 = District(district_id="d2", sections=(Section(section_id="shared", district_id="d2"),))
+        with pytest.raises(ConfigurationError):
+            City("X", [d1, d2])
+
+    def test_city_needs_districts(self):
+        with pytest.raises(ConfigurationError):
+            City("Empty", [])
+
+
+class TestSensorDistribution:
+    @pytest.fixture()
+    def spec(self):
+        return SensorTypeSpec(
+            name="temperature",
+            category=SensorCategory.ENERGY,
+            sensor_count=100,
+            message_size_bytes=22,
+            daily_bytes_per_sensor=2112,
+        )
+
+    def test_counts_sum_to_population(self, small_city, spec):
+        allocation = small_city.sensors_per_section(spec)
+        assert sum(allocation.values()) == 100
+        assert set(allocation) == {s.section_id for s in small_city.sections}
+
+    def test_area_weighting(self, small_city, spec):
+        allocation = small_city.sensors_per_section(spec, weight_by_area=True)
+        # Section d-01/s-02 (2.0 km²) should host about four times the sensors
+        # of d-02/s-02 (0.5 km²).
+        assert allocation["d-01/s-02"] > allocation["d-02/s-02"]
+
+    def test_uniform_weighting(self, small_city, spec):
+        allocation = small_city.sensors_per_section(spec, weight_by_area=False)
+        assert max(allocation.values()) - min(allocation.values()) <= 1
+
+    def test_catalog_distribution(self, small_city, small_catalog):
+        distribution = small_city.catalog_distribution(small_catalog)
+        total = sum(
+            count
+            for per_type in distribution.values()
+            for count in per_type.values()
+        )
+        assert total == small_catalog.total_sensors()

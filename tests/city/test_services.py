@@ -1,0 +1,89 @@
+"""Tests for representative smart-city services."""
+
+import pytest
+
+from repro.city.services import BatchAnalyticsService, RealTimeService, ServiceRequirements
+from repro.common.errors import ConfigurationError
+from repro.sensors.readings import ReadingBatch
+from tests.conftest import make_reading
+
+
+class TestServiceRequirements:
+    def test_realtime_flag(self):
+        assert ServiceRequirements(latency_bound_s=0.1).is_realtime
+        assert not ServiceRequirements(latency_bound_s=None).is_realtime
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_bound_s": 0.0},
+            {"data_window_s": 0.0},
+            {"compute_units": 0.0},
+            {"data_scope": "country"},
+        ],
+    )
+    def test_invalid_requirements(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServiceRequirements(**kwargs)
+
+
+class TestRealTimeService:
+    def test_alerts_on_threshold(self):
+        service = RealTimeService("traffic-incidents", category="urban", threshold=100.0)
+        readings = [
+            make_reading(category="urban", value=50.0),
+            make_reading(category="urban", value=150.0),
+            make_reading(category="energy", value=500.0),  # wrong category, ignored
+        ]
+        triggered = service.evaluate(readings, access_latency_s=0.001)
+        assert len(triggered) == 1
+        assert triggered[0].value == 150.0
+        assert len(service.alerts) == 1
+
+    def test_latency_tracking(self):
+        service = RealTimeService("s", category="urban", threshold=1e9)
+        service.evaluate([], access_latency_s=0.010)
+        service.evaluate([], access_latency_s=0.030)
+        assert service.mean_access_latency == pytest.approx(0.020)
+
+    def test_meets_latency_bound(self):
+        service = RealTimeService(
+            "s", category="urban", threshold=1e9,
+            requirements=ServiceRequirements(latency_bound_s=0.05),
+        )
+        service.evaluate([], access_latency_s=0.01)
+        assert service.meets_latency_bound()
+        service.evaluate([], access_latency_s=0.5)
+        assert not service.meets_latency_bound()
+
+    def test_non_numeric_values_ignored(self):
+        service = RealTimeService("s", category="urban", threshold=1.0)
+        triggered = service.evaluate([make_reading(category="urban", value="offline")], 0.0)
+        assert triggered == []
+
+
+class TestBatchAnalyticsService:
+    def test_per_category_statistics(self):
+        service = BatchAnalyticsService("planning")
+        batch = ReadingBatch(
+            [
+                make_reading(category="energy", value=10.0),
+                make_reading(category="energy", value=20.0),
+                make_reading(category="noise", value=60.0),
+            ]
+        )
+        report = service.analyse(batch)
+        assert report["energy"]["count"] == 2
+        assert report["energy"]["mean"] == pytest.approx(15.0)
+        assert report["noise"]["max"] == 60.0
+        assert service.runs == 1
+
+    def test_defaults_target_cloud_scope(self):
+        service = BatchAnalyticsService("planning")
+        assert service.requirements.data_scope == "city"
+        assert not service.requirements.is_realtime
+
+    def test_non_numeric_excluded(self):
+        service = BatchAnalyticsService("planning")
+        report = service.analyse(ReadingBatch([make_reading(value="n/a")]))
+        assert report == {}

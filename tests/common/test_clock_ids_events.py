@@ -1,0 +1,140 @@
+"""Tests for the clock, id generation and event bus utilities."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock, WallClock
+from repro.common.events import Event, EventBus
+from repro.common.ids import IdGenerator
+
+
+class TestSimulatedClock:
+    def test_starts_at_given_time(self):
+        assert SimulatedClock(10.0).now() == 10.0
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(5.0)
+        clock.advance(2.5)
+        assert clock.now() == 7.5
+
+    def test_advance_to(self):
+        clock = SimulatedClock()
+        clock.advance_to(100.0)
+        assert clock.now() == 100.0
+
+    def test_cannot_go_backwards(self):
+        clock = SimulatedClock(50.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(49.0)
+
+    def test_advance_returns_new_time(self):
+        clock = SimulatedClock()
+        assert clock.advance(3.0) == 3.0
+
+
+class TestWallClock:
+    def test_monotone_enough(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+
+class TestIdGenerator:
+    def test_sequential_per_prefix(self):
+        gen = IdGenerator()
+        assert gen.next("sensor") == "sensor-000000"
+        assert gen.next("sensor") == "sensor-000001"
+        assert gen.next("reading") == "reading-000000"
+
+    def test_issued_counts(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.next("a")
+        assert gen.issued("a") == 2
+        assert gen.issued("b") == 0
+
+    def test_reset_single_prefix(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.reset("a")
+        assert gen.next("a") == "a-000000"
+
+    def test_reset_all(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.next("b")
+        gen.reset()
+        assert gen.issued("a") == 0 and gen.issued("b") == 0
+
+    def test_custom_width(self):
+        gen = IdGenerator(width=3)
+        assert gen.next("x") == "x-000"
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            IdGenerator(width=0)
+        with pytest.raises(ValueError):
+            IdGenerator().next("")
+
+
+class TestEventBus:
+    def test_publish_to_exact_subscriber(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("batch_ready", received.append)
+        delivered = bus.emit("batch_ready", payload={"n": 3})
+        assert delivered == 1
+        assert received[0].payload == {"n": 3}
+
+    def test_wildcard_subscriber_receives_everything(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("*", received.append)
+        bus.emit("a")
+        bus.emit("b")
+        assert [event.name for event in received] == ["a", "b"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        handler = lambda event: None  # noqa: E731 - terse test handler
+        bus.subscribe("x", handler)
+        assert bus.unsubscribe("x", handler) is True
+        assert bus.unsubscribe("x", handler) is False
+        assert bus.handler_count("x") == 0
+
+    def test_published_count(self):
+        bus = EventBus()
+        bus.emit("a")
+        bus.emit("b")
+        assert bus.published_count == 2
+
+    def test_no_subscribers_delivers_zero(self):
+        bus = EventBus()
+        assert bus.emit("nobody-listens") == 0
+
+    def test_metadata_passed_through(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("tagged", received.append)
+        bus.emit("tagged", payload=1, timestamp=5.0, source="unit-test")
+        event = received[0]
+        assert isinstance(event, Event)
+        assert event.timestamp == 5.0
+        assert event.metadata["source"] == "unit-test"
+
+    def test_empty_event_name_rejected(self):
+        with pytest.raises(ValueError):
+            EventBus().subscribe("", lambda event: None)
+
+    def test_handler_exception_propagates(self):
+        bus = EventBus()
+
+        def boom(event):
+            raise RuntimeError("handler failure")
+
+        bus.subscribe("x", boom)
+        with pytest.raises(RuntimeError):
+            bus.emit("x")

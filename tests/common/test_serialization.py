@@ -1,0 +1,67 @@
+"""Tests for repro.common.serialization."""
+
+import pytest
+
+from repro.common.serialization import (
+    decode_csv_line,
+    decode_json,
+    encode_csv_line,
+    encode_json,
+    pad_to_size,
+)
+
+
+class TestJsonCodec:
+    def test_round_trip(self):
+        record = {"sensor": "t-1", "value": 21.5, "nested": {"a": 1}}
+        assert decode_json(encode_json(record)) == record
+
+    def test_canonical_ordering(self):
+        a = encode_json({"b": 1, "a": 2})
+        b = encode_json({"a": 2, "b": 1})
+        assert a == b
+
+    def test_compact_output(self):
+        assert b" " not in encode_json({"a": 1, "b": [1, 2]})
+
+
+class TestCsvCodec:
+    def test_round_trip(self):
+        payload = encode_csv_line(["s-1", "temperature", 21.5, 12.0])
+        assert decode_csv_line(payload) == ["s-1", "temperature", "21.5", "12.0"]
+
+    def test_empty_line(self):
+        assert decode_csv_line(b"\n") == []
+        assert decode_csv_line(b"") == []
+
+    def test_rejects_embedded_separators(self):
+        with pytest.raises(ValueError):
+            encode_csv_line(["a,b"])
+        with pytest.raises(ValueError):
+            encode_csv_line(["a\nb"])
+
+    def test_ends_with_newline(self):
+        assert encode_csv_line(["x"]).endswith(b"\n")
+
+
+class TestPadToSize:
+    def test_pads_short_payload(self):
+        padded = pad_to_size(b"abc", 10)
+        assert len(padded) == 10
+        assert padded.startswith(b"abc")
+
+    def test_leaves_long_payload_untouched(self):
+        payload = b"x" * 32
+        assert pad_to_size(payload, 10) == payload
+
+    def test_exact_size_unchanged(self):
+        assert pad_to_size(b"abcd", 4) == b"abcd"
+
+    def test_custom_fill(self):
+        assert pad_to_size(b"a", 3, fill=b".") == b"a.."
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            pad_to_size(b"a", -1)
+        with pytest.raises(ValueError):
+            pad_to_size(b"a", 5, fill=b"..")

@@ -1,0 +1,101 @@
+"""Tests for repro.common.units."""
+
+import pytest
+
+from repro.common.units import (
+    BYTES_PER_GB,
+    BYTES_PER_KB,
+    BYTES_PER_MB,
+    DataSize,
+    format_bytes,
+    gigabytes,
+    kilobytes,
+    megabytes,
+    transactions_per_day,
+)
+
+
+class TestUnitConversions:
+    def test_kilobytes(self):
+        assert kilobytes(1) == 1_000
+        assert kilobytes(1.5) == 1_500
+
+    def test_megabytes(self):
+        assert megabytes(2) == 2_000_000
+
+    def test_gigabytes(self):
+        assert gigabytes(8) == 8 * BYTES_PER_GB
+
+    def test_decimal_units_match_paper_arithmetic(self):
+        # The paper reports 8,583,503,168 bytes as ~8 GB (decimal units).
+        assert 8_583_503_168 / BYTES_PER_GB == pytest.approx(8.58, abs=0.01)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(12) == "12 B"
+
+    def test_kilobytes(self):
+        assert format_bytes(1_500) == "1.50 KB"
+
+    def test_megabytes(self):
+        assert format_bytes(2_500_000) == "2.50 MB"
+
+    def test_gigabytes(self):
+        assert format_bytes(8_583_503_168) == "8.58 GB"
+
+    def test_precision(self):
+        assert format_bytes(BYTES_PER_MB * 1.23456, precision=3) == "1.235 MB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestDataSize:
+    def test_of_mixed_units(self):
+        size = DataSize.of(gb=1, mb=500)
+        assert size.bytes == BYTES_PER_GB + 500 * BYTES_PER_MB
+
+    def test_properties(self):
+        size = DataSize(2_500_000_000)
+        assert size.gb == pytest.approx(2.5)
+        assert size.mb == pytest.approx(2_500)
+        assert size.kb == pytest.approx(2_500_000)
+
+    def test_addition_and_subtraction(self):
+        a = DataSize(1_000)
+        b = DataSize(250)
+        assert (a + b).bytes == 1_250
+        assert (a - b).bytes == 750
+
+    def test_scaling(self):
+        assert (DataSize(1_000) * 0.5).bytes == 500
+        assert (2 * DataSize(1_000)).bytes == 2_000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DataSize(-1)
+
+    def test_ordering(self):
+        assert DataSize(10) < DataSize(20)
+        assert max(DataSize(5), DataSize(50)) == DataSize(50)
+
+    def test_str_uses_format_bytes(self):
+        assert str(DataSize(1_500)) == "1.50 KB"
+
+    def test_subtraction_below_zero_rejected(self):
+        with pytest.raises(ValueError):
+            DataSize(100) - DataSize(200)
+
+
+class TestTransactionsPerDay:
+    def test_fifteen_minute_interval(self):
+        assert transactions_per_day(900) == 96
+
+    def test_one_minute_interval(self):
+        assert transactions_per_day(60) == 1440
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            transactions_per_day(0)

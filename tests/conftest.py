@@ -1,0 +1,139 @@
+"""Shared pytest fixtures.
+
+Fixtures build *small* variants of the paper's setup (a toy city, a
+scaled-down catalog, a handful of simulated devices) so the full test suite
+runs in seconds; the paper-fidelity tests use the real
+:data:`repro.sensors.catalog.BARCELONA_CATALOG` analytically (no event
+simulation), which is cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation.pipeline import AggregationPipeline
+from repro.aggregation.redundancy import RedundantDataElimination
+from repro.city.model import City, District, Section
+from repro.core.architecture import F2CDataManagement
+from repro.core.baseline import CentralizedCloudDataManagement
+from repro.network.topology import LayerName, NetworkTopology
+from repro.sensors.catalog import (
+    BARCELONA_CATALOG,
+    SensorCatalog,
+    SensorCategory,
+    SensorTypeSpec,
+)
+from repro.sensors.generator import ReadingGenerator
+from repro.sensors.readings import Reading, ReadingBatch
+
+
+@pytest.fixture()
+def small_catalog() -> SensorCatalog:
+    """A two-category catalog with small populations for event-level tests."""
+    return SensorCatalog(
+        [
+            SensorTypeSpec(
+                name="temperature",
+                category=SensorCategory.ENERGY,
+                sensor_count=20,
+                message_size_bytes=22,
+                daily_bytes_per_sensor=2_112,
+                value_range=(0.0, 50.0),
+                value_resolution=0.5,
+            ),
+            SensorTypeSpec(
+                name="traffic",
+                category=SensorCategory.URBAN,
+                sensor_count=10,
+                message_size_bytes=44,
+                daily_bytes_per_sensor=63_360,
+                value_range=(0.0, 200.0),
+                value_resolution=1.0,
+            ),
+        ]
+    )
+
+
+@pytest.fixture()
+def small_city() -> City:
+    """A toy city: 2 districts, 4 sections."""
+    district_a = District(
+        district_id="d-01",
+        name="North",
+        sections=(
+            Section(section_id="d-01/s-01", district_id="d-01", area_km2=1.0),
+            Section(section_id="d-01/s-02", district_id="d-01", area_km2=2.0),
+        ),
+    )
+    district_b = District(
+        district_id="d-02",
+        name="South",
+        sections=(
+            Section(section_id="d-02/s-01", district_id="d-02", area_km2=1.5),
+            Section(section_id="d-02/s-02", district_id="d-02", area_km2=0.5),
+        ),
+    )
+    return City(name="Toyville", districts=[district_a, district_b])
+
+
+@pytest.fixture()
+def small_topology(small_city: City) -> NetworkTopology:
+    from repro.city.barcelona import build_barcelona_topology
+
+    return build_barcelona_topology(small_city, backhaul_profile=None)
+
+
+@pytest.fixture()
+def generator(small_catalog: SensorCatalog) -> ReadingGenerator:
+    return ReadingGenerator(small_catalog, devices_per_type=5, seed=42)
+
+
+@pytest.fixture()
+def sample_batch(generator: ReadingGenerator) -> ReadingBatch:
+    """A batch with guaranteed duplicate values (several transactions)."""
+    batch = ReadingBatch()
+    for transaction in generator.transactions(count=4, start=0.0, interval=300.0):
+        batch.extend(transaction)
+    return batch
+
+
+@pytest.fixture()
+def f2c_system(small_city: City, small_catalog: SensorCatalog) -> F2CDataManagement:
+    return F2CDataManagement(
+        city=small_city,
+        catalog=small_catalog,
+        fog1_aggregator_factory=lambda: AggregationPipeline(
+            [RedundantDataElimination(scope="batch")]
+        ),
+    )
+
+
+@pytest.fixture()
+def centralized_system(small_city: City, small_catalog: SensorCatalog) -> CentralizedCloudDataManagement:
+    return CentralizedCloudDataManagement(city=small_city, catalog=small_catalog)
+
+
+@pytest.fixture()
+def barcelona_catalog() -> SensorCatalog:
+    return BARCELONA_CATALOG
+
+
+def make_reading(
+    sensor_id: str = "sensor-1",
+    sensor_type: str = "temperature",
+    category: str = "energy",
+    value: float = 21.5,
+    timestamp: float = 0.0,
+    size_bytes: int = 22,
+    **kwargs,
+) -> Reading:
+    """Helper used across test modules to build readings tersely."""
+    return Reading(
+        sensor_id=sensor_id,
+        sensor_type=sensor_type,
+        category=category,
+        value=value,
+        timestamp=timestamp,
+        size_bytes=size_bytes,
+        **kwargs,
+    )

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        code, out = run_cli(capsys, "table1")
+        assert code == 0
+        assert "electricity_meter" in out
+        assert "8,583,503,168" in out
+
+    def test_fig6(self, capsys):
+        code, out = run_cli(capsys, "fig6")
+        assert code == 0
+        assert "fog_layer_1_nodes: 73" in out
+        assert "fog_layer_2_nodes: 10" in out
+
+    def test_fig7_all_categories(self, capsys):
+        code, out = run_cli(capsys, "fig7")
+        assert code == 0
+        for category in ("energy", "noise", "garbage", "parking", "urban"):
+            assert category in out
+
+    def test_fig7_single_category(self, capsys):
+        code, out = run_cli(capsys, "fig7", "--category", "energy")
+        assert code == 0
+        assert "energy" in out
+        assert "noise" not in out
+
+    def test_compare_with_and_without_compression(self, capsys):
+        _, with_compression = run_cli(capsys, "compare")
+        _, without_compression = run_cli(capsys, "compare", "--no-compression")
+        assert "backhaul reduction" in with_compression
+        assert with_compression != without_compression
+
+    def test_simulate_small_run(self, capsys):
+        code, out = run_cli(capsys, "simulate", "--hours", "2", "--scale", "0.00002")
+        assert code == 0
+        assert "fog-to-cloud" in out
+        assert "backhaul reduction" in out
+
+    def test_simulate_rejects_bad_arguments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--hours", "0"])
+        with pytest.raises(SystemExit):
+            main(["simulate", "--scale", "0"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,53 @@
+"""Tests for the F2C-vs-centralized comparison reports."""
+
+import pytest
+
+from repro.core.comparison import ComparisonReport, ModelTraffic, analytic_comparison, measured_comparison
+from repro.sensors.catalog import BARCELONA_CATALOG
+
+
+class TestAnalyticComparison:
+    def test_headline_numbers(self):
+        report = analytic_comparison(BARCELONA_CATALOG)
+        assert report.centralized.bytes_into_cloud == 8_583_503_168
+        assert report.f2c.bytes_into_fog1 == 8_583_503_168
+        assert report.f2c.bytes_into_fog2 == 5_036_071_584
+        # With compression, ~87 % of the daily volume never reaches the cloud.
+        assert report.backhaul_reduction == pytest.approx(0.873, abs=0.01)
+
+    def test_without_compression(self):
+        report = analytic_comparison(BARCELONA_CATALOG, apply_compression=False)
+        assert report.f2c.bytes_into_cloud == 5_036_071_584
+        assert report.backhaul_reduction == pytest.approx(0.413, abs=0.01)
+
+    def test_format_mentions_both_models(self):
+        text = analytic_comparison(BARCELONA_CATALOG).format()
+        assert "centralized cloud" in text
+        assert "fog-to-cloud" in text
+        assert "backhaul reduction" in text
+
+
+class TestMeasuredComparison:
+    def test_from_traffic_reports(self):
+        report = measured_comparison(
+            workload="toy run",
+            f2c_traffic_report={"fog_layer_1": 1_000, "fog_layer_2": 400, "cloud": 400},
+            centralized_traffic_report={"cloud": 1_000},
+            f2c_latency_s=0.001,
+            centralized_latency_s=0.120,
+        )
+        assert report.backhaul_reduction == pytest.approx(0.6)
+        assert report.latency_speedup == pytest.approx(120.0)
+        assert "120" in report.format() or "120.00" in report.format()
+
+    def test_latency_speedup_none_when_missing(self):
+        report = measured_comparison("w", {"cloud": 10}, {"cloud": 10})
+        assert report.latency_speedup is None
+
+    def test_zero_centralized_traffic_safe(self):
+        report = ComparisonReport(
+            workload="empty",
+            centralized=ModelTraffic("c"),
+            f2c=ModelTraffic("f"),
+        )
+        assert report.backhaul_reduction == 0.0

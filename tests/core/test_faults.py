@@ -1,0 +1,123 @@
+"""Tests for failure injection, failover and availability accounting."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, RoutingError
+from repro.core.faults import FailureInjector, centralized_outage_impact
+from tests.conftest import make_reading
+
+
+@pytest.fixture()
+def injector(f2c_system):
+    return FailureInjector(f2c_system)
+
+
+class TestFailureInjection:
+    def test_fail_and_recover_node(self, injector, f2c_system):
+        node = f2c_system.fog1_nodes()[0]
+        injector.fail_node(node.node_id)
+        assert injector.state.is_node_failed(node.node_id)
+        injector.recover_node(node.node_id)
+        assert not injector.state.is_node_failed(node.node_id)
+
+    def test_cloud_cannot_be_failed_directly(self, injector):
+        with pytest.raises(ConfigurationError):
+            injector.fail_node("cloud")
+
+    def test_unknown_node_rejected(self, injector):
+        with pytest.raises(RoutingError):
+            injector.fail_node("fog1/ghost")
+
+    def test_fail_link_validates_existence(self, injector):
+        injector.fail_link("fog2/d-01", "cloud")
+        assert injector.state.is_link_failed("cloud", "fog2/d-01")  # direction-agnostic
+        with pytest.raises(RoutingError):
+            injector.fail_link("fog1/d-01/s-01", "cloud")  # no direct link
+
+
+class TestFailover:
+    def test_failover_rehomes_section_to_sibling(self, injector, f2c_system):
+        failed = f2c_system.fog1_for_section("d-01/s-01")
+        failed.ingest(
+            __import__("repro.sensors.readings", fromlist=["ReadingBatch"]).ReadingBatch(
+                [make_reading(size_bytes=22)]
+            ),
+            now=0.0,
+        )
+        injector.fail_node(failed.node_id)
+        records = injector.failover_node(failed.node_id)
+        record = records[0]
+        assert record.replacement_node == "fog1/d-01/s-02"
+        assert record.readings_at_risk == 1
+        assert record.bytes_at_risk == 22
+        assert injector.serving_node_for("d-01/s-01") == "fog1/d-01/s-02"
+
+    def test_failover_requires_failed_node(self, injector, f2c_system):
+        with pytest.raises(ConfigurationError):
+            injector.failover_node(f2c_system.fog1_nodes()[0].node_id)
+
+    def test_failover_without_healthy_sibling_raises(self, injector, f2c_system):
+        a = f2c_system.fog1_for_section("d-01/s-01")
+        b = f2c_system.fog1_for_section("d-01/s-02")
+        injector.fail_node(a.node_id)
+        injector.fail_node(b.node_id)
+        with pytest.raises(RoutingError):
+            injector.failover_node(a.node_id)
+
+    def test_ingest_with_failover_routes_to_replacement(self, injector, f2c_system):
+        failed = f2c_system.fog1_for_section("d-01/s-01")
+        injector.fail_node(failed.node_id)
+        injector.failover_node(failed.node_id)
+        served_by = injector.ingest_with_failover(
+            [make_reading(sensor_id="after-failover", value=1.0)], "d-01/s-01", now=10.0
+        )
+        assert served_by == "fog1/d-01/s-02"
+        assert f2c_system.fog1_node("fog1/d-01/s-02").has_series("after-failover")
+
+    def test_ingest_returns_none_when_section_dark(self, injector, f2c_system):
+        a = f2c_system.fog1_for_section("d-01/s-01")
+        injector.fail_node(a.node_id)
+        # No failover performed: the section has no serving node.
+        assert injector.ingest_with_failover([make_reading()], "d-01/s-01", now=0.0) is None
+
+
+class TestAvailability:
+    def test_all_up_full_availability(self, injector):
+        report = injector.availability()
+        assert report.section_availability == 1.0
+        assert report.cloud_path_availability == 1.0
+
+    def test_single_fog1_failure_limited_blast_radius(self, injector, f2c_system):
+        injector.fail_node(f2c_system.fog1_for_section("d-01/s-01").node_id)
+        report = injector.availability()
+        assert report.failed_fog1_nodes == 1
+        assert report.served_sections == f2c_system.city.section_count - 1
+        assert report.section_availability == pytest.approx(3 / 4)
+        # Failover restores full availability.
+        injector.failover_node(f2c_system.fog1_for_section("d-01/s-01").node_id)
+        assert injector.availability().section_availability == 1.0
+
+    def test_backhaul_failure_only_blocks_one_district(self, injector, f2c_system):
+        injector.fail_link("fog2/d-01", "cloud")
+        report = injector.availability()
+        # Real-time service is unaffected; only one district's cloud path is down.
+        assert report.section_availability == 1.0
+        assert report.cloud_path_availability == pytest.approx(1 / 2)
+
+    def test_fog2_failure_counts(self, injector, f2c_system):
+        injector.fail_node("fog2/d-02")
+        report = injector.availability()
+        assert report.failed_fog2_nodes == 1
+        assert report.cloud_reachable_districts == 1
+
+
+class TestCentralizedOutage:
+    def test_backhaul_down_loses_everything(self):
+        assert centralized_outage_impact(73, backhaul_down=True) == 1.0
+
+    def test_backhaul_up_loses_nothing(self):
+        assert centralized_outage_impact(73, backhaul_down=False) == 0.0
+
+    def test_invalid_section_count(self):
+        with pytest.raises(ConfigurationError):
+            centralized_outage_impact(0, backhaul_down=True)

@@ -1,0 +1,143 @@
+"""Tests for fog layer-1, fog layer-2 and cloud nodes."""
+
+import pytest
+
+from repro.aggregation.redundancy import RedundantDataElimination
+from repro.common.errors import CapacityError
+from repro.core.nodes import CloudNode, FogNodeLevel1, FogNodeLevel2
+from repro.network.topology import LayerName
+from repro.sensors.readings import ReadingBatch
+from repro.storage.retention import TtlRetention
+from tests.conftest import make_reading
+
+
+def duplicate_batch():
+    return ReadingBatch(
+        [
+            make_reading(sensor_id="s1", value=20.0, timestamp=1.0),
+            make_reading(sensor_id="s1", value=20.0, timestamp=2.0),
+            make_reading(sensor_id="s2", value=30.0, timestamp=1.0),
+        ]
+    )
+
+
+class TestFogNodeLevel1:
+    def test_ingest_runs_acquisition_and_stores(self):
+        node = FogNodeLevel1(
+            "fog1/test", section_id="sec-1", aggregator=RedundantDataElimination()
+        )
+        acquired = node.ingest(duplicate_batch(), now=10.0)
+        assert len(acquired) == 2  # duplicate removed
+        assert len(node.storage) == 2
+        assert node.storage.pending_upward_count == 2
+        assert node.last_acquisition_result.total_reduction_ratio > 0
+
+    def test_realtime_data_available_locally(self):
+        node = FogNodeLevel1("fog1/test", section_id="sec-1")
+        node.ingest(duplicate_batch(), now=10.0)
+        assert node.latest("s2").value == 30.0
+
+    def test_drain_for_upward_empties_queue_but_keeps_local_copy(self):
+        node = FogNodeLevel1("fog1/test", section_id="sec-1")
+        node.ingest(duplicate_batch(), now=10.0)
+        drained = node.drain_for_upward()
+        assert len(drained) == 3
+        assert node.storage.pending_upward_count == 0
+        assert len(node.storage) == 3
+
+    def test_retention_eviction(self):
+        node = FogNodeLevel1(
+            "fog1/test", section_id="sec-1", retention=TtlRetention(max_age_seconds=5.0)
+        )
+        node.ingest(duplicate_batch(), now=2.0)
+        assert node.enforce_retention(now=100.0) == 3
+        assert len(node.storage) == 0
+
+    def test_description_tags_section_and_fog_node(self):
+        node = FogNodeLevel1("fog1/test", section_id="sec-1")
+        acquired = node.ingest(ReadingBatch([make_reading(value=1.0)]), now=0.0)
+        assert acquired[0].tags["section"] == "sec-1"
+        assert acquired[0].fog_node_id == "fog1/test"
+
+    def test_layer_and_stats(self):
+        node = FogNodeLevel1("fog1/test", section_id="sec-1")
+        assert node.layer == LayerName.FOG_1
+        stats = node.stats()
+        assert stats["layer"] == "fog_layer_1"
+        assert stats["compute_capacity"] == 10.0
+
+
+class TestFogNodeLevel2:
+    def test_receive_from_child_queues_for_cloud(self):
+        node = FogNodeLevel2("fog2/test", district_id="d-1")
+        node.receive_from_child("fog1/a", duplicate_batch(), now=10.0)
+        assert node.storage.pending_upward_count == 3
+        assert node.children == ["fog1/a"]
+
+    def test_register_child_idempotent(self):
+        node = FogNodeLevel2("fog2/test", district_id="d-1")
+        node.register_child("fog1/a")
+        node.register_child("fog1/a")
+        assert node.children == ["fog1/a"]
+
+    def test_optional_layer2_aggregation(self):
+        node = FogNodeLevel2(
+            "fog2/test", district_id="d-1", aggregator=RedundantDataElimination()
+        )
+        reduced = node.receive_from_child("fog1/a", duplicate_batch(), now=10.0)
+        assert len(reduced) == 2
+
+    def test_broader_view_than_children(self):
+        node = FogNodeLevel2("fog2/test", district_id="d-1")
+        node.receive_from_child("fog1/a", ReadingBatch([make_reading(sensor_id="a1")]), now=1.0)
+        node.receive_from_child("fog1/b", ReadingBatch([make_reading(sensor_id="b1")]), now=1.0)
+        assert len(node.query_window()) == 2
+
+
+class TestCloudNode:
+    def test_receive_preserves_and_archives(self):
+        cloud = CloudNode()
+        result = cloud.receive_from_fog("fog2/d-1", duplicate_batch(), now=10.0)
+        assert result.block_name == "data_preservation"
+        assert len(cloud.archive.datasets()) == 1
+        assert cloud.archive.lineage_of(cloud.archive.datasets()[0]) == ("fog2/d-1",)
+        assert len(cloud.storage) == 3
+
+    def test_dissemination_read(self):
+        cloud = CloudNode()
+        cloud.receive_from_fog("fog2/d-1", duplicate_batch(), now=10.0)
+        dataset = cloud.archive.datasets()[0]
+        assert len(cloud.read_dataset(dataset)) == 3
+
+    def test_keeps_everything(self):
+        cloud = CloudNode()
+        cloud.receive_from_fog("fog2/d-1", duplicate_batch(), now=10.0)
+        assert cloud.storage.enforce_retention(now=1e12) == 0
+
+
+class TestComputeCapacity:
+    def test_allocation_and_release(self):
+        node = FogNodeLevel1("fog1/test", section_id="s", compute_capacity=10.0)
+        node.allocate_compute(6.0)
+        assert node.compute_available == pytest.approx(4.0)
+        node.release_compute(6.0)
+        assert node.compute_available == pytest.approx(10.0)
+
+    def test_over_allocation_rejected(self):
+        node = FogNodeLevel1("fog1/test", section_id="s", compute_capacity=10.0)
+        with pytest.raises(CapacityError):
+            node.allocate_compute(11.0)
+
+    def test_release_never_goes_negative(self):
+        node = FogNodeLevel1("fog1/test", section_id="s", compute_capacity=10.0)
+        node.release_compute(100.0)
+        assert node.compute_available == pytest.approx(10.0)
+
+    def test_processing_block_runs_anywhere(self):
+        for node in (
+            FogNodeLevel1("fog1/x", section_id="s"),
+            FogNodeLevel2("fog2/x", district_id="d"),
+            CloudNode(),
+        ):
+            result = node.process(duplicate_batch(), now=0.0)
+            assert result.block_name == "data_processing"

@@ -1,0 +1,160 @@
+"""Tests for service placement, the cost model, and the centralized baseline."""
+
+import pytest
+
+from repro.city.services import ServiceRequirements
+from repro.common.errors import PlacementError
+from repro.core.baseline import CentralizedCloudDataManagement, build_centralized_topology
+from repro.core.placement import ServicePlacementEngine
+from repro.network.topology import LayerName
+from tests.conftest import make_reading
+
+
+@pytest.fixture()
+def engine(f2c_system):
+    return ServicePlacementEngine(f2c_system)
+
+
+class TestServicePlacement:
+    def test_realtime_service_lands_on_fog1(self, engine):
+        decision = engine.place(
+            "traffic-incidents",
+            ServiceRequirements(latency_bound_s=0.01, compute_units=1.0, data_scope="section"),
+            home_section="d-01/s-01",
+        )
+        assert decision.layer == LayerName.FOG_1
+        assert decision.estimated_access_latency_s == 0.0
+        assert decision.is_fog
+
+    def test_district_scope_lands_on_fog2(self, engine):
+        decision = engine.place(
+            "district-dashboard",
+            ServiceRequirements(latency_bound_s=None, compute_units=5.0, data_scope="district"),
+            home_section="d-01/s-01",
+        )
+        assert decision.layer == LayerName.FOG_2
+
+    def test_city_scope_lands_on_cloud(self, engine):
+        decision = engine.place(
+            "city-planning",
+            ServiceRequirements(latency_bound_s=None, compute_units=50.0, data_scope="city"),
+            home_section="d-01/s-01",
+        )
+        assert decision.layer == LayerName.CLOUD
+
+    def test_capacity_exhaustion_pushes_service_upwards(self, engine, f2c_system):
+        fog1 = f2c_system.fog1_for_section("d-01/s-01")
+        fog1.allocate_compute(fog1.compute_capacity)  # saturate fog layer 1
+        decision = engine.place(
+            "spillover",
+            ServiceRequirements(latency_bound_s=None, compute_units=1.0, data_scope="section"),
+            home_section="d-01/s-01",
+        )
+        assert decision.layer in (LayerName.FOG_2, LayerName.CLOUD)
+
+    def test_placement_reserves_compute(self, engine, f2c_system):
+        fog1 = f2c_system.fog1_for_section("d-01/s-01")
+        before = fog1.compute_available
+        engine.place(
+            "svc",
+            ServiceRequirements(latency_bound_s=0.01, compute_units=2.0, data_scope="section"),
+            home_section="d-01/s-01",
+        )
+        assert fog1.compute_available == pytest.approx(before - 2.0)
+
+    def test_impossible_latency_bound_raises(self, engine):
+        with pytest.raises(PlacementError):
+            engine.place(
+                "impossible",
+                ServiceRequirements(latency_bound_s=1e-9, compute_units=1e9, data_scope="city"),
+                home_section="d-01/s-01",
+            )
+
+    def test_latency_ordering_across_layers(self, engine):
+        latencies = engine.compare_layers_latency("d-01/s-01")
+        assert latencies["fog_layer_1"] < latencies["fog_layer_2"] < latencies["cloud"]
+
+
+class TestDataAccessCostModel:
+    def test_local_data_is_free(self, engine, f2c_system):
+        fog1 = f2c_system.fog1_for_section("d-01/s-01")
+        option = engine.cheapest_data_access(fog1.node_id, data_bytes=1_000, nodes_holding_data=[fog1.node_id])
+        assert option.cost == 0.0
+        assert option.transfer_bytes == 0
+
+    def test_neighbour_cheaper_than_cloud(self, engine, f2c_system):
+        fog1 = f2c_system.fog1_for_section("d-01/s-01")
+        neighbour = f2c_system.fog1_for_section("d-01/s-02")
+        option = engine.cheapest_data_access(
+            fog1.node_id,
+            data_bytes=10_000,
+            nodes_holding_data=[neighbour.node_id, f2c_system.cloud.node_id],
+        )
+        assert option.data_node == neighbour.node_id
+
+    def test_options_include_siblings_and_ancestors(self, engine, f2c_system):
+        fog1 = f2c_system.fog1_for_section("d-01/s-01")
+        options = engine.data_access_options(fog1.node_id, data_bytes=100)
+        nodes = {option.data_node for option in options}
+        assert fog1.node_id in nodes
+        assert "fog2/d-01" in nodes
+        assert f2c_system.cloud.node_id in nodes
+
+    def test_no_holder_raises(self, engine, f2c_system):
+        with pytest.raises(PlacementError):
+            engine.cheapest_data_access("fog1/d-01/s-01", 100, nodes_holding_data=[])
+
+
+class TestCentralizedBaseline:
+    def test_all_traffic_reaches_cloud(self, centralized_system):
+        readings = [make_reading(sensor_id=f"s{i}", size_bytes=22) for i in range(10)]
+        ingested = centralized_system.ingest_readings(readings, now=0.0)
+        assert ingested == 10
+        assert centralized_system.traffic_report()["cloud"] == 220
+        assert centralized_system.cloud_ingested_bytes() == 220
+
+    def test_no_reduction_happens(self, centralized_system):
+        duplicates = [make_reading(sensor_id="s1", value=20.0, timestamp=float(t), size_bytes=22) for t in range(10)]
+        centralized_system.ingest_readings(duplicates, now=0.0)
+        assert centralized_system.traffic_report()["cloud"] == 220
+
+    def test_per_category_accounting(self, centralized_system):
+        centralized_system.ingest_readings(
+            [make_reading(category="energy", size_bytes=22), make_reading(category="noise", size_bytes=10)],
+            now=0.0,
+        )
+        assert centralized_system.cloud_ingested_bytes_by_category() == {"energy": 22, "noise": 10}
+
+    def test_data_preserved_in_archive(self, centralized_system):
+        centralized_system.ingest_readings([make_reading(size_bytes=22)], now=0.0)
+        assert len(centralized_system.archive.datasets()) == 1
+
+    def test_realtime_access_pays_round_trip(self, centralized_system):
+        rtt = centralized_system.realtime_access_latency(response_bytes=1_000)
+        # At least two WAN latencies (request + response).
+        assert rtt >= 2 * 0.060
+
+    def test_end_to_end_latency_exceeds_access_latency(self, centralized_system):
+        end_to_end = centralized_system.end_to_end_realtime_latency(reading_bytes=22, response_bytes=1_000)
+        access_only = centralized_system.realtime_access_latency(response_bytes=1_000)
+        assert end_to_end > access_only
+
+    def test_empty_ingest_is_noop(self, centralized_system):
+        assert centralized_system.ingest_readings([], now=0.0) == 0
+        assert centralized_system.traffic_report()["cloud"] == 0
+
+    def test_custom_uplink_parameters(self):
+        topology = build_centralized_topology(uplink={"latency_s": 0.2, "bandwidth_bps": 1e6})
+        system = CentralizedCloudDataManagement(topology=topology)
+        assert system.realtime_access_latency(response_bytes=0) >= 0.4
+
+
+class TestF2CVersusBaselineLatency:
+    def test_fog_realtime_access_is_faster_than_centralized(self, f2c_system, centralized_system):
+        """The paper's core latency claim (Section IV.D)."""
+        engine = ServicePlacementEngine(f2c_system)
+        fog_latency = engine.compare_layers_latency("d-01/s-01")["fog_layer_1"]
+        centralized_latency = centralized_system.end_to_end_realtime_latency(
+            reading_bytes=22, response_bytes=4_096
+        )
+        assert fog_latency < centralized_latency

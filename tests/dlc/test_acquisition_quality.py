@@ -1,0 +1,154 @@
+"""Tests for the data-acquisition block and the quality phase."""
+
+import pytest
+
+from repro.aggregation.redundancy import RedundantDataElimination
+from repro.dlc.acquisition import (
+    AcquisitionBlock,
+    DataCollectionPhase,
+    DataDescriptionPhase,
+    DataFilteringPhase,
+    DataQualityPhase,
+)
+from repro.dlc.quality import QualityAssessor, QualityPolicy
+from repro.sensors.readings import ReadingBatch
+from tests.conftest import make_reading
+
+
+def batch_of(*readings):
+    return ReadingBatch(readings)
+
+
+class TestDataCollectionPhase:
+    def test_pulls_from_sources(self):
+        source = lambda: [make_reading(sensor_id="pulled")]  # noqa: E731
+        phase = DataCollectionPhase(sources=[source])
+        output, result = phase.run(ReadingBatch(), now=0.0)
+        assert len(output) == 1
+        assert result.details["pulled_from_sources"] == 1
+        assert phase.collected_total == 1
+
+    def test_appends_to_pushed_batch(self):
+        phase = DataCollectionPhase(sources=[lambda: [make_reading(sensor_id="pulled")]])
+        output, _ = phase.run(batch_of(make_reading(sensor_id="pushed")), now=0.0)
+        assert {r.sensor_id for r in output} == {"pushed", "pulled"}
+
+    def test_add_source(self):
+        phase = DataCollectionPhase()
+        phase.add_source(lambda: [make_reading()])
+        output, _ = phase.run(ReadingBatch(), now=0.0)
+        assert len(output) == 1
+
+
+class TestDataFilteringPhase:
+    def test_no_aggregator_passthrough(self):
+        phase = DataFilteringPhase()
+        batch = batch_of(make_reading())
+        output, result = phase.run(batch, now=0.0)
+        assert output is batch
+        assert result.details["technique"] == "none"
+
+    def test_with_redundancy_elimination(self):
+        phase = DataFilteringPhase(aggregator=RedundantDataElimination())
+        batch = batch_of(
+            make_reading(sensor_id="s1", value=10.0),
+            make_reading(sensor_id="s1", value=10.0),
+            make_reading(sensor_id="s1", value=11.0),
+        )
+        output, result = phase.run(batch, now=0.0)
+        assert len(output) == 2
+        assert result.reduction_ratio > 0
+
+
+class TestDataQualityPhase:
+    def test_rejects_future_and_non_numeric(self):
+        phase = DataQualityPhase()
+        batch = batch_of(
+            make_reading(sensor_id="ok", value=20.0, timestamp=10.0),
+            make_reading(sensor_id="future", value=20.0, timestamp=10_000.0),
+            make_reading(sensor_id="text", value="broken", timestamp=10.0),
+        )
+        output, result = phase.run(batch, now=20.0)
+        assert {r.sensor_id for r in output} == {"ok"}
+        assert result.details["rejected"] == 2
+        assert phase.last_report.rejection_reasons["timestamp_in_future"] == 1
+
+    def test_admitted_readings_tagged_with_score(self):
+        phase = DataQualityPhase()
+        output, _ = phase.run(batch_of(make_reading(value=20.0)), now=10.0)
+        assert 0.0 < output[0].tags["quality_score"] <= 1.0
+
+    def test_catalog_range_check(self, small_catalog):
+        phase = DataQualityPhase(catalog=small_catalog)
+        batch = batch_of(
+            make_reading(sensor_type="temperature", value=25.0, timestamp=5.0),
+            make_reading(sensor_type="temperature", value=9_999.0, timestamp=5.0),
+        )
+        output, _ = phase.run(batch, now=10.0)
+        assert len(output) == 1
+
+
+class TestQualityAssessor:
+    def test_score_penalises_out_of_range_but_plausible(self, small_catalog):
+        assessor = QualityAssessor(catalog=small_catalog)
+        # Slightly above the configured range: penalised but not hard-rejected.
+        score, reason = assessor.score(
+            make_reading(sensor_type="temperature", value=60.0, timestamp=0.0), now=1.0
+        )
+        assert reason is None or reason == "below_minimum_score"
+        assert score < 1.0
+
+    def test_missing_identity_rejected(self):
+        assessor = QualityAssessor()
+        score, reason = assessor.score(make_reading(sensor_id=""), now=0.0)
+        assert reason == "missing_identity"
+        assert score == 0.0
+
+    def test_stale_reading_penalised(self):
+        assessor = QualityAssessor(policy=QualityPolicy(max_age_s=100.0, minimum_score=0.8))
+        score, reason = assessor.score(make_reading(timestamp=0.0, value=1.0), now=1_000.0)
+        assert reason == "below_minimum_score"
+        assert score < 0.8
+
+    def test_policy_validation(self):
+        with pytest.raises(Exception):
+            QualityPolicy(minimum_score=1.5)
+
+
+class TestDataDescriptionPhase:
+    def test_tags_added(self):
+        phase = DataDescriptionPhase(city_name="barcelona", static_tags={"licence": "ODbL"})
+        output, _ = phase.run(batch_of(make_reading()), now=42.0)
+        tags = output[0].tags
+        assert tags["city"] == "barcelona"
+        assert tags["collected_at"] == 42.0
+        assert tags["licence"] == "ODbL"
+
+    def test_fog_node_resolution(self):
+        phase = DataDescriptionPhase(fog_node_resolver=lambda reading: "fog1/somewhere")
+        output, _ = phase.run(batch_of(make_reading()), now=0.0)
+        assert output[0].fog_node_id == "fog1/somewhere"
+        assert output[0].tags["fog_node"] == "fog1/somewhere"
+
+
+class TestAcquisitionBlock:
+    def test_full_block_order_and_reduction(self, small_catalog):
+        block = AcquisitionBlock(
+            filtering=DataFilteringPhase(aggregator=RedundantDataElimination()),
+            quality=DataQualityPhase(catalog=small_catalog),
+        )
+        assert block.phase_names() == [
+            "data_collection",
+            "data_filtering",
+            "data_quality",
+            "data_description",
+        ]
+        batch = batch_of(
+            make_reading(sensor_id="a", sensor_type="temperature", value=20.0, timestamp=1.0),
+            make_reading(sensor_id="a", sensor_type="temperature", value=20.0, timestamp=2.0),
+            make_reading(sensor_id="b", sensor_type="temperature", value=21.0, timestamp=1.0),
+        )
+        output, result = block.run(batch, now=5.0)
+        assert len(output) == 2  # duplicate removed, both survivors pass quality
+        assert result.total_reduction_ratio > 0
+        assert all("collected_at" in r.tags for r in output)

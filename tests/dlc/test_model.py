@@ -1,0 +1,127 @@
+"""Tests for the generic DLC framework (blocks, phases, data ages)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.dlc.model import (
+    BlockResult,
+    DataAge,
+    DataLifeCycle,
+    LifeCycleBlock,
+    Phase,
+    PhaseResult,
+    classify_age,
+)
+from repro.sensors.readings import ReadingBatch
+from tests.conftest import make_reading
+
+
+class DropHalfPhase(Phase):
+    """Test phase removing every other reading."""
+
+    name = "drop_half"
+
+    def run(self, batch, now):
+        output = ReadingBatch(r for i, r in enumerate(batch) if i % 2 == 0)
+        return output, self._result(batch, output)
+
+
+class CountingPhase(Phase):
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def run(self, batch, now):
+        self.calls += 1
+        return batch, self._result(batch, batch)
+
+
+def batch_of(count=4, size_bytes=10):
+    return ReadingBatch([make_reading(sensor_id=f"s{i}", size_bytes=size_bytes) for i in range(count)])
+
+
+class TestClassifyAge:
+    def test_recent_is_realtime(self):
+        assert classify_age(95.0, now=100.0, realtime_window_s=10.0) is DataAge.REAL_TIME
+
+    def test_old_is_historical(self):
+        assert classify_age(0.0, now=1000.0, realtime_window_s=10.0) is DataAge.HISTORICAL
+
+    def test_higher_value_overrides_age(self):
+        assert classify_age(99.0, now=100.0, higher_value=True) is DataAge.HIGHER_VALUE
+
+
+class TestPhaseResult:
+    def test_reduction_metrics(self):
+        result = PhaseResult("p", input_readings=10, output_readings=4, input_bytes=100, output_bytes=40)
+        assert result.readings_removed == 6
+        assert result.bytes_removed == 60
+        assert result.reduction_ratio == pytest.approx(0.6)
+
+    def test_zero_input_safe(self):
+        result = PhaseResult("p", 0, 0, 0, 0)
+        assert result.reduction_ratio == 0.0
+
+
+class TestLifeCycleBlock:
+    def test_phases_chain(self):
+        block = LifeCycleBlock("b", [DropHalfPhase(), DropHalfPhase()])
+        output, result = block.run(batch_of(8), now=0.0)
+        assert len(output) == 2
+        assert [p.phase_name for p in result.phase_results] == ["drop_half", "drop_half"]
+        assert result.input_bytes == 80
+        assert result.output_bytes == 20
+        assert result.total_reduction_ratio == pytest.approx(0.75)
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LifeCycleBlock("b", [])
+
+    def test_block_result_phase_lookup(self):
+        block = LifeCycleBlock("b", [DropHalfPhase()])
+        _, result = block.run(batch_of(), now=0.0)
+        assert result.phase("drop_half").phase_name == "drop_half"
+        with pytest.raises(KeyError):
+            result.phase("missing")
+
+    def test_phase_names(self):
+        block = LifeCycleBlock("b", [DropHalfPhase(), CountingPhase()])
+        assert block.phase_names() == ["drop_half", "counting"]
+
+
+class TestDataLifeCycle:
+    def test_runs_configured_blocks(self):
+        acquisition = LifeCycleBlock("acq", [DropHalfPhase()])
+        processing_phase = CountingPhase()
+        preservation_phase = CountingPhase()
+        cycle = DataLifeCycle(
+            acquisition=acquisition,
+            processing=LifeCycleBlock("proc", [processing_phase]),
+            preservation=LifeCycleBlock("pres", [preservation_phase]),
+        )
+        results = cycle.run(batch_of(8), now=0.0)
+        assert set(results) == {"acq", "proc", "pres"}
+        assert processing_phase.calls == 1
+        assert preservation_phase.calls == 1
+        # Processing and preservation both see the acquired (reduced) batch.
+        assert results["proc"].input_bytes == results["acq"].output_bytes
+
+    def test_flows_can_be_disabled(self):
+        processing_phase = CountingPhase()
+        cycle = DataLifeCycle(
+            acquisition=LifeCycleBlock("acq", [DropHalfPhase()]),
+            processing=LifeCycleBlock("proc", [processing_phase]),
+        )
+        results = cycle.run(batch_of(), now=0.0, process=False)
+        assert "proc" not in results
+        assert processing_phase.calls == 0
+
+    def test_block_names(self):
+        cycle = DataLifeCycle(acquisition=LifeCycleBlock("acq", [DropHalfPhase()]))
+        assert cycle.block_names() == ["acq"]
+
+    def test_empty_block_result_defaults(self):
+        result = BlockResult("empty")
+        assert result.input_bytes == 0
+        assert result.total_reduction_ratio == 0.0

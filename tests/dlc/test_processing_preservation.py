@@ -1,0 +1,126 @@
+"""Tests for the processing and preservation blocks."""
+
+import pytest
+
+from repro.dlc.preservation import (
+    DataArchivePhase,
+    DataClassificationPhase,
+    DataDisseminationPhase,
+    PreservationBlock,
+)
+from repro.dlc.processing import DataAnalysisPhase, DataProcessPhase, ProcessingBlock
+from repro.sensors.readings import ReadingBatch
+from repro.storage.archive import AccessLevel, CloudArchive, DisseminationPolicy
+from tests.conftest import make_reading
+
+
+class TestDataProcessPhase:
+    def test_default_transform_rounds_floats(self):
+        phase = DataProcessPhase()
+        output, _ = phase.run(ReadingBatch([make_reading(value=21.123456789)]), now=0.0)
+        assert output[0].value == pytest.approx(21.123)
+
+    def test_custom_transform(self):
+        phase = DataProcessPhase(transforms=[])
+        phase.add_transform(lambda r: r.with_tags(converted=True))
+        output, result = phase.run(ReadingBatch([make_reading()]), now=0.0)
+        assert output[0].tags["converted"] is True
+        assert result.details["transforms"] == 1
+
+
+class TestDataAnalysisPhase:
+    def test_statistics_per_category(self):
+        phase = DataAnalysisPhase()
+        batch = ReadingBatch(
+            [make_reading(category="energy", value=v) for v in (10.0, 20.0, 30.0)]
+            + [make_reading(category="noise", value=55.0)]
+        )
+        output, result = phase.run(batch, now=0.0)
+        assert output is batch  # analysis does not reduce data
+        assert phase.last_analysis["energy"]["mean"] == pytest.approx(20.0)
+        assert result.details["categories_analysed"] == 2
+
+    def test_anomaly_detection(self):
+        phase = DataAnalysisPhase(anomaly_sigma=2.0)
+        values = [10.0] * 30 + [11.0] * 30 + [500.0]
+        batch = ReadingBatch([make_reading(sensor_id=f"s{i}", value=v) for i, v in enumerate(values)])
+        phase.run(batch, now=0.0)
+        assert len(phase.last_anomalies) == 1
+        assert phase.last_anomalies[0].value == 500.0
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            DataAnalysisPhase(anomaly_sigma=0.0)
+
+    def test_processing_block_chains(self):
+        block = ProcessingBlock()
+        _, result = block.run(ReadingBatch([make_reading(value=1.23456)]), now=0.0)
+        assert [p.phase_name for p in result.phase_results] == ["data_process", "data_analysis"]
+
+
+class TestDataClassificationPhase:
+    def test_groups_by_category_and_day(self):
+        phase = DataClassificationPhase()
+        batch = ReadingBatch(
+            [
+                make_reading(category="energy", timestamp=10.0),
+                make_reading(category="energy", timestamp=90_000.0),  # next day
+                make_reading(category="noise", timestamp=10.0),
+            ]
+        )
+        _, result = phase.run(batch, now=90_001.0)
+        assert result.details["datasets"] == 3
+        assert "energy/day-00000" in phase.last_groups
+        assert "energy/day-00001" in phase.last_groups
+        assert "noise/day-00000" in phase.last_groups
+
+
+class TestDataArchivePhase:
+    def test_archives_classified_groups(self):
+        archive = CloudArchive()
+        classification = DataClassificationPhase()
+        phase = DataArchivePhase(archive=archive, classification=classification, lineage=("fog2/d-01",))
+        batch = ReadingBatch([make_reading(category="energy", timestamp=1.0, size_bytes=22)])
+        classification.run(batch, now=2.0)
+        _, result = phase.run(batch, now=2.0)
+        assert result.details["archived_versions"] == 1
+        assert archive.lineage_of("energy/day-00000") == ("fog2/d-01",)
+
+    def test_archives_unclassified_when_no_classification(self):
+        archive = CloudArchive()
+        phase = DataArchivePhase(archive=archive)
+        phase.run(ReadingBatch([make_reading()]), now=0.0)
+        assert archive.datasets() == ["unclassified"]
+
+    def test_expiry_applied(self):
+        archive = CloudArchive()
+        phase = DataArchivePhase(archive=archive, expiry_seconds=100.0)
+        phase.run(ReadingBatch([make_reading()]), now=0.0)
+        assert archive.purge_expired(now=200.0) == 1
+
+
+class TestDisseminationAndBlock:
+    def test_dissemination_reports_published_datasets(self):
+        archive = CloudArchive()
+        archive.archive("energy/day-0", ReadingBatch([make_reading()]), archived_at=0.0)
+        phase = DataDisseminationPhase(archive=archive)
+        _, result = phase.run(ReadingBatch(), now=0.0)
+        assert result.details["published_datasets"] == 1
+        assert phase.published_datasets["energy/day-0"] == "public"
+
+    def test_preservation_block_end_to_end(self):
+        block = PreservationBlock(
+            policy=DisseminationPolicy(access_level=AccessLevel.PRIVATE, allowed_consumers=("ops",))
+        )
+        batch = ReadingBatch(
+            [make_reading(category="energy", timestamp=1.0), make_reading(category="noise", timestamp=1.0)]
+        )
+        _, result = block.run(batch, now=10.0)
+        assert [p.phase_name for p in result.phase_results] == [
+            "data_classification",
+            "data_archive",
+            "data_dissemination",
+        ]
+        assert sorted(block.archive.datasets()) == ["energy/day-00000", "noise/day-00000"]
+        # Access control enforced through the archive read path.
+        assert len(block.archive.read("energy/day-00000", consumer="ops")) == 1

@@ -1,0 +1,143 @@
+"""Tests for the in-process MQTT-like broker and client facade."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, RoutingError
+from repro.messaging.broker import Broker, Message
+from repro.messaging.client import MessagingClient
+from tests.conftest import make_reading
+
+
+@pytest.fixture()
+def broker():
+    return Broker()
+
+
+class TestPublishSubscribe:
+    def test_delivery_to_matching_subscriber(self, broker):
+        received = []
+        broker.subscribe("c1", "sensors/#", received.append)
+        broker.publish("sensors/energy/t1", b"21.5")
+        assert len(received) == 1
+        assert received[0].payload == b"21.5"
+
+    def test_no_delivery_to_non_matching_subscriber(self, broker):
+        received = []
+        broker.subscribe("c1", "sensors/noise/#", received.append)
+        broker.publish("sensors/energy/t1", b"21.5")
+        assert received == []
+
+    def test_multiple_subscribers(self, broker):
+        first, second = [], []
+        broker.subscribe("c1", "a/#", first.append)
+        broker.subscribe("c2", "a/b", second.append)
+        broker.publish("a/b", b"x")
+        assert len(first) == 1 and len(second) == 1
+        assert broker.delivered_count == 2
+
+    def test_message_ids_increase(self, broker):
+        m1 = broker.publish("a/b", b"1")
+        m2 = broker.publish("a/b", b"2")
+        assert m2.message_id > m1.message_id
+
+    def test_statistics(self, broker):
+        broker.subscribe("c1", "#", lambda m: None)
+        broker.publish("a/b", b"12345")
+        assert broker.published_count == 1
+        assert broker.published_bytes == 5
+
+    def test_unsubscribe(self, broker):
+        received = []
+        broker.subscribe("c1", "a/#", received.append)
+        assert broker.unsubscribe("c1") == 1
+        broker.publish("a/b", b"x")
+        assert received == []
+
+    def test_invalid_qos_rejected(self, broker):
+        with pytest.raises(ConfigurationError):
+            broker.publish("a/b", b"x", qos=2)
+        with pytest.raises(ConfigurationError):
+            broker.subscribe("c1", "a/#", lambda m: None, qos=7)
+
+    def test_payload_must_be_bytes(self):
+        with pytest.raises(ConfigurationError):
+            Message(topic="a/b", payload="not-bytes")  # type: ignore[arg-type]
+
+
+class TestRetainedMessages:
+    def test_retained_replayed_to_new_subscriber(self, broker):
+        broker.publish("state/latest", b"42", retain=True)
+        received = []
+        broker.subscribe("late", "state/#", received.append)
+        assert len(received) == 1
+        assert received[0].payload == b"42"
+
+    def test_only_last_retained_kept(self, broker):
+        broker.publish("state/latest", b"1", retain=True)
+        broker.publish("state/latest", b"2", retain=True)
+        assert broker.retained_message("state/latest").payload == b"2"
+
+    def test_clear_retained(self, broker):
+        broker.publish("state/latest", b"1", retain=True)
+        broker.clear_retained("state/latest")
+        assert broker.retained_message("state/latest") is None
+
+
+class TestQos1:
+    def test_pending_until_acknowledged(self, broker):
+        received = []
+        broker.subscribe("c1", "a/#", received.append, qos=1)
+        message = broker.publish("a/b", b"x", qos=1)
+        assert len(broker.unacknowledged("c1")) == 1
+        broker.acknowledge("c1", message.message_id)
+        assert broker.unacknowledged("c1") == []
+
+    def test_ack_unknown_delivery_raises(self, broker):
+        with pytest.raises(RoutingError):
+            broker.acknowledge("c1", 999)
+
+    def test_qos0_subscription_downgrades(self, broker):
+        broker.subscribe("c1", "a/#", lambda m: None, qos=0)
+        broker.publish("a/b", b"x", qos=1)
+        assert broker.unacknowledged("c1") == []
+
+    def test_redeliver(self, broker):
+        received = []
+        broker.subscribe("c1", "a/#", received.append, qos=1)
+        broker.publish("a/b", b"x", qos=1)
+        assert broker.redeliver("c1") == 1
+        assert len(received) == 2  # original + redelivery
+
+
+class TestMessagingClient:
+    def test_inbox_buffering(self, broker):
+        client = MessagingClient("c1", broker)
+        client.subscribe("a/#")
+        broker.publish("a/b", b"1")
+        broker.publish("a/c", b"2")
+        assert client.inbox_size == 2
+        drained = client.drain_inbox()
+        assert [m.payload for m in drained] == [b"1", b"2"]
+        assert client.inbox_size == 0
+
+    def test_publish_reading_uses_wire_encoding(self, broker):
+        client = MessagingClient("c1", broker)
+        received = []
+        broker.subscribe("sink", "readings/#", received.append)
+        reading = make_reading(size_bytes=40)
+        client.publish_reading("readings/energy/t", reading)
+        assert len(received[0].payload) == 40
+
+    def test_acknowledge_through_client(self, broker):
+        client = MessagingClient("c1", broker)
+        client.subscribe("a/#", qos=1)
+        message = broker.publish("a/b", b"x", qos=1)
+        client.acknowledge(message)
+        assert broker.unacknowledged("c1") == []
+
+    def test_unsubscribe_specific_filter(self, broker):
+        client = MessagingClient("c1", broker)
+        client.subscribe("a/#")
+        client.subscribe("b/#")
+        assert client.unsubscribe("a/#") == 1
+        assert broker.subscriptions_for("c1") == ["b/#"]

@@ -1,0 +1,78 @@
+"""Tests for MQTT-style topic names and filters."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.messaging.topics import TopicFilter, sensor_topic, topic_matches, validate_topic
+
+
+class TestValidateTopic:
+    def test_plain_topic_ok(self):
+        validate_topic("city/bcn/d1/s1/energy/temperature")
+
+    def test_empty_topic_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_topic("")
+
+    def test_empty_level_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_topic("city//energy")
+
+    def test_wildcards_rejected_in_publish_topics(self):
+        with pytest.raises(ValidationError):
+            validate_topic("city/+/energy")
+        with pytest.raises(ValidationError):
+            validate_topic("city/#")
+
+    def test_wildcards_allowed_in_filters(self):
+        validate_topic("city/+/energy/#", allow_wildcards=True)
+
+    def test_hash_must_be_last(self):
+        with pytest.raises(ValidationError):
+            validate_topic("city/#/energy", allow_wildcards=True)
+
+    def test_partial_wildcards_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_topic("city/ener+gy", allow_wildcards=True)
+        with pytest.raises(ValidationError):
+            validate_topic("city/data#", allow_wildcards=True)
+
+
+class TestTopicMatches:
+    @pytest.mark.parametrize(
+        "filter_topic,topic,expected",
+        [
+            ("a/b/c", "a/b/c", True),
+            ("a/b/c", "a/b/d", False),
+            ("a/+/c", "a/b/c", True),
+            ("a/+/c", "a/b/c/d", False),
+            ("a/#", "a/b/c/d", True),
+            # Per the MQTT specification the multi-level wildcard also matches
+            # the parent level itself ("sport/#" matches "sport").
+            ("a/#", "a", True),
+            ("#", "anything/at/all", True),
+            ("a/b", "a/b/c", False),
+            ("a/b/c", "a/b", False),
+            ("+/+/+", "a/b/c", True),
+        ],
+    )
+    def test_matching(self, filter_topic, topic, expected):
+        assert topic_matches(filter_topic, topic) is expected
+
+    def test_topic_filter_object(self):
+        assert TopicFilter("city/+/energy/#").matches("city/bcn/energy/temperature")
+
+    def test_invalid_filter_rejected_at_construction(self):
+        with pytest.raises(ValidationError):
+            TopicFilter("a//b")
+
+
+class TestSensorTopic:
+    def test_builds_hierarchical_topic(self):
+        topic = sensor_topic("bcn", "district-01", "section-03", "energy", "temperature")
+        assert topic == "city/bcn/district-01/section-03/energy/temperature"
+
+    def test_district_filter_matches(self):
+        topic = sensor_topic("bcn", "district-01", "section-03", "energy", "temperature")
+        assert topic_matches("city/bcn/district-01/#", topic)
+        assert not topic_matches("city/bcn/district-02/#", topic)

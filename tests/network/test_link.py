@@ -1,0 +1,68 @@
+"""Tests for links and diurnal link profiles."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.network.link import DIURNAL_PROFILE, Link, LinkProfile
+
+
+class TestLinkProfile:
+    def test_requires_24_entries(self):
+        with pytest.raises(ConfigurationError):
+            LinkProfile(utilisation_by_hour=(0.1,) * 23)
+
+    def test_utilisation_bounds(self):
+        with pytest.raises(ConfigurationError):
+            LinkProfile(utilisation_by_hour=(1.0,) + (0.0,) * 23)
+
+    def test_utilisation_at_wraps_by_hour(self):
+        profile = LinkProfile(utilisation_by_hour=tuple(h / 100 for h in range(24)))
+        assert profile.utilisation_at(0.0) == 0.0
+        assert profile.utilisation_at(3 * 3600.0) == 0.03
+        assert profile.utilisation_at(25 * 3600.0) == 0.01  # wraps past midnight
+
+    def test_least_loaded_hours(self):
+        profile = DIURNAL_PROFILE
+        quiet = profile.least_loaded_hours(3)
+        assert len(quiet) == 3
+        # Night hours are quietest in the diurnal profile.
+        assert all(hour in range(0, 6) for hour in quiet)
+
+    def test_least_loaded_requires_positive_count(self):
+        with pytest.raises(ConfigurationError):
+            DIURNAL_PROFILE.least_loaded_hours(0)
+
+
+class TestLink:
+    def test_transfer_time_includes_latency_and_serialisation(self):
+        link = Link(source="a", target="b", latency_s=0.01, bandwidth_bps=1_000_000)
+        assert link.transfer_time(500_000) == pytest.approx(0.01 + 0.5)
+
+    def test_zero_bytes_only_pays_latency(self):
+        link = Link(source="a", target="b", latency_s=0.02, bandwidth_bps=1_000)
+        assert link.transfer_time(0) == pytest.approx(0.02)
+
+    def test_effective_bandwidth_with_profile(self):
+        profile = LinkProfile(utilisation_by_hour=(0.5,) * 24)
+        link = Link(source="a", target="b", latency_s=0.0, bandwidth_bps=1_000, profile=profile)
+        assert link.effective_bandwidth(0.0) == 500
+        assert link.transfer_time(1_000) == pytest.approx(2.0)
+
+    def test_reversed(self):
+        link = Link(source="a", target="b", latency_s=0.01, bandwidth_bps=100)
+        back = link.reversed()
+        assert (back.source, back.target) == ("b", "a")
+        assert back.latency_s == link.latency_s
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Link(source="a", target="a", latency_s=0.01, bandwidth_bps=100)
+        with pytest.raises(ConfigurationError):
+            Link(source="a", target="b", latency_s=-1, bandwidth_bps=100)
+        with pytest.raises(ConfigurationError):
+            Link(source="a", target="b", latency_s=0.0, bandwidth_bps=0)
+
+    def test_negative_size_rejected(self):
+        link = Link(source="a", target="b", latency_s=0.0, bandwidth_bps=100)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)

@@ -1,0 +1,110 @@
+"""Tests for the hierarchical F2C topology."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, RoutingError
+from repro.network.topology import LayerName, NetworkTopology, layer_index
+
+
+@pytest.fixture()
+def tiny_topology() -> NetworkTopology:
+    """cloud <- fog2 <- {fog1-a, fog1-b}; fog1-a <- edge device."""
+    topology = NetworkTopology()
+    topology.add_node("cloud", LayerName.CLOUD)
+    topology.add_node("fog2", LayerName.FOG_2)
+    topology.add_node("fog1-a", LayerName.FOG_1)
+    topology.add_node("fog1-b", LayerName.FOG_1)
+    topology.add_node("dev-1", LayerName.EDGE)
+    topology.connect("fog2", "cloud", latency_s=0.05, bandwidth_bps=1e9)
+    topology.connect("fog1-a", "fog2", latency_s=0.005, bandwidth_bps=1e8)
+    topology.connect("fog1-b", "fog2", latency_s=0.005, bandwidth_bps=1e8)
+    topology.connect("dev-1", "fog1-a", latency_s=0.002, bandwidth_bps=1e7)
+    return topology
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self, tiny_topology):
+        with pytest.raises(ConfigurationError):
+            tiny_topology.add_node("cloud", LayerName.CLOUD)
+
+    def test_connect_unknown_node_rejected(self, tiny_topology):
+        with pytest.raises(ConfigurationError):
+            tiny_topology.connect("ghost", "cloud", latency_s=0.1, bandwidth_bps=1e6)
+
+    def test_node_counts(self, tiny_topology):
+        assert tiny_topology.node_count() == 5
+        assert tiny_topology.node_count(LayerName.FOG_1) == 2
+
+    def test_layer_of(self, tiny_topology):
+        assert tiny_topology.layer_of("fog2") == LayerName.FOG_2
+        with pytest.raises(RoutingError):
+            tiny_topology.layer_of("ghost")
+
+    def test_node_attribute(self, tiny_topology):
+        tiny_topology.add_node("extra", LayerName.FOG_1, area_km2=1.5)
+        assert tiny_topology.node_attribute("extra", "area_km2") == 1.5
+        assert tiny_topology.node_attribute("extra", "missing", default=0) == 0
+
+
+class TestHierarchyNavigation:
+    def test_parent_and_children(self, tiny_topology):
+        assert tiny_topology.parent_of("fog1-a") == "fog2"
+        assert tiny_topology.parent_of("fog2") == "cloud"
+        assert tiny_topology.parent_of("cloud") is None
+        assert tiny_topology.children_of("fog2") == ["fog1-a", "fog1-b"]
+
+    def test_siblings(self, tiny_topology):
+        assert tiny_topology.siblings_of("fog1-a") == ["fog1-b"]
+        assert tiny_topology.siblings_of("cloud") == []
+
+    def test_ancestors(self, tiny_topology):
+        assert tiny_topology.ancestors_of("dev-1") == ["fog1-a", "fog2", "cloud"]
+
+    def test_path_and_latency(self, tiny_topology):
+        path = tiny_topology.path("dev-1", "cloud")
+        assert path == ["dev-1", "fog1-a", "fog2", "cloud"]
+        assert tiny_topology.path_latency("dev-1", "cloud") == pytest.approx(0.002 + 0.005 + 0.05)
+
+    def test_path_missing_raises(self, tiny_topology):
+        tiny_topology.add_node("island", LayerName.FOG_1)
+        with pytest.raises(RoutingError):
+            tiny_topology.path("island", "cloud")
+
+    def test_transfer_time_accumulates_hops(self, tiny_topology):
+        # 1 MB over three hops; serialisation dominated by the slowest link.
+        time = tiny_topology.transfer_time("dev-1", "cloud", 1_000_000)
+        assert time > tiny_topology.path_latency("dev-1", "cloud")
+
+
+class TestValidation:
+    def test_valid_hierarchy_passes(self, tiny_topology):
+        tiny_topology.validate_hierarchy()
+
+    def test_orphan_fog_node_fails(self, tiny_topology):
+        tiny_topology.add_node("orphan", LayerName.FOG_1)
+        with pytest.raises(ConfigurationError):
+            tiny_topology.validate_hierarchy()
+
+    def test_layer_skipping_link_fails(self):
+        topology = NetworkTopology()
+        topology.add_node("cloud", LayerName.CLOUD)
+        topology.add_node("fog1", LayerName.FOG_1)
+        topology.add_node("fog2", LayerName.FOG_2)
+        topology.connect("fog1", "fog2", latency_s=0.01, bandwidth_bps=1e6)
+        topology.connect("fog2", "cloud", latency_s=0.01, bandwidth_bps=1e6)
+        topology.connect("fog1", "cloud", latency_s=0.01, bandwidth_bps=1e6)  # skips a layer
+        with pytest.raises(ConfigurationError):
+            topology.validate_hierarchy()
+
+    def test_summary(self, tiny_topology):
+        summary = tiny_topology.summary()
+        assert summary["fog_layer_1"] == 2
+        assert summary["cloud"] == 1
+        assert summary["links"] > 0
+
+
+class TestLayerOrdering:
+    def test_layer_index_order(self):
+        assert layer_index(LayerName.EDGE) < layer_index(LayerName.FOG_1)
+        assert layer_index(LayerName.FOG_1) < layer_index(LayerName.FOG_2)
+        assert layer_index(LayerName.FOG_2) < layer_index(LayerName.CLOUD)

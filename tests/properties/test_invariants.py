@@ -1,0 +1,258 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These pin down the algebraic properties the rest of the system relies on:
+aggregation never *increases* the transmitted volume, dedup is idempotent,
+the traffic accountant's totals always equal the sum of its parts, sketches
+merge correctly, topic matching respects the MQTT rules, and the analytic
+estimator's layer volumes are consistent for any catalog.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.compression import CalibratedCompression, DeflateCompression
+from repro.aggregation.pipeline import AggregationPipeline
+from repro.aggregation.redundancy import RedundantDataElimination
+from repro.aggregation.sketches import CountMinSketch, DistinctCounter
+from repro.common.units import DataSize, format_bytes
+from repro.core.estimation import TrafficEstimator
+from repro.messaging.topics import topic_matches
+from repro.network.topology import LayerName
+from repro.network.traffic import TrafficAccountant
+from repro.sensors.catalog import SensorCatalog, SensorCategory, SensorTypeSpec
+from repro.sensors.readings import Reading, ReadingBatch
+from repro.storage.timeseries import TimeSeriesStore
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+sensor_ids = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=6)
+
+readings = st.builds(
+    Reading,
+    sensor_id=sensor_ids,
+    sensor_type=st.sampled_from(["temperature", "traffic", "noise_level"]),
+    category=st.sampled_from(["energy", "urban", "noise"]),
+    value=st.one_of(
+        st.integers(min_value=-1000, max_value=1000),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    ),
+    timestamp=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    size_bytes=st.integers(min_value=1, max_value=512),
+)
+
+reading_batches = st.lists(readings, min_size=0, max_size=60).map(ReadingBatch)
+
+sensor_specs = st.builds(
+    SensorTypeSpec,
+    name=st.uuids().map(lambda u: f"type-{u.hex[:8]}"),
+    category=st.sampled_from(list(SensorCategory)),
+    sensor_count=st.integers(min_value=1, max_value=200_000),
+    message_size_bytes=st.integers(min_value=1, max_value=1024),
+    daily_bytes_per_sensor=st.integers(min_value=1, max_value=200_000),
+)
+
+catalogs = st.lists(sensor_specs, min_size=1, max_size=8, unique_by=lambda s: s.name).map(SensorCatalog)
+
+
+# --------------------------------------------------------------------------- #
+# Aggregation invariants
+# --------------------------------------------------------------------------- #
+class TestAggregationProperties:
+    @given(batch=reading_batches)
+    def test_redundancy_elimination_never_increases_volume(self, batch):
+        result = RedundantDataElimination(scope="batch").apply(batch)
+        assert result.output_bytes <= batch.total_bytes
+        assert result.output_readings <= len(batch)
+
+    @given(batch=reading_batches)
+    def test_redundancy_elimination_is_idempotent(self, batch):
+        technique = RedundantDataElimination(scope="batch")
+        once = technique.apply(batch)
+        twice = technique.apply(once.batch)
+        assert twice.output_readings == once.output_readings
+        assert twice.output_bytes == once.output_bytes
+
+    @given(batch=reading_batches)
+    def test_dedup_preserves_distinct_observations(self, batch):
+        result = RedundantDataElimination(scope="batch").apply(batch)
+        assert {r.dedup_key() for r in result.batch} == {r.dedup_key() for r in batch}
+
+    @given(batch=reading_batches, ratio=st.floats(min_value=0.01, max_value=1.0))
+    def test_calibrated_compression_scales_linearly(self, batch, ratio):
+        result = CalibratedCompression(ratio=ratio).apply(batch)
+        assert result.output_bytes == round(batch.total_bytes * ratio)
+
+    @given(batch=reading_batches)
+    @settings(max_examples=25)
+    def test_deflate_round_trips(self, batch):
+        encoded = batch.encode()
+        result = DeflateCompression().apply(batch)
+        assert DeflateCompression.decompress(
+            __import__("zlib").compress(encoded, 6)
+        ) == encoded
+        assert result.output_readings == len(batch)
+
+    @given(batch=reading_batches)
+    def test_pipeline_reduction_monotone_per_stage(self, batch):
+        pipeline = AggregationPipeline(
+            [RedundantDataElimination(scope="batch"), CalibratedCompression(ratio=0.5)]
+        )
+        pipeline.apply(batch)
+        series = pipeline.stage_bytes()
+        assert all(later <= earlier for earlier, later in zip(series, series[1:]))
+
+
+# --------------------------------------------------------------------------- #
+# Sketch invariants
+# --------------------------------------------------------------------------- #
+class TestSketchProperties:
+    @given(keys=st.lists(sensor_ids, min_size=1, max_size=200))
+    def test_count_min_never_undercounts(self, keys):
+        sketch = CountMinSketch(width=64, depth=4)
+        true_counts: dict[str, int] = {}
+        for key in keys:
+            sketch.add(key)
+            true_counts[key] = true_counts.get(key, 0) + 1
+        for key, count in true_counts.items():
+            assert sketch.estimate(key) >= count
+
+    @given(
+        left=st.lists(sensor_ids, min_size=0, max_size=100),
+        right=st.lists(sensor_ids, min_size=0, max_size=100),
+    )
+    def test_count_min_merge_equals_union_feed(self, left, right):
+        a = CountMinSketch(width=64, depth=4)
+        b = CountMinSketch(width=64, depth=4)
+        union = CountMinSketch(width=64, depth=4)
+        for key in left:
+            a.add(key)
+            union.add(key)
+        for key in right:
+            b.add(key)
+            union.add(key)
+        merged = a.merge(b)
+        for key in set(left) | set(right):
+            assert merged.estimate(key) == union.estimate(key)
+
+    @given(values=st.lists(sensor_ids, min_size=0, max_size=300))
+    def test_distinct_counter_merge_commutes(self, values):
+        half = len(values) // 2
+        a = DistinctCounter(precision=8)
+        b = DistinctCounter(precision=8)
+        for value in values[:half]:
+            a.add(value)
+        for value in values[half:]:
+            b.add(value)
+        assert a.merge(b).estimate() == b.merge(a).estimate()
+
+
+# --------------------------------------------------------------------------- #
+# Storage and accounting invariants
+# --------------------------------------------------------------------------- #
+class TestStorageProperties:
+    @given(batch=reading_batches)
+    def test_store_total_bytes_matches_contents(self, batch):
+        store = TimeSeriesStore()
+        store.extend(batch)
+        assert store.total_bytes == sum(r.size_bytes for r in store.all_readings())
+        assert len(store) == len(batch)
+
+    @given(batch=reading_batches, cutoff=st.floats(min_value=0.0, max_value=1e6))
+    def test_remove_older_than_is_exact(self, batch, cutoff):
+        store = TimeSeriesStore()
+        store.extend(batch)
+        expected_removed = sum(1 for r in batch if r.timestamp < cutoff)
+        assert store.remove_older_than(cutoff) == expected_removed
+        assert all(r.timestamp >= cutoff for r in store.all_readings())
+
+    @given(batch=reading_batches)
+    def test_series_always_sorted(self, batch):
+        store = TimeSeriesStore()
+        store.extend(batch)
+        for sensor_id in store.sensor_ids():
+            timestamps = [r.timestamp for r in store.query(sensor_id)]
+            assert timestamps == sorted(timestamps)
+
+    @given(
+        transfers=st.lists(
+            st.tuples(
+                st.sampled_from(list(LayerName)),
+                st.integers(min_value=0, max_value=10_000),
+                st.sampled_from(["energy", "noise", None]),
+            ),
+            max_size=50,
+        )
+    )
+    def test_traffic_accountant_totals_consistent(self, transfers):
+        accountant = TrafficAccountant()
+        for layer, size, category in transfers:
+            accountant.record_transfer(0.0, "a", "b", layer, size, category=category)
+        assert accountant.total_bytes() == sum(size for _, size, _ in transfers)
+        assert sum(accountant.layer_report().values()) == accountant.total_bytes()
+        assert sum(accountant.bytes_by_category().values()) == sum(
+            size for _, size, category in transfers if category is not None
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Estimator invariants for arbitrary catalogs
+# --------------------------------------------------------------------------- #
+class TestEstimatorProperties:
+    @given(catalog=catalogs)
+    def test_layer_volumes_consistent(self, catalog):
+        estimator = TrafficEstimator(catalog)
+        totals = estimator.citywide()
+        assert totals.f2c_fog1_per_day == totals.cloud_model_per_day
+        assert totals.f2c_fog2_per_day <= totals.f2c_fog1_per_day
+        assert totals.f2c_cloud_per_day == totals.f2c_fog2_per_day
+        assert totals.f2c_cloud_per_day_compressed <= totals.f2c_cloud_per_day
+        assert totals.cloud_model_per_day == sum(
+            c.cloud_model_per_day for c in totals.per_category.values()
+        )
+
+    @given(catalog=catalogs)
+    def test_rows_sum_to_totals(self, catalog):
+        estimator = TrafficEstimator(catalog)
+        rows = estimator.table1_rows()
+        totals = estimator.citywide()
+        assert sum(r.cloud_model_per_day for r in rows) == totals.cloud_model_per_day
+        assert sum(r.sensor_count for r in rows) == totals.total_sensors
+
+    @given(catalog=catalogs)
+    def test_fig7_series_monotone(self, catalog):
+        estimator = TrafficEstimator(catalog)
+        for category in catalog.categories:
+            series = estimator.fig7_series(category)
+            assert series.raw >= series.after_redundancy >= series.after_compression >= 0
+
+
+# --------------------------------------------------------------------------- #
+# Miscellaneous invariants
+# --------------------------------------------------------------------------- #
+class TestMiscProperties:
+    @given(size=st.integers(min_value=0, max_value=10**13))
+    def test_format_bytes_never_fails_and_mentions_unit(self, size):
+        text = format_bytes(size)
+        assert any(unit in text for unit in ("B", "KB", "MB", "GB"))
+
+    @given(a=st.integers(min_value=0, max_value=10**12), b=st.integers(min_value=0, max_value=10**12))
+    def test_datasize_addition_commutative(self, a, b):
+        assert DataSize(a) + DataSize(b) == DataSize(b) + DataSize(a)
+
+    @given(
+        levels=st.lists(
+            st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=5), min_size=1, max_size=6
+        )
+    )
+    def test_topic_matches_itself_and_wildcards(self, levels):
+        topic = "/".join(levels)
+        assert topic_matches(topic, topic)
+        assert topic_matches("#", topic)
+        single = "/".join(["+"] * len(levels))
+        assert topic_matches(single, topic)

@@ -1,0 +1,172 @@
+"""Tests for the Sentilo-like sensor catalog, including exact Table I fidelity."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sensors.catalog import (
+    BARCELONA_CATALOG,
+    CATEGORY_REDUNDANCY,
+    PAPER_TABLE1_DAILY_TOTALS,
+    PAPER_TABLE1_GRAND_TOTAL_DAILY_CLOUD,
+    PAPER_TABLE1_GRAND_TOTAL_DAILY_F2C,
+    PAPER_TABLE1_GRAND_TOTAL_PER_TRANSACTION_CLOUD,
+    PAPER_TABLE1_GRAND_TOTAL_PER_TRANSACTION_F2C,
+    PAPER_TABLE1_GRAND_TOTAL_SENSORS,
+    SensorCatalog,
+    SensorCategory,
+    SensorTypeSpec,
+)
+
+
+def spec(name="x", category=SensorCategory.ENERGY, count=10, size=22, daily=2112, **kw):
+    return SensorTypeSpec(
+        name=name,
+        category=category,
+        sensor_count=count,
+        message_size_bytes=size,
+        daily_bytes_per_sensor=daily,
+        **kw,
+    )
+
+
+class TestSensorTypeSpec:
+    def test_derived_transactions_per_day(self):
+        s = spec(size=22, daily=2112)
+        assert s.transactions_per_day == pytest.approx(96.0)
+        assert s.sampling_interval_seconds == pytest.approx(900.0)
+
+    def test_per_population_totals(self):
+        s = spec(count=100, size=22, daily=2112)
+        assert s.bytes_per_transaction_all_sensors() == 2_200
+        assert s.bytes_per_day_all_sensors() == 211_200
+
+    def test_redundancy_rate_from_category(self):
+        assert spec(category=SensorCategory.NOISE).redundancy_rate == 0.75
+        assert spec(category=SensorCategory.URBAN).redundancy_rate == 0.30
+
+    def test_after_redundancy_totals(self):
+        s = spec(category=SensorCategory.ENERGY, count=10, size=100, daily=1000)
+        assert s.bytes_per_transaction_after_redundancy() == 500
+        assert s.bytes_per_day_after_redundancy() == 5_000
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"count": 0},
+            {"size": 0},
+            {"daily": 0},
+            {"value_range": (10.0, 5.0)},
+            {"value_resolution": 0.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        base = dict(name="bad", category=SensorCategory.ENERGY, count=1, size=1, daily=1)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            spec(**base)
+
+
+class TestSensorCatalog:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorCatalog([spec(name="a"), spec(name="a")])
+
+    def test_lookup_and_membership(self):
+        catalog = SensorCatalog([spec(name="a"), spec(name="b")])
+        assert "a" in catalog
+        assert catalog.get("b").name == "b"
+        with pytest.raises(KeyError):
+            catalog.get("missing")
+
+    def test_subset(self):
+        catalog = SensorCatalog(
+            [spec(name="a", category=SensorCategory.ENERGY), spec(name="b", category=SensorCategory.NOISE)]
+        )
+        subset = catalog.subset([SensorCategory.NOISE])
+        assert subset.type_names == ["b"]
+
+    def test_scaled_preserves_structure(self):
+        scaled = BARCELONA_CATALOG.scaled(0.001)
+        assert len(scaled) == len(BARCELONA_CATALOG)
+        for original, small in zip(BARCELONA_CATALOG, scaled):
+            assert small.sensor_count >= 1
+            assert small.sensor_count <= original.sensor_count
+            assert small.message_size_bytes == original.message_size_bytes
+
+    def test_scaled_rejects_non_positive_factor(self):
+        with pytest.raises(ConfigurationError):
+            BARCELONA_CATALOG.scaled(0.0)
+
+    def test_categories_in_order(self):
+        categories = BARCELONA_CATALOG.categories
+        assert categories == [
+            SensorCategory.ENERGY,
+            SensorCategory.NOISE,
+            SensorCategory.GARBAGE,
+            SensorCategory.PARKING,
+            SensorCategory.URBAN,
+        ]
+
+
+class TestTable1Fidelity:
+    """The catalog reproduces Table I's printed numbers exactly."""
+
+    def test_total_sensor_count(self):
+        assert BARCELONA_CATALOG.total_sensors() == PAPER_TABLE1_GRAND_TOTAL_SENSORS
+
+    def test_energy_sensor_count(self):
+        assert BARCELONA_CATALOG.total_sensors(SensorCategory.ENERGY) == 495_019
+
+    def test_per_sensor_transaction_bytes_total(self):
+        assert BARCELONA_CATALOG.total_message_bytes_per_sensor() == 1_082
+
+    def test_per_transaction_totals(self):
+        assert (
+            BARCELONA_CATALOG.total_bytes_per_transaction()
+            == PAPER_TABLE1_GRAND_TOTAL_PER_TRANSACTION_CLOUD
+        )
+        assert (
+            BARCELONA_CATALOG.total_bytes_per_transaction_after_redundancy()
+            == PAPER_TABLE1_GRAND_TOTAL_PER_TRANSACTION_F2C
+        )
+
+    def test_daily_totals_citywide(self):
+        assert BARCELONA_CATALOG.total_bytes_per_day() == PAPER_TABLE1_GRAND_TOTAL_DAILY_CLOUD
+        assert (
+            BARCELONA_CATALOG.total_bytes_per_day_after_redundancy()
+            == PAPER_TABLE1_GRAND_TOTAL_DAILY_F2C
+        )
+
+    @pytest.mark.parametrize("category", list(PAPER_TABLE1_DAILY_TOTALS))
+    def test_daily_totals_per_category(self, category):
+        expected_cloud, expected_f2c = PAPER_TABLE1_DAILY_TOTALS[category]
+        assert BARCELONA_CATALOG.total_bytes_per_day(category) == expected_cloud
+        assert BARCELONA_CATALOG.total_bytes_per_day_after_redundancy(category) == expected_f2c
+
+    def test_specific_rows(self):
+        electricity = BARCELONA_CATALOG.get("electricity_meter")
+        assert electricity.sensor_count == 70_717
+        assert electricity.bytes_per_transaction_all_sensors() == 1_555_774
+        assert electricity.bytes_per_day_all_sensors() == 149_354_304
+        assert electricity.bytes_per_day_after_redundancy() == 74_677_152
+
+        analyzer = BARCELONA_CATALOG.get("network_analyzer")
+        assert analyzer.message_size_bytes == 242
+        assert analyzer.bytes_per_transaction_all_sensors() == 17_113_514
+
+        traffic = BARCELONA_CATALOG.get("traffic")
+        assert traffic.bytes_per_day_all_sensors() == 2_534_400_000
+        assert traffic.bytes_per_day_after_redundancy() == 1_774_080_000
+
+    def test_daily_volume_is_about_8_gb(self):
+        assert BARCELONA_CATALOG.total_bytes_per_day() / 1e9 == pytest.approx(8.58, abs=0.01)
+
+    def test_redundancy_rates_match_paper(self):
+        assert CATEGORY_REDUNDANCY[SensorCategory.ENERGY] == 0.50
+        assert CATEGORY_REDUNDANCY[SensorCategory.NOISE] == 0.75
+        assert CATEGORY_REDUNDANCY[SensorCategory.GARBAGE] == 0.70
+        assert CATEGORY_REDUNDANCY[SensorCategory.PARKING] == 0.40
+        assert CATEGORY_REDUNDANCY[SensorCategory.URBAN] == 0.30
+
+    def test_twenty_one_sensor_types(self):
+        assert len(BARCELONA_CATALOG) == 21

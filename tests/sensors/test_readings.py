@@ -1,0 +1,109 @@
+"""Tests for the Reading / ReadingBatch data model."""
+
+import pytest
+
+from repro.sensors.readings import Reading, ReadingBatch
+from tests.conftest import make_reading
+
+
+class TestReading:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_reading(size_bytes=-1)
+
+    def test_with_tags_merges(self):
+        reading = make_reading().with_tags(a=1)
+        tagged = reading.with_tags(b=2)
+        assert tagged.tags == {"a": 1, "b": 2}
+        assert reading.tags == {"a": 1}  # original untouched
+
+    def test_with_fog_node(self):
+        reading = make_reading().with_fog_node("fog1/x")
+        assert reading.fog_node_id == "fog1/x"
+
+    def test_dedup_key_ignores_timestamp(self):
+        a = make_reading(timestamp=0.0)
+        b = make_reading(timestamp=100.0)
+        assert a.dedup_key() == b.dedup_key()
+
+    def test_dedup_key_differs_for_different_values(self):
+        assert make_reading(value=1.0).dedup_key() != make_reading(value=2.0).dedup_key()
+
+    def test_encode_pads_to_wire_size(self):
+        reading = make_reading(size_bytes=64)
+        assert len(reading.encode()) == 64
+
+    def test_encode_without_size(self):
+        reading = make_reading(size_bytes=0)
+        encoded = reading.encode()
+        assert encoded.startswith(b"sensor-1,temperature,")
+
+    def test_encode_contains_identity(self):
+        encoded = make_reading(sensor_id="abc", size_bytes=80).encode()
+        assert b"abc" in encoded
+
+
+class TestReadingBatch:
+    def test_append_and_len(self):
+        batch = ReadingBatch()
+        batch.append(make_reading())
+        assert len(batch) == 1
+        assert bool(batch)
+
+    def test_total_bytes(self):
+        batch = ReadingBatch([make_reading(size_bytes=10), make_reading(size_bytes=32)])
+        assert batch.total_bytes == 42
+
+    def test_categories_and_bytes_by_category(self):
+        batch = ReadingBatch(
+            [
+                make_reading(category="energy", size_bytes=10),
+                make_reading(category="energy", size_bytes=10),
+                make_reading(category="noise", size_bytes=5),
+            ]
+        )
+        assert batch.categories() == {"energy": 2, "noise": 1}
+        assert batch.bytes_by_category() == {"energy": 20, "noise": 5}
+
+    def test_filter(self):
+        batch = ReadingBatch([make_reading(value=1.0), make_reading(value=10.0)])
+        filtered = batch.filter(lambda r: r.value > 5)
+        assert len(filtered) == 1
+        assert len(batch) == 2
+
+    def test_split_by_category(self):
+        batch = ReadingBatch(
+            [make_reading(category="energy"), make_reading(category="noise"), make_reading(category="noise")]
+        )
+        split = batch.split_by_category()
+        assert set(split) == {"energy", "noise"}
+        assert len(split["noise"]) == 2
+
+    def test_encode_concatenates(self):
+        batch = ReadingBatch([make_reading(size_bytes=30), make_reading(size_bytes=20)])
+        assert len(batch.encode()) == 50
+
+    def test_copy_is_independent(self):
+        batch = ReadingBatch([make_reading()])
+        clone = batch.copy()
+        clone.append(make_reading())
+        assert len(batch) == 1
+        assert len(clone) == 2
+
+    def test_clear(self):
+        batch = ReadingBatch([make_reading()])
+        batch.clear()
+        assert len(batch) == 0
+        assert not batch
+
+    def test_iteration_and_indexing(self):
+        readings = [make_reading(value=float(i)) for i in range(3)]
+        batch = ReadingBatch(readings)
+        assert [r.value for r in batch] == [0.0, 1.0, 2.0]
+        assert batch[1].value == 1.0
+
+    def test_empty_batch_properties(self):
+        batch = ReadingBatch()
+        assert batch.total_bytes == 0
+        assert batch.categories() == {}
+        assert batch.encode() == b""

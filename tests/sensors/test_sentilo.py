@@ -1,0 +1,75 @@
+"""Tests for the Sentilo-like platform facade."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ValidationError
+from repro.sensors.readings import ReadingBatch
+from repro.sensors.sentilo import SentiloPlatform
+from tests.conftest import make_reading
+
+
+@pytest.fixture()
+def platform():
+    p = SentiloPlatform()
+    p.register_provider("city-energy", description="energy department")
+    return p
+
+
+class TestRegistration:
+    def test_register_provider_and_sensor(self, platform):
+        record = platform.register_sensor("s-1", "temperature", "energy", "city-energy")
+        assert record.sensor_id == "s-1"
+        assert platform.providers[0].sensor_ids == ["s-1"]
+
+    def test_duplicate_provider_rejected(self, platform):
+        with pytest.raises(ConfigurationError):
+            platform.register_provider("city-energy")
+
+    def test_duplicate_sensor_rejected(self, platform):
+        platform.register_sensor("s-1", "temperature", "energy", "city-energy")
+        with pytest.raises(ConfigurationError):
+            platform.register_sensor("s-1", "temperature", "energy", "city-energy")
+
+    def test_unknown_provider_rejected(self, platform):
+        with pytest.raises(ConfigurationError):
+            platform.register_sensor("s-1", "temperature", "energy", "nobody")
+
+    def test_catalog_enforcement(self, small_catalog):
+        platform = SentiloPlatform(catalog=small_catalog)
+        platform.register_provider("p")
+        platform.register_sensor("s-1", "temperature", "energy", "p")
+        with pytest.raises(ConfigurationError):
+            platform.register_sensor("s-2", "unknown-type", "energy", "p")
+
+
+class TestIngestionAndQuery:
+    def test_publish_and_latest(self, platform):
+        platform.publish_observation(make_reading(sensor_id="s-1", timestamp=1.0, value=10.0))
+        platform.publish_observation(make_reading(sensor_id="s-1", timestamp=5.0, value=20.0))
+        assert platform.latest("s-1").value == 20.0
+
+    def test_latest_unknown_sensor_is_none(self, platform):
+        assert platform.latest("missing") is None
+
+    def test_observations_window(self, platform):
+        for t in range(5):
+            platform.publish_observation(make_reading(sensor_id="s-1", timestamp=float(t)))
+        window = platform.observations("s-1", since=1.0, until=4.0)
+        assert [r.timestamp for r in window] == [1.0, 2.0, 3.0]
+
+    def test_require_registered(self, platform):
+        with pytest.raises(ValidationError):
+            platform.publish_observation(make_reading(sensor_id="ghost"), require_registered=True)
+
+    def test_publish_batch_counts(self, platform):
+        batch = ReadingBatch([make_reading(sensor_id=f"s-{i}") for i in range(4)])
+        assert platform.publish_batch(batch) == 4
+        assert platform.observation_count() == 4
+
+    def test_ingested_bytes_by_category(self, platform):
+        platform.publish_observation(make_reading(category="energy", size_bytes=22))
+        platform.publish_observation(make_reading(category="noise", size_bytes=10))
+        platform.publish_observation(make_reading(category="energy", size_bytes=22))
+        assert platform.ingested_bytes() == 54
+        assert platform.ingested_bytes("energy") == 44
+        assert platform.ingested_bytes_by_category() == {"energy": 44, "noise": 10}

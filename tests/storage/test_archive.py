@@ -1,0 +1,105 @@
+"""Tests for the cloud archive (versioning, lineage, dissemination)."""
+
+import pytest
+
+from repro.common.errors import StorageError, ValidationError
+from repro.sensors.readings import ReadingBatch
+from repro.storage.archive import AccessLevel, CloudArchive, DisseminationPolicy
+from tests.conftest import make_reading
+
+
+def batch_of(count=3, **kwargs):
+    return ReadingBatch([make_reading(sensor_id=f"s{i}", **kwargs) for i in range(count)])
+
+
+@pytest.fixture()
+def archive():
+    return CloudArchive()
+
+
+class TestVersioning:
+    def test_versions_increment(self, archive):
+        first = archive.archive("energy/day-0", batch_of(), archived_at=0.0)
+        second = archive.archive("energy/day-0", batch_of(), archived_at=1.0)
+        assert (first.version, second.version) == (1, 2)
+        assert archive.latest("energy/day-0").version == 2
+
+    def test_get_specific_version(self, archive):
+        archive.archive("d", batch_of(1), archived_at=0.0)
+        archive.archive("d", batch_of(5), archived_at=1.0)
+        assert archive.get("d", 1).reading_count == 1
+        with pytest.raises(StorageError):
+            archive.get("d", 3)
+
+    def test_unknown_dataset(self, archive):
+        with pytest.raises(StorageError):
+            archive.versions("missing")
+
+    def test_empty_dataset_name_rejected(self, archive):
+        with pytest.raises(ValidationError):
+            archive.archive("", batch_of(), archived_at=0.0)
+
+    def test_archived_batch_is_a_copy(self, archive):
+        batch = batch_of(2)
+        archive.archive("d", batch, archived_at=0.0)
+        batch.append(make_reading(sensor_id="late"))
+        assert archive.latest("d").reading_count == 2
+
+    def test_datasets_sorted(self, archive):
+        archive.archive("b", batch_of(), archived_at=0.0)
+        archive.archive("a", batch_of(), archived_at=0.0)
+        assert archive.datasets() == ["a", "b"]
+
+    def test_accounting(self, archive):
+        archive.archive("d", batch_of(2, size_bytes=10), archived_at=0.0)
+        archive.archive("d", batch_of(3, size_bytes=10), archived_at=1.0)
+        assert archive.archived_bytes == 50
+        assert archive.total_versions() == 2
+
+
+class TestLineageAndProvenance:
+    def test_lineage_recorded(self, archive):
+        archive.archive("d", batch_of(), archived_at=0.0, lineage=("fog2/district-01",))
+        assert archive.lineage_of("d") == ("fog2/district-01",)
+
+    def test_provenance_stored(self, archive):
+        entry = archive.archive("d", batch_of(), archived_at=0.0, provenance={"source": "sentilo"})
+        assert entry.provenance["source"] == "sentilo"
+
+
+class TestDissemination:
+    def test_public_readable_by_anyone(self, archive):
+        archive.archive("d", batch_of(), archived_at=0.0)
+        assert len(archive.read("d", consumer="random-citizen")) == 3
+
+    def test_private_requires_allowlist(self, archive):
+        policy = DisseminationPolicy(access_level=AccessLevel.PRIVATE, allowed_consumers=("police",))
+        archive.archive("d", batch_of(), archived_at=0.0, policy=policy)
+        assert len(archive.read("d", consumer="police")) == 3
+        with pytest.raises(StorageError):
+            archive.read("d", consumer="random-citizen")
+
+    def test_anonymised_read_tags_readings(self, archive):
+        policy = DisseminationPolicy(access_level=AccessLevel.PUBLIC, anonymize=True)
+        archive.archive("d", batch_of(), archived_at=0.0, policy=policy)
+        batch = archive.read("d", consumer="anyone")
+        assert all(reading.tags.get("anonymized") for reading in batch)
+
+    def test_read_specific_version(self, archive):
+        archive.archive("d", batch_of(1), archived_at=0.0)
+        archive.archive("d", batch_of(4), archived_at=1.0)
+        assert len(archive.read("d", consumer="x", version=1)) == 1
+
+
+class TestExpiry:
+    def test_purge_expired_versions(self, archive):
+        archive.archive("short-lived", batch_of(), archived_at=0.0, expiry=10.0)
+        archive.archive("permanent", batch_of(), archived_at=0.0)
+        removed = archive.purge_expired(now=20.0)
+        assert removed == 1
+        assert archive.datasets() == ["permanent"]
+
+    def test_not_yet_expired_kept(self, archive):
+        archive.archive("d", batch_of(), archived_at=0.0, expiry=100.0)
+        assert archive.purge_expired(now=50.0) == 0
+        assert archive.datasets() == ["d"]

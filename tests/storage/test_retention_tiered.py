@@ -1,0 +1,123 @@
+"""Tests for retention policies and the tiered store."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.storage.retention import (
+    CompositeRetention,
+    CountRetention,
+    KeepEverything,
+    SizeRetention,
+    TtlRetention,
+)
+from repro.storage.tiered import TieredStore
+from repro.storage.timeseries import TimeSeriesStore
+from tests.conftest import make_reading
+
+
+def filled_store(count=10, size_bytes=10):
+    store = TimeSeriesStore()
+    for t in range(count):
+        store.append(make_reading(sensor_id="s1", timestamp=float(t), size_bytes=size_bytes))
+    return store
+
+
+class TestRetentionPolicies:
+    def test_ttl_removes_old_readings(self):
+        store = filled_store(10)
+        removed = TtlRetention(max_age_seconds=3.0).enforce(store, now=9.0)
+        assert removed == 6  # readings at t<6 are older than 3 s at now=9
+        assert len(store) == 4
+
+    def test_ttl_nothing_to_remove(self):
+        store = filled_store(5)
+        assert TtlRetention(max_age_seconds=100.0).enforce(store, now=4.0) == 0
+
+    def test_count_retention(self):
+        store = filled_store(10)
+        removed = CountRetention(max_readings=4).enforce(store, now=100.0)
+        assert removed == 6
+        assert len(store) == 4
+        # The newest readings survive.
+        assert min(r.timestamp for r in store.all_readings()) == 6.0
+
+    def test_size_retention(self):
+        store = filled_store(10, size_bytes=10)
+        SizeRetention(max_bytes=45).enforce(store, now=100.0)
+        assert store.total_bytes <= 45
+
+    def test_composite_applies_all(self):
+        store = filled_store(10)
+        policy = CompositeRetention([TtlRetention(5.0), CountRetention(2)])
+        policy.enforce(store, now=9.0)
+        assert len(store) <= 2
+
+    def test_keep_everything(self):
+        store = filled_store(10)
+        assert KeepEverything().enforce(store, now=1e9) == 0
+        assert len(store) == 10
+
+    def test_describe(self):
+        assert "TTL" in TtlRetention(60).describe()
+        assert "+" in CompositeRetention([TtlRetention(1), CountRetention(1)]).describe()
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: TtlRetention(0),
+            lambda: CountRetention(0),
+            lambda: SizeRetention(0),
+            lambda: CompositeRetention([]),
+        ],
+    )
+    def test_invalid_policies(self, factory):
+        with pytest.raises(ConfigurationError):
+            factory()
+
+
+class TestTieredStore:
+    def test_ingest_marks_pending_upward(self):
+        tier = TieredStore("fog1-test")
+        tier.ingest(make_reading(size_bytes=22))
+        assert tier.pending_upward_count == 1
+        assert tier.pending_upward_bytes == 22
+        assert len(tier) == 1
+
+    def test_ingest_without_upward_marking(self):
+        tier = TieredStore("cloud-test")
+        tier.ingest(make_reading(), mark_for_upward=False)
+        assert tier.pending_upward_count == 0
+
+    def test_drain_pending_upward_clears_queue(self):
+        tier = TieredStore("fog1-test")
+        tier.ingest_batch([make_reading(sensor_id=f"s{i}") for i in range(3)])
+        drained = tier.drain_pending_upward()
+        assert len(drained) == 3
+        assert tier.pending_upward_count == 0
+        # Data stays locally available after draining (the real-time window).
+        assert len(tier) == 3
+
+    def test_retention_enforcement_counts_evictions(self):
+        tier = TieredStore("fog1-test", retention=TtlRetention(10.0))
+        for t in range(20):
+            tier.ingest(make_reading(sensor_id="s1", timestamp=float(t)))
+        evicted = tier.enforce_retention(now=19.0)
+        assert evicted > 0
+        assert tier.evicted_count == evicted
+
+    def test_query_delegation(self):
+        tier = TieredStore("fog1-test")
+        tier.ingest(make_reading(sensor_id="s1", timestamp=1.0, value=10.0))
+        assert tier.latest("s1").value == 10.0
+        assert tier.has_series("s1")
+        assert len(tier.query("s1", since=0.0, until=2.0)) == 1
+        assert len(tier.query_window(category="energy")) == 1
+
+    def test_stats_snapshot(self):
+        tier = TieredStore("fog1-test")
+        tier.ingest(make_reading(size_bytes=22))
+        stats = tier.stats()
+        assert stats["stored_readings"] == 1
+        assert stats["ingested_bytes"] == 22
+        assert stats["pending_upward"] == 1
+        assert "retention" in stats

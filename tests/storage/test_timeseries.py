@@ -1,0 +1,103 @@
+"""Tests for the time-series store."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.storage.timeseries import TimeSeriesStore
+from tests.conftest import make_reading
+
+
+@pytest.fixture()
+def store():
+    return TimeSeriesStore()
+
+
+class TestAppendAndQuery:
+    def test_latest(self, store):
+        store.append(make_reading(sensor_id="s1", timestamp=1.0, value=1.0))
+        store.append(make_reading(sensor_id="s1", timestamp=5.0, value=5.0))
+        assert store.latest("s1").value == 5.0
+
+    def test_latest_missing_series_raises(self, store):
+        with pytest.raises(StorageError):
+            store.latest("missing")
+
+    def test_out_of_order_appends_kept_sorted(self, store):
+        store.append(make_reading(sensor_id="s1", timestamp=5.0))
+        store.append(make_reading(sensor_id="s1", timestamp=1.0))
+        store.append(make_reading(sensor_id="s1", timestamp=3.0))
+        timestamps = [r.timestamp for r in store.query("s1")]
+        assert timestamps == [1.0, 3.0, 5.0]
+        assert store.latest("s1").timestamp == 5.0
+
+    def test_query_window_per_sensor(self, store):
+        for t in range(10):
+            store.append(make_reading(sensor_id="s1", timestamp=float(t)))
+        window = store.query("s1", since=2.0, until=5.0)
+        assert [r.timestamp for r in window] == [2.0, 3.0, 4.0]
+
+    def test_query_window_global_with_category(self, store):
+        store.append(make_reading(sensor_id="s1", category="energy", timestamp=1.0))
+        store.append(make_reading(sensor_id="s2", category="noise", timestamp=1.0))
+        batch = store.query_window(category="noise")
+        assert len(batch) == 1
+        assert batch[0].category == "noise"
+
+    def test_extend_and_len(self, store):
+        count = store.extend(make_reading(sensor_id=f"s{i}", timestamp=float(i)) for i in range(5))
+        assert count == 5
+        assert len(store) == 5
+
+    def test_sensor_ids_sorted(self, store):
+        store.append(make_reading(sensor_id="b"))
+        store.append(make_reading(sensor_id="a"))
+        assert store.sensor_ids() == ["a", "b"]
+
+    def test_has_series(self, store):
+        assert not store.has_series("s1")
+        store.append(make_reading(sensor_id="s1"))
+        assert store.has_series("s1")
+
+
+class TestAccounting:
+    def test_total_and_per_category_bytes(self, store):
+        store.append(make_reading(category="energy", size_bytes=22))
+        store.append(make_reading(category="noise", size_bytes=10))
+        assert store.total_bytes == 32
+        assert store.bytes_by_category() == {"energy": 22, "noise": 10}
+
+    def test_oldest_timestamp(self, store):
+        assert store.oldest_timestamp() is None
+        store.append(make_reading(sensor_id="a", timestamp=7.0))
+        store.append(make_reading(sensor_id="b", timestamp=3.0))
+        assert store.oldest_timestamp() == 3.0
+
+
+class TestRemoval:
+    def test_remove_older_than(self, store):
+        for t in range(10):
+            store.append(make_reading(sensor_id="s1", timestamp=float(t), size_bytes=10))
+        removed = store.remove_older_than(5.0)
+        assert removed == 5
+        assert len(store) == 5
+        assert store.total_bytes == 50
+        assert store.query("s1")[0].timestamp == 5.0
+
+    def test_remove_oldest(self, store):
+        for t in range(6):
+            store.append(make_reading(sensor_id=f"s{t % 2}", timestamp=float(t), size_bytes=10))
+        victims = store.remove_oldest(2)
+        assert [v.timestamp for v in victims] == [0.0, 1.0]
+        assert len(store) == 4
+        assert store.total_bytes == 40
+
+    def test_remove_oldest_zero_is_noop(self, store):
+        store.append(make_reading())
+        assert store.remove_oldest(0) == []
+        assert len(store) == 1
+
+    def test_clear(self, store):
+        store.append(make_reading())
+        store.clear()
+        assert len(store) == 0
+        assert store.total_bytes == 0
