@@ -1,0 +1,460 @@
+"""End-to-end ingest throughput: sensors → broker → fog L1 → fog L2 → cloud.
+
+This benchmark drives a synthetic city-hour through the full F2C stack and
+measures readings/second along three ingest paths:
+
+* ``per_message`` — the pre-refactor data path: every published reading is
+  delivered synchronously and runs the whole acquisition block on a
+  one-reading batch (``attach_broker(batched=False)``).
+* ``batched_broker`` — the batch-native path introduced with the broker
+  inbox mode: publishes park messages per fog node, and one
+  ``flush_broker()`` per publish round runs acquisition once per node-batch.
+* ``direct_batch`` — ``ingest_readings`` with whole per-round batches,
+  skipping wire encode/decode entirely (upper bound for in-process feeds).
+
+It also micro-times the storage hot paths against re-implementations of the
+pre-refactor algorithms (always-bisect append, O(#series) ``len``, global
+sort in ``remove_oldest``, full-batch ``sum`` for ``total_bytes``) so every
+stage's contribution is visible.
+
+Results are written to ``benchmarks/results/BENCH_ingest.json`` (see
+``benchmarks/README.md`` for the schema).  Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_ingest_throughput.py
+
+The file doubles as the baseline record for future perf PRs: compare a new
+run's ``pipelines.*.readings_per_sec`` against the committed numbers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import json
+import pathlib
+import time
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.architecture import F2CDataManagement
+from repro.dlc.acquisition import AcquisitionBlock, DataCollectionPhase
+from repro.dlc.model import LifeCycleBlock
+from repro.messaging.broker import Broker
+from repro.messaging.topics import topic_matches
+from repro.sensors.catalog import BARCELONA_CATALOG, SensorCatalog
+from repro.sensors.generator import ReadingGenerator
+from repro.sensors.readings import Reading, ReadingBatch
+from repro.storage.tiered import TieredStore
+from repro.storage.timeseries import TimeSeriesStore
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_ingest.json"
+
+
+# --------------------------------------------------------------------------- #
+# Legacy (pre-refactor) algorithm re-implementations.  The ``per_message``
+# pipeline runs with ALL of these active (see :func:`legacy_mode`), so the
+# measured baseline is the pre-change code path, reproduced in-tree: uncached
+# O(#subscriptions) broker matching, per-message acquisition, always-bisect
+# store appends, per-reading tier ingestion and full-batch byte re-summing.
+# --------------------------------------------------------------------------- #
+class LegacyTimeSeriesStore(TimeSeriesStore):
+    """The store's pre-refactor write/accounting algorithms."""
+
+    def append(self, reading: Reading) -> None:  # always-bisect insert
+        timestamps = self._timestamps[reading.sensor_id]
+        series = self._series[reading.sensor_id]
+        index = bisect.bisect_right(timestamps, reading.timestamp)
+        timestamps.insert(index, reading.timestamp)
+        series.insert(index, reading)
+        self._count += 1
+        self._total_bytes += reading.size_bytes
+        self._bytes_by_category[reading.category] += reading.size_bytes
+
+    def __len__(self) -> int:  # O(#series) scan
+        return sum(len(series) for series in self._series.values())
+
+    def remove_oldest(self, count: int) -> List[Reading]:  # global sort
+        if count <= 0:
+            return []
+        flat = sorted(self.all_readings(), key=lambda r: r.timestamp)
+        victims = flat[:count]
+        victim_ids = {id(v) for v in victims}
+        for sensor_id in list(self._series.keys()):
+            series = self._series[sensor_id]
+            kept = [r for r in series if id(r) not in victim_ids]
+            if len(kept) != len(series):
+                self._series[sensor_id] = kept
+                self._timestamps[sensor_id] = [r.timestamp for r in kept]
+        for reading in victims:
+            self._total_bytes -= reading.size_bytes
+            self._bytes_by_category[reading.category] -= reading.size_bytes
+        self._count -= len(victims)
+        return victims
+
+
+def legacy_batch_total_bytes(batch: ReadingBatch) -> int:
+    """Pre-refactor ``ReadingBatch.total_bytes``: full re-sum per access."""
+    return sum(r.size_bytes for r in batch)
+
+
+def _legacy_publish(self, topic, payload, qos=0, retain=False, timestamp=0.0):
+    """Pre-refactor ``Broker.publish``: validate + match every subscription."""
+    from repro.messaging.broker import Message
+    from repro.messaging.topics import validate_topic
+
+    validate_topic(topic, allow_wildcards=False)
+    message = Message(
+        topic=topic,
+        payload=bytes(payload),
+        qos=qos,
+        retain=retain,
+        message_id=next(self._message_ids),
+        timestamp=timestamp,
+    )
+    self._published_count += 1
+    self._published_bytes += message.size_bytes
+    if retain:
+        self._retained[topic] = message
+    for subscription in list(self._subscriptions):
+        if topic_matches(subscription.topic_filter, topic):
+            self._deliver(subscription, message)
+    return message
+
+
+def _legacy_tier_ingest_batch(self, batch, mark_for_upward=True):
+    """Pre-refactor ``TieredStore.ingest_batch``: one full ingest per reading."""
+    count = 0
+    for reading in batch:
+        self.ingest(reading, mark_for_upward=mark_for_upward)
+        count += 1
+    return count
+
+
+def _legacy_collection_run(self, batch, now):
+    """Pre-refactor ``DataCollectionPhase.run``: unconditional batch copy."""
+    output = batch.copy()
+    pulled = 0
+    for source in self._sources:
+        for reading in source():
+            output.append(reading)
+            pulled += 1
+    self.collected_total += pulled
+    result = self._result(batch, output, pulled_from_sources=pulled, source_count=len(self._sources))
+    return output, result
+
+
+@contextlib.contextmanager
+def legacy_mode():
+    """Temporarily restore the pre-refactor hot-path algorithms.
+
+    Swaps class attributes so the baseline pipeline measures the pre-change
+    code: generic (unfused) acquisition chain, per-reading tier ingestion,
+    always-bisect store appends, O(n) batch byte accounting and uncached
+    broker matching.  Everything is restored on exit, even on error.
+    """
+    saved = {
+        "acq_run": AcquisitionBlock.run,
+        "collect_run": DataCollectionPhase.run,
+        "tier_ingest": TieredStore.ingest_batch,
+        "tier_pending_bytes": TieredStore.pending_upward_bytes,
+        "store_append": TimeSeriesStore.append,
+        "store_len": TimeSeriesStore.__len__,
+        "store_remove": TimeSeriesStore.remove_oldest,
+        "batch_bytes": ReadingBatch.total_bytes,
+        "publish": Broker.publish,
+    }
+    try:
+        AcquisitionBlock.run = LifeCycleBlock.run
+        DataCollectionPhase.run = _legacy_collection_run
+        TieredStore.ingest_batch = _legacy_tier_ingest_batch
+        TieredStore.pending_upward_bytes = property(
+            lambda self: sum(r.size_bytes for r in self._pending_upward)
+        )
+        TimeSeriesStore.append = LegacyTimeSeriesStore.append
+        TimeSeriesStore.__len__ = LegacyTimeSeriesStore.__len__
+        TimeSeriesStore.remove_oldest = LegacyTimeSeriesStore.remove_oldest
+        ReadingBatch.total_bytes = property(legacy_batch_total_bytes)
+        Broker.publish = _legacy_publish
+        yield
+    finally:
+        AcquisitionBlock.run = saved["acq_run"]
+        DataCollectionPhase.run = saved["collect_run"]
+        TieredStore.ingest_batch = saved["tier_ingest"]
+        TieredStore.pending_upward_bytes = saved["tier_pending_bytes"]
+        TimeSeriesStore.append = saved["store_append"]
+        TimeSeriesStore.__len__ = saved["store_len"]
+        TimeSeriesStore.remove_oldest = saved["store_remove"]
+        ReadingBatch.total_bytes = saved["batch_bytes"]
+        Broker.publish = saved["publish"]
+
+
+# --------------------------------------------------------------------------- #
+# Workload construction
+# --------------------------------------------------------------------------- #
+def build_workload(
+    catalog: SensorCatalog,
+    devices_per_type: int,
+    duration_s: float,
+    round_s: float,
+    seed: int = 7,
+) -> Tuple[List[Tuple[float, List[Reading]]], Dict[str, str], int]:
+    """One synthetic city-hour, pre-grouped into publish rounds.
+
+    Returns ``(rounds, sensor_section, total_readings)`` where *rounds* is a
+    list of ``(round_end_time, readings)`` and *sensor_section* maps each
+    sensor id to the city section it is assigned to (round-robin over the 73
+    Barcelona sections, mirroring a physical deployment).
+    """
+    generator = ReadingGenerator(catalog, devices_per_type=devices_per_type, seed=seed)
+    system = F2CDataManagement(catalog=catalog)  # only used for the section list
+    sections = [s.section_id for s in system.city.sections]
+    sensor_section: Dict[str, str] = {}
+    per_round: Dict[int, List[Reading]] = defaultdict(list)
+    total = 0
+    for index, device in enumerate(generator.all_devices()):
+        sensor_section[device.sensor_id] = sections[index % len(sections)]
+        for reading in device.stream(0.0, duration_s):
+            per_round[int(reading.timestamp // round_s)].append(reading)
+            total += 1
+    rounds = [
+        ((slot + 1) * round_s, sorted(readings, key=lambda r: r.timestamp))
+        for slot, readings in sorted(per_round.items())
+    ]
+    return rounds, sensor_section, total
+
+
+def _fresh_system(catalog: SensorCatalog, sensor_section: Dict[str, str]) -> F2CDataManagement:
+    system = F2CDataManagement(catalog=catalog)
+    for sensor_id, section_id in sensor_section.items():
+        system.assign_sensor(sensor_id, section_id)
+    return system
+
+
+def _topic(section_id: str, reading: Reading, city_slug: str = "bcn") -> str:
+    return f"city/{city_slug}/{section_id}/{reading.category}/{reading.sensor_type}"
+
+
+def _system_outcome(system: F2CDataManagement) -> Dict[str, object]:
+    traffic = system.traffic_report()
+    return {
+        "cloud_readings": len(system.cloud.storage),
+        "fog1_bytes_received": traffic.get("fog_layer_1", 0),
+        "cloud_bytes_received": traffic.get("cloud", 0),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# The three ingest pipelines
+# --------------------------------------------------------------------------- #
+def run_per_message(catalog, rounds, sensor_section) -> Dict[str, object]:
+    """Pre-refactor path: per-message delivery + the pre-change algorithms.
+
+    Runs entirely inside :func:`legacy_mode`, so both the data path (one
+    synchronous acquisition per published message) and the underlying
+    algorithms (uncached matching, unfused phases, per-reading bookkeeping)
+    are the pre-change code.
+    """
+    with legacy_mode():
+        system = _fresh_system(catalog, sensor_section)
+        broker = Broker()
+        system.attach_broker(broker, batched=False)
+        publish_s = 0.0
+        sync_s = 0.0
+        begin = time.perf_counter()
+        for round_end, readings in rounds:
+            t0 = time.perf_counter()
+            for reading in readings:
+                broker.publish(
+                    _topic(sensor_section[reading.sensor_id], reading),
+                    reading.encode(),
+                    timestamp=reading.timestamp,
+                )
+            publish_s += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            system.synchronise(now=round_end)
+            sync_s += time.perf_counter() - t0
+        wall = time.perf_counter() - begin
+        return {
+            "wall_s": wall,
+            "stages": {"publish_and_acquire_s": publish_s, "sync_s": sync_s},
+            **_system_outcome(system),
+        }
+
+
+def run_batched_broker(catalog, rounds, sensor_section) -> Dict[str, object]:
+    """Batch-native path: inbox per fog node, one acquisition per node-round."""
+    system = _fresh_system(catalog, sensor_section)
+    broker = Broker()
+    system.attach_broker(broker, batched=True)
+    publish_s = 0.0
+    flush_s = 0.0
+    sync_s = 0.0
+    begin = time.perf_counter()
+    for round_end, readings in rounds:
+        t0 = time.perf_counter()
+        for reading in readings:
+            broker.publish(
+                _topic(sensor_section[reading.sensor_id], reading),
+                reading.encode(),
+                timestamp=reading.timestamp,
+            )
+        publish_s += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        system.flush_broker(now=round_end)
+        flush_s += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        system.synchronise(now=round_end)
+        sync_s += time.perf_counter() - t0
+    wall = time.perf_counter() - begin
+    return {
+        "wall_s": wall,
+        "stages": {"publish_s": publish_s, "flush_acquire_s": flush_s, "sync_s": sync_s},
+        **_system_outcome(system),
+    }
+
+
+def run_direct_batch(catalog, rounds, sensor_section) -> Dict[str, object]:
+    """In-process feed: whole per-round batches via ingest_readings."""
+    system = _fresh_system(catalog, sensor_section)
+    ingest_s = 0.0
+    sync_s = 0.0
+    begin = time.perf_counter()
+    for round_end, readings in rounds:
+        t0 = time.perf_counter()
+        system.ingest_readings(readings, now=round_end)
+        ingest_s += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        system.synchronise(now=round_end)
+        sync_s += time.perf_counter() - t0
+    wall = time.perf_counter() - begin
+    return {
+        "wall_s": wall,
+        "stages": {"ingest_s": ingest_s, "sync_s": sync_s},
+        **_system_outcome(system),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Storage micro-benchmarks (new vs legacy algorithms)
+# --------------------------------------------------------------------------- #
+def _make_readings(n_sensors: int, per_sensor: int) -> List[Reading]:
+    readings = []
+    for s in range(n_sensors):
+        sensor_id = f"micro-{s:04d}"
+        for t in range(per_sensor):
+            readings.append(
+                Reading(
+                    sensor_id=sensor_id,
+                    sensor_type="micro",
+                    category="energy",
+                    value=float(t),
+                    timestamp=float(t),
+                    size_bytes=22,
+                )
+            )
+    return readings
+
+
+def run_micro(n_sensors: int = 200, per_sensor: int = 50) -> Dict[str, object]:
+    readings = _make_readings(n_sensors, per_sensor)
+    micro: Dict[str, object] = {}
+
+    def timed(fn) -> float:
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    for label, factory in (("new", TimeSeriesStore), ("legacy", LegacyTimeSeriesStore)):
+        store = factory()
+        append_s = timed(lambda: store.extend(readings))
+        len_s = timed(lambda: [len(store) for _ in range(2_000)])
+        remove_s = timed(lambda: store.remove_oldest(len(readings) // 2))
+        micro[f"store_{label}"] = {
+            "append_per_sec": len(readings) / append_s if append_s else None,
+            "len_calls_per_sec": 2_000 / len_s if len_s else None,
+            "remove_oldest_s": remove_s,
+        }
+
+    batch = ReadingBatch(readings)
+    new_s = timed(lambda: [batch.total_bytes for _ in range(2_000)])
+    legacy_s = timed(lambda: [legacy_batch_total_bytes(batch) for _ in range(2_000)])
+    micro["batch_total_bytes"] = {
+        "new_calls_per_sec": 2_000 / new_s if new_s else None,
+        "legacy_calls_per_sec": 2_000 / legacy_s if legacy_s else None,
+    }
+    return micro
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+def run_benchmark(
+    devices_per_type: int = 50,
+    duration_s: float = 3600.0,
+    round_s: float = 900.0,
+    seed: int = 7,
+    with_micro: bool = True,
+    catalog: Optional[SensorCatalog] = None,
+) -> Dict[str, object]:
+    """Run the full ingest benchmark; returns the result dict (not written)."""
+    catalog = catalog if catalog is not None else BARCELONA_CATALOG
+    rounds, sensor_section, total = build_workload(
+        catalog, devices_per_type, duration_s, round_s, seed=seed
+    )
+    pipelines = {
+        "per_message": run_per_message(catalog, rounds, sensor_section),
+        "batched_broker": run_batched_broker(catalog, rounds, sensor_section),
+        "direct_batch": run_direct_batch(catalog, rounds, sensor_section),
+    }
+    for stats in pipelines.values():
+        stats["readings_per_sec"] = total / stats["wall_s"] if stats["wall_s"] else None
+    baseline_rps = pipelines["per_message"]["readings_per_sec"]
+    result: Dict[str, object] = {
+        "schema": "bench_ingest/v1",
+        "workload": {
+            "devices": devices_per_type * len(catalog),
+            "devices_per_type": devices_per_type,
+            "duration_s": duration_s,
+            "round_s": round_s,
+            "rounds": len(rounds),
+            "total_readings": total,
+            "seed": seed,
+        },
+        "pipelines": pipelines,
+        "speedup": {
+            "batched_broker_vs_per_message": (
+                pipelines["batched_broker"]["readings_per_sec"] / baseline_rps
+                if baseline_rps
+                else None
+            ),
+            "direct_batch_vs_per_message": (
+                pipelines["direct_batch"]["readings_per_sec"] / baseline_rps
+                if baseline_rps
+                else None
+            ),
+        },
+    }
+    if with_micro:
+        result["micro"] = run_micro()
+    return result
+
+
+def main(output: pathlib.Path = DEFAULT_OUTPUT, **kwargs) -> Dict[str, object]:
+    result = run_benchmark(**kwargs)
+    output.parent.mkdir(exist_ok=True)
+    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    workload = result["workload"]
+    print(f"workload: {workload['total_readings']:,} readings, "
+          f"{workload['devices']} devices, {workload['rounds']} rounds")
+    for name, stats in result["pipelines"].items():
+        print(f"  {name:16s} {stats['readings_per_sec']:>12,.0f} readings/s "
+              f"(wall {stats['wall_s']:.3f} s, cloud={stats['cloud_readings']})")
+    for name, factor in result["speedup"].items():
+        print(f"  speedup {name}: {factor:.1f}x")
+    print(f"wrote {output}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -20,8 +20,9 @@ path of a real deployment.
 
 from __future__ import annotations
 
+import zlib
 from collections import defaultdict
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.aggregation.base import AggregationTechnique
 from repro.aggregation.pipeline import AggregationPipeline
@@ -71,7 +72,6 @@ class F2CDataManagement:
 
         self._fog1: Dict[str, FogNodeLevel1] = {}
         self._fog2: Dict[str, FogNodeLevel2] = {}
-        self._section_to_fog1: Dict[str, str] = {}
         self.cloud = CloudNode(node_id=CLOUD_NODE_ID)
 
         self._build_nodes(fog1_aggregator_factory, fog2_aggregator_factory)
@@ -79,7 +79,16 @@ class F2CDataManagement:
             architecture=self, simulator=self.simulator, policy=movement_policy
         )
         self._broker: Optional[Broker] = None
+        self._broker_batched = False
         self._sensor_to_section: Dict[str, str] = {}
+        # Precomputed routing tables for the ingest hot path: section list
+        # (for deterministic spreading of unassigned sensors), the
+        # section → fog-1 node-id map, and a per-sensor resolution cache.
+        self._section_ids: Tuple[str, ...] = tuple(s.section_id for s in self.city.sections)
+        self._fog1_id_by_section: Dict[str, str] = {
+            section_id: fog1_node_id(section_id) for section_id in self._section_ids
+        }
+        self._sensor_route_cache: Dict[str, str] = {}
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -158,12 +167,44 @@ class F2CDataManagement:
     # ------------------------------------------------------------------ #
     def assign_sensor(self, sensor_id: str, section_id: str) -> None:
         """Record that *sensor_id* is physically located in *section_id*."""
-        if section_id not in {s.section_id for s in self.city.sections}:
+        if section_id not in self._fog1_id_by_section:
             raise ConfigurationError(f"unknown section: {section_id}")
         self._sensor_to_section[sensor_id] = section_id
+        self._sensor_route_cache.pop(sensor_id, None)
 
     def section_of_sensor(self, sensor_id: str) -> Optional[str]:
         return self._sensor_to_section.get(sensor_id)
+
+    def _spread_section(self, sensor_id: str) -> str:
+        """Deterministic section for a sensor with no explicit assignment.
+
+        Uses a stable hash (CRC-32) so the spreading is identical across
+        processes and ``PYTHONHASHSEED`` values — the builtin ``hash()`` of a
+        string is salted per interpreter run and would shuffle unassigned
+        sensors between fog nodes from one run to the next.
+        """
+        digest = zlib.crc32(sensor_id.encode("utf-8"))
+        return self._section_ids[digest % len(self._section_ids)]
+
+    def _route_sensor(self, sensor_id: str, default_section: Optional[str]) -> str:
+        """Fog layer-1 node id for *sensor_id*.
+
+        Explicit assignment wins, then the caller's *default_section*, then
+        stable hash-spreading.  Only the spread route is cached (it is the
+        one that costs a hash); assignment and default are plain dict
+        lookups and must be re-resolved per call so a later assignment or a
+        different default is honoured.
+        """
+        section_id = self._sensor_to_section.get(sensor_id)
+        if section_id is not None:
+            return self._fog1_id_by_section[section_id]
+        if default_section is not None:
+            return self._fog1_id_by_section.get(default_section) or fog1_node_id(default_section)
+        node_id = self._sensor_route_cache.get(sensor_id)
+        if node_id is None:
+            node_id = self._fog1_id_by_section[self._spread_section(sensor_id)]
+            self._sensor_route_cache[sensor_id] = node_id
+        return node_id
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -177,25 +218,20 @@ class F2CDataManagement:
         """Route readings to their section's fog layer-1 node and acquire them.
 
         Readings from sensors without an explicit assignment are spread over
-        sections deterministically (hash of the sensor id), or sent to
-        *default_section* when given.  Returns the number of readings
-        acquired per fog layer-1 node.
+        sections deterministically (stable CRC-32 hash of the sensor id, so
+        the spreading is identical across runs), or sent to *default_section*
+        when given.  Returns the number of readings acquired per fog layer-1
+        node.
 
         The edge→fog hop is also recorded in the traffic accountant, so the
         per-layer byte report includes what fog layer 1 received from the
         sensors themselves.
         """
         timestamp = now if now is not None else self.simulator.clock.now()
-        sections = [s.section_id for s in self.city.sections]
+        route = self._route_sensor
         per_node: Dict[str, ReadingBatch] = defaultdict(ReadingBatch)
         for reading in readings:
-            section_id = self._sensor_to_section.get(reading.sensor_id)
-            if section_id is None:
-                if default_section is not None:
-                    section_id = default_section
-                else:
-                    section_id = sections[hash(reading.sensor_id) % len(sections)]
-            per_node[fog1_node_id(section_id)].append(reading)
+            per_node[route(reading.sensor_id, default_section)].append(reading)
 
         acquired_counts: Dict[str, int] = {}
         for node_id, batch in per_node.items():
@@ -215,15 +251,23 @@ class F2CDataManagement:
     # ------------------------------------------------------------------ #
     # Broker integration
     # ------------------------------------------------------------------ #
-    def attach_broker(self, broker: Broker, city_slug: str = "bcn") -> None:
+    def attach_broker(self, broker: Broker, city_slug: str = "bcn", batched: bool = False) -> None:
         """Subscribe every fog layer-1 node to its section's topic subtree.
 
         Topics follow ``city/<city>/<district>/<section>/<category>/<type>``;
         the payload must be the reading's wire encoding produced by
         :meth:`repro.sensors.readings.Reading.encode` and is re-parsed into a
         minimal reading (value as string) for acquisition.
+
+        With ``batched=True`` messages are parked in a per-fog-node broker
+        inbox instead of running the acquisition block per message; call
+        :meth:`flush_broker` to drain every inbox and acquire each node's
+        backlog as one batch.  This is the high-throughput ingest mode: the
+        acquisition block, traffic accounting and storage bookkeeping all run
+        once per batch instead of once per reading.
         """
         self._broker = broker
+        self._broker_batched = batched
         for district in self.city.districts:
             for section in district.sections:
                 node_id = fog1_node_id(section.section_id)
@@ -233,29 +277,37 @@ class F2CDataManagement:
                     client_id=node_id,
                     topic_filter=topic_filter,
                     handler=self._broker_handler(node_id),
+                    batched=batched,
                 )
+
+    @staticmethod
+    def _parse_broker_message(message: Message) -> Optional[Reading]:
+        """Decode one wire payload back into a minimal reading."""
+        from repro.common.serialization import decode_csv_line
+
+        fields = decode_csv_line(message.payload.rstrip(b" "))
+        if len(fields) < 4:
+            return None
+        sensor_id, sensor_type, value_text, timestamp_text = fields[:4]
+        try:
+            value: object = float(value_text)
+        except ValueError:
+            value = value_text
+        category = message.topic.split("/")[-2] if message.topic.count("/") >= 2 else "unknown"
+        return Reading(
+            sensor_id=sensor_id,
+            sensor_type=sensor_type,
+            category=category,
+            value=value,
+            timestamp=float(timestamp_text),
+            size_bytes=len(message.payload),
+        )
 
     def _broker_handler(self, node_id: str):
         def handle(message: Message) -> None:
-            from repro.common.serialization import decode_csv_line
-
-            fields = decode_csv_line(message.payload.rstrip(b" "))
-            if len(fields) < 4:
+            reading = self._parse_broker_message(message)
+            if reading is None:
                 return
-            sensor_id, sensor_type, value_text, timestamp_text = fields[:4]
-            try:
-                value: object = float(value_text)
-            except ValueError:
-                value = value_text
-            category = message.topic.split("/")[-2] if message.topic.count("/") >= 2 else "unknown"
-            reading = Reading(
-                sensor_id=sensor_id,
-                sensor_type=sensor_type,
-                category=category,
-                value=value,
-                timestamp=float(timestamp_text),
-                size_bytes=len(message.payload),
-            )
             fog1 = self.fog1_node(node_id)
             self.simulator.accountant.record_transfer(
                 timestamp=reading.timestamp,
@@ -268,6 +320,51 @@ class F2CDataManagement:
             fog1.ingest(ReadingBatch([reading]), reading.timestamp)
 
         return handle
+
+    def flush_broker(self, now: Optional[float] = None) -> Dict[str, int]:
+        """Drain every fog node's broker inbox and acquire it as one batch.
+
+        Only meaningful after ``attach_broker(..., batched=True)``.  Returns
+        the number of readings acquired per fog layer-1 node.  The traffic
+        accountant records one transfer per (node, flush) with the summed
+        byte volume, mirroring what :meth:`ingest_readings` does for direct
+        batch ingestion.
+        """
+        if self._broker is None:
+            raise ConfigurationError("no broker attached")
+        if not self._broker_batched:
+            raise ConfigurationError("broker was not attached in batched mode")
+        acquired_counts: Dict[str, int] = {}
+        # Drain only this architecture's own fog layer-1 subscriptions: other
+        # batched clients may share the broker and own their inboxes.
+        for node_id in self._fog1:
+            messages = self._broker.drain_inbox(node_id)
+            if not messages:
+                continue
+            batch = ReadingBatch()
+            parse = self._parse_broker_message
+            for message in messages:
+                reading = parse(message)
+                if reading is not None:
+                    batch.append(reading)
+            if not batch:
+                continue
+            # Batch maximum, not the last arrival: with out-of-order arrivals
+            # an older last message would make newer readings look like they
+            # are from the future and fail the quality phase's skew check.
+            timestamp = now if now is not None else max(r.timestamp for r in batch)
+            fog1 = self.fog1_node(node_id)
+            self.simulator.accountant.record_transfer(
+                timestamp=timestamp,
+                source=f"broker/{node_id}",
+                target=node_id,
+                target_layer=LayerName.FOG_1,
+                size_bytes=batch.total_bytes,
+                message_count=len(batch),
+            )
+            acquired = fog1.ingest(batch, timestamp)
+            acquired_counts[node_id] = len(acquired)
+        return acquired_counts
 
     # ------------------------------------------------------------------ #
     # Data movement & reporting

@@ -13,9 +13,10 @@ Phases, in the order Fig. 2 prescribes:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Dict, Iterable, Optional, Sequence
 
-from repro.dlc.model import LifeCycleBlock, Phase, PhaseResult
+from repro.dlc.model import BlockResult, LifeCycleBlock, Phase, PhaseResult
 from repro.dlc.quality import QualityAssessor, QualityPolicy, QualityReport
 from repro.sensors.catalog import SensorCatalog
 from repro.sensors.readings import Reading, ReadingBatch
@@ -40,6 +41,9 @@ class DataCollectionPhase(Phase):
         self._sources.append(source)
 
     def run(self, batch: ReadingBatch, now: float) -> tuple[ReadingBatch, PhaseResult]:
+        if not self._sources:
+            # Nothing to pull: pass the batch through without copying it.
+            return batch, self._result(batch, batch, pulled_from_sources=0, source_count=0)
         output = batch.copy()
         pulled = 0
         for source in self._sources:
@@ -160,7 +164,17 @@ class DataDescriptionPhase(Phase):
 
 
 class AcquisitionBlock(LifeCycleBlock):
-    """The complete acquisition block: collection → filtering → quality → description."""
+    """The complete acquisition block: collection → filtering → quality → description.
+
+    The quality and description phases are *fused* on the hot path: one loop
+    scores each reading, builds its final tag dict once, and produces at most
+    one frozen-dataclass copy per admitted reading (the naive phase chain
+    produced three: ``quality_score`` tagging, fog-node assignment, and
+    description tagging).  The fusion is behaviour-preserving — the per-phase
+    results, tag contents/order and the quality report are identical to
+    running the two phases sequentially — and is bypassed automatically when
+    either phase has been subclassed.
+    """
 
     def __init__(
         self,
@@ -177,3 +191,76 @@ class AcquisitionBlock(LifeCycleBlock):
             name="data_acquisition",
             phases=[self.collection, self.filtering, self.quality, self.description],
         )
+
+    def run(self, batch: ReadingBatch, now: float) -> tuple[ReadingBatch, BlockResult]:
+        if type(self.quality) is not DataQualityPhase or type(self.description) is not DataDescriptionPhase:
+            return super().run(batch, now)
+        result = BlockResult(block_name=self.name)
+        current, phase_result = self.collection.run(batch, now)
+        result.phase_results.append(phase_result)
+        current, phase_result = self.filtering.run(current, now)
+        result.phase_results.append(phase_result)
+        output, quality_result, description_result = self._run_fused_quality_description(current, now)
+        result.phase_results.append(quality_result)
+        result.phase_results.append(description_result)
+        return output, result
+
+    def _run_fused_quality_description(
+        self, batch: ReadingBatch, now: float
+    ) -> tuple[ReadingBatch, PhaseResult, PhaseResult]:
+        quality = self.quality
+        description = self.description
+        assessor = quality.assessor
+        resolver = description._fog_node_resolver
+        static_tags = description.static_tags
+        city_name = description.city_name
+        report = QualityReport()
+        scores_append = report.scores.append
+        output = ReadingBatch()
+        for reading in batch:
+            score, reason = assessor.score(reading, now)
+            report.assessed += 1
+            scores_append(score)
+            if reason is not None:
+                report.record_rejection(reason)
+                continue
+            report.admitted += 1
+            fog_node_id = reading.fog_node_id
+            if resolver is not None and fog_node_id is None:
+                fog_node_id = resolver(reading)
+            # Tag insertion order matches the sequential phases exactly:
+            # original tags, quality_score, then the description tags.
+            tags: Dict[str, object] = dict(reading.tags)
+            tags["quality_score"] = round(score, 3)
+            tags["collected_at"] = now
+            tags["city"] = city_name
+            tags["category"] = reading.category
+            tags.update(static_tags)
+            if fog_node_id is not None:
+                tags["fog_node"] = fog_node_id
+            output.append(replace(reading, fog_node_id=fog_node_id, tags=tags))
+        quality.last_report = report
+        admitted = len(output)
+        admitted_bytes = output.total_bytes
+        quality_result = PhaseResult(
+            phase_name=quality.name,
+            input_readings=len(batch),
+            output_readings=admitted,
+            input_bytes=batch.total_bytes,
+            output_bytes=admitted_bytes,
+            details={
+                "admitted": report.admitted,
+                "rejected": report.rejected,
+                "mean_score": round(report.mean_score, 3),
+                "rejection_reasons": dict(report.rejection_reasons),
+            },
+        )
+        description_result = PhaseResult(
+            phase_name=description.name,
+            input_readings=admitted,
+            output_readings=admitted,
+            input_bytes=admitted_bytes,
+            output_bytes=admitted_bytes,
+            details={"tagged": admitted},
+        )
+        return output, quality_result, description_result

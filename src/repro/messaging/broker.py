@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError, RoutingError
-from repro.messaging.topics import topic_matches, validate_topic
+from repro.messaging.topics import match_levels, topic_matches, validate_topic
 
 
 @dataclass(frozen=True)
@@ -55,16 +55,48 @@ class _Subscription:
     topic_filter: str
     handler: MessageHandler
     qos: int = 0
+    batched: bool = False
+    filter_levels: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.filter_levels:
+            self.filter_levels = tuple(self.topic_filter.split("/"))
 
 
 class Broker:
-    """An in-process publish/subscribe broker with MQTT-like semantics."""
+    """An in-process publish/subscribe broker with MQTT-like semantics.
+
+    Topic-routing state is cached per distinct published topic up to
+    ``_TOPIC_CACHE_LIMIT`` entries (city telemetry uses a small, fixed
+    section × sensor-type topic set); beyond that the caches reset rather
+    than grow without bound.
+
+    Subscriptions come in two delivery modes:
+
+    * **immediate** (default) — the handler runs synchronously inside
+      ``publish``, one call per message (classic MQTT callback style);
+    * **batched** — matching messages are parked in a per-client inbox and
+      delivered later in bulk via :meth:`drain_inbox` /
+      :meth:`flush_inboxes`.  This is the high-throughput path: consumers
+      that process a whole inbox at once (e.g. a fog node running its
+      acquisition block per batch) avoid paying per-message overheads.
+    """
+
+    _TOPIC_CACHE_LIMIT = 65_536
 
     def __init__(self, name: str = "broker") -> None:
         self.name = name
         self._subscriptions: List[_Subscription] = []
         self._retained: Dict[str, Message] = {}
         self._pending_acks: Dict[Tuple[str, int], Message] = {}
+        self._inboxes: Dict[str, List[Message]] = {}
+        # Topic routing caches: city telemetry reuses a small set of topics
+        # (one per section × sensor type), so memoizing "which subscriptions
+        # match this topic" turns publish from O(#subscriptions) wildcard
+        # matching into a dict hit.  Both caches are invalidated whenever the
+        # subscription set changes.
+        self._match_cache: Dict[str, List[_Subscription]] = {}
+        self._validated_topics: set = set()
         self._message_ids = itertools.count(1)
         self._published_count = 0
         self._delivered_count = 0
@@ -79,18 +111,26 @@ class Broker:
         topic_filter: str,
         handler: MessageHandler,
         qos: int = 0,
+        batched: bool = False,
     ) -> None:
         """Register *handler* for messages matching *topic_filter*.
 
         Retained messages matching the filter are replayed immediately.
+        With ``batched=True`` matching messages are queued in the client's
+        inbox instead of being handed to *handler* inside ``publish``; the
+        handler is still invoked (per message) by :meth:`flush_inboxes`, and
+        bulk consumers can bypass it entirely with :meth:`drain_inbox`.
         """
         validate_topic(topic_filter, allow_wildcards=True)
         if qos not in (0, 1):
             raise ConfigurationError(f"unsupported QoS level: {qos}")
+        if batched and qos != 0:
+            raise ConfigurationError("batched subscriptions support QoS 0 only")
         subscription = _Subscription(
-            client_id=client_id, topic_filter=topic_filter, handler=handler, qos=qos
+            client_id=client_id, topic_filter=topic_filter, handler=handler, qos=qos, batched=batched
         )
         self._subscriptions.append(subscription)
+        self._match_cache.clear()
         for topic, message in self._retained.items():
             if topic_matches(topic_filter, topic):
                 self._deliver(subscription, message)
@@ -103,6 +143,11 @@ class Broker:
             for s in self._subscriptions
             if not (s.client_id == client_id and (topic_filter is None or s.topic_filter == topic_filter))
         ]
+        self._match_cache.clear()
+        # A client with no remaining batched subscriptions can never receive
+        # its parked messages; drop the inbox rather than report ghosts.
+        if not any(s.client_id == client_id and s.batched for s in self._subscriptions):
+            self._inboxes.pop(client_id, None)
         return before - len(self._subscriptions)
 
     def subscriptions_for(self, client_id: str) -> List[str]:
@@ -120,7 +165,9 @@ class Broker:
         timestamp: float = 0.0,
     ) -> Message:
         """Publish *payload* on *topic* and deliver to matching subscribers."""
-        validate_topic(topic, allow_wildcards=False)
+        if topic not in self._validated_topics:
+            validate_topic(topic, allow_wildcards=False)
+            self._validated_topics.add(topic)
         message = Message(
             topic=topic,
             payload=bytes(payload),
@@ -133,17 +180,89 @@ class Broker:
         self._published_bytes += message.size_bytes
         if retain:
             self._retained[topic] = message
-        for subscription in list(self._subscriptions):
-            if topic_matches(subscription.topic_filter, topic):
-                self._deliver(subscription, message)
+        matching = self._match_cache.get(topic)
+        if matching is None:
+            # The topic and every filter were validated at publish/subscribe
+            # time, so the miss path can use the validation-free matcher.
+            if len(self._match_cache) >= self._TOPIC_CACHE_LIMIT:
+                # Workloads publishing unbounded distinct topics (per-message
+                # suffixes) must not leak; dropping both caches just costs a
+                # re-validate/re-match on the next publish of each topic.
+                self._match_cache.clear()
+                self._validated_topics.clear()
+            topic_levels = topic.split("/")
+            matching = [s for s in self._subscriptions if match_levels(s.filter_levels, topic_levels)]
+            self._match_cache[topic] = matching
+        enqueued_clients = None
+        for subscription in matching:
+            if subscription.batched:
+                # One inbox copy per client per message, even when several of
+                # the client's batched filters match (a bulk consumer must
+                # not see duplicates).
+                if enqueued_clients is None:
+                    enqueued_clients = set()
+                elif subscription.client_id in enqueued_clients:
+                    continue
+                enqueued_clients.add(subscription.client_id)
+            self._deliver(subscription, message)
         return message
 
     def _deliver(self, subscription: _Subscription, message: Message) -> None:
+        if subscription.batched:
+            self._inboxes.setdefault(subscription.client_id, []).append(message)
+            self._delivered_count += 1
+            return
         effective_qos = min(subscription.qos, message.qos)
         if effective_qos >= 1:
             self._pending_acks[(subscription.client_id, message.message_id)] = message
         subscription.handler(message)
         self._delivered_count += 1
+
+    # ------------------------------------------------------------------ #
+    # Batched delivery (inboxes)
+    # ------------------------------------------------------------------ #
+    def drain_inbox(self, client_id: str) -> List[Message]:
+        """Return and clear the queued messages of a batched subscriber."""
+        inbox = self._inboxes.get(client_id)
+        if not inbox:
+            return []
+        self._inboxes[client_id] = []
+        return inbox
+
+    def inbox_size(self, client_id: str) -> int:
+        """Number of messages currently queued for a batched subscriber."""
+        return len(self._inboxes.get(client_id, ()))
+
+    def inbox_clients(self) -> List[str]:
+        """Clients that currently have queued messages."""
+        return [client_id for client_id, inbox in self._inboxes.items() if inbox]
+
+    def flush_inboxes(self, client_id: Optional[str] = None) -> int:
+        """Deliver queued messages through the batched subscriptions' handlers.
+
+        Returns the number of messages actually handed to a handler.  Parked
+        messages whose batched subscription has since been removed are
+        dropped (QoS 0) and not counted.  Bulk consumers that want a single
+        callback per inbox should use :meth:`drain_inbox` instead.
+        """
+        flushed = 0
+        targets = [client_id] if client_id is not None else list(self._inboxes.keys())
+        for target in targets:
+            for message in self.drain_inbox(target):
+                handled = False
+                for subscription in self._subscriptions:
+                    if (
+                        subscription.client_id == target
+                        and subscription.batched
+                        and topic_matches(subscription.topic_filter, message.topic)
+                    ):
+                        # Every matching handler runs, mirroring immediate
+                        # delivery with overlapping filters.
+                        subscription.handler(message)
+                        handled = True
+                if handled:
+                    flushed += 1
+        return flushed
 
     # ------------------------------------------------------------------ #
     # QoS 1 acknowledgement

@@ -44,9 +44,15 @@ def topic_matches(filter_topic: str, topic: str) -> bool:
     """Return ``True`` when *topic* matches *filter_topic* (MQTT semantics)."""
     validate_topic(filter_topic, allow_wildcards=True)
     validate_topic(topic, allow_wildcards=False)
-    filter_levels = filter_topic.split("/")
-    topic_levels = topic.split("/")
+    return match_levels(filter_topic.split("/"), topic.split("/"))
 
+
+def match_levels(filter_levels: list, topic_levels: list) -> bool:
+    """Match pre-split, pre-validated filter levels against topic levels.
+
+    The validation-free core of :func:`topic_matches`, for callers (like the
+    broker's routing table) that validate once and match many times.
+    """
     for index, filter_level in enumerate(filter_levels):
         if filter_level == MULTI_LEVEL_WILDCARD:
             return True

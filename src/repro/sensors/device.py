@@ -11,6 +11,7 @@ device can be tuned to produce a target duplicate fraction.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Iterator, Optional
 
 from repro.common.errors import ConfigurationError
@@ -53,7 +54,10 @@ class Sensor:
         if not 0.0 <= duplicate_probability <= 1.0:
             raise ConfigurationError("duplicate_probability must be in [0, 1]")
         self.duplicate_probability = duplicate_probability
-        self._rng = rng if rng is not None else random.Random(hash(sensor_id) & 0xFFFFFFFF)
+        # CRC-32 rather than hash(): the builtin string hash is salted per
+        # interpreter run, which would make default-seeded devices emit
+        # different streams across processes.
+        self._rng = rng if rng is not None else random.Random(zlib.crc32(sensor_id.encode("utf-8")))
         self._last_value: Optional[float] = None
         self._sequence = 0
 

@@ -98,16 +98,48 @@ class ReadingBatch:
     Batches are what fog nodes accumulate between periodic upward transfers;
     aggregation techniques operate on batches and report how many bytes they
     removed.
+
+    Byte totals and per-category counters are maintained incrementally on
+    every mutation, so ``total_bytes``, ``categories()`` and
+    ``bytes_by_category()`` are O(1)/O(#categories) regardless of batch size
+    — they sit on the ingest hot path (traffic accounting touches them once
+    per transfer and once per life-cycle phase).
     """
 
+    __slots__ = ("_readings", "_total_bytes", "_category_counts", "_category_bytes")
+
     def __init__(self, readings: Optional[Iterable[Reading]] = None) -> None:
-        self._readings: List[Reading] = list(readings) if readings is not None else []
+        self._readings: List[Reading] = []
+        self._total_bytes = 0
+        self._category_counts: Dict[str, int] = {}
+        self._category_bytes: Dict[str, int] = {}
+        if readings is not None:
+            self.extend(readings)
 
     def append(self, reading: Reading) -> None:
         self._readings.append(reading)
+        self._account(reading)
 
     def extend(self, readings: Iterable[Reading]) -> None:
-        self._readings.extend(readings)
+        if isinstance(readings, ReadingBatch):
+            self._readings.extend(readings._readings)
+            self._total_bytes += readings._total_bytes
+            for category, count in readings._category_counts.items():
+                self._category_counts[category] = self._category_counts.get(category, 0) + count
+            for category, size in readings._category_bytes.items():
+                self._category_bytes[category] = self._category_bytes.get(category, 0) + size
+            return
+        account = self._account
+        append = self._readings.append
+        for reading in readings:
+            append(reading)
+            account(reading)
+
+    def _account(self, reading: Reading) -> None:
+        self._total_bytes += reading.size_bytes
+        category = reading.category
+        self._category_counts[category] = self._category_counts.get(category, 0) + 1
+        self._category_bytes[category] = self._category_bytes.get(category, 0) + reading.size_bytes
 
     def __len__(self) -> int:
         return len(self._readings)
@@ -123,26 +155,21 @@ class ReadingBatch:
 
     @property
     def readings(self) -> Sequence[Reading]:
-        return tuple(self._readings)
+        """The backing list of readings (treat as read-only; not a copy)."""
+        return self._readings
 
     @property
     def total_bytes(self) -> int:
         """Sum of the wire sizes of all readings in the batch."""
-        return sum(r.size_bytes for r in self._readings)
+        return self._total_bytes
 
     def categories(self) -> Dict[str, int]:
         """Number of readings per category."""
-        counts: Dict[str, int] = {}
-        for reading in self._readings:
-            counts[reading.category] = counts.get(reading.category, 0) + 1
-        return counts
+        return {c: n for c, n in self._category_counts.items() if n}
 
     def bytes_by_category(self) -> Dict[str, int]:
         """Total wire bytes per category."""
-        totals: Dict[str, int] = {}
-        for reading in self._readings:
-            totals[reading.category] = totals.get(reading.category, 0) + reading.size_bytes
-        return totals
+        return {c: b for c, b in self._category_bytes.items() if self._category_counts.get(c)}
 
     def filter(self, predicate) -> "ReadingBatch":
         """Return a new batch containing the readings matching *predicate*."""
@@ -161,9 +188,14 @@ class ReadingBatch:
 
     def clear(self) -> None:
         self._readings.clear()
+        self._total_bytes = 0
+        self._category_counts.clear()
+        self._category_bytes.clear()
 
     def copy(self) -> "ReadingBatch":
-        return ReadingBatch(self._readings)
+        # Passing self (not the raw list) hits extend()'s batch branch, which
+        # merges the maintained counters instead of re-accounting per reading.
+        return ReadingBatch(self)
 
     def __repr__(self) -> str:
         return f"ReadingBatch(n={len(self._readings)}, bytes={self.total_bytes})"

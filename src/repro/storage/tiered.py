@@ -9,7 +9,7 @@ data-movement scheduler can drain exactly the new data.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from repro.sensors.readings import Reading, ReadingBatch
 from repro.storage.retention import KeepEverything, RetentionPolicy
@@ -28,6 +28,7 @@ class TieredStore:
         self.retention = retention if retention is not None else KeepEverything()
         self.store = TimeSeriesStore(name=name)
         self._pending_upward: List[Reading] = []
+        self._pending_upward_bytes = 0
         self._ingested_count = 0
         self._ingested_bytes = 0
         self._evicted_count = 0
@@ -42,12 +43,28 @@ class TieredStore:
         self._ingested_bytes += reading.size_bytes
         if mark_for_upward:
             self._pending_upward.append(reading)
+            self._pending_upward_bytes += reading.size_bytes
 
     def ingest_batch(self, batch: Iterable[Reading], mark_for_upward: bool = True) -> int:
-        count = 0
-        for reading in batch:
-            self.ingest(reading, mark_for_upward=mark_for_upward)
-            count += 1
+        """Store a whole batch in one pass (the ingest hot path).
+
+        Equivalent to calling :meth:`ingest` per reading but updates the
+        tier's counters once per batch instead of once per reading.
+        """
+        if isinstance(batch, ReadingBatch):
+            batch_bytes = batch.total_bytes
+            readings: Sequence[Reading] = batch.readings
+        else:
+            readings = batch if isinstance(batch, list) else list(batch)
+            batch_bytes = sum(r.size_bytes for r in readings)
+        count = self.store.extend(readings)
+        if count == 0:
+            return 0
+        self._ingested_count += count
+        self._ingested_bytes += batch_bytes
+        if mark_for_upward:
+            self._pending_upward.extend(readings)
+            self._pending_upward_bytes += batch_bytes
         return count
 
     # ------------------------------------------------------------------ #
@@ -57,6 +74,7 @@ class TieredStore:
         """Return and clear the readings not yet propagated to the parent."""
         batch = ReadingBatch(self._pending_upward)
         self._pending_upward = []
+        self._pending_upward_bytes = 0
         return batch
 
     @property
@@ -65,7 +83,7 @@ class TieredStore:
 
     @property
     def pending_upward_bytes(self) -> int:
-        return sum(r.size_bytes for r in self._pending_upward)
+        return self._pending_upward_bytes
 
     # ------------------------------------------------------------------ #
     # Queries (delegated to the underlying store)

@@ -4,11 +4,19 @@ Readings are kept per series (one series per sensor id) in timestamp order.
 The store supports range queries, latest-value queries, per-category volume
 accounting, and bulk removal — everything the fog and cloud layers need for
 the data-preservation block.
+
+The write path is batch-native: in-order appends (the overwhelmingly common
+case for live sensor streams) take the amortized O(1) fast path, falling
+back to a bisect insert only for out-of-order timestamps.  A maintained
+global length counter makes ``len(store)`` O(1), and ``remove_oldest`` uses
+a heap merge over the per-series heads instead of sorting every stored
+reading.
 """
 
 from __future__ import annotations
 
 import bisect
+import heapq
 from collections import defaultdict
 from typing import DefaultDict, Dict, Iterable, Iterator, List, Optional
 
@@ -23,6 +31,7 @@ class TimeSeriesStore:
         self.name = name
         self._series: DefaultDict[str, List[Reading]] = defaultdict(list)
         self._timestamps: DefaultDict[str, List[float]] = defaultdict(list)
+        self._count = 0
         self._total_bytes = 0
         self._bytes_by_category: DefaultDict[str, int] = defaultdict(int)
 
@@ -33,19 +42,25 @@ class TimeSeriesStore:
         """Insert a reading, keeping the series ordered by timestamp."""
         timestamps = self._timestamps[reading.sensor_id]
         series = self._series[reading.sensor_id]
-        index = bisect.bisect_right(timestamps, reading.timestamp)
-        timestamps.insert(index, reading.timestamp)
-        series.insert(index, reading)
+        if not timestamps or reading.timestamp >= timestamps[-1]:
+            # Fast path: in-order arrival appends at the tail.
+            timestamps.append(reading.timestamp)
+            series.append(reading)
+        else:
+            index = bisect.bisect_right(timestamps, reading.timestamp)
+            timestamps.insert(index, reading.timestamp)
+            series.insert(index, reading)
+        self._count += 1
         self._total_bytes += reading.size_bytes
         self._bytes_by_category[reading.category] += reading.size_bytes
 
     def extend(self, readings: Iterable[Reading]) -> int:
         """Insert many readings; returns the number inserted."""
-        count = 0
+        before = self._count
+        append = self.append
         for reading in readings:
-            self.append(reading)
-            count += 1
-        return count
+            append(reading)
+        return self._count - before
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -81,13 +96,14 @@ class TimeSeriesStore:
     ) -> ReadingBatch:
         """All readings across series in the window, optionally per category."""
         batch = ReadingBatch()
-        for series in self._series.values():
-            for reading in series:
-                if not since <= reading.timestamp < until:
-                    continue
-                if category is not None and reading.category != category:
-                    continue
-                batch.append(reading)
+        for sensor_id, series in self._series.items():
+            timestamps = self._timestamps[sensor_id]
+            start = bisect.bisect_left(timestamps, since)
+            end = bisect.bisect_left(timestamps, until)
+            if category is None:
+                batch.extend(series[start:end])
+            else:
+                batch.extend(r for r in series[start:end] if r.category == category)
         return batch
 
     def all_readings(self) -> Iterator[Reading]:
@@ -101,7 +117,7 @@ class TimeSeriesStore:
     # Accounting
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return sum(len(series) for series in self._series.values())
+        return self._count
 
     @property
     def total_bytes(self) -> int:
@@ -125,36 +141,65 @@ class TimeSeriesStore:
         removed = 0
         for sensor_id in list(self._series.keys()):
             timestamps = self._timestamps[sensor_id]
+            if not timestamps or timestamps[0] >= cutoff:
+                continue
             series = self._series[sensor_id]
             index = bisect.bisect_left(timestamps, cutoff)
             for reading in series[:index]:
                 self._total_bytes -= reading.size_bytes
                 self._bytes_by_category[reading.category] -= reading.size_bytes
-                removed += 1
             del series[:index]
             del timestamps[:index]
+            removed += index
+        self._count -= removed
         return removed
 
     def remove_oldest(self, count: int) -> List[Reading]:
-        """Remove the globally oldest *count* readings; returns them."""
+        """Remove the globally oldest *count* readings; returns them.
+
+        Victims are selected with a heap merge over the per-series heads
+        (each series is already timestamp-sorted), so the cost is
+        O(count · log #series) instead of a global sort of every stored
+        reading.  Ties on timestamp are broken by series insertion order,
+        matching the stable global sort the store used historically.
+        """
         if count <= 0:
             return []
-        flat = sorted(self.all_readings(), key=lambda r: r.timestamp)
-        victims = flat[:count]
-        victim_ids = {id(v) for v in victims}
+        # Each heap entry is (timestamp, series_order, position); series_order
+        # reproduces the dict-iteration stability of the old sorted() pass.
+        series_list = [series for series in self._series.values() if series]
+        heap = [(series[0].timestamp, order, 0) for order, series in enumerate(series_list)]
+        heapq.heapify(heap)
+        victims: List[Reading] = []
+        removed_per_series: Dict[int, int] = {}
+        while heap and len(victims) < count:
+            timestamp, order, position = heapq.heappop(heap)
+            series = series_list[order]
+            victims.append(series[position])
+            removed_per_series[order] = position + 1
+            next_position = position + 1
+            if next_position < len(series):
+                heapq.heappush(heap, (series[next_position].timestamp, order, next_position))
+        if not victims:
+            return []
+        prefix_by_id = {
+            id(series_list[order]): prefix for order, prefix in removed_per_series.items()
+        }
         for sensor_id in list(self._series.keys()):
             series = self._series[sensor_id]
-            kept = [r for r in series if id(r) not in victim_ids]
-            if len(kept) != len(series):
-                self._series[sensor_id] = kept
-                self._timestamps[sensor_id] = [r.timestamp for r in kept]
+            prefix = prefix_by_id.get(id(series))
+            if prefix:
+                del series[:prefix]
+                del self._timestamps[sensor_id][:prefix]
         for reading in victims:
             self._total_bytes -= reading.size_bytes
             self._bytes_by_category[reading.category] -= reading.size_bytes
+        self._count -= len(victims)
         return victims
 
     def clear(self) -> None:
         self._series.clear()
         self._timestamps.clear()
+        self._count = 0
         self._total_bytes = 0
         self._bytes_by_category.clear()

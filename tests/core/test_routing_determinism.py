@@ -1,0 +1,90 @@
+"""Deterministic sensor→section routing for unassigned sensors.
+
+``F2CDataManagement.ingest_readings`` spreads readings from sensors without
+an explicit section assignment over the city's sections.  The spreading must
+be stable across interpreter runs (the builtin ``hash()`` it used previously
+is salted by ``PYTHONHASHSEED``, which moved sensors between fog nodes from
+one run to the next and made traffic reports irreproducible).
+"""
+
+import os
+import subprocess
+import sys
+import zlib
+
+import pytest
+
+from tests.conftest import make_reading
+
+_ROUTING_SNIPPET = """
+import sys
+sys.path.insert(0, {src_path!r})
+from repro.core.architecture import F2CDataManagement
+from repro.sensors.readings import Reading
+
+system = F2CDataManagement()
+readings = [
+    Reading(sensor_id=f"roaming-{{i:03d}}", sensor_type="temperature",
+            category="energy", value=1.0, timestamp=0.0, size_bytes=22)
+    for i in range(40)
+]
+counts = system.ingest_readings(readings, now=0.0)
+print(";".join(f"{{node}}={{count}}" for node, count in sorted(counts.items())))
+"""
+
+
+class TestStableSpreading:
+    def test_unassigned_sensor_routing_uses_stable_hash(self, f2c_system):
+        sections = [s.section_id for s in f2c_system.city.sections]
+        reading = make_reading(sensor_id="unassigned-1")
+        counts = f2c_system.ingest_readings([reading], now=0.0)
+        expected_section = sections[zlib.crc32(b"unassigned-1") % len(sections)]
+        assert list(counts.keys()) == [f"fog1/{expected_section}"]
+
+    def test_assignment_overrides_spreading(self, f2c_system):
+        f2c_system.assign_sensor("pinned-1", "d-02/s-02")
+        counts = f2c_system.ingest_readings([make_reading(sensor_id="pinned-1")], now=0.0)
+        assert list(counts.keys()) == ["fog1/d-02/s-02"]
+
+    def test_reassignment_invalidates_route_cache(self, f2c_system):
+        f2c_system.ingest_readings([make_reading(sensor_id="mover-1")], now=0.0)
+        f2c_system.assign_sensor("mover-1", "d-01/s-02")
+        counts = f2c_system.ingest_readings([make_reading(sensor_id="mover-1")], now=1.0)
+        assert list(counts.keys()) == ["fog1/d-01/s-02"]
+
+    def test_default_section_still_wins(self, f2c_system):
+        counts = f2c_system.ingest_readings(
+            [make_reading(sensor_id="anyone")], now=0.0, default_section="d-01/s-01"
+        )
+        assert list(counts.keys()) == ["fog1/d-01/s-01"]
+
+    @pytest.mark.parametrize("hash_seeds", [("0", "12345")])
+    def test_routing_identical_across_interpreter_runs(self, hash_seeds):
+        """Two fresh interpreters with different hash seeds route identically."""
+        src_path = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        snippet = _ROUTING_SNIPPET.format(src_path=os.path.abspath(src_path))
+        outputs = []
+        for seed in hash_seeds:
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            result = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+                timeout=120,
+            )
+            outputs.append(result.stdout.strip())
+        assert outputs[0]  # routed to at least one node
+        assert outputs[0] == outputs[1]
+
+
+class TestDefaultSectionPrecedence:
+    def test_default_section_wins_after_prior_spread_routing(self, f2c_system):
+        # First call spreads (and caches) the unassigned sensor...
+        f2c_system.ingest_readings([make_reading(sensor_id="wanderer")], now=0.0)
+        # ...but a later call with an explicit default must still win.
+        counts = f2c_system.ingest_readings(
+            [make_reading(sensor_id="wanderer")], now=1.0, default_section="d-02/s-01"
+        )
+        assert list(counts.keys()) == ["fog1/d-02/s-01"]

@@ -152,3 +152,89 @@ class TestAcquisitionBlock:
         assert len(output) == 2  # duplicate removed, both survivors pass quality
         assert result.total_reduction_ratio > 0
         assert all("collected_at" in r.tags for r in output)
+
+
+class TestFusedQualityDescription:
+    """The fused quality+description loop must be indistinguishable from
+    running the two phases sequentially."""
+
+    @staticmethod
+    def _mixed_batch():
+        return ReadingBatch(
+            [
+                make_reading(sensor_id="good-1", value=20.0, timestamp=0.0),
+                make_reading(sensor_id="bad-value", value="broken", timestamp=0.0),
+                make_reading(sensor_id="good-2", value=21.0, timestamp=5.0,
+                             tags={"origin": "test"}),
+                make_reading(sensor_id="future", value=22.0, timestamp=10_000.0),
+            ]
+        )
+
+    @staticmethod
+    def _make_block():
+        return AcquisitionBlock(
+            quality=DataQualityPhase(policy=QualityPolicy(minimum_score=0.5)),
+            description=DataDescriptionPhase(
+                city_name="toyville",
+                static_tags={"section": "d-01/s-01"},
+                fog_node_resolver=lambda reading: "fog1/d-01/s-01",
+            ),
+        )
+
+    def test_fused_output_matches_sequential_phases(self):
+        block = self._make_block()
+        fused_output, fused_result = block.run(self._mixed_batch(), now=10.0)
+
+        # Reference: run the same phases strictly in sequence.
+        reference = self._make_block()
+        current = self._mixed_batch()
+        for phase in reference.phases:
+            current, _ = phase.run(current, now=10.0)
+
+        assert len(fused_output) == len(current)
+        for fused, sequential in zip(fused_output, current):
+            assert fused == sequential
+            assert list(fused.tags.items()) == list(sequential.tags.items())
+
+        names = [r.phase_name for r in fused_result.phase_results]
+        assert names == ["data_collection", "data_filtering", "data_quality", "data_description"]
+
+    def test_fused_phase_results_match_sequential(self):
+        block = self._make_block()
+        _, fused_result = block.run(self._mixed_batch(), now=10.0)
+
+        reference = self._make_block()
+        current = self._mixed_batch()
+        sequential_results = []
+        for phase in reference.phases:
+            current, phase_result = phase.run(current, now=10.0)
+            sequential_results.append(phase_result)
+
+        for fused, sequential in zip(fused_result.phase_results, sequential_results):
+            assert fused.phase_name == sequential.phase_name
+            assert fused.input_readings == sequential.input_readings
+            assert fused.output_readings == sequential.output_readings
+            assert fused.input_bytes == sequential.input_bytes
+            assert fused.output_bytes == sequential.output_bytes
+            assert fused.details == sequential.details
+
+    def test_fused_updates_quality_report(self):
+        block = self._make_block()
+        block.run(self._mixed_batch(), now=10.0)
+        report = block.quality.last_report
+        assert report is not None
+        assert report.assessed == 4
+        assert report.admitted == 2
+        assert report.rejected == 2
+        assert set(report.rejection_reasons) == {"non_numeric_value", "timestamp_in_future"}
+
+    def test_subclassed_phase_disables_fusion(self):
+        class LoudQuality(DataQualityPhase):
+            def run(self, batch, now):
+                self.ran = True
+                return super().run(batch, now)
+
+        quality = LoudQuality()
+        block = AcquisitionBlock(quality=quality)
+        block.run(ReadingBatch([make_reading()]), now=0.0)
+        assert quality.ran  # the generic chain invoked the subclass's run()

@@ -1,0 +1,76 @@
+"""Perf smoke test: the ingest throughput benchmark must stay runnable.
+
+Runs a deliberately tiny workload through all three benchmark pipelines and
+asserts (a) it completes well inside a generous wall-clock bound, and (b)
+the result dict has the ``BENCH_ingest.json`` schema future perf PRs compare
+against.  Throughput *ratios* are not asserted tightly here — CI machines
+are noisy — beyond the sanity check that batching is not slower than the
+per-message baseline.
+"""
+
+import importlib.util
+import pathlib
+import time
+
+import pytest
+
+BENCH_PATH = pathlib.Path(__file__).parent / ".." / ".." / "benchmarks" / "bench_ingest_throughput.py"
+
+WALL_CLOCK_BOUND_S = 120.0
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_ingest_throughput", BENCH_PATH.resolve())
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def smoke_result(bench_module):
+    begin = time.perf_counter()
+    result = bench_module.run_benchmark(
+        devices_per_type=3, duration_s=900.0, round_s=300.0, with_micro=False
+    )
+    elapsed = time.perf_counter() - begin
+    return result, elapsed
+
+
+class TestIngestBenchmarkSmoke:
+    def test_completes_under_wall_clock_bound(self, smoke_result):
+        _, elapsed = smoke_result
+        assert elapsed < WALL_CLOCK_BOUND_S
+
+    def test_result_schema(self, smoke_result):
+        result, _ = smoke_result
+        assert result["schema"] == "bench_ingest/v1"
+        assert result["workload"]["total_readings"] > 0
+        for name in ("per_message", "batched_broker", "direct_batch"):
+            stats = result["pipelines"][name]
+            assert stats["readings_per_sec"] > 0
+            assert stats["wall_s"] > 0
+            assert stats["cloud_readings"] > 0
+        assert set(result["speedup"]) == {
+            "batched_broker_vs_per_message",
+            "direct_batch_vs_per_message",
+        }
+
+    def test_batching_not_slower_than_per_message(self, smoke_result):
+        result, _ = smoke_result
+        assert result["speedup"]["batched_broker_vs_per_message"] > 1.0
+
+    def test_legacy_mode_restores_patched_classes(self, bench_module):
+        from repro.messaging.broker import Broker
+        from repro.sensors.readings import ReadingBatch
+        from repro.storage.timeseries import TimeSeriesStore
+
+        original_publish = Broker.publish
+        original_append = TimeSeriesStore.append
+        original_total_bytes = ReadingBatch.total_bytes
+        with bench_module.legacy_mode():
+            assert Broker.publish is not original_publish
+            assert TimeSeriesStore.append is not original_append
+        assert Broker.publish is original_publish
+        assert TimeSeriesStore.append is original_append
+        assert ReadingBatch.total_bytes is original_total_bytes

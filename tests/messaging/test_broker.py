@@ -141,3 +141,95 @@ class TestMessagingClient:
         client.subscribe("b/#")
         assert client.unsubscribe("a/#") == 1
         assert broker.subscriptions_for("c1") == ["b/#"]
+
+
+class TestBatchedInboxes:
+    def test_batched_subscription_parks_messages(self, broker):
+        received = []
+        broker.subscribe("c1", "a/#", received.append, batched=True)
+        broker.publish("a/b", b"1")
+        broker.publish("a/c", b"2")
+        assert received == []  # nothing delivered synchronously
+        assert broker.inbox_size("c1") == 2
+        assert broker.inbox_clients() == ["c1"]
+
+    def test_drain_inbox_returns_and_clears(self, broker):
+        broker.subscribe("c1", "a/#", lambda m: None, batched=True)
+        broker.publish("a/b", b"1")
+        broker.publish("a/b", b"2")
+        messages = broker.drain_inbox("c1")
+        assert [m.payload for m in messages] == [b"1", b"2"]
+        assert broker.drain_inbox("c1") == []
+        assert broker.inbox_size("c1") == 0
+
+    def test_flush_inboxes_invokes_handlers(self, broker):
+        received = []
+        broker.subscribe("c1", "a/#", received.append, batched=True)
+        broker.publish("a/b", b"1")
+        broker.publish("a/b", b"2")
+        flushed = broker.flush_inboxes()
+        assert flushed == 2
+        assert [m.payload for m in received] == [b"1", b"2"]
+        assert broker.flush_inboxes() == 0
+
+    def test_immediate_and_batched_subscribers_coexist(self, broker):
+        immediate, batched = [], []
+        broker.subscribe("now", "a/#", immediate.append)
+        broker.subscribe("later", "a/#", batched.append, batched=True)
+        broker.publish("a/b", b"x")
+        assert len(immediate) == 1
+        assert batched == []
+        assert broker.inbox_size("later") == 1
+        assert broker.delivered_count == 2
+
+    def test_batched_requires_qos0(self, broker):
+        with pytest.raises(ConfigurationError):
+            broker.subscribe("c1", "a/#", lambda m: None, qos=1, batched=True)
+
+    def test_retained_message_lands_in_inbox(self, broker):
+        broker.publish("a/b", b"kept", retain=True)
+        broker.subscribe("c1", "a/#", lambda m: None, batched=True)
+        assert broker.inbox_size("c1") == 1
+
+    def test_match_cache_invalidated_by_new_subscription(self, broker):
+        first, second = [], []
+        broker.subscribe("c1", "a/#", first.append)
+        broker.publish("a/b", b"1")  # primes the match cache for a/b
+        broker.subscribe("c2", "a/b", second.append)
+        broker.publish("a/b", b"2")
+        assert len(first) == 2
+        assert len(second) == 1
+
+    def test_match_cache_invalidated_by_unsubscribe(self, broker):
+        received = []
+        broker.subscribe("c1", "a/#", received.append)
+        broker.publish("a/b", b"1")
+        broker.unsubscribe("c1")
+        broker.publish("a/b", b"2")
+        assert len(received) == 1
+
+    def test_flush_after_unsubscribe_drops_without_counting(self, broker):
+        received = []
+        broker.subscribe("c1", "a/#", received.append, batched=True)
+        broker.publish("a/b", b"1")
+        broker.unsubscribe("c1")
+        assert broker.inbox_size("c1") == 0  # ghost inbox dropped
+        assert broker.flush_inboxes() == 0
+        assert received == []
+
+    def test_topic_cache_capped(self, broker):
+        broker._TOPIC_CACHE_LIMIT = 8
+        broker.subscribe("c1", "#", lambda m: None)
+        for i in range(20):
+            broker.publish(f"unique/topic-{i}", b"x")
+        assert len(broker._match_cache) <= 8
+        assert broker.delivered_count == 20  # every message still delivered
+
+    def test_overlapping_batched_filters_enqueue_once_flush_all_handlers(self, broker):
+        wide, narrow = [], []
+        broker.subscribe("c1", "a/#", wide.append, batched=True)
+        broker.subscribe("c1", "a/b", narrow.append, batched=True)
+        broker.publish("a/b", b"x")
+        assert broker.inbox_size("c1") == 1  # one inbox copy per client
+        assert broker.flush_inboxes() == 1
+        assert len(wide) == 1 and len(narrow) == 1  # both handlers ran once

@@ -107,3 +107,76 @@ class TestReadingBatch:
         assert batch.total_bytes == 0
         assert batch.categories() == {}
         assert batch.encode() == b""
+
+
+class TestBatchCounterInvariants:
+    """The incrementally maintained counters must always match a full recount."""
+
+    @staticmethod
+    def _assert_counters_consistent(batch):
+        assert batch.total_bytes == sum(r.size_bytes for r in batch)
+        expected_counts = {}
+        expected_bytes = {}
+        for reading in batch:
+            expected_counts[reading.category] = expected_counts.get(reading.category, 0) + 1
+            expected_bytes[reading.category] = (
+                expected_bytes.get(reading.category, 0) + reading.size_bytes
+            )
+        assert batch.categories() == expected_counts
+        assert batch.bytes_by_category() == expected_bytes
+
+    def test_append_and_extend(self):
+        batch = ReadingBatch()
+        batch.append(make_reading(category="energy", size_bytes=22))
+        batch.extend(make_reading(category="noise", size_bytes=10) for _ in range(3))
+        self._assert_counters_consistent(batch)
+        assert batch.total_bytes == 52
+
+    def test_extend_from_another_batch_merges_counters(self):
+        left = ReadingBatch([make_reading(category="energy", size_bytes=22)])
+        right = ReadingBatch(
+            [
+                make_reading(category="noise", size_bytes=10),
+                make_reading(category="energy", size_bytes=5),
+            ]
+        )
+        left.extend(right)
+        self._assert_counters_consistent(left)
+        assert left.categories() == {"energy": 2, "noise": 1}
+
+    def test_filter_builds_fresh_counters(self):
+        batch = ReadingBatch(
+            [make_reading(category="energy", size_bytes=22, value=float(i)) for i in range(4)]
+            + [make_reading(category="noise", size_bytes=10)]
+        )
+        kept = batch.filter(lambda r: r.category == "energy" and r.value < 2.0)
+        self._assert_counters_consistent(kept)
+        assert len(kept) == 2
+        assert kept.total_bytes == 44
+        # The original batch is untouched.
+        self._assert_counters_consistent(batch)
+
+    def test_clear_resets_counters(self):
+        batch = ReadingBatch([make_reading(size_bytes=22)])
+        batch.clear()
+        assert batch.total_bytes == 0
+        assert batch.categories() == {}
+        assert batch.bytes_by_category() == {}
+        batch.append(make_reading(category="noise", size_bytes=7))
+        self._assert_counters_consistent(batch)
+
+    def test_copy_and_constructor_counters(self):
+        batch = ReadingBatch([make_reading(size_bytes=22), make_reading(category="noise", size_bytes=8)])
+        clone = batch.copy()
+        self._assert_counters_consistent(clone)
+        clone.append(make_reading(category="garbage", size_bytes=50))
+        self._assert_counters_consistent(clone)
+        self._assert_counters_consistent(batch)
+        assert "garbage" not in batch.categories()
+
+    def test_split_by_category_counters(self):
+        batch = ReadingBatch(
+            [make_reading(category="energy", size_bytes=22), make_reading(category="noise", size_bytes=10)]
+        )
+        for sub in batch.split_by_category().values():
+            self._assert_counters_consistent(sub)

@@ -101,3 +101,78 @@ class TestRemoval:
         store.clear()
         assert len(store) == 0
         assert store.total_bytes == 0
+
+
+class TestBatchNativeFastPaths:
+    """Coverage for the O(1) append fast path and the batch-native removals."""
+
+    def test_out_of_order_append_falls_back_to_sorted_insert(self, store):
+        for t in (1.0, 5.0, 3.0, 2.0, 4.0, 0.0):
+            store.append(make_reading(sensor_id="s1", timestamp=t))
+        assert [r.timestamp for r in store.query("s1")] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert store.latest("s1").timestamp == 5.0
+
+    def test_equal_timestamps_keep_insertion_order(self, store):
+        first = make_reading(sensor_id="s1", timestamp=1.0, value=1.0)
+        second = make_reading(sensor_id="s1", timestamp=1.0, value=2.0)
+        store.append(first)
+        store.append(second)
+        assert [r.value for r in store.query("s1")] == [1.0, 2.0]
+
+    def test_len_counter_tracks_mixed_inserts_and_removals(self, store):
+        for t in (3.0, 1.0, 2.0, 0.0):
+            store.append(make_reading(sensor_id="a", timestamp=t, size_bytes=10))
+        for t in (1.5, 0.5):
+            store.append(make_reading(sensor_id="b", timestamp=t, size_bytes=5))
+        assert len(store) == 6
+        assert store.total_bytes == 50
+        removed = store.remove_older_than(1.0)
+        assert removed == 2  # a@0.0 and b@0.5
+        assert len(store) == 4
+        assert store.total_bytes == 50 - 10 - 5
+        store.clear()
+        assert len(store) == 0
+
+    def test_remove_oldest_after_out_of_order_inserts(self, store):
+        # Interleave two series and insert out of order within each.
+        for sensor, t in [("a", 5.0), ("a", 1.0), ("b", 4.0), ("b", 2.0), ("a", 3.0), ("b", 0.0)]:
+            store.append(make_reading(sensor_id=sensor, timestamp=t, size_bytes=10))
+        victims = store.remove_oldest(3)
+        assert [v.timestamp for v in victims] == [0.0, 1.0, 2.0]
+        assert len(store) == 3
+        assert store.total_bytes == 30
+        remaining = sorted(r.timestamp for r in store.all_readings())
+        assert remaining == [3.0, 4.0, 5.0]
+
+    def test_remove_oldest_tie_break_matches_series_order(self, store):
+        # Equal timestamps: victims come in series-insertion order, exactly
+        # like the stable global sort the store used historically.
+        store.append(make_reading(sensor_id="a", timestamp=1.0, value=10.0))
+        store.append(make_reading(sensor_id="b", timestamp=1.0, value=20.0))
+        victims = store.remove_oldest(1)
+        assert victims[0].sensor_id == "a"
+        assert store.has_series("b") and not store.has_series("a")
+
+    def test_remove_oldest_more_than_stored_empties_store(self, store):
+        for t in range(3):
+            store.append(make_reading(sensor_id="s1", timestamp=float(t), size_bytes=7))
+        victims = store.remove_oldest(10)
+        assert len(victims) == 3
+        assert len(store) == 0
+        assert store.total_bytes == 0
+        assert store.bytes_by_category() == {"energy": 0}
+
+    def test_remove_older_than_accounting_per_category(self, store):
+        store.append(make_reading(sensor_id="a", category="energy", timestamp=0.0, size_bytes=10))
+        store.append(make_reading(sensor_id="b", category="noise", timestamp=1.0, size_bytes=20))
+        store.append(make_reading(sensor_id="a", category="energy", timestamp=2.0, size_bytes=30))
+        assert store.remove_older_than(2.0) == 2
+        assert store.bytes_by_category() == {"energy": 30, "noise": 0}
+        assert store.total_bytes == 30
+
+    def test_extend_returns_inserted_count(self, store):
+        inserted = store.extend(
+            make_reading(sensor_id=f"s{i}", timestamp=float(i)) for i in range(5)
+        )
+        assert inserted == 5
+        assert len(store) == 5
