@@ -1,21 +1,29 @@
 """End-to-end ingest throughput: sensors → broker → fog L1 → fog L2 → cloud.
 
 This benchmark drives a synthetic city-hour through the full F2C stack and
-measures readings/second along three ingest paths:
+measures readings/second along four ingest paths:
 
 * ``per_message`` — the pre-refactor data path: every published reading is
   delivered synchronously and runs the whole acquisition block on a
-  one-reading batch (``attach_broker(batched=False)``).
-* ``batched_broker`` — the batch-native path introduced with the broker
-  inbox mode: publishes park messages per fog node, and one
+  one-reading batch (``attach_broker(batched=False)``), with the pre-change
+  algorithms restored via :func:`legacy_mode`.
+* ``batched_broker`` — the batch-native path introduced in PR 1: publishes
+  park messages per fog node (one CSV payload per reading), and one
   ``flush_broker()`` per publish round runs acquisition once per node-batch.
+* ``columnar_frames`` — the columnar wire path: one
+  :meth:`ReadingColumns.encode_frame` payload per (section, round) instead
+  of one CSV payload per reading; fog nodes decode frames straight back
+  into columns.
 * ``direct_batch`` — ``ingest_readings`` with whole per-round batches,
   skipping wire encode/decode entirely (upper bound for in-process feeds).
+  With the columnar storage refactor this path never materializes a reading
+  object past the entry point.
 
-It also micro-times the storage hot paths against re-implementations of the
-pre-refactor algorithms (always-bisect append, O(#series) ``len``, global
-sort in ``remove_oldest``, full-batch ``sum`` for ``total_bytes``) so every
-stage's contribution is visible.
+It also micro-times the storage hot paths against a re-implementation of the
+pre-refactor store (always-bisect append, O(#series) ``len``, global sort in
+``remove_oldest``, per-reading eviction accounting) so every stage's
+contribution is visible, including a sustained-eviction case exercising the
+per-series prefix-sum accounting.
 
 Results are written to ``benchmarks/results/BENCH_ingest.json`` (see
 ``benchmarks/README.md`` for the schema).  Regenerate with::
@@ -36,6 +44,7 @@ import time
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
+import repro.storage.tiered as tiered_module
 from repro.core.architecture import F2CDataManagement
 from repro.dlc.acquisition import AcquisitionBlock, DataCollectionPhase
 from repro.dlc.model import LifeCycleBlock
@@ -50,29 +59,128 @@ from repro.storage.timeseries import TimeSeriesStore
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_ingest.json"
 
+#: The committed PR 1 record (pre-columnar direct-batch throughput), kept in
+#: the output so the columnar speedup against the previous refactor is
+#: visible next to the same-machine legacy baseline.
+PR1_DIRECT_BATCH_RECORD_RPS = 138_874
+PR1_BATCHED_BROKER_RECORD_RPS = 65_588
+
 
 # --------------------------------------------------------------------------- #
 # Legacy (pre-refactor) algorithm re-implementations.  The ``per_message``
 # pipeline runs with ALL of these active (see :func:`legacy_mode`), so the
 # measured baseline is the pre-change code path, reproduced in-tree: uncached
-# O(#subscriptions) broker matching, per-message acquisition, always-bisect
-# store appends, per-reading tier ingestion and full-batch byte re-summing.
+# O(#subscriptions) broker matching, per-message acquisition, a
+# list-of-Reading-objects store with always-bisect appends, per-reading tier
+# ingestion and full-batch byte re-summing.
 # --------------------------------------------------------------------------- #
-class LegacyTimeSeriesStore(TimeSeriesStore):
-    """The store's pre-refactor write/accounting algorithms."""
+class LegacyTimeSeriesStore:
+    """The pre-columnar store: one ``Reading`` object per stored row.
 
-    def append(self, reading: Reading) -> None:  # always-bisect insert
+    A standalone re-implementation of the seed algorithms (the live
+    :class:`TimeSeriesStore` is columnar now, so the legacy behaviour can no
+    longer be expressed by monkeypatching its internals): always-bisect
+    inserts, O(#series) ``len``, a global sort in ``remove_oldest`` and
+    per-reading eviction accounting.
+    """
+
+    def __init__(self, name: str = "store") -> None:
+        self.name = name
+        self._series: Dict[str, List[Reading]] = defaultdict(list)
+        self._timestamps: Dict[str, List[float]] = defaultdict(list)
+        self._total_bytes = 0
+        self._bytes_by_category: Dict[str, int] = defaultdict(int)
+
+    def append(self, reading: Reading) -> None:
         timestamps = self._timestamps[reading.sensor_id]
         series = self._series[reading.sensor_id]
         index = bisect.bisect_right(timestamps, reading.timestamp)
         timestamps.insert(index, reading.timestamp)
         series.insert(index, reading)
-        self._count += 1
         self._total_bytes += reading.size_bytes
         self._bytes_by_category[reading.category] += reading.size_bytes
 
-    def __len__(self) -> int:  # O(#series) scan
+    def extend(self, readings) -> int:
+        before = len(self)
+        for reading in readings:
+            self.append(reading)
+        return len(self) - before
+
+    def extend_batch(self, batch: ReadingBatch) -> int:
+        return self.extend(batch)
+
+    def extend_columns(self, columns) -> int:
+        return self.extend(columns.iter_readings())
+
+    def latest(self, sensor_id: str) -> Reading:
+        from repro.common.errors import StorageError
+
+        series = self._series.get(sensor_id)
+        if not series:
+            raise StorageError(f"no readings stored for sensor {sensor_id!r}")
+        return series[-1]
+
+    def has_series(self, sensor_id: str) -> bool:
+        return bool(self._series.get(sensor_id))
+
+    def query(self, sensor_id: str, since: float = float("-inf"), until: float = float("inf")) -> List[Reading]:
+        series = self._series.get(sensor_id, [])
+        timestamps = self._timestamps.get(sensor_id, [])
+        start = bisect.bisect_left(timestamps, since)
+        end = bisect.bisect_left(timestamps, until)
+        return list(series[start:end])
+
+    def query_window(self, since: float = float("-inf"), until: float = float("inf"), category=None) -> ReadingBatch:
+        batch = ReadingBatch()
+        for sensor_id, series in self._series.items():
+            timestamps = self._timestamps[sensor_id]
+            start = bisect.bisect_left(timestamps, since)
+            end = bisect.bisect_left(timestamps, until)
+            if category is None:
+                batch.extend(series[start:end])
+            else:
+                batch.extend(r for r in series[start:end] if r.category == category)
+        return batch
+
+    def all_readings(self):
+        for series in self._series.values():
+            yield from series
+
+    def sensor_ids(self) -> List[str]:
+        return sorted(sid for sid, series in self._series.items() if series)
+
+    def __len__(self) -> int:  # O(#series) scan, as in the seed
         return sum(len(series) for series in self._series.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    def bytes_by_category(self) -> Dict[str, int]:
+        return dict(self._bytes_by_category)
+
+    def oldest_timestamp(self) -> Optional[float]:
+        oldest = None
+        for timestamps in self._timestamps.values():
+            if timestamps and (oldest is None or timestamps[0] < oldest):
+                oldest = timestamps[0]
+        return oldest
+
+    def remove_older_than(self, cutoff: float) -> int:
+        removed = 0
+        for sensor_id in list(self._series.keys()):
+            timestamps = self._timestamps[sensor_id]
+            if not timestamps or timestamps[0] >= cutoff:
+                continue
+            series = self._series[sensor_id]
+            index = bisect.bisect_left(timestamps, cutoff)
+            for reading in series[:index]:  # touches every evicted reading
+                self._total_bytes -= reading.size_bytes
+                self._bytes_by_category[reading.category] -= reading.size_bytes
+            del series[:index]
+            del timestamps[:index]
+            removed += index
+        return removed
 
     def remove_oldest(self, count: int) -> List[Reading]:  # global sort
         if count <= 0:
@@ -89,8 +197,13 @@ class LegacyTimeSeriesStore(TimeSeriesStore):
         for reading in victims:
             self._total_bytes -= reading.size_bytes
             self._bytes_by_category[reading.category] -= reading.size_bytes
-        self._count -= len(victims)
         return victims
+
+    def clear(self) -> None:
+        self._series.clear()
+        self._timestamps.clear()
+        self._total_bytes = 0
+        self._bytes_by_category.clear()
 
 
 def legacy_batch_total_bytes(batch: ReadingBatch) -> int:
@@ -148,19 +261,18 @@ def _legacy_collection_run(self, batch, now):
 def legacy_mode():
     """Temporarily restore the pre-refactor hot-path algorithms.
 
-    Swaps class attributes so the baseline pipeline measures the pre-change
-    code: generic (unfused) acquisition chain, per-reading tier ingestion,
-    always-bisect store appends, O(n) batch byte accounting and uncached
-    broker matching.  Everything is restored on exit, even on error.
+    Swaps class attributes (and the store class used by ``TieredStore``) so
+    the baseline pipeline measures the pre-change code: generic (unfused)
+    acquisition chain, per-reading tier ingestion, an object-per-reading
+    always-bisect store, O(n) batch byte accounting and uncached broker
+    matching.  Everything is restored on exit, even on error.
     """
     saved = {
         "acq_run": AcquisitionBlock.run,
         "collect_run": DataCollectionPhase.run,
         "tier_ingest": TieredStore.ingest_batch,
         "tier_pending_bytes": TieredStore.pending_upward_bytes,
-        "store_append": TimeSeriesStore.append,
-        "store_len": TimeSeriesStore.__len__,
-        "store_remove": TimeSeriesStore.remove_oldest,
+        "tiered_store_cls": tiered_module.TimeSeriesStore,
         "batch_bytes": ReadingBatch.total_bytes,
         "publish": Broker.publish,
     }
@@ -171,9 +283,7 @@ def legacy_mode():
         TieredStore.pending_upward_bytes = property(
             lambda self: sum(r.size_bytes for r in self._pending_upward)
         )
-        TimeSeriesStore.append = LegacyTimeSeriesStore.append
-        TimeSeriesStore.__len__ = LegacyTimeSeriesStore.__len__
-        TimeSeriesStore.remove_oldest = LegacyTimeSeriesStore.remove_oldest
+        tiered_module.TimeSeriesStore = LegacyTimeSeriesStore
         ReadingBatch.total_bytes = property(legacy_batch_total_bytes)
         Broker.publish = _legacy_publish
         yield
@@ -182,9 +292,7 @@ def legacy_mode():
         DataCollectionPhase.run = saved["collect_run"]
         TieredStore.ingest_batch = saved["tier_ingest"]
         TieredStore.pending_upward_bytes = saved["tier_pending_bytes"]
-        TimeSeriesStore.append = saved["store_append"]
-        TimeSeriesStore.__len__ = saved["store_len"]
-        TimeSeriesStore.remove_oldest = saved["store_remove"]
+        tiered_module.TimeSeriesStore = saved["tiered_store_cls"]
         ReadingBatch.total_bytes = saved["batch_bytes"]
         Broker.publish = saved["publish"]
 
@@ -245,15 +353,15 @@ def _system_outcome(system: F2CDataManagement) -> Dict[str, object]:
 
 
 # --------------------------------------------------------------------------- #
-# The three ingest pipelines
+# The four ingest pipelines
 # --------------------------------------------------------------------------- #
 def run_per_message(catalog, rounds, sensor_section) -> Dict[str, object]:
     """Pre-refactor path: per-message delivery + the pre-change algorithms.
 
     Runs entirely inside :func:`legacy_mode`, so both the data path (one
     synchronous acquisition per published message) and the underlying
-    algorithms (uncached matching, unfused phases, per-reading bookkeeping)
-    are the pre-change code.
+    algorithms (uncached matching, unfused phases, object-per-reading store,
+    per-reading bookkeeping) are the pre-change code.
     """
     with legacy_mode():
         system = _fresh_system(catalog, sensor_section)
@@ -310,6 +418,33 @@ def run_batched_broker(catalog, rounds, sensor_section) -> Dict[str, object]:
     return {
         "wall_s": wall,
         "stages": {"publish_s": publish_s, "flush_acquire_s": flush_s, "sync_s": sync_s},
+        **_system_outcome(system),
+    }
+
+
+def run_columnar_frames(catalog, rounds, sensor_section) -> Dict[str, object]:
+    """Columnar wire path: one encoded column frame per (section, round)."""
+    system = _fresh_system(catalog, sensor_section)
+    broker = Broker()
+    system.attach_broker(broker, batched=True)
+    publish_s = 0.0
+    flush_s = 0.0
+    sync_s = 0.0
+    begin = time.perf_counter()
+    for round_end, readings in rounds:
+        t0 = time.perf_counter()
+        system.publish_frames(broker, readings, timestamp=round_end)
+        publish_s += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        system.flush_broker(now=round_end)
+        flush_s += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        system.synchronise(now=round_end)
+        sync_s += time.perf_counter() - t0
+    wall = time.perf_counter() - begin
+    return {
+        "wall_s": wall,
+        "stages": {"frame_publish_s": publish_s, "flush_acquire_s": flush_s, "sync_s": sync_s},
         **_system_outcome(system),
     }
 
@@ -383,7 +518,41 @@ def run_micro(n_sensors: int = 200, per_sensor: int = 50) -> Dict[str, object]:
         "new_calls_per_sec": 2_000 / new_s if new_s else None,
         "legacy_calls_per_sec": 2_000 / legacy_s if legacy_s else None,
     }
+    micro["eviction"] = run_eviction_micro()
     return micro
+
+
+def run_eviction_micro(n_sensors: int = 100, per_sensor: int = 400, steps: int = 50) -> Dict[str, object]:
+    """Sustained-eviction micro-benchmark (the retention hot path).
+
+    Fills a store with in-order series, then repeatedly advances a TTL-style
+    cutoff so each ``remove_older_than`` call evicts a slice from every
+    series.  The columnar store's per-series prefix sums make the accounting
+    O(log n) per series per step; the legacy store touches every evicted
+    reading.
+    """
+    readings = _make_readings(n_sensors, per_sensor)
+    result: Dict[str, object] = {
+        "workload": {"n_sensors": n_sensors, "per_sensor": per_sensor, "steps": steps}
+    }
+    step = per_sensor / steps
+    for label, factory in (("new", TimeSeriesStore), ("legacy", LegacyTimeSeriesStore)):
+        store = factory()
+        store.extend(readings)
+        removed = 0
+        t0 = time.perf_counter()
+        for i in range(1, steps + 1):
+            removed += store.remove_older_than(i * step)
+        elapsed = time.perf_counter() - t0
+        result[label] = {
+            "evicted_readings": removed,
+            "total_s": elapsed,
+            "evictions_per_sec": removed / elapsed if elapsed else None,
+        }
+    new_rate = result["new"]["evictions_per_sec"]
+    legacy_rate = result["legacy"]["evictions_per_sec"]
+    result["speedup_new_vs_legacy"] = (new_rate / legacy_rate) if new_rate and legacy_rate else None
+    return result
 
 
 # --------------------------------------------------------------------------- #
@@ -405,13 +574,20 @@ def run_benchmark(
     pipelines = {
         "per_message": run_per_message(catalog, rounds, sensor_section),
         "batched_broker": run_batched_broker(catalog, rounds, sensor_section),
+        "columnar_frames": run_columnar_frames(catalog, rounds, sensor_section),
         "direct_batch": run_direct_batch(catalog, rounds, sensor_section),
     }
     for stats in pipelines.values():
         stats["readings_per_sec"] = total / stats["wall_s"] if stats["wall_s"] else None
     baseline_rps = pipelines["per_message"]["readings_per_sec"]
+
+    def _speedup(name: str) -> Optional[float]:
+        rps = pipelines[name]["readings_per_sec"]
+        return rps / baseline_rps if baseline_rps and rps else None
+
+    direct_rps = pipelines["direct_batch"]["readings_per_sec"]
     result: Dict[str, object] = {
-        "schema": "bench_ingest/v1",
+        "schema": "bench_ingest/v2",
         "workload": {
             "devices": devices_per_type * len(catalog),
             "devices_per_type": devices_per_type,
@@ -423,15 +599,15 @@ def run_benchmark(
         },
         "pipelines": pipelines,
         "speedup": {
-            "batched_broker_vs_per_message": (
-                pipelines["batched_broker"]["readings_per_sec"] / baseline_rps
-                if baseline_rps
-                else None
-            ),
-            "direct_batch_vs_per_message": (
-                pipelines["direct_batch"]["readings_per_sec"] / baseline_rps
-                if baseline_rps
-                else None
+            "batched_broker_vs_per_message": _speedup("batched_broker"),
+            "columnar_frames_vs_per_message": _speedup("columnar_frames"),
+            "direct_batch_vs_per_message": _speedup("direct_batch"),
+        },
+        "pr1_record": {
+            "direct_batch_readings_per_sec": PR1_DIRECT_BATCH_RECORD_RPS,
+            "batched_broker_readings_per_sec": PR1_BATCHED_BROKER_RECORD_RPS,
+            "direct_batch_vs_pr1_record": (
+                direct_rps / PR1_DIRECT_BATCH_RECORD_RPS if direct_rps else None
             ),
         },
     }
@@ -452,6 +628,8 @@ def main(output: pathlib.Path = DEFAULT_OUTPUT, **kwargs) -> Dict[str, object]:
               f"(wall {stats['wall_s']:.3f} s, cloud={stats['cloud_readings']})")
     for name, factor in result["speedup"].items():
         print(f"  speedup {name}: {factor:.1f}x")
+    print(f"  direct_batch vs PR1 record: "
+          f"{result['pr1_record']['direct_batch_vs_pr1_record']:.2f}x")
     print(f"wrote {output}")
     return result
 

@@ -17,7 +17,7 @@ from typing import Dict, List, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.aggregation.base import AggregationResult, AggregationTechnique
-from repro.sensors.readings import Reading, ReadingBatch
+from repro.sensors.readings import Reading, ReadingBatch, ReadingColumns
 
 
 class WindowAveraging(AggregationTechnique):
@@ -40,38 +40,55 @@ class WindowAveraging(AggregationTechnique):
         return math.floor(timestamp / self.window_seconds)
 
     def apply(self, batch: ReadingBatch) -> AggregationResult:
-        groups: Dict[Tuple[str, int], List[Reading]] = {}
-        passthrough: List[Reading] = []
-        for reading in batch:
-            if isinstance(reading.value, (int, float)) and not isinstance(reading.value, bool):
-                key = (reading.sensor_id, self._window_index(reading.timestamp))
-                groups.setdefault(key, []).append(reading)
+        # Consume the columns directly: group rows per (sensor, window) with
+        # running sums, then emit one summary row per group — no per-reading
+        # object materialization.
+        columns = batch.columns
+        window_index = self._window_index
+        # (sensor_id, window) -> [value_sum, count, last_row_index]
+        groups: Dict[Tuple[str, int], List] = {}
+        passthrough: List[int] = []
+        index = 0
+        for sensor_id, value, timestamp in zip(
+            columns.sensor_ids, columns.values, columns.timestamps
+        ):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                key = (sensor_id, window_index(timestamp))
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [float(value), 1, index]
+                else:
+                    group[0] += float(value)
+                    group[1] += 1
+                    group[2] = index
             else:
-                passthrough.append(reading)
+                passthrough.append(index)
+            index += 1
 
-        output = ReadingBatch()
-        for (_, window_index), readings in sorted(groups.items()):
-            values = [float(r.value) for r in readings]
-            template = readings[-1]
-            window_end = (window_index + 1) * self.window_seconds
-            summary = Reading(
-                sensor_id=template.sensor_id,
-                sensor_type=template.sensor_type,
-                category=template.category,
-                value=round(sum(values) / len(values), 6),
-                timestamp=window_end,
-                fog_node_id=template.fog_node_id,
-                size_bytes=template.size_bytes,
-                sequence=template.sequence,
-                tags={**template.tags, "aggregated_count": len(readings), "technique": self.name},
+        out = ReadingColumns()
+        for (_, group_window), (value_sum, count, template_index) in sorted(groups.items()):
+            window_end = (group_window + 1) * self.window_seconds
+            out.append_row(
+                columns.sensor_ids[template_index],
+                columns.sensor_types[template_index],
+                columns.categories[template_index],
+                round(value_sum / count, 6),
+                window_end,
+                columns.fog_node_ids[template_index],
+                columns.sizes[template_index],
+                columns.sequences[template_index],
+                {
+                    **columns.tags_at(template_index),
+                    "aggregated_count": count,
+                    "technique": self.name,
+                },
             )
-            output.append(summary)
-        for reading in passthrough:
-            output.append(reading)
+        if passthrough:
+            out.extend_columns(columns.gather(passthrough))
 
         return self._result(
             batch,
-            output,
+            ReadingBatch.from_columns(out),
             windows=len(groups),
             window_seconds=self.window_seconds,
             passthrough=len(passthrough),

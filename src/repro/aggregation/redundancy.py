@@ -44,30 +44,48 @@ class RedundantDataElimination(AggregationTechnique):
 
     @staticmethod
     def _dedup_batch(batch: ReadingBatch) -> Tuple[ReadingBatch, int]:
+        # Dedup runs on the value column directly (the dedup key is
+        # (sensor, type, value)); survivors are gathered column-wise.
+        columns = batch.columns
         seen: Set[tuple] = set()
-        output = ReadingBatch()
+        add = seen.add
+        keep = []
+        keep_append = keep.append
         removed = 0
-        for reading in batch:
-            key = reading.dedup_key()
+        index = 0
+        for key in zip(columns.sensor_ids, columns.sensor_types, columns.values):
             if key in seen:
                 removed += 1
-                continue
-            seen.add(key)
-            output.append(reading)
-        return output, removed
+            else:
+                add(key)
+                keep_append(index)
+            index += 1
+        if not removed:
+            # Still a fresh batch (cheap column copy): apply() has always
+            # returned an independent output, and callers may mutate it.
+            return ReadingBatch.from_columns(columns.copy()), 0
+        return ReadingBatch.from_columns(columns.gather(keep)), removed
 
     @staticmethod
     def _dedup_consecutive(batch: ReadingBatch) -> Tuple[ReadingBatch, int]:
-        last_value: Dict[Tuple[str, str], object] = {}
-        output = ReadingBatch()
-        removed = 0
+        columns = batch.columns
+        sensor_ids = columns.sensor_ids
+        timestamps = columns.timestamps
+        sequences = columns.sequences
+        values = columns.values
+        sensor_types = columns.sensor_types
         # Process in timestamp order per sensor so "previous value" is well defined.
-        ordered = sorted(batch, key=lambda r: (r.sensor_id, r.timestamp, r.sequence))
-        for reading in ordered:
-            key = (reading.sensor_id, reading.sensor_type)
-            if key in last_value and last_value[key] == reading.value:
+        ordered = sorted(
+            range(len(sensor_ids)), key=lambda i: (sensor_ids[i], timestamps[i], sequences[i])
+        )
+        last_value: Dict[Tuple[str, str], object] = {}
+        keep = []
+        removed = 0
+        for i in ordered:
+            key = (sensor_ids[i], sensor_types[i])
+            if key in last_value and last_value[key] == values[i]:
                 removed += 1
                 continue
-            last_value[key] = reading.value
-            output.append(reading)
-        return output, removed
+            last_value[key] = values[i]
+            keep.append(i)
+        return ReadingBatch.from_columns(columns.gather(keep)), removed

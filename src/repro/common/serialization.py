@@ -2,8 +2,11 @@
 
 Sensor readings travel through the messaging and network substrates as byte
 payloads.  The encoders here produce Sentilo-flavoured representations: a
-compact CSV-like line format (what a constrained device would send) and a
-JSON format (what the platform API exposes).  The encoded size is what the
+compact CSV-like line format (what a constrained device would send), a JSON
+format (what the platform API exposes), and a *column frame* format (one
+self-describing payload carrying a whole batch of readings as parallel
+columns — the high-throughput broker wire format, one frame per node-round
+instead of one CSV payload per reading).  The encoded size is what the
 traffic accounting measures, so encoders are deliberately simple and
 deterministic.
 """
@@ -11,7 +14,22 @@ deterministic.
 from __future__ import annotations
 
 import json
-from typing import Any, Iterable, Mapping
+from typing import Any, Dict, Iterable, List, Mapping
+
+#: Leading marker of a column frame.  Starts with a NUL byte, which can never
+#: begin a CSV reading line, so receivers can dispatch on the payload prefix.
+COLUMN_FRAME_MAGIC = b"\x00RBF1\n"
+
+#: The column names a frame must carry, all lists of equal length.
+COLUMN_FRAME_FIELDS = (
+    "sensor_ids",
+    "sensor_types",
+    "categories",
+    "values",
+    "timestamps",
+    "sizes",
+    "sequences",
+)
 
 
 def encode_json(record: Mapping[str, Any]) -> bytes:
@@ -47,6 +65,40 @@ def decode_csv_line(payload: bytes) -> list[str]:
     if not text:
         return []
     return text.split(",")
+
+
+def encode_columns(columns: Mapping[str, List[Any]]) -> bytes:
+    """Encode parallel reading columns as one deterministic wire frame.
+
+    *columns* maps each :data:`COLUMN_FRAME_FIELDS` name to a list; all lists
+    must have the same length.  Values must be JSON-representable (numbers,
+    strings, booleans, ``None``) — exotic value types are rejected by the
+    JSON encoder, mirroring the CSV format's restrictions.
+    """
+    lengths = {name: len(columns[name]) for name in COLUMN_FRAME_FIELDS}
+    if len(set(lengths.values())) > 1:
+        raise ValueError(f"column lengths differ: {lengths}")
+    record = {name: list(columns[name]) for name in COLUMN_FRAME_FIELDS}
+    return COLUMN_FRAME_MAGIC + encode_json(record)
+
+
+def decode_columns(payload: bytes) -> Dict[str, List[Any]]:
+    """Inverse of :func:`encode_columns`; validates the frame shape."""
+    if not payload.startswith(COLUMN_FRAME_MAGIC):
+        raise ValueError("payload is not a column frame (missing magic prefix)")
+    record = decode_json(payload[len(COLUMN_FRAME_MAGIC):])
+    missing = [name for name in COLUMN_FRAME_FIELDS if name not in record]
+    if missing:
+        raise ValueError(f"column frame is missing fields: {missing}")
+    lengths = {len(record[name]) for name in COLUMN_FRAME_FIELDS}
+    if len(lengths) > 1:
+        raise ValueError("column frame has diverging column lengths")
+    return record
+
+
+def is_column_frame(payload: bytes) -> bool:
+    """Whether *payload* is a column frame (vs a CSV/JSON reading payload)."""
+    return payload.startswith(COLUMN_FRAME_MAGIC)
 
 
 def pad_to_size(payload: bytes, target_size: int, fill: bytes = b" ") -> bytes:

@@ -43,7 +43,7 @@ from repro.network.simulator import NetworkSimulator
 from repro.network.topology import LayerName, NetworkTopology
 from repro.network.traffic import TrafficAccountant
 from repro.sensors.catalog import SensorCatalog
-from repro.sensors.readings import Reading, ReadingBatch
+from repro.sensors.readings import Reading, ReadingBatch, ReadingColumns
 
 
 #: Builds the default fog layer-1 aggregator the paper evaluates: redundant
@@ -88,7 +88,12 @@ class F2CDataManagement:
         self._fog1_id_by_section: Dict[str, str] = {
             section_id: fog1_node_id(section_id) for section_id in self._section_ids
         }
-        self._sensor_route_cache: Dict[str, str] = {}
+        # sensor id -> fog L1 node id, for routes that cannot change between
+        # calls (explicit assignment or stable hash spreading); invalidated
+        # per sensor by assign_sensor.  Routes via a caller-supplied
+        # default_section are never cached.
+        self._sensor_node_cache: Dict[str, str] = {}
+        self._parent_cache: Dict[str, str] = {}
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -147,9 +152,14 @@ class F2CDataManagement:
         return self.fog1_node(fog1_node_id(section_id))
 
     def parent_of(self, node_id: str) -> str:
-        parent = self.topology.parent_of(node_id)
+        # The topology is fixed after construction, so parent lookups (one
+        # per node per transfer round) are memoized.
+        parent = self._parent_cache.get(node_id)
         if parent is None:
-            raise RoutingError(f"node {node_id} has no parent in the topology")
+            parent = self.topology.parent_of(node_id)
+            if parent is None:
+                raise RoutingError(f"node {node_id} has no parent in the topology")
+            self._parent_cache[node_id] = parent
         return parent
 
     def node_by_id(self, node_id: str):
@@ -170,7 +180,7 @@ class F2CDataManagement:
         if section_id not in self._fog1_id_by_section:
             raise ConfigurationError(f"unknown section: {section_id}")
         self._sensor_to_section[sensor_id] = section_id
-        self._sensor_route_cache.pop(sensor_id, None)
+        self._sensor_node_cache.pop(sensor_id, None)
 
     def section_of_sensor(self, sensor_id: str) -> Optional[str]:
         return self._sensor_to_section.get(sensor_id)
@@ -185,26 +195,6 @@ class F2CDataManagement:
         """
         digest = zlib.crc32(sensor_id.encode("utf-8"))
         return self._section_ids[digest % len(self._section_ids)]
-
-    def _route_sensor(self, sensor_id: str, default_section: Optional[str]) -> str:
-        """Fog layer-1 node id for *sensor_id*.
-
-        Explicit assignment wins, then the caller's *default_section*, then
-        stable hash-spreading.  Only the spread route is cached (it is the
-        one that costs a hash); assignment and default are plain dict
-        lookups and must be re-resolved per call so a later assignment or a
-        different default is honoured.
-        """
-        section_id = self._sensor_to_section.get(sensor_id)
-        if section_id is not None:
-            return self._fog1_id_by_section[section_id]
-        if default_section is not None:
-            return self._fog1_id_by_section.get(default_section) or fog1_node_id(default_section)
-        node_id = self._sensor_route_cache.get(sensor_id)
-        if node_id is None:
-            node_id = self._fog1_id_by_section[self._spread_section(sensor_id)]
-            self._sensor_route_cache[sensor_id] = node_id
-        return node_id
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -228,25 +218,111 @@ class F2CDataManagement:
         sensors themselves.
         """
         timestamp = now if now is not None else self.simulator.clock.now()
-        route = self._route_sensor
-        per_node: Dict[str, ReadingBatch] = defaultdict(ReadingBatch)
-        for reading in readings:
-            per_node[route(reading.sensor_id, default_section)].append(reading)
+        if isinstance(readings, ReadingBatch):
+            return self.ingest_columns(readings.columns, now=timestamp, default_section=default_section)
+        if isinstance(readings, ReadingColumns):
+            return self.ingest_columns(readings, now=timestamp, default_section=default_section)
+        # Bucket into plain per-node lists first (one append per reading),
+        # then decompose each node's list into columns in bulk — the batch
+        # stays columnar from here to the cloud.  Routing is inlined with a
+        # persistent sensor → node cache: the cache hit is the common case
+        # and must not pay a function call per reading.
+        node_cache = self._sensor_node_cache
+        route = self._resolve_node_cached
+        per_node: Dict[str, List[Reading]] = defaultdict(list)
+        if default_section is None:
+            for reading in readings:
+                sensor_id = reading.sensor_id
+                node_id = node_cache.get(sensor_id)
+                if node_id is None:
+                    node_id = route(sensor_id, None)
+                per_node[node_id].append(reading)
+        else:
+            # A caller default overrides cached spread routes, so the cache
+            # is bypassed (assignment still wins inside the resolver).
+            for reading in readings:
+                per_node[route(reading.sensor_id, default_section)].append(reading)
 
         acquired_counts: Dict[str, int] = {}
-        for node_id, batch in per_node.items():
-            fog1 = self.fog1_node(node_id)
-            self.simulator.accountant.record_transfer(
-                timestamp=timestamp,
-                source=f"sensors/{fog1.section_id}",
-                target=node_id,
-                target_layer=LayerName.FOG_1,
-                size_bytes=batch.total_bytes,
-                message_count=len(batch),
-            )
-            acquired = fog1.ingest(batch, timestamp)
-            acquired_counts[node_id] = len(acquired)
+        for node_id, node_readings in per_node.items():
+            batch = ReadingBatch.from_columns(ReadingColumns.from_reading_list(node_readings))
+            acquired_counts[node_id] = self._acquire_at_node(node_id, batch, timestamp)
         return acquired_counts
+
+    def ingest_columns(
+        self,
+        columns: ReadingColumns,
+        now: Optional[float] = None,
+        default_section: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Columnar-native ingest: route and acquire a whole column batch.
+
+        Same semantics as :meth:`ingest_readings` but the input is already
+        in the native column representation (e.g. decoded wire frames or an
+        in-process columnar feed), so no per-reading objects exist anywhere
+        on the path.
+        """
+        timestamp = now if now is not None else self.simulator.clock.now()
+        node_cache = self._sensor_node_cache
+        route = self._resolve_node_cached
+        buckets: Dict[str, List[int]] = {}
+        index = 0
+        for sensor_id in columns.sensor_ids:
+            if default_section is None:
+                node_id = node_cache.get(sensor_id)
+                if node_id is None:
+                    node_id = route(sensor_id, None)
+            else:
+                node_id = route(sensor_id, default_section)
+            bucket = buckets.get(node_id)
+            if bucket is None:
+                bucket = buckets[node_id] = []
+            bucket.append(index)
+            index += 1
+        acquired_counts: Dict[str, int] = {}
+        if len(buckets) == 1:
+            (node_id, _), = buckets.items()
+            acquired_counts[node_id] = self._acquire_at_node(
+                node_id, ReadingBatch.from_columns(columns), timestamp
+            )
+            return acquired_counts
+        for node_id, indices in buckets.items():
+            batch = ReadingBatch.from_columns(columns.gather(indices))
+            acquired_counts[node_id] = self._acquire_at_node(node_id, batch, timestamp)
+        return acquired_counts
+
+    def _resolve_node_cached(self, sensor_id: str, default_section: Optional[str]) -> str:
+        """Resolve a sensor's fog L1 node, caching stable routes.
+
+        Explicit assignment wins, then the caller's *default_section*, then
+        stable hash-spreading.  Assigned and spread routes are cached in
+        ``_sensor_node_cache`` (callers consult it before calling here, and
+        must bypass it when a *default_section* is in play so a per-call
+        default is honoured for unassigned sensors).
+        """
+        section_id = self._sensor_to_section.get(sensor_id)
+        if section_id is not None:
+            node_id = self._fog1_id_by_section[section_id]
+        elif default_section is not None:
+            # Default-section routing depends on the call, never cached.
+            return self._fog1_id_by_section.get(default_section) or fog1_node_id(default_section)
+        else:
+            node_id = self._fog1_id_by_section[self._spread_section(sensor_id)]
+        self._sensor_node_cache[sensor_id] = node_id
+        return node_id
+
+    def _acquire_at_node(self, node_id: str, batch: ReadingBatch, timestamp: float) -> int:
+        fog1 = self.fog1_node(node_id)
+        self.simulator.accountant.record_transfer(
+            timestamp=timestamp,
+            source=f"sensors/{fog1.section_id}",
+            target=node_id,
+            target_layer=LayerName.FOG_1,
+            size_bytes=batch.total_bytes,
+            message_count=len(batch),
+        )
+        acquired = fog1.ingest(batch, timestamp)
+        return len(acquired)
 
     # ------------------------------------------------------------------ #
     # Broker integration
@@ -282,7 +358,7 @@ class F2CDataManagement:
 
     @staticmethod
     def _parse_broker_message(message: Message) -> Optional[Reading]:
-        """Decode one wire payload back into a minimal reading."""
+        """Decode one CSV wire payload back into a minimal reading."""
         from repro.common.serialization import decode_csv_line
 
         fields = decode_csv_line(message.payload.rstrip(b" "))
@@ -303,21 +379,46 @@ class F2CDataManagement:
             size_bytes=len(message.payload),
         )
 
+    @classmethod
+    def _decode_message_columns(cls, message: Message) -> Optional[ReadingColumns]:
+        """Decode any broker payload (column frame or CSV line) into columns.
+
+        Column frames carry the whole batch, including the per-reading
+        Table-I wire sizes, so downstream traffic accounting is identical to
+        the per-reading CSV path.
+        """
+        payload = message.payload
+        if ReadingColumns.is_frame(payload):
+            try:
+                return ReadingColumns.decode_frame(payload)
+            except (ValueError, TypeError, KeyError):
+                # Malformed frames are dropped exactly like malformed CSV
+                # payloads (QoS 0): one corrupt message must not abort a
+                # flush and lose the rest of the drained inbox.
+                return None
+        reading = cls._parse_broker_message(message)
+        if reading is None:
+            return None
+        columns = ReadingColumns()
+        columns.append_reading(reading)
+        return columns
+
     def _broker_handler(self, node_id: str):
         def handle(message: Message) -> None:
-            reading = self._parse_broker_message(message)
-            if reading is None:
+            columns = self._decode_message_columns(message)
+            if columns is None or not len(columns):
                 return
+            timestamp = max(columns.timestamps)
             fog1 = self.fog1_node(node_id)
             self.simulator.accountant.record_transfer(
-                timestamp=reading.timestamp,
+                timestamp=timestamp,
                 source=f"broker/{node_id}",
                 target=node_id,
                 target_layer=LayerName.FOG_1,
-                size_bytes=reading.size_bytes,
-                message_count=1,
+                size_bytes=columns.total_bytes,
+                message_count=len(columns),
             )
-            fog1.ingest(ReadingBatch([reading]), reading.timestamp)
+            fog1.ingest(ReadingBatch.from_columns(columns), timestamp)
 
         return handle
 
@@ -337,34 +438,86 @@ class F2CDataManagement:
         acquired_counts: Dict[str, int] = {}
         # Drain only this architecture's own fog layer-1 subscriptions: other
         # batched clients may share the broker and own their inboxes.
+        decode = self._decode_message_columns
         for node_id in self._fog1:
             messages = self._broker.drain_inbox(node_id)
             if not messages:
                 continue
-            batch = ReadingBatch()
-            parse = self._parse_broker_message
+            columns = ReadingColumns()
             for message in messages:
-                reading = parse(message)
-                if reading is not None:
-                    batch.append(reading)
-            if not batch:
+                decoded = decode(message)
+                if decoded is not None:
+                    columns.extend_columns(decoded)
+            if not len(columns):
                 continue
             # Batch maximum, not the last arrival: with out-of-order arrivals
             # an older last message would make newer readings look like they
             # are from the future and fail the quality phase's skew check.
-            timestamp = now if now is not None else max(r.timestamp for r in batch)
+            timestamp = now if now is not None else max(columns.timestamps)
             fog1 = self.fog1_node(node_id)
             self.simulator.accountant.record_transfer(
                 timestamp=timestamp,
                 source=f"broker/{node_id}",
                 target=node_id,
                 target_layer=LayerName.FOG_1,
-                size_bytes=batch.total_bytes,
-                message_count=len(batch),
+                size_bytes=columns.total_bytes,
+                message_count=len(columns),
             )
-            acquired = fog1.ingest(batch, timestamp)
+            acquired = fog1.ingest(ReadingBatch.from_columns(columns), timestamp)
             acquired_counts[node_id] = len(acquired)
         return acquired_counts
+
+    def publish_frames(
+        self,
+        broker: Optional[Broker] = None,
+        readings: Iterable[Reading] = (),
+        city_slug: str = "bcn",
+        default_section: Optional[str] = None,
+        timestamp: float = 0.0,
+    ) -> Dict[str, int]:
+        """Publish readings as one column frame per section (wire fast path).
+
+        Readings are routed to sections exactly like :meth:`ingest_readings`
+        routes them to fog nodes, then each section's rows are encoded into
+        a single :meth:`ReadingColumns.encode_frame` payload and published
+        on ``city/<slug>/<section>/frame``.  Fog layer-1 subscribers decode
+        the frame back into columns (see :meth:`_decode_message_columns`),
+        so one broker delivery replaces one delivery per reading while the
+        per-reading Table-I wire sizes — carried inside the frame — keep the
+        traffic accounting identical.
+
+        Returns the number of readings framed per section.
+        """
+        if broker is None:
+            broker = self._broker
+        if broker is None:
+            raise ConfigurationError("no broker attached and none supplied")
+        section_by_node = {node_id: fog1.section_id for node_id, fog1 in self._fog1.items()}
+        node_cache = self._sensor_node_cache
+        route = self._resolve_node_cached
+        per_section: Dict[str, List[Reading]] = defaultdict(list)
+        for reading in readings:
+            if default_section is None:
+                node_id = node_cache.get(reading.sensor_id)
+                if node_id is None:
+                    node_id = route(reading.sensor_id, None)
+            else:
+                node_id = route(reading.sensor_id, default_section)
+            section_id = section_by_node.get(node_id)
+            if section_id is None:
+                # Same descriptive failure as the direct ingest path.
+                raise RoutingError(f"unknown fog layer-1 node: {node_id}")
+            per_section[section_id].append(reading)
+        published: Dict[str, int] = {}
+        for section_id, section_readings in per_section.items():
+            columns = ReadingColumns.from_reading_list(section_readings)
+            broker.publish(
+                f"city/{city_slug}/{section_id}/frame",
+                columns.encode_frame(),
+                timestamp=timestamp,
+            )
+            published[section_id] = len(section_readings)
+        return published
 
     # ------------------------------------------------------------------ #
     # Data movement & reporting

@@ -129,7 +129,7 @@ class FogNodeLevel1(_BaseNode):
             description=DataDescriptionPhase(
                 city_name=city_name,
                 static_tags={"section": section_id},
-                fog_node_resolver=lambda reading: node_id,
+                fog_node_id=node_id,
             ),
         )
         self.last_acquisition_result: Optional[BlockResult] = None

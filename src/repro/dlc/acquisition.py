@@ -13,13 +13,12 @@ Phases, in the order Fig. 2 prescribes:
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Callable, Dict, Iterable, Optional, Sequence
 
 from repro.dlc.model import BlockResult, LifeCycleBlock, Phase, PhaseResult
 from repro.dlc.quality import QualityAssessor, QualityPolicy, QualityReport
 from repro.sensors.catalog import SensorCatalog
-from repro.sensors.readings import Reading, ReadingBatch
+from repro.sensors.readings import Reading, ReadingBatch, ReadingColumns
 
 
 class DataCollectionPhase(Phase):
@@ -138,10 +137,23 @@ class DataDescriptionPhase(Phase):
         city_name: str = "barcelona",
         static_tags: Optional[Dict[str, object]] = None,
         fog_node_resolver: Optional[Callable[[Reading], Optional[str]]] = None,
+        fog_node_id: Optional[str] = None,
     ) -> None:
         self.city_name = city_name
         self.static_tags = dict(static_tags or {})
         self._fog_node_resolver = fog_node_resolver
+        #: Constant fog node to assign to readings that arrive unassigned.
+        #: Fog layer-1 nodes use this instead of a resolver callable: a
+        #: constant lets the fused columnar path tag whole batches without
+        #: materializing a ``Reading`` per row for the callback.
+        self.fog_node_id = fog_node_id
+
+    def _resolve_fog_node(self, reading: Reading) -> Optional[str]:
+        if self.fog_node_id is not None:
+            return self.fog_node_id
+        if self._fog_node_resolver is not None:
+            return self._fog_node_resolver(reading)
+        return None
 
     def run(self, batch: ReadingBatch, now: float) -> tuple[ReadingBatch, PhaseResult]:
         output = ReadingBatch()
@@ -152,8 +164,8 @@ class DataDescriptionPhase(Phase):
                 "category": reading.category,
                 **self.static_tags,
             }
-            if self._fog_node_resolver is not None and reading.fog_node_id is None:
-                fog_node = self._fog_node_resolver(reading)
+            if reading.fog_node_id is None:
+                fog_node = self._resolve_fog_node(reading)
                 if fog_node is not None:
                     reading = reading.with_fog_node(fog_node)
             if reading.fog_node_id is not None:
@@ -166,14 +178,16 @@ class DataDescriptionPhase(Phase):
 class AcquisitionBlock(LifeCycleBlock):
     """The complete acquisition block: collection → filtering → quality → description.
 
-    The quality and description phases are *fused* on the hot path: one loop
-    scores each reading, builds its final tag dict once, and produces at most
-    one frozen-dataclass copy per admitted reading (the naive phase chain
-    produced three: ``quality_score`` tagging, fog-node assignment, and
-    description tagging).  The fusion is behaviour-preserving — the per-phase
-    results, tag contents/order and the quality report are identical to
-    running the two phases sequentially — and is bypassed automatically when
-    either phase has been subclassed.
+    The hot path is *fused and columnar*: one loop over the batch's columns
+    performs redundant-data elimination (when the filter is the paper's
+    default batch-scope technique), scores each row with the inlined quality
+    checks, builds its final tag dict once, and writes admitted rows straight
+    into the output columns — no per-reading ``Reading`` objects are created
+    anywhere in the block.  The fusion is behaviour-preserving — the
+    per-phase results, tag contents/order and the quality report are
+    identical to running the phases sequentially — and is bypassed
+    automatically when a phase (or the quality assessor) has been
+    subclassed or a non-default aggregator is configured.
     """
 
     def __init__(
@@ -198,9 +212,28 @@ class AcquisitionBlock(LifeCycleBlock):
         result = BlockResult(block_name=self.name)
         current, phase_result = self.collection.run(batch, now)
         result.phase_results.append(phase_result)
-        current, phase_result = self.filtering.run(current, now)
-        result.phase_results.append(phase_result)
-        output, quality_result, description_result = self._run_fused_quality_description(current, now)
+        # The paper's default fog layer-1 filter — batch-scope redundant
+        # data elimination — fuses into the quality/description loop as an
+        # inline dedup-key check, so the batch is traversed once instead of
+        # twice and no intermediate column set is built.  Any other
+        # aggregator (pipelines, other techniques, subclasses) runs through
+        # its own phase unchanged.
+        from repro.aggregation.redundancy import RedundantDataElimination
+
+        aggregator = self.filtering.aggregator
+        if (
+            type(self.filtering) is DataFilteringPhase
+            and type(aggregator) is RedundantDataElimination
+            and aggregator.scope == "batch"
+        ):
+            output, filter_result, quality_result, description_result = self._run_fused(
+                current, now, dedup=True
+            )
+            result.phase_results.append(filter_result)
+        else:
+            current, phase_result = self.filtering.run(current, now)
+            result.phase_results.append(phase_result)
+            output, _, quality_result, description_result = self._run_fused(current, now, dedup=False)
         result.phase_results.append(quality_result)
         result.phase_results.append(description_result)
         return output, result
@@ -208,45 +241,229 @@ class AcquisitionBlock(LifeCycleBlock):
     def _run_fused_quality_description(
         self, batch: ReadingBatch, now: float
     ) -> tuple[ReadingBatch, PhaseResult, PhaseResult]:
+        """Backwards-compatible wrapper around :meth:`_run_fused`."""
+        output, _, quality_result, description_result = self._run_fused(batch, now, dedup=False)
+        return output, quality_result, description_result
+
+    def _run_fused(
+        self, batch: ReadingBatch, now: float, dedup: bool
+    ) -> tuple[ReadingBatch, Optional[PhaseResult], PhaseResult, PhaseResult]:
         quality = self.quality
         description = self.description
         assessor = quality.assessor
         resolver = description._fog_node_resolver
+        constant_fog = description.fog_node_id
         static_tags = description.static_tags
         city_name = description.city_name
+        seen: set = set()
+        seen_add = seen.add
+        dedup_removed = 0
+        dedup_removed_bytes = 0
+        # Tag template for rows that arrive without tags (the norm for raw
+        # sensor streams): one dict copy + three assignments per row instead
+        # of building the dict key by key.  Key order matches the sequential
+        # phases: quality_score, collected_at, city, category, static tags,
+        # fog_node.
+        tag_template: Optional[Dict[str, object]] = {
+            "quality_score": 1.0,
+            "collected_at": now,
+            "city": city_name,
+            "category": None,
+        }
+        if static_tags:
+            if set(static_tags) & set(tag_template):
+                # A static tag shadows a built-in key: the template's
+                # assign-after-copy would win where the sequential phases
+                # let the static tag win.  Fall back to per-row builds.
+                tag_template = None
+            else:
+                tag_template.update(static_tags)
         report = QualityReport()
         scores_append = report.scores.append
-        output = ReadingBatch()
-        for reading in batch:
-            score, reason = assessor.score(reading, now)
-            report.assessed += 1
+        record_rejection = report.record_rejection
+        # Scoring state bound once per batch.  The loop below inlines
+        # QualityAssessor.score_fields with the exact same checks and float
+        # expressions (the assessor method stays the reference
+        # implementation for per-reading callers and custom phases).
+        policy = assessor.policy
+        reject_non_numeric = policy.reject_non_numeric
+        max_future_skew_s = policy.max_future_skew_s
+        max_age_s = policy.max_age_s
+        minimum_score = policy.minimum_score
+        catalog = assessor.catalog
+        # A subclassed assessor may override score(); honour it by scoring a
+        # materialized reading per row instead of the inlined checks.
+        custom_score = None if type(assessor) is QualityAssessor else assessor.score
+        # sensor_type -> (low, high, low - span, high + span), or None when
+        # the type is not in the catalog.
+        range_cache: Dict[str, Optional[tuple]] = {}
+        # Column-wise fused loop: score each row from its columns, build its
+        # final tag dict once, and emit the admitted row straight into the
+        # output columns — no per-reading frozen-dataclass copies at all.
+        columns = batch.columns
+        out = ReadingColumns()
+        # Bound column appends: the loop writes each admitted row straight
+        # into the output columns without a per-row method call.
+        out_ids = out.sensor_ids.append
+        out_types = out.sensor_types.append
+        out_cats = out.categories.append
+        out_values = out.values.append
+        out_tss = out.timestamps.append
+        out_fogs = out.fog_node_ids.append
+        out_sizes = out.sizes.append
+        out_seqs = out.sequences.append
+        out_tags = out.tags.append
+        admitted_bytes_total = 0
+        assessed = 0
+        for sensor_id, sensor_type, category, value, timestamp, fog_node_id, size, sequence, row_tags in zip(
+            columns.sensor_ids,
+            columns.sensor_types,
+            columns.categories,
+            columns.values,
+            columns.timestamps,
+            columns.fog_node_ids,
+            columns.sizes,
+            columns.sequences,
+            columns.tags,
+        ):
+            if dedup:
+                key = (sensor_id, sensor_type, value)
+                if key in seen:
+                    dedup_removed += 1
+                    dedup_removed_bytes += size
+                    continue
+                seen_add(key)
+            if custom_score is not None:
+                score, reason = custom_score(
+                    Reading(
+                        sensor_id=sensor_id,
+                        sensor_type=sensor_type,
+                        category=category,
+                        value=value,
+                        timestamp=timestamp,
+                        fog_node_id=fog_node_id,
+                        size_bytes=size,
+                        sequence=sequence,
+                        tags=row_tags if row_tags is not None else {},
+                    ),
+                    now,
+                )
+            else:
+                # --- inlined QualityAssessor.score_fields --------------- #
+                score = 1.0
+                reason = None
+                value_is_numeric = isinstance(value, (int, float)) and not isinstance(value, bool)
+                if not value_is_numeric:
+                    if reject_non_numeric:
+                        score, reason = 0.0, "non_numeric_value"
+                    else:
+                        score -= 0.4
+                if reason is None:
+                    if timestamp > now + max_future_skew_s:
+                        score, reason = 0.0, "timestamp_in_future"
+                    else:
+                        if now - timestamp > max_age_s:
+                            score -= 0.3
+                        if not sensor_id or not sensor_type:
+                            score, reason = 0.0, "missing_identity"
+                        elif catalog is not None and value_is_numeric:
+                            bounds = range_cache.get(sensor_type, range_cache)
+                            if bounds is range_cache:  # cache miss sentinel
+                                if sensor_type in catalog:
+                                    low, high = catalog.get(sensor_type).value_range
+                                    span = high - low
+                                    bounds = (low, high, low - span, high + span)
+                                else:
+                                    bounds = None
+                                range_cache[sensor_type] = bounds
+                            if bounds is not None:
+                                low, high, hard_low, hard_high = bounds
+                                float_value = float(value)
+                                if float_value < hard_low or float_value > hard_high:
+                                    score, reason = 0.0, "value_out_of_range"
+                                elif not low <= float_value <= high:
+                                    score -= 0.3
+                        if reason is None:
+                            score = max(0.0, min(1.0, score))
+                            if score < minimum_score:
+                                reason = "below_minimum_score"
+                # -------------------------------------------------------- #
+            assessed += 1
             scores_append(score)
             if reason is not None:
-                report.record_rejection(reason)
+                record_rejection(reason)
                 continue
-            report.admitted += 1
-            fog_node_id = reading.fog_node_id
-            if resolver is not None and fog_node_id is None:
-                fog_node_id = resolver(reading)
+            if fog_node_id is None:
+                if constant_fog is not None:
+                    fog_node_id = constant_fog
+                elif resolver is not None:
+                    # Compatibility path for callable resolvers: materialize
+                    # this row so the callback sees a real Reading.
+                    fog_node_id = resolver(
+                        Reading(
+                            sensor_id=sensor_id,
+                            sensor_type=sensor_type,
+                            category=category,
+                            value=value,
+                            timestamp=timestamp,
+                            fog_node_id=None,
+                            size_bytes=size,
+                            sequence=sequence,
+                            tags=row_tags if row_tags is not None else {},
+                        )
+                    )
             # Tag insertion order matches the sequential phases exactly:
             # original tags, quality_score, then the description tags.
-            tags: Dict[str, object] = dict(reading.tags)
-            tags["quality_score"] = round(score, 3)
-            tags["collected_at"] = now
-            tags["city"] = city_name
-            tags["category"] = reading.category
-            tags.update(static_tags)
+            quality_score = 1.0 if score == 1.0 else round(score, 3)
+            if not row_tags and tag_template is not None:
+                tags: Dict[str, object] = dict(tag_template)
+                if quality_score != 1.0:
+                    tags["quality_score"] = quality_score
+                tags["category"] = category
+            else:
+                tags = dict(row_tags) if row_tags else {}
+                tags["quality_score"] = quality_score
+                tags["collected_at"] = now
+                tags["city"] = city_name
+                tags["category"] = category
+                if static_tags:
+                    tags.update(static_tags)
             if fog_node_id is not None:
                 tags["fog_node"] = fog_node_id
-            output.append(replace(reading, fog_node_id=fog_node_id, tags=tags))
+            out_ids(sensor_id)
+            out_types(sensor_type)
+            out_cats(category)
+            out_values(value)
+            out_tss(timestamp)
+            out_fogs(fog_node_id)
+            out_sizes(size)
+            out_seqs(sequence)
+            out_tags(tags)
+            admitted_bytes_total += size
+        out._total_bytes = admitted_bytes_total
+        report.assessed = assessed
+        report.admitted = len(out)
+        output = ReadingBatch.from_columns(out)
         quality.last_report = report
         admitted = len(output)
         admitted_bytes = output.total_bytes
+        filter_result: Optional[PhaseResult] = None
+        quality_input_readings = len(batch) - dedup_removed
+        quality_input_bytes = batch.total_bytes - dedup_removed_bytes
+        if dedup:
+            filter_result = PhaseResult(
+                phase_name=self.filtering.name,
+                input_readings=len(batch),
+                output_readings=quality_input_readings,
+                input_bytes=batch.total_bytes,
+                output_bytes=quality_input_bytes,
+                details={"technique": "redundant_data_elimination", "bytes_after_encoding": None},
+            )
         quality_result = PhaseResult(
             phase_name=quality.name,
-            input_readings=len(batch),
+            input_readings=quality_input_readings,
             output_readings=admitted,
-            input_bytes=batch.total_bytes,
+            input_bytes=quality_input_bytes,
             output_bytes=admitted_bytes,
             details={
                 "admitted": report.admitted,
@@ -263,4 +480,4 @@ class AcquisitionBlock(LifeCycleBlock):
             output_bytes=admitted_bytes,
             details={"tagged": admitted},
         )
-        return output, quality_result, description_result
+        return output, filter_result, quality_result, description_result

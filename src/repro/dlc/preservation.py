@@ -10,7 +10,7 @@ access under the city's protection and privacy policies.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.dlc.model import LifeCycleBlock, Phase, PhaseResult
 from repro.sensors.readings import ReadingBatch
@@ -38,10 +38,46 @@ class DataClassificationPhase(Phase):
         return f"{category}/day-{day:05d}"
 
     def run(self, batch: ReadingBatch, now: float) -> tuple[ReadingBatch, PhaseResult]:
-        groups: Dict[str, ReadingBatch] = {}
-        for reading in batch:
-            key = self.dataset_name(reading.category, reading.timestamp)
-            groups.setdefault(key, ReadingBatch()).append(reading)
+        # Group column-wise: bucket row indices per dataset, then gather each
+        # group's columns in one pass (no per-reading materialization).
+        columns = batch.columns
+        day_seconds = self.day_seconds
+        floor = math.floor
+        buckets: Dict[str, List[int]] = {}
+        timestamps = columns.timestamps
+        if timestamps and floor(min(timestamps) / day_seconds) == floor(max(timestamps) / day_seconds):
+            # Fast path: the whole batch falls in one simulation day (the
+            # norm for periodic round transfers), so rows group purely by
+            # the category column.
+            sample_timestamp = timestamps[0]
+            name_by_category: Dict[str, str] = {}
+            index = 0
+            for category in columns.categories:
+                name = name_by_category.get(category)
+                if name is None:
+                    name = name_by_category[category] = self.dataset_name(category, sample_timestamp)
+                bucket = buckets.get(name)
+                if bucket is None:
+                    bucket = buckets[name] = []
+                bucket.append(index)
+                index += 1
+        else:
+            name_cache: Dict[tuple, str] = {}
+            index = 0
+            for category, timestamp in zip(columns.categories, timestamps):
+                cache_key = (category, floor(timestamp / day_seconds))
+                name = name_cache.get(cache_key)
+                if name is None:
+                    name = name_cache[cache_key] = self.dataset_name(category, timestamp)
+                bucket = buckets.get(name)
+                if bucket is None:
+                    bucket = buckets[name] = []
+                bucket.append(index)
+                index += 1
+        groups: Dict[str, ReadingBatch] = {
+            name: ReadingBatch.from_columns(columns.gather(indices))
+            for name, indices in buckets.items()
+        }
         self.last_groups = groups
         result = self._result(batch, batch, datasets=len(groups), dataset_names=sorted(groups))
         return batch, result

@@ -64,34 +64,48 @@ class QualityAssessor:
         self.catalog = catalog
 
     def score(self, reading: Reading, now: float) -> Tuple[float, Optional[str]]:
-        """Return ``(score, rejection_reason)``; reason is ``None`` when admitted.
+        """Return ``(score, rejection_reason)``; reason is ``None`` when admitted."""
+        return self.score_fields(
+            reading.sensor_id, reading.sensor_type, reading.value, reading.timestamp, now
+        )
 
-        The score starts at 1.0 and loses weight for each failed check; a
-        hard failure (non-numeric value when required, absurd timestamp)
-        returns a reason immediately.
+    def score_fields(
+        self,
+        sensor_id: str,
+        sensor_type: str,
+        value: object,
+        timestamp: float,
+        now: float,
+    ) -> Tuple[float, Optional[str]]:
+        """Score one observation given its fields (the columnar hot path).
+
+        Identical checks to :meth:`score` without requiring a ``Reading``
+        object: the score starts at 1.0 and loses weight for each failed
+        check; a hard failure (non-numeric value when required, absurd
+        timestamp) returns a reason immediately.
         """
         policy = self.policy
         score = 1.0
 
-        value_is_numeric = isinstance(reading.value, (int, float)) and not isinstance(reading.value, bool)
+        value_is_numeric = isinstance(value, (int, float)) and not isinstance(value, bool)
         if not value_is_numeric:
             if policy.reject_non_numeric:
                 return 0.0, "non_numeric_value"
             score -= 0.4
 
-        if reading.timestamp > now + policy.max_future_skew_s:
+        if timestamp > now + policy.max_future_skew_s:
             return 0.0, "timestamp_in_future"
-        if now - reading.timestamp > policy.max_age_s:
+        if now - timestamp > policy.max_age_s:
             score -= 0.3
 
-        if not reading.sensor_id or not reading.sensor_type:
+        if not sensor_id or not sensor_type:
             return 0.0, "missing_identity"
 
-        if self.catalog is not None and reading.sensor_type in self.catalog and value_is_numeric:
-            spec = self.catalog.get(reading.sensor_type)
+        if self.catalog is not None and sensor_type in self.catalog and value_is_numeric:
+            spec = self.catalog.get(sensor_type)
             low, high = spec.value_range
             span = high - low
-            value = float(reading.value)
+            value = float(value)
             if value < low - span or value > high + span:
                 return 0.0, "value_out_of_range"
             if not low <= value <= high:

@@ -207,6 +207,21 @@ class Broker:
             self._deliver(subscription, message)
         return message
 
+    def publish_columns(
+        self,
+        topic: str,
+        columns,
+        qos: int = 0,
+        retain: bool = False,
+        timestamp: float = 0.0,
+    ) -> Message:
+        """Publish a whole :class:`~repro.sensors.readings.ReadingColumns`
+        batch as one column-frame payload (the wire fast path: one frame per
+        node-round instead of one CSV payload per reading)."""
+        return self.publish(
+            topic, columns.encode_frame(), qos=qos, retain=retain, timestamp=timestamp
+        )
+
     def _deliver(self, subscription: _Subscription, message: Message) -> None:
         if subscription.batched:
             self._inboxes.setdefault(subscription.client_id, []).append(message)
@@ -248,14 +263,23 @@ class Broker:
         flushed = 0
         targets = [client_id] if client_id is not None else list(self._inboxes.keys())
         for target in targets:
+            # The client's batched subscriptions are fixed for the duration
+            # of the flush: filter them once and match with the precomputed
+            # filter levels instead of re-validating topic strings per
+            # (message, subscription) pair.
+            subscriptions = [
+                s for s in self._subscriptions if s.client_id == target and s.batched
+            ]
+            if not subscriptions:
+                # Documented QoS 0 behaviour: parked messages whose batched
+                # subscription is gone are dropped, not kept.
+                self.drain_inbox(target)
+                continue
             for message in self.drain_inbox(target):
                 handled = False
-                for subscription in self._subscriptions:
-                    if (
-                        subscription.client_id == target
-                        and subscription.batched
-                        and topic_matches(subscription.topic_filter, message.topic)
-                    ):
+                topic_levels = message.topic.split("/")
+                for subscription in subscriptions:
+                    if match_levels(subscription.filter_levels, topic_levels):
                         # Every matching handler runs, mirroring immediate
                         # delivery with overlapping filters.
                         subscription.handler(message)

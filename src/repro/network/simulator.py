@@ -60,6 +60,10 @@ class NetworkSimulator:
         self.accountant = accountant if accountant is not None else TrafficAccountant()
         self._queue: List[_ScheduledEvent] = []
         self._order = itertools.count()
+        # (source, target) -> [(hop_source, hop_target, link, target_layer)];
+        # rebuilt whenever the topology's structural version changes.
+        self._route_cache: dict = {}
+        self._route_version = topology.version
 
     # ------------------------------------------------------------------ #
     # Event scheduling
@@ -119,16 +123,29 @@ class NetworkSimulator:
         arrival time implied by the path's latency and bandwidth.
         """
         departure = departure_time if departure_time is not None else self.clock.now()
-        nodes = self.topology.path(source, target)
+        # Routes over the (fixed) topology are memoized: the shortest-path
+        # search and per-hop link/layer lookups run once per (source, target)
+        # pair per topology version instead of once per transfer.
+        if self._route_version != self.topology.version:
+            self._route_cache.clear()
+            self._route_version = self.topology.version
+        hops = self._route_cache.get((source, target))
+        if hops is None:
+            nodes = self.topology.path(source, target)
+            hops = [
+                (hop_source, hop_target, self.topology.link(hop_source, hop_target), self.topology.layer_of(hop_target))
+                for hop_source, hop_target in zip(nodes, nodes[1:])
+            ]
+            self._route_cache[(source, target)] = hops
         current_time = departure
-        for hop_source, hop_target in zip(nodes, nodes[1:]):
-            link = self.topology.link(hop_source, hop_target)
+        record_transfer = self.accountant.record_transfer
+        for hop_source, hop_target, link, target_layer in hops:
             current_time += link.transfer_time(size_bytes, current_time)
-            self.accountant.record_transfer(
+            record_transfer(
                 timestamp=current_time,
                 source=hop_source,
                 target=hop_target,
-                target_layer=self.topology.layer_of(hop_target),
+                target_layer=target_layer,
                 size_bytes=size_bytes,
                 message_count=message_count,
                 category=category,
@@ -139,7 +156,7 @@ class NetworkSimulator:
             size_bytes=size_bytes,
             departure_time=departure,
             arrival_time=current_time,
-            hops=len(nodes) - 1,
+            hops=len(hops),
             category=category,
         )
 

@@ -50,6 +50,14 @@ class NetworkTopology:
 
     def __init__(self) -> None:
         self._graph = nx.DiGraph()
+        # Bumped on every structural change; lets consumers (the network
+        # simulator's route cache) memoize paths safely.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of structural changes (nodes/links added)."""
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -59,6 +67,7 @@ class NetworkTopology:
         if node_id in self._graph:
             raise ConfigurationError(f"node already exists: {node_id}")
         self._graph.add_node(node_id, layer=layer, **attributes)
+        self._version += 1
 
     def connect(
         self,
@@ -83,6 +92,7 @@ class NetworkTopology:
         self._graph.add_edge(lower, upper, link=up_link)
         if bidirectional:
             self._graph.add_edge(upper, lower, link=up_link.reversed())
+        self._version += 1
         return up_link
 
     # ------------------------------------------------------------------ #

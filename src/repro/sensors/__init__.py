@@ -25,7 +25,7 @@ from repro.sensors.catalog import (
 )
 from repro.sensors.device import Sensor
 from repro.sensors.generator import ReadingGenerator
-from repro.sensors.readings import Reading, ReadingBatch
+from repro.sensors.readings import Reading, ReadingBatch, ReadingColumns
 from repro.sensors.sentilo import SentiloPlatform
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "CATEGORY_REDUNDANCY",
     "Reading",
     "ReadingBatch",
+    "ReadingColumns",
     "ReadingGenerator",
     "Sensor",
     "SensorCatalog",

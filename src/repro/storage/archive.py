@@ -77,6 +77,11 @@ class CloudArchive:
     Datasets are named (typically ``<category>/<day>``); each call to
     :meth:`archive` creates a new immutable version carrying lineage (the ids
     of the fog nodes the data came through) and provenance metadata.
+
+    Archived batches are stored columnar (see
+    :class:`~repro.sensors.readings.ReadingBatch`): archiving snapshots the
+    column lists — nine bulk copies, never one object per reading — and
+    dissemination materializes readings only when a consumer iterates them.
     """
 
     def __init__(self, name: str = "cloud-archive") -> None:
@@ -147,10 +152,14 @@ class CloudArchive:
                 f"(access level {entry.policy.access_level.value})"
             )
         if entry.policy.anonymize:
-            anonymized = ReadingBatch(
-                reading.with_tags(anonymized=True) for reading in entry.batch
-            )
-            return anonymized
+            # Column-wise anonymization: copy the columns and rewrite only
+            # the tag column (equivalent to per-reading ``with_tags``).
+            columns = entry.batch.columns.copy()
+            columns.tags = [
+                {**tags, "anonymized": True} if tags else {"anonymized": True}
+                for tags in columns.tags
+            ]
+            return ReadingBatch.from_columns(columns)
         return entry.batch.copy()
 
     def lineage_of(self, dataset: str, version: Optional[int] = None) -> Sequence[str]:

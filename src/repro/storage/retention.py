@@ -6,6 +6,12 @@ encode that business decision: how long, how many readings, or how many bytes
 a fog node may keep before old data must be dropped locally (it has already
 been propagated upwards by the data-movement scheduler, so dropping it loses
 nothing globally).
+
+Enforcement rides on the columnar store's eviction primitives
+(:meth:`~repro.storage.timeseries.TimeSeriesStore.remove_older_than` /
+``remove_oldest``), whose byte/category accounting runs on per-series prefix
+sums — sustained eviction under load costs O(log n) accounting per series
+per sweep instead of touching every evicted reading.
 """
 
 from __future__ import annotations

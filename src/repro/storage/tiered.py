@@ -9,7 +9,7 @@ data-movement scheduler can drain exactly the new data.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from repro.sensors.readings import Reading, ReadingBatch
 from repro.storage.retention import KeepEverything, RetentionPolicy
@@ -17,7 +17,12 @@ from repro.storage.timeseries import TimeSeriesStore
 
 
 class TieredStore:
-    """Node-local storage with retention and upward-propagation bookkeeping."""
+    """Node-local storage with retention and upward-propagation bookkeeping.
+
+    Columnar internals: both the local store and the pending-upward queue
+    hold readings as column batches, so a batch ingested through the hot
+    path is stored and queued without materializing per-reading objects.
+    """
 
     def __init__(
         self,
@@ -27,8 +32,7 @@ class TieredStore:
         self.name = name
         self.retention = retention if retention is not None else KeepEverything()
         self.store = TimeSeriesStore(name=name)
-        self._pending_upward: List[Reading] = []
-        self._pending_upward_bytes = 0
+        self._pending_upward = ReadingBatch()
         self._ingested_count = 0
         self._ingested_bytes = 0
         self._evicted_count = 0
@@ -43,28 +47,23 @@ class TieredStore:
         self._ingested_bytes += reading.size_bytes
         if mark_for_upward:
             self._pending_upward.append(reading)
-            self._pending_upward_bytes += reading.size_bytes
 
     def ingest_batch(self, batch: Iterable[Reading], mark_for_upward: bool = True) -> int:
         """Store a whole batch in one pass (the ingest hot path).
 
-        Equivalent to calling :meth:`ingest` per reading but updates the
-        tier's counters once per batch instead of once per reading.
+        Equivalent to calling :meth:`ingest` per reading, but the store and
+        the pending-upward queue both consume the batch's columns directly
+        and the tier's counters update once per batch.
         """
-        if isinstance(batch, ReadingBatch):
-            batch_bytes = batch.total_bytes
-            readings: Sequence[Reading] = batch.readings
-        else:
-            readings = batch if isinstance(batch, list) else list(batch)
-            batch_bytes = sum(r.size_bytes for r in readings)
-        count = self.store.extend(readings)
+        if not isinstance(batch, ReadingBatch):
+            batch = ReadingBatch(batch)
+        count = self.store.extend_batch(batch)
         if count == 0:
             return 0
         self._ingested_count += count
-        self._ingested_bytes += batch_bytes
+        self._ingested_bytes += batch.total_bytes
         if mark_for_upward:
-            self._pending_upward.extend(readings)
-            self._pending_upward_bytes += batch_bytes
+            self._pending_upward.extend(batch)
         return count
 
     # ------------------------------------------------------------------ #
@@ -72,9 +71,8 @@ class TieredStore:
     # ------------------------------------------------------------------ #
     def drain_pending_upward(self) -> ReadingBatch:
         """Return and clear the readings not yet propagated to the parent."""
-        batch = ReadingBatch(self._pending_upward)
-        self._pending_upward = []
-        self._pending_upward_bytes = 0
+        batch = self._pending_upward
+        self._pending_upward = ReadingBatch()
         return batch
 
     @property
@@ -83,7 +81,7 @@ class TieredStore:
 
     @property
     def pending_upward_bytes(self) -> int:
-        return self._pending_upward_bytes
+        return self._pending_upward.total_bytes
 
     # ------------------------------------------------------------------ #
     # Queries (delegated to the underlying store)

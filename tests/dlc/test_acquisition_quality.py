@@ -238,3 +238,90 @@ class TestFusedQualityDescription:
         block = AcquisitionBlock(quality=quality)
         block.run(ReadingBatch([make_reading()]), now=0.0)
         assert quality.ran  # the generic chain invoked the subclass's run()
+
+    @staticmethod
+    def _every_scoring_branch(small_catalog):
+        """One reading per branch of the quality checks (drift guard).
+
+        The fused loop inlines a copy of ``QualityAssessor.score_fields``
+        for speed; this corpus exercises every branch of the checks so any
+        divergence between the inline copy and the reference implementation
+        fails the sequential-equivalence assertions.
+        """
+        return [
+            make_reading(sensor_id="clean", value=20.0, timestamp=9.0),
+            make_reading(sensor_id="non-numeric", value="text", timestamp=9.0),
+            make_reading(sensor_id="bool-value", value=True, timestamp=9.0),
+            make_reading(sensor_id="future", value=20.0, timestamp=10.0 + 120.0),
+            make_reading(sensor_id="stale", value=20.0, timestamp=-100_000.0),
+            make_reading(sensor_id="", value=20.0, timestamp=9.0),
+            make_reading(sensor_id="soft-range", value=55.0, timestamp=9.0),  # outside [0,50]
+            make_reading(sensor_id="hard-range", value=500.0, timestamp=9.0),  # beyond span
+            make_reading(sensor_id="unknown-type", sensor_type="exotic", value=1.0, timestamp=9.0),
+            make_reading(sensor_id="stale-and-soft", value=55.0, timestamp=-100_000.0),
+        ]
+
+    @pytest.mark.parametrize("reject_non_numeric", [True, False])
+    def test_inlined_scoring_matches_score_fields_on_every_branch(
+        self, small_catalog, reject_non_numeric
+    ):
+        policy = QualityPolicy(minimum_score=0.5, reject_non_numeric=reject_non_numeric)
+
+        def build():
+            return AcquisitionBlock(
+                quality=DataQualityPhase(policy=policy, catalog=small_catalog),
+                description=DataDescriptionPhase(city_name="toyville", fog_node_id="fog1/x"),
+            )
+
+        corpus = self._every_scoring_branch(small_catalog)
+        fused_block = build()
+        fused_output, fused_result = fused_block.run(ReadingBatch(corpus), now=10.0)
+
+        reference = build()
+        current = ReadingBatch(corpus)
+        sequential_results = []
+        for phase in reference.phases:
+            current, phase_result = phase.run(current, now=10.0)
+            sequential_results.append(phase_result)
+
+        assert list(fused_output) == list(current)
+        assert fused_block.quality.last_report.scores == reference.quality.last_report.scores
+        assert (
+            fused_block.quality.last_report.rejection_reasons
+            == reference.quality.last_report.rejection_reasons
+        )
+        for fused, sequential in zip(fused_result.phase_results, sequential_results):
+            assert fused == sequential
+
+    def test_fused_dedup_matches_sequential_filtering(self, small_catalog):
+        """Default batch-scope RDE fuses into the loop; results must match
+        running the filtering phase separately."""
+        readings = [
+            make_reading(sensor_id="dup", value=20.0, timestamp=1.0),
+            make_reading(sensor_id="dup", value=20.0, timestamp=2.0),  # redundant
+            make_reading(sensor_id="dup", value=21.0, timestamp=3.0),
+            make_reading(sensor_id="other", value=20.0, timestamp=4.0),
+            make_reading(sensor_id="other", value="bad", timestamp=5.0),
+        ]
+
+        fused_block = AcquisitionBlock(
+            filtering=DataFilteringPhase(aggregator=RedundantDataElimination(scope="batch")),
+            quality=DataQualityPhase(catalog=small_catalog),
+            description=DataDescriptionPhase(city_name="toyville"),
+        )
+        fused_output, fused_result = fused_block.run(ReadingBatch(readings), now=10.0)
+
+        sequential_block = AcquisitionBlock(
+            filtering=DataFilteringPhase(aggregator=RedundantDataElimination(scope="batch")),
+            quality=DataQualityPhase(catalog=small_catalog),
+            description=DataDescriptionPhase(city_name="toyville"),
+        )
+        current = ReadingBatch(readings)
+        sequential_results = []
+        for phase in sequential_block.phases:
+            current, phase_result = phase.run(current, now=10.0)
+            sequential_results.append(phase_result)
+
+        assert list(fused_output) == list(current)
+        for fused, sequential in zip(fused_result.phase_results, sequential_results):
+            assert fused == sequential

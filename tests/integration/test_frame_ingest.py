@@ -1,0 +1,191 @@
+"""Integration tests for the columnar wire-frame ingest path.
+
+One encoded column frame per (section, round) must land the same data in
+the hierarchy as per-reading delivery, with identical byte accounting (the
+frame carries each reading's Table-I wire size).
+"""
+
+import pytest
+
+from repro.core.architecture import F2CDataManagement
+from repro.messaging.broker import Broker
+from repro.sensors.readings import ReadingColumns
+from tests.conftest import make_reading
+
+
+def _readings(count=12, timestamp=5.0):
+    return [
+        make_reading(
+            sensor_id=f"fr-{i:02d}", sensor_type="temperature", value=20.0 + i,
+            timestamp=timestamp, size_bytes=64,
+        )
+        for i in range(count)
+    ]
+
+
+class TestFramePathEquivalence:
+    """Frames vs direct batch ingest: identical storage and traffic reports."""
+
+    @staticmethod
+    def _sections(system):
+        return [s.section_id for s in system.city.sections]
+
+    @staticmethod
+    def _assign(system, readings):
+        sections = [s.section_id for s in system.city.sections]
+        for i, reading in enumerate(readings):
+            system.assign_sensor(reading.sensor_id, sections[i % len(sections)])
+
+    def _run_frames(self, small_city, small_catalog, batched):
+        system = F2CDataManagement(
+            city=small_city, catalog=small_catalog, fog1_aggregator_factory=None
+        )
+        readings = _readings()
+        self._assign(system, readings)
+        broker = Broker()
+        system.attach_broker(broker, city_slug="toyville", batched=batched)
+        system.publish_frames(broker, readings, city_slug="toyville", timestamp=5.0)
+        if batched:
+            system.flush_broker(now=5.0)
+        system.synchronise(now=10.0)
+        return system
+
+    def _run_direct(self, small_city, small_catalog):
+        system = F2CDataManagement(
+            city=small_city, catalog=small_catalog, fog1_aggregator_factory=None
+        )
+        readings = _readings()
+        self._assign(system, readings)
+        system.ingest_readings(readings, now=5.0)
+        system.synchronise(now=10.0)
+        return system
+
+    def test_batched_frames_match_direct_ingest(self, small_city, small_catalog):
+        frames = self._run_frames(small_city, small_catalog, batched=True)
+        direct = self._run_direct(small_city, small_catalog)
+        # The sensors→fog1 hop is recorded from a different source label but
+        # the per-layer byte totals must be identical.
+        assert frames.traffic_report() == direct.traffic_report()
+        assert frames.storage_report() == direct.storage_report()
+        frames_cloud = sorted(
+            (r.sensor_id, r.timestamp, r.value, r.size_bytes, tuple(r.tags.items()))
+            for r in frames.cloud.storage.store.all_readings()
+        )
+        direct_cloud = sorted(
+            (r.sensor_id, r.timestamp, r.value, r.size_bytes, tuple(r.tags.items()))
+            for r in direct.cloud.storage.store.all_readings()
+        )
+        assert frames_cloud == direct_cloud
+
+    def test_immediate_frames_match_batched_frames(self, small_city, small_catalog):
+        immediate = self._run_frames(small_city, small_catalog, batched=False)
+        batched = self._run_frames(small_city, small_catalog, batched=True)
+        assert immediate.traffic_report() == batched.traffic_report()
+        assert immediate.storage_report() == batched.storage_report()
+
+    def test_mixed_frame_and_csv_messages_in_one_flush(self, small_city, small_catalog):
+        system = F2CDataManagement(
+            city=small_city, catalog=small_catalog, fog1_aggregator_factory=None
+        )
+        broker = Broker()
+        system.attach_broker(broker, city_slug="toyville", batched=True)
+        # One frame with two readings…
+        frame_readings = [
+            make_reading(sensor_id="mx-1", value=20.0, timestamp=5.0, size_bytes=64),
+            make_reading(sensor_id="mx-2", value=21.0, timestamp=5.0, size_bytes=64),
+        ]
+        columns = ReadingColumns.from_readings(frame_readings)
+        broker.publish_columns("city/toyville/d-01/s-01/frame", columns, timestamp=5.0)
+        # …plus one classic CSV payload for the same section.
+        csv_reading = make_reading(sensor_id="mx-3", value=22.0, timestamp=5.0, size_bytes=64)
+        broker.publish(
+            "city/toyville/d-01/s-01/energy/temperature", csv_reading.encode(), timestamp=5.0
+        )
+        counts = system.flush_broker(now=5.0)
+        assert counts == {"fog1/d-01/s-01": 3}
+        fog1 = system.fog1_for_section("d-01/s-01")
+        for sensor_id in ("mx-1", "mx-2", "mx-3"):
+            assert fog1.has_series(sensor_id)
+        # Frame readings keep their Table-I wire size for accounting.
+        assert fog1.storage.store.total_bytes == 3 * 64
+
+    def test_publish_frames_routes_by_assignment(self, small_city, small_catalog):
+        system = F2CDataManagement(city=small_city, catalog=small_catalog)
+        broker = Broker()
+        system.attach_broker(broker, city_slug="toyville", batched=True)
+        system.assign_sensor("pf-a", "d-01/s-01")
+        system.assign_sensor("pf-b", "d-02/s-02")
+        published = system.publish_frames(
+            broker,
+            [
+                make_reading(sensor_id="pf-a", value=1.0, timestamp=1.0, size_bytes=64),
+                make_reading(sensor_id="pf-b", value=2.0, timestamp=1.0, size_bytes=64),
+                make_reading(sensor_id="pf-b", value=3.0, timestamp=2.0, size_bytes=64),
+            ],
+            city_slug="toyville",
+            timestamp=2.0,
+        )
+        assert published == {"d-01/s-01": 1, "d-02/s-02": 2}
+        assert broker.published_count == 2  # one frame per section
+        counts = system.flush_broker(now=2.0)
+        assert counts == {"fog1/d-01/s-01": 1, "fog1/d-02/s-02": 2}
+
+    def test_publish_frames_requires_a_broker(self, small_city, small_catalog):
+        from repro.common.errors import ConfigurationError
+
+        system = F2CDataManagement(city=small_city, catalog=small_catalog)
+        with pytest.raises(ConfigurationError):
+            system.publish_frames(None, [make_reading()])
+
+    def test_malformed_frame_is_dropped_without_losing_the_flush(self, small_city, small_catalog):
+        from repro.common.serialization import COLUMN_FRAME_MAGIC
+
+        system = F2CDataManagement(
+            city=small_city, catalog=small_catalog, fog1_aggregator_factory=None
+        )
+        broker = Broker()
+        system.attach_broker(broker, city_slug="toyville", batched=True)
+        good = make_reading(sensor_id="ok-1", value=20.0, timestamp=5.0, size_bytes=64)
+        broker.publish(
+            "city/toyville/d-01/s-01/energy/temperature", good.encode(), timestamp=5.0
+        )
+        # A corrupt frame (truncated JSON) must neither raise nor discard
+        # the other drained messages.
+        broker.publish(
+            "city/toyville/d-01/s-01/frame", COLUMN_FRAME_MAGIC + b"{not json", timestamp=5.0
+        )
+        counts = system.flush_broker(now=5.0)
+        assert counts == {"fog1/d-01/s-01": 1}
+        assert system.fog1_for_section("d-01/s-01").has_series("ok-1")
+
+    def test_negative_wire_size_frame_is_rejected(self):
+        columns = ReadingColumns.from_readings([make_reading(size_bytes=64)])
+        payload = columns.encode_frame().replace(b'"sizes":[64]', b'"sizes":[-64]')
+        with pytest.raises(ValueError):
+            ReadingColumns.decode_frame(payload)
+
+    def test_readings_view_is_a_frozen_snapshot(self):
+        from repro.sensors.readings import ReadingBatch
+
+        batch = ReadingBatch([make_reading(value=1.0)])
+        view = batch.readings
+        batch.append(make_reading(value=2.0))
+        assert len(view) == 1  # frozen at access time
+        assert len(batch.readings) == 2
+
+    def test_out_of_order_frame_rows_not_rejected_as_future(self, small_city, small_catalog):
+        system = F2CDataManagement(
+            city=small_city, catalog=small_catalog, fog1_aggregator_factory=None
+        )
+        broker = Broker()
+        system.attach_broker(broker, city_slug="toyville", batched=True)
+        readings = [
+            make_reading(sensor_id="oof-1000", value=20.0, timestamp=1000.0, size_bytes=64),
+            make_reading(sensor_id="oof-100", value=20.0, timestamp=100.0, size_bytes=64),
+        ]
+        columns = ReadingColumns.from_readings(readings)
+        broker.publish_columns("city/toyville/d-01/s-01/frame", columns, timestamp=1000.0)
+        counts = system.flush_broker()  # no explicit now: batch max wins
+        assert counts == {"fog1/d-01/s-01": 2}
+        fog1 = system.fog1_for_section("d-01/s-01")
+        assert fog1.has_series("oof-1000") and fog1.has_series("oof-100")

@@ -44,33 +44,48 @@ class TestIngestBenchmarkSmoke:
 
     def test_result_schema(self, smoke_result):
         result, _ = smoke_result
-        assert result["schema"] == "bench_ingest/v1"
+        assert result["schema"] == "bench_ingest/v2"
         assert result["workload"]["total_readings"] > 0
-        for name in ("per_message", "batched_broker", "direct_batch"):
+        for name in ("per_message", "batched_broker", "columnar_frames", "direct_batch"):
             stats = result["pipelines"][name]
             assert stats["readings_per_sec"] > 0
             assert stats["wall_s"] > 0
             assert stats["cloud_readings"] > 0
         assert set(result["speedup"]) == {
             "batched_broker_vs_per_message",
+            "columnar_frames_vs_per_message",
             "direct_batch_vs_per_message",
         }
+        assert result["pr1_record"]["direct_batch_readings_per_sec"] > 0
 
     def test_batching_not_slower_than_per_message(self, smoke_result):
         result, _ = smoke_result
         assert result["speedup"]["batched_broker_vs_per_message"] > 1.0
 
+    def test_frame_path_matches_direct_ingest_outcome(self, smoke_result):
+        # Column frames carry the readings losslessly (no CSV truncation to
+        # the Table-I wire size), so the frame wire path must preserve
+        # exactly what direct in-process ingestion preserves — same
+        # readings, same byte accounting.
+        result, _ = smoke_result
+        direct_stats = result["pipelines"]["direct_batch"]
+        frame_stats = result["pipelines"]["columnar_frames"]
+        for key in ("cloud_readings", "fog1_bytes_received", "cloud_bytes_received"):
+            assert frame_stats[key] == direct_stats[key]
+
     def test_legacy_mode_restores_patched_classes(self, bench_module):
+        import repro.storage.tiered as tiered_module
         from repro.messaging.broker import Broker
         from repro.sensors.readings import ReadingBatch
         from repro.storage.timeseries import TimeSeriesStore
 
         original_publish = Broker.publish
-        original_append = TimeSeriesStore.append
+        original_store_cls = tiered_module.TimeSeriesStore
         original_total_bytes = ReadingBatch.total_bytes
+        assert original_store_cls is TimeSeriesStore
         with bench_module.legacy_mode():
             assert Broker.publish is not original_publish
-            assert TimeSeriesStore.append is not original_append
+            assert tiered_module.TimeSeriesStore is bench_module.LegacyTimeSeriesStore
         assert Broker.publish is original_publish
-        assert TimeSeriesStore.append is original_append
+        assert tiered_module.TimeSeriesStore is original_store_cls
         assert ReadingBatch.total_bytes is original_total_bytes
