@@ -1,7 +1,7 @@
 """End-to-end ingest throughput: sensors → broker → fog L1 → fog L2 → cloud.
 
 This benchmark drives a synthetic city-hour through the full F2C stack and
-measures readings/second along four ingest paths:
+measures readings/second along five ingest paths:
 
 * ``per_message`` — the pre-refactor data path: every published reading is
   delivered synchronously and runs the whole acquisition block on a
@@ -10,14 +10,24 @@ measures readings/second along four ingest paths:
 * ``batched_broker`` — the batch-native path introduced in PR 1: publishes
   park messages per fog node (one CSV payload per reading), and one
   ``flush_broker()`` per publish round runs acquisition once per node-batch.
-* ``columnar_frames`` — the columnar wire path: one
-  :meth:`ReadingColumns.encode_frame` payload per (section, round) instead
-  of one CSV payload per reading; fog nodes decode frames straight back
-  into columns.
+* ``columnar_frames_json`` — the columnar wire path of PR 2: one
+  :meth:`ReadingColumns.encode_frame` JSON payload per (section, round)
+  instead of one CSV payload per reading; fog nodes decode frames straight
+  back into columns.
+* ``columnar_frames_binary`` — the same pipeline over the packed binary
+  frame layout (struct-packed typed columns, interned string table,
+  CRC-protected, optionally zlib-compressed) — several times fewer wire
+  bytes per round; each frame pipeline also reports
+  ``wire_bytes_published`` so the shrink factor is measured in the same
+  run.
 * ``direct_batch`` — ``ingest_readings`` with whole per-round batches,
   skipping wire encode/decode entirely (upper bound for in-process feeds).
   With the columnar storage refactor this path never materializes a reading
   object past the entry point.
+
+Each pipeline runs ``repetitions`` times and the fastest run is kept — the
+shared-container measurement noise (±30% minute to minute) otherwise
+drowns the effects being measured.
 
 It also micro-times the storage hot paths against a re-implementation of the
 pre-refactor store (always-bisect append, O(#series) ``len``, global sort in
@@ -64,6 +74,11 @@ DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_ingest.json"
 #: visible next to the same-machine legacy baseline.
 PR1_DIRECT_BATCH_RECORD_RPS = 138_874
 PR1_BATCHED_BROKER_RECORD_RPS = 65_588
+
+#: The committed PR 2 records (columnar storage + JSON column frames), for
+#: the cross-PR comparison of the typed-array/binary-frame changes.
+PR2_DIRECT_BATCH_RECORD_RPS = 220_589
+PR2_COLUMNAR_FRAMES_RECORD_RPS = 95_918
 
 
 # --------------------------------------------------------------------------- #
@@ -353,7 +368,7 @@ def _system_outcome(system: F2CDataManagement) -> Dict[str, object]:
 
 
 # --------------------------------------------------------------------------- #
-# The four ingest pipelines
+# The five ingest pipelines
 # --------------------------------------------------------------------------- #
 def run_per_message(catalog, rounds, sensor_section) -> Dict[str, object]:
     """Pre-refactor path: per-message delivery + the pre-change algorithms.
@@ -422,7 +437,7 @@ def run_batched_broker(catalog, rounds, sensor_section) -> Dict[str, object]:
     }
 
 
-def run_columnar_frames(catalog, rounds, sensor_section) -> Dict[str, object]:
+def run_columnar_frames(catalog, rounds, sensor_section, frame_format: str = "binary") -> Dict[str, object]:
     """Columnar wire path: one encoded column frame per (section, round)."""
     system = _fresh_system(catalog, sensor_section)
     broker = Broker()
@@ -433,7 +448,7 @@ def run_columnar_frames(catalog, rounds, sensor_section) -> Dict[str, object]:
     begin = time.perf_counter()
     for round_end, readings in rounds:
         t0 = time.perf_counter()
-        system.publish_frames(broker, readings, timestamp=round_end)
+        system.publish_frames(broker, readings, timestamp=round_end, frame_format=frame_format)
         publish_s += time.perf_counter() - t0
         t0 = time.perf_counter()
         system.flush_broker(now=round_end)
@@ -445,6 +460,8 @@ def run_columnar_frames(catalog, rounds, sensor_section) -> Dict[str, object]:
     return {
         "wall_s": wall,
         "stages": {"frame_publish_s": publish_s, "flush_acquire_s": flush_s, "sync_s": sync_s},
+        "frame_format": frame_format,
+        "wire_bytes_published": broker.published_bytes,
         **_system_outcome(system),
     }
 
@@ -558,6 +575,16 @@ def run_eviction_micro(n_sensors: int = 100, per_sensor: int = 400, steps: int =
 # --------------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------------- #
+def _best_of(repetitions: int, runner) -> Dict[str, object]:
+    """Run *runner* N times, keep the fastest run's stats."""
+    best: Optional[Dict[str, object]] = None
+    for _ in range(max(1, repetitions)):
+        stats = runner()
+        if best is None or stats["wall_s"] < best["wall_s"]:
+            best = stats
+    return best
+
+
 def run_benchmark(
     devices_per_type: int = 50,
     duration_s: float = 3600.0,
@@ -565,6 +592,7 @@ def run_benchmark(
     seed: int = 7,
     with_micro: bool = True,
     catalog: Optional[SensorCatalog] = None,
+    repetitions: int = 3,
 ) -> Dict[str, object]:
     """Run the full ingest benchmark; returns the result dict (not written)."""
     catalog = catalog if catalog is not None else BARCELONA_CATALOG
@@ -572,10 +600,23 @@ def run_benchmark(
         catalog, devices_per_type, duration_s, round_s, seed=seed
     )
     pipelines = {
-        "per_message": run_per_message(catalog, rounds, sensor_section),
-        "batched_broker": run_batched_broker(catalog, rounds, sensor_section),
-        "columnar_frames": run_columnar_frames(catalog, rounds, sensor_section),
-        "direct_batch": run_direct_batch(catalog, rounds, sensor_section),
+        "per_message": _best_of(
+            repetitions, lambda: run_per_message(catalog, rounds, sensor_section)
+        ),
+        "batched_broker": _best_of(
+            repetitions, lambda: run_batched_broker(catalog, rounds, sensor_section)
+        ),
+        "columnar_frames_json": _best_of(
+            repetitions,
+            lambda: run_columnar_frames(catalog, rounds, sensor_section, frame_format="json"),
+        ),
+        "columnar_frames_binary": _best_of(
+            repetitions,
+            lambda: run_columnar_frames(catalog, rounds, sensor_section, frame_format="binary"),
+        ),
+        "direct_batch": _best_of(
+            repetitions, lambda: run_direct_batch(catalog, rounds, sensor_section)
+        ),
     }
     for stats in pipelines.values():
         stats["readings_per_sec"] = total / stats["wall_s"] if stats["wall_s"] else None
@@ -586,8 +627,11 @@ def run_benchmark(
         return rps / baseline_rps if baseline_rps and rps else None
 
     direct_rps = pipelines["direct_batch"]["readings_per_sec"]
+    frames_binary_rps = pipelines["columnar_frames_binary"]["readings_per_sec"]
+    json_wire = pipelines["columnar_frames_json"]["wire_bytes_published"]
+    binary_wire = pipelines["columnar_frames_binary"]["wire_bytes_published"]
     result: Dict[str, object] = {
-        "schema": "bench_ingest/v2",
+        "schema": "bench_ingest/v3",
         "workload": {
             "devices": devices_per_type * len(catalog),
             "devices_per_type": devices_per_type,
@@ -596,18 +640,35 @@ def run_benchmark(
             "rounds": len(rounds),
             "total_readings": total,
             "seed": seed,
+            "repetitions": repetitions,
         },
         "pipelines": pipelines,
         "speedup": {
             "batched_broker_vs_per_message": _speedup("batched_broker"),
-            "columnar_frames_vs_per_message": _speedup("columnar_frames"),
+            "columnar_frames_json_vs_per_message": _speedup("columnar_frames_json"),
+            "columnar_frames_binary_vs_per_message": _speedup("columnar_frames_binary"),
             "direct_batch_vs_per_message": _speedup("direct_batch"),
+        },
+        "frame_wire_bytes": {
+            "json": json_wire,
+            "binary": binary_wire,
+            "shrink_factor": (json_wire / binary_wire) if binary_wire else None,
         },
         "pr1_record": {
             "direct_batch_readings_per_sec": PR1_DIRECT_BATCH_RECORD_RPS,
             "batched_broker_readings_per_sec": PR1_BATCHED_BROKER_RECORD_RPS,
             "direct_batch_vs_pr1_record": (
                 direct_rps / PR1_DIRECT_BATCH_RECORD_RPS if direct_rps else None
+            ),
+        },
+        "pr2_record": {
+            "direct_batch_readings_per_sec": PR2_DIRECT_BATCH_RECORD_RPS,
+            "columnar_frames_readings_per_sec": PR2_COLUMNAR_FRAMES_RECORD_RPS,
+            "direct_batch_vs_pr2_record": (
+                direct_rps / PR2_DIRECT_BATCH_RECORD_RPS if direct_rps else None
+            ),
+            "columnar_frames_binary_vs_pr2_record": (
+                frames_binary_rps / PR2_COLUMNAR_FRAMES_RECORD_RPS if frames_binary_rps else None
             ),
         },
     }
@@ -628,8 +689,13 @@ def main(output: pathlib.Path = DEFAULT_OUTPUT, **kwargs) -> Dict[str, object]:
               f"(wall {stats['wall_s']:.3f} s, cloud={stats['cloud_readings']})")
     for name, factor in result["speedup"].items():
         print(f"  speedup {name}: {factor:.1f}x")
+    wire = result["frame_wire_bytes"]
+    print(f"  frame wire bytes: json={wire['json']:,} binary={wire['binary']:,} "
+          f"(binary {wire['shrink_factor']:.2f}x smaller)")
     print(f"  direct_batch vs PR1 record: "
           f"{result['pr1_record']['direct_batch_vs_pr1_record']:.2f}x")
+    print(f"  frames (binary) vs PR2 frames record: "
+          f"{result['pr2_record']['columnar_frames_binary_vs_pr2_record']:.2f}x")
     print(f"wrote {output}")
     return result
 

@@ -36,6 +36,7 @@ from repro.city.barcelona import (
     fog2_node_id,
 )
 from repro.common.errors import ConfigurationError, RoutingError
+from repro.common.serialization import FRAME_FORMATS
 from repro.core.movement import DataMovementScheduler, MovementPolicy
 from repro.core.nodes import CloudNode, FogNodeLevel1, FogNodeLevel2
 from repro.messaging.broker import Broker, Message
@@ -64,7 +65,22 @@ class F2CDataManagement:
         fog1_aggregator_factory: Optional[Callable[[], AggregationTechnique]] = default_fog1_aggregator,
         fog2_aggregator_factory: Optional[Callable[[], AggregationTechnique]] = None,
         movement_policy: Optional[MovementPolicy] = None,
+        frame_format: Optional[str] = None,
     ) -> None:
+        if frame_format is not None and frame_format not in FRAME_FORMATS:
+            raise ConfigurationError(
+                f"frame_format must be one of {FRAME_FORMATS}, got {frame_format!r}"
+            )
+        #: Wire layout this deployment publishes column frames in ("binary"
+        #: or "json"); ``None`` defers to the process-wide default
+        #: (``REPRO_FRAME_FORMAT`` / serialization.DEFAULT_FRAME_FORMAT).
+        #: Decoding always auto-detects, so mixed fleets interoperate.
+        self.frame_format = frame_format
+        #: Broker payloads that failed to decode (malformed CSV lines,
+        #: corrupt/truncated/unknown-version frames) and were dropped.
+        #: Malformed payloads are never ingested — not even partially — and
+        #: never abort a flush; this counter is how operators see them.
+        self.dropped_payloads = 0
         self.city = city if city is not None else BARCELONA
         self.catalog = catalog
         self.topology = topology if topology is not None else build_barcelona_topology(self.city)
@@ -358,10 +374,19 @@ class F2CDataManagement:
 
     @staticmethod
     def _parse_broker_message(message: Message) -> Optional[Reading]:
-        """Decode one CSV wire payload back into a minimal reading."""
+        """Decode one CSV wire payload back into a minimal reading.
+
+        Returns ``None`` for anything that does not parse as a reading line
+        — too few fields, a non-numeric timestamp, bytes that are not UTF-8
+        (e.g. a binary frame whose magic got corrupted in flight).  A bad
+        payload is dropped, never raised.
+        """
         from repro.common.serialization import decode_csv_line
 
-        fields = decode_csv_line(message.payload.rstrip(b" "))
+        try:
+            fields = decode_csv_line(message.payload.rstrip(b" "))
+        except UnicodeDecodeError:
+            return None
         if len(fields) < 4:
             return None
         sensor_id, sensor_type, value_text, timestamp_text = fields[:4]
@@ -369,35 +394,42 @@ class F2CDataManagement:
             value: object = float(value_text)
         except ValueError:
             value = value_text
+        try:
+            timestamp = float(timestamp_text)
+        except ValueError:
+            return None
         category = message.topic.split("/")[-2] if message.topic.count("/") >= 2 else "unknown"
         return Reading(
             sensor_id=sensor_id,
             sensor_type=sensor_type,
             category=category,
             value=value,
-            timestamp=float(timestamp_text),
+            timestamp=timestamp,
             size_bytes=len(message.payload),
         )
 
-    @classmethod
-    def _decode_message_columns(cls, message: Message) -> Optional[ReadingColumns]:
+    def _decode_message_columns(self, message: Message) -> Optional[ReadingColumns]:
         """Decode any broker payload (column frame or CSV line) into columns.
 
         Column frames carry the whole batch, including the per-reading
         Table-I wire sizes, so downstream traffic accounting is identical to
-        the per-reading CSV path.
+        the per-reading CSV path.  Returns ``None`` (and counts the drop)
+        for any malformed payload: a frame decodes whole or not at all, so
+        a corrupt message can neither abort a flush nor partially ingest.
         """
         payload = message.payload
         if ReadingColumns.is_frame(payload):
             try:
                 return ReadingColumns.decode_frame(payload)
-            except (ValueError, TypeError, KeyError):
+            except (ValueError, TypeError, KeyError, OverflowError):
                 # Malformed frames are dropped exactly like malformed CSV
                 # payloads (QoS 0): one corrupt message must not abort a
                 # flush and lose the rest of the drained inbox.
+                self.dropped_payloads += 1
                 return None
-        reading = cls._parse_broker_message(message)
+        reading = self._parse_broker_message(message)
         if reading is None:
+            self.dropped_payloads += 1
             return None
         columns = ReadingColumns()
         columns.append_reading(reading)
@@ -474,6 +506,7 @@ class F2CDataManagement:
         city_slug: str = "bcn",
         default_section: Optional[str] = None,
         timestamp: float = 0.0,
+        frame_format: Optional[str] = None,
     ) -> Dict[str, int]:
         """Publish readings as one column frame per section (wire fast path).
 
@@ -486,12 +519,23 @@ class F2CDataManagement:
         per-reading Table-I wire sizes — carried inside the frame — keep the
         traffic accounting identical.
 
+        *frame_format* overrides the wire layout for this call; otherwise
+        the system's configured :attr:`frame_format` applies (and, when that
+        is ``None`` too, the process-wide default).  Receivers auto-detect
+        the layout per payload, so format can change mid-stream.
+
         Returns the number of readings framed per section.
         """
         if broker is None:
             broker = self._broker
         if broker is None:
             raise ConfigurationError("no broker attached and none supplied")
+        if frame_format is None:
+            frame_format = self.frame_format
+        elif frame_format not in FRAME_FORMATS:
+            raise ConfigurationError(
+                f"frame_format must be one of {FRAME_FORMATS}, got {frame_format!r}"
+            )
         section_by_node = {node_id: fog1.section_id for node_id, fog1 in self._fog1.items()}
         node_cache = self._sensor_node_cache
         route = self._resolve_node_cached
@@ -513,7 +557,7 @@ class F2CDataManagement:
             columns = ReadingColumns.from_reading_list(section_readings)
             broker.publish(
                 f"city/{city_slug}/{section_id}/frame",
-                columns.encode_frame(),
+                columns.encode_frame(format=frame_format),
                 timestamp=timestamp,
             )
             published[section_id] = len(section_readings)

@@ -278,6 +278,15 @@ class AcquisitionBlock(LifeCycleBlock):
                 tag_template = None
             else:
                 tag_template.update(static_tags)
+        # Tag-dict memo for template-eligible rows: all rows of a batch that
+        # share (score, category, fog node) get the *same* tag dict object —
+        # one dict build per distinct combination per batch instead of one
+        # per admitted row.  Sharing is safe for the same reason the store's
+        # scalar interning is: tags are written once here and treated as
+        # immutable downstream (mutating a materialized reading's tag dict
+        # in place was never supported — ``Reading.with_tags`` copies).
+        shared_tags: Dict[tuple, Dict[str, object]] = {}
+        shared_tags_get = shared_tags.get
         report = QualityReport()
         scores_append = report.scores.append
         record_rejection = report.record_rejection
@@ -416,10 +425,16 @@ class AcquisitionBlock(LifeCycleBlock):
             # original tags, quality_score, then the description tags.
             quality_score = 1.0 if score == 1.0 else round(score, 3)
             if not row_tags and tag_template is not None:
-                tags: Dict[str, object] = dict(tag_template)
-                if quality_score != 1.0:
-                    tags["quality_score"] = quality_score
-                tags["category"] = category
+                memo_key = (quality_score, category, fog_node_id)
+                tags = shared_tags_get(memo_key)
+                if tags is None:
+                    tags = dict(tag_template)
+                    if quality_score != 1.0:
+                        tags["quality_score"] = quality_score
+                    tags["category"] = category
+                    if fog_node_id is not None:
+                        tags["fog_node"] = fog_node_id
+                    shared_tags[memo_key] = tags
             else:
                 tags = dict(row_tags) if row_tags else {}
                 tags["quality_score"] = quality_score
@@ -428,8 +443,8 @@ class AcquisitionBlock(LifeCycleBlock):
                 tags["category"] = category
                 if static_tags:
                     tags.update(static_tags)
-            if fog_node_id is not None:
-                tags["fog_node"] = fog_node_id
+                if fog_node_id is not None:
+                    tags["fog_node"] = fog_node_id
             out_ids(sensor_id)
             out_types(sensor_type)
             out_cats(category)

@@ -214,12 +214,23 @@ class Broker:
         qos: int = 0,
         retain: bool = False,
         timestamp: float = 0.0,
+        frame_format: Optional[str] = None,
     ) -> Message:
         """Publish a whole :class:`~repro.sensors.readings.ReadingColumns`
         batch as one column-frame payload (the wire fast path: one frame per
-        node-round instead of one CSV payload per reading)."""
+        node-round instead of one CSV payload per reading).
+
+        *frame_format* selects the frame layout (``"binary"`` or
+        ``"json"``); ``None`` uses the process-wide default.  Receivers
+        auto-detect the layout, so publishers can switch formats without
+        coordinating.
+        """
         return self.publish(
-            topic, columns.encode_frame(), qos=qos, retain=retain, timestamp=timestamp
+            topic,
+            columns.encode_frame(format=frame_format),
+            qos=qos,
+            retain=retain,
+            timestamp=timestamp,
         )
 
     def _deliver(self, subscription: _Subscription, message: Message) -> None:

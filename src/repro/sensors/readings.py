@@ -35,6 +35,17 @@ from repro.common.serialization import (
     is_column_frame,
     pad_to_size,
 )
+from repro.common.typedcols import (
+    as_float_column,
+    as_int_column,
+    clear_column,
+    column_min,
+    column_sum,
+    float_column,
+    int_column,
+    take_floats,
+    take_ints,
+)
 
 #: When set (``REPRO_DEBUG_BATCH_ACCOUNTING=1``), every materialization of a
 #: batch re-verifies the incrementally maintained byte/category counters
@@ -146,11 +157,23 @@ def _encode_row(sensor_id: str, sensor_type: str, value: Any, timestamp: float, 
 class ReadingColumns:
     """Column-oriented storage for a sequence of readings.
 
-    Nine parallel lists, one per :class:`Reading` field; row *i* of the
+    Nine parallel columns, one per :class:`Reading` field; row *i* of the
     logical sequence is ``(sensor_ids[i], sensor_types[i], ...)``.  String
     columns hold shared references (sensor ids, types and categories come
     from a small fixed vocabulary, so the lists intern naturally); the tag
     column holds per-row dict references.
+
+    The hot numeric columns (``timestamps``, ``sizes``) are *dual-backed*:
+    plain Python lists while a batch is being built and consumed row-wise
+    (appends and ``zip`` iteration over lists avoid a box/unbox per
+    element, which measurably dominates the in-process ingest hot path),
+    and typed arrays — ``array('d')`` / ``array('q')`` — where density and
+    bulk operations win: columns decoded from wire frames arrive as typed
+    arrays straight off the packed buffers (zero conversion), the
+    time-series store keeps its per-series columns typed (8 bytes per
+    element instead of a boxed object, numpy-ready), and :meth:`compact`
+    converts a long-held batch in place.  All mutation/consumption paths
+    accept either backing.
 
     Columns are append/extend/gather-only: rows are never removed in place
     (filtering builds a new instance via :meth:`gather`), which keeps the
@@ -181,9 +204,9 @@ class ReadingColumns:
         self.sensor_types: List[str] = []
         self.categories: List[str] = []
         self.values: List[Any] = []
-        self.timestamps: List[float] = []
+        self.timestamps: Sequence[float] = []  # list, or array('d') once compacted/decoded
         self.fog_node_ids: List[Optional[str]] = []
-        self.sizes: List[int] = []
+        self.sizes: Sequence[int] = []  # list, or array('q') once compacted/decoded
         self.sequences: List[int] = []
         self.tags: List[Optional[Dict[str, Any]]] = []
         self._total_bytes = 0
@@ -348,9 +371,9 @@ class ReadingColumns:
         self.sensor_types.clear()
         self.categories.clear()
         self.values.clear()
-        self.timestamps.clear()
+        clear_column(self.timestamps)
         self.fog_node_ids.clear()
-        self.sizes.clear()
+        clear_column(self.sizes)
         self.sequences.clear()
         self.tags.clear()
         self._total_bytes = 0
@@ -419,12 +442,18 @@ class ReadingColumns:
         out.sensor_types = [types[i] for i in index_list]
         out.categories = [cats[i] for i in index_list]
         out.values = [values[i] for i in index_list]
-        out.timestamps = [tss[i] for i in index_list]
+        # Preserve each column's backing: typed gathers stay typed (and
+        # vectorize via numpy when large), list gathers stay lists.
+        out.timestamps = (
+            [tss[i] for i in index_list] if type(tss) is list else take_floats(tss, index_list)
+        )
         out.fog_node_ids = [fogs[i] for i in index_list]
-        out.sizes = [sizes[i] for i in index_list]
+        out.sizes = (
+            [sizes[i] for i in index_list] if type(sizes) is list else take_ints(sizes, index_list)
+        )
         out.sequences = [seqs[i] for i in index_list]
         out.tags = [tags[i] for i in index_list]
-        out._total_bytes = sum(out.sizes)
+        out._total_bytes = column_sum(out.sizes)
         return out
 
     def copy(self) -> "ReadingColumns":
@@ -433,13 +462,26 @@ class ReadingColumns:
         out.sensor_types = list(self.sensor_types)
         out.categories = list(self.categories)
         out.values = list(self.values)
-        out.timestamps = list(self.timestamps)
+        out.timestamps = self.timestamps[:]  # slice copy keeps the backing type
         out.fog_node_ids = list(self.fog_node_ids)
-        out.sizes = list(self.sizes)
+        out.sizes = self.sizes[:]
         out.sequences = list(self.sequences)
         out.tags = list(self.tags)
         out._total_bytes = self._total_bytes
         return out
+
+    def compact(self) -> "ReadingColumns":
+        """Convert the hot numeric columns to typed arrays, in place.
+
+        One bulk C conversion per column; afterwards the batch holds its
+        timestamps/sizes at 8 bytes per element instead of a pointer to a
+        boxed object — worth it for batches parked for a while (e.g. a fog
+        tier's pending-upward backlog between transfer rounds).  Returns
+        ``self`` for chaining.  No-op on already-typed columns.
+        """
+        self.timestamps = as_float_column(self.timestamps)
+        self.sizes = as_int_column(self.sizes)
+        return self
 
     def tags_at(self, index: int) -> Dict[str, Any]:
         """The tag dict of row *index* (empty dict when the row has none)."""
@@ -494,7 +536,7 @@ class ReadingColumns:
             )
         )
 
-    def encode_frame(self) -> bytes:
+    def encode_frame(self, format: Optional[str] = None) -> bytes:
         """One self-describing wire frame for the whole column set.
 
         This is the batch wire format fog nodes receive (one frame per
@@ -503,6 +545,13 @@ class ReadingColumns:
         receiver is identical to the per-reading CSV path.  Fog-node ids and
         tags are not part of the wire format (they are assigned by the
         receiving node's acquisition block, exactly as with CSV payloads).
+
+        *format* selects the wire layout (``"binary"`` — packed columns,
+        the compact default — or ``"json"`` — the PR 2 compatibility
+        layout); ``None`` uses the process-wide default (see
+        :data:`repro.common.serialization.DEFAULT_FRAME_FORMAT`).  Both
+        layouts decode to identical columns via :meth:`decode_frame`, which
+        auto-detects the format from the payload's magic prefix.
         """
         return encode_columns(
             {
@@ -513,12 +562,18 @@ class ReadingColumns:
                 "timestamps": self.timestamps,
                 "sizes": self.sizes,
                 "sequences": self.sequences,
-            }
+            },
+            format=format,
         )
 
     @classmethod
     def decode_frame(cls, payload: bytes) -> "ReadingColumns":
-        """Inverse of :meth:`encode_frame`."""
+        """Inverse of :meth:`encode_frame` (either layout, auto-detected).
+
+        Raises ``ValueError`` for any malformed frame — a frame decodes
+        whole or not at all, so a corrupt payload can never partially
+        ingest.
+        """
         record = decode_columns(payload)
         out = cls()
         n = len(record["sensor_ids"])
@@ -526,17 +581,34 @@ class ReadingColumns:
         out.sensor_types = [str(s) for s in record["sensor_types"]]
         out.categories = [str(s) for s in record["categories"]]
         out.values = list(record["values"])
-        out.timestamps = [float(t) for t in record["timestamps"]]
-        out.sizes = [int(s) for s in record["sizes"]]
-        if any(size < 0 for size in out.sizes):
+        try:
+            timestamps = record["timestamps"]
+            out.timestamps = (
+                as_float_column(timestamps)
+                if type(timestamps) is not list
+                else float_column(float(t) for t in timestamps)
+            )
+            sizes = record["sizes"]
+            out.sizes = (
+                as_int_column(sizes)
+                if type(sizes) is not list
+                else int_column(int(s) for s in sizes)
+            )
+            out.sequences = [int(s) for s in record["sequences"]]
+        except (TypeError, OverflowError) as exc:
+            # JSON frames can smuggle non-numeric or >64-bit entries into
+            # the numeric columns; they must fail frame validation, not
+            # corrupt a typed column downstream.
+            raise ValueError(f"column frame carries a non-numeric column entry: {exc}") from exc
+        smallest = column_min(out.sizes)
+        if smallest is not None and smallest < 0:
             # A reading can never carry a negative wire size (Reading and
             # append_row both enforce this); a frame must not smuggle one
             # into the byte accounting.
             raise ValueError("column frame carries a negative wire size")
-        out.sequences = [int(s) for s in record["sequences"]]
         out.fog_node_ids = [None] * n
         out.tags = [None] * n
-        out._total_bytes = sum(out.sizes)
+        out._total_bytes = column_sum(out.sizes)
         return out
 
     @staticmethod
@@ -750,6 +822,15 @@ class ReadingBatch:
             category: ReadingBatch.from_columns(self._columns.gather(indices))
             for category, indices in buckets.items()
         }
+
+    def compact(self) -> "ReadingBatch":
+        """Convert the hot numeric columns to typed arrays in place.
+
+        See :meth:`ReadingColumns.compact`; use on batches held for a while
+        (pending queues, archives) to cut their memory footprint.
+        """
+        self._columns.compact()
+        return self
 
     def encode(self) -> bytes:
         """Concatenate the wire encodings of every reading in the batch."""

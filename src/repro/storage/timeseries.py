@@ -38,12 +38,17 @@ dirty; it is rebuilt lazily on the next eviction.
 from __future__ import annotations
 
 import heapq
-from bisect import bisect_left, bisect_right
 from collections import defaultdict
-from itertools import accumulate, islice
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.errors import StorageError
+from repro.common.typedcols import (
+    bisect_left,
+    bisect_right,
+    float_column,
+    int_column,
+    prefix_sums,
+)
 from repro.sensors.readings import Reading, ReadingBatch, ReadingColumns
 
 
@@ -59,6 +64,7 @@ class _Series:
     __slots__ = (
         "sensor_id",
         "timestamps",
+        "last_ts",
         "values",
         "sequences",
         "tags",
@@ -90,7 +96,11 @@ class _Series:
         size: int,
     ) -> None:
         self.sensor_id = sensor_id
-        self.timestamps: List[float] = []
+        self.timestamps = float_column()  # array('d'), always sorted
+        # Tail timestamp as a plain Python float: the in-order fast path
+        # compares against it without re-boxing ``timestamps[-1]`` out of
+        # the typed array on every append.
+        self.last_ts: Optional[float] = None
         self.values: List[Any] = []
         self.sequences: List[int] = []
         self.tags: List[Optional[Dict[str, Any]]] = []
@@ -101,8 +111,8 @@ class _Series:
         self.fog0 = fog_node_id
         self.fogs: Optional[List[Optional[str]]] = None
         self.size0 = size
-        self.sizes: Optional[List[int]] = None
-        self.cum_bytes: Optional[List[int]] = None
+        self.sizes = None  # array('q') once wire sizes diverge
+        self.cum_bytes = None  # array('q') prefix sums, parallel to sizes
         self.cum_base = 0
         self.row_base = 0
         self.prefix_dirty = False
@@ -124,12 +134,14 @@ class _Series:
         sequence: int,
         tags: Optional[Dict[str, Any]],
     ) -> None:
-        timestamps = self.timestamps
-        if timestamps and timestamp < timestamps[-1]:
+        last_ts = self.last_ts
+        if last_ts is not None and timestamp < last_ts:
             self._insert_row(sensor_type, category, value, timestamp, fog_node_id, size, sequence, tags)
             return
         # Fast path: in-order arrival appends at the tail; series-uniform
         # metadata costs one compare per field instead of one append.
+        self.last_ts = timestamp
+        timestamps = self.timestamps
         timestamps.append(timestamp)
         self.values.append(value)
         self.sequences.append(sequence)
@@ -177,7 +189,7 @@ class _Series:
             and self.fogs is None
             and self.sizes is None
             and row_timestamps == sorted(row_timestamps)
-            and (not self.timestamps or row_timestamps[0] >= self.timestamps[-1])
+            and (self.last_ts is None or row_timestamps[0] >= self.last_ts)
         )
         if bulk:
             categories = columns.categories
@@ -196,6 +208,7 @@ class _Series:
             row_sizes = [sizes[i] for i in indices]
             bulk = row_sizes.count(self.size0) == n
         if bulk:
+            self.last_ts = row_timestamps[-1]
             self.timestamps.extend(row_timestamps)
             values = columns.values
             self.values.extend([values[i] for i in indices])
@@ -238,6 +251,10 @@ class _Series:
         """Out-of-order arrival: bisect insert, prefix sums rebuilt lazily."""
         index = bisect_right(self.timestamps, timestamp)
         self.timestamps.insert(index, timestamp)
+        # Inserts land strictly before the tail, so the cached tail
+        # timestamp normally stands; refresh it anyway so a stale value
+        # (e.g. after a full eviction) self-heals.
+        self.last_ts = self.timestamps[-1]
         self.values.insert(index, value)
         self.sequences.insert(index, sequence)
         self.tags.insert(index, tags)
@@ -250,8 +267,8 @@ class _Series:
         if self.fogs is not None:
             self.fogs.insert(index, fog_node_id)
         if self.sizes is None and size != self.size0:
-            self.sizes = [self.size0] * (len(self.timestamps) - 1)
-            self.cum_bytes = []  # placeholder; rebuilt lazily below
+            self.sizes = int_column([self.size0]) * (len(self.timestamps) - 1)
+            self.cum_bytes = int_column()  # placeholder; rebuilt lazily below
         if self.sizes is not None:
             self.sizes.insert(index, size)
             self.prefix_dirty = True
@@ -268,15 +285,19 @@ class _Series:
     def _diverge_sizes(self, size: int) -> None:
         """First row whose wire size differs: build the size/cum columns."""
         previous = len(self.timestamps) - 1
-        sizes = [self.size0] * previous
+        sizes = int_column([self.size0]) * previous
         sizes.append(size)
         self.sizes = sizes
-        self.cum_bytes = list(islice(accumulate(sizes, initial=self.cum_base), 1, None))
+        self.cum_bytes = prefix_sums(sizes, initial=self.cum_base)
 
     def _note_category(self, category: str, size: int) -> None:
         """Maintain per-category prefixes; called for every mixed-series row."""
-        rows = self.cat_rows.setdefault(category, [])
-        cum = self.cat_cum.setdefault(category, [])
+        rows = self.cat_rows.get(category)
+        if rows is None:
+            rows = self.cat_rows[category] = int_column()
+            cum = self.cat_cum[category] = int_column()
+        else:
+            cum = self.cat_cum[category]
         rows.append(self.row_base + len(self.timestamps) - 1)
         cum.append((cum[-1] if cum else self.cat_base.setdefault(category, 0)) + size)
 
@@ -292,11 +313,8 @@ class _Series:
         row_base = self.row_base
         category0 = self.category0
         if previous:
-            row_size = self.row_size
-            self.cat_rows[category0] = list(range(row_base, row_base + previous))
-            self.cat_cum[category0] = list(
-                islice(accumulate((row_size(i) for i in range(previous)), initial=0), 1, None)
-            )
+            self.cat_rows[category0] = int_column(range(row_base, row_base + previous))
+            self.cat_cum[category0] = prefix_sums(self.sizes_slice(0, previous))
             self.cat_base[category0] = 0
         self.category0 = None
         self._note_category(category, size)
@@ -304,7 +322,7 @@ class _Series:
     def _rebuild_prefixes(self) -> None:
         """Recompute all prefix-sum state after out-of-order inserts."""
         if self.sizes is not None:
-            self.cum_bytes = list(islice(accumulate(self.sizes, initial=0), 1, None))
+            self.cum_bytes = prefix_sums(self.sizes)
         self.cum_base = 0
         self.row_base = 0
         if self.cats is not None:
@@ -313,8 +331,12 @@ class _Series:
             self.cat_base = {}
             row_size = self.row_size
             for position, category in enumerate(self.cats):
-                rows = self.cat_rows.setdefault(category, [])
-                per_cat = self.cat_cum.setdefault(category, [])
+                rows = self.cat_rows.get(category)
+                if rows is None:
+                    rows = self.cat_rows[category] = int_column()
+                    per_cat = self.cat_cum[category] = int_column()
+                else:
+                    per_cat = self.cat_cum[category]
                 rows.append(position)
                 per_cat.append((per_cat[-1] if per_cat else 0) + row_size(position))
                 self.cat_base.setdefault(category, 0)

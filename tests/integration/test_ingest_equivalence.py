@@ -153,3 +153,71 @@ class TestFlushTimestampDefault:
         assert counts == {"fog1/d-01/s-01": 2}
         fog1 = system.fog1_for_section("d-01/s-01")
         assert fog1.has_series("ooo-1000") and fog1.has_series("ooo-100")
+
+
+class TestThreeWayGoldenEquivalence:
+    """Binary frames, JSON frames and direct ingest: one golden store state.
+
+    The same seeded city workload is driven through all three ingest paths;
+    every path must reproduce the golden byte-accounting fixture captured on
+    the pre-refactor code *and* leave byte-identical store contents.
+    """
+
+    @staticmethod
+    def _run_frames(frame_format):
+        system = F2CDataManagement(catalog=BARCELONA_CATALOG, frame_format=frame_format)
+        generator = ReadingGenerator(BARCELONA_CATALOG, devices_per_type=5, seed=2024)
+        sections = [s.section_id for s in system.city.sections]
+        for index, device in enumerate(generator.all_devices()):
+            system.assign_sensor(device.sensor_id, sections[index % len(sections)])
+        broker = Broker()
+        system.attach_broker(broker, batched=True)
+        for round_index, batch in enumerate(
+            generator.transactions(count=4, start=0.0, interval=900.0)
+        ):
+            system.publish_frames(broker, batch, timestamp=round_index * 900.0)
+            system.flush_broker(now=round_index * 900.0)
+        system.synchronise(now=3600.0)
+        storage = {
+            node_id: {
+                "stored_readings": stats["stored_readings"],
+                "stored_bytes": stats["stored_bytes"],
+                "ingested_readings": stats["ingested_readings"],
+                "ingested_bytes": stats["ingested_bytes"],
+            }
+            for node_id, stats in system.storage_report().items()
+        }
+        return system, {"traffic": system.traffic_report(), "storage": storage}
+
+    @staticmethod
+    def _cloud_contents(system):
+        return sorted(
+            (r.sensor_id, r.sensor_type, r.category, r.value, r.timestamp,
+             r.size_bytes, r.sequence, tuple(sorted(r.tags.items())))
+            for r in system.cloud.storage.store.all_readings()
+        )
+
+    def test_all_three_paths_match_the_golden_fixture(self):
+        golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        assert run_seeded_workload() == golden  # direct ingest (reference)
+        binary_system, binary_reports = self._run_frames("binary")
+        json_system, json_reports = self._run_frames("json")
+        assert binary_reports == golden
+        assert json_reports == golden
+        assert self._cloud_contents(binary_system) == self._cloud_contents(json_system)
+
+    def test_frame_paths_store_identical_contents_to_direct_ingest(self):
+        system = F2CDataManagement(catalog=BARCELONA_CATALOG)
+        generator = ReadingGenerator(BARCELONA_CATALOG, devices_per_type=5, seed=2024)
+        sections = [s.section_id for s in system.city.sections]
+        for index, device in enumerate(generator.all_devices()):
+            system.assign_sensor(device.sensor_id, sections[index % len(sections)])
+        for round_index, batch in enumerate(
+            generator.transactions(count=4, start=0.0, interval=900.0)
+        ):
+            system.ingest_readings(batch, now=round_index * 900.0)
+        system.synchronise(now=3600.0)
+        direct_contents = self._cloud_contents(system)
+        for frame_format in ("binary", "json"):
+            frame_system, _ = self._run_frames(frame_format)
+            assert self._cloud_contents(frame_system) == direct_contents

@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.serialization import COLUMN_FRAME_MAGIC, is_column_frame
+from repro.common.serialization import BINARY_FRAME_MAGIC, COLUMN_FRAME_MAGIC, is_column_frame
 from repro.sensors.readings import Reading, ReadingBatch, ReadingColumns
 from tests.conftest import make_reading
 
@@ -152,27 +152,61 @@ class TestReadingsViewIsReadOnly:
 
 
 class TestColumnFrames:
-    def test_frame_round_trip(self):
+    @pytest.mark.parametrize("frame_format", ["json", "binary"])
+    def test_frame_round_trip(self, frame_format):
         items = [
             make_reading(sensor_id=f"s-{i}", value=20.5 + i, timestamp=10.0 * i, size_bytes=30 + i, sequence=i)
             for i in range(5)
         ]
         columns = ReadingColumns.from_readings(items)
-        payload = columns.encode_frame()
+        payload = columns.encode_frame(format=frame_format)
         assert is_column_frame(payload)
-        assert payload.startswith(COLUMN_FRAME_MAGIC)
+        expected_magic = COLUMN_FRAME_MAGIC if frame_format == "json" else BINARY_FRAME_MAGIC
+        assert payload.startswith(expected_magic)
         decoded = ReadingColumns.decode_frame(payload)
         assert decoded.sensor_ids == columns.sensor_ids
         assert decoded.sensor_types == columns.sensor_types
         assert decoded.categories == columns.categories
         assert decoded.values == columns.values
-        assert decoded.timestamps == columns.timestamps
-        assert decoded.sizes == columns.sizes
-        assert decoded.sequences == columns.sequences
+        # Decoded frames carry typed numeric columns; the source batch is
+        # list-backed — compare contents, not backing.
+        assert list(decoded.timestamps) == list(columns.timestamps)
+        assert list(decoded.sizes) == list(columns.sizes)
+        assert list(decoded.sequences) == list(columns.sequences)
         assert decoded.total_bytes == columns.total_bytes
         # Fog assignment and tags are receiver-side concerns, not wire data.
         assert decoded.fog_node_ids == [None] * 5
         assert decoded.tags == [None] * 5
+
+    def test_default_format_is_the_compact_binary_layout(self):
+        payload = ReadingColumns.from_readings([make_reading()]).encode_frame()
+        assert payload.startswith(BINARY_FRAME_MAGIC)
+
+    def test_compact_switches_to_typed_columns_without_changing_contents(self):
+        from array import array
+
+        items = [make_reading(value=float(i), timestamp=float(i), size_bytes=10 + i) for i in range(4)]
+        batch = ReadingBatch(items)
+        before = list(batch)
+        assert type(batch.columns.timestamps) is list
+        batch.compact()
+        assert type(batch.columns.timestamps) is array
+        assert batch.columns.timestamps.typecode == "d"
+        assert type(batch.columns.sizes) is array and batch.columns.sizes.typecode == "q"
+        assert list(batch) == before
+        assert batch.total_bytes == sum(r.size_bytes for r in items)
+        # Compacted batches keep working through the mutation/merge APIs.
+        batch.append(make_reading(value=99.0, size_bytes=5))
+        batch.verify_accounting()
+        assert batch.columns.gather([0, 4]).sizes[-1] == 5
+
+    def test_decoded_frames_arrive_with_typed_columns(self):
+        from array import array
+
+        columns = ReadingColumns.from_readings([make_reading(size_bytes=30)])
+        decoded = ReadingColumns.decode_frame(columns.encode_frame(format="binary"))
+        assert type(decoded.timestamps) is array and decoded.timestamps.typecode == "d"
+        assert type(decoded.sizes) is array and decoded.sizes.typecode == "q"
 
     def test_empty_frame_round_trip(self):
         payload = ReadingColumns().encode_frame()
@@ -205,5 +239,5 @@ class TestColumnFrames:
         columns = ReadingColumns.from_readings(items)
         decoded = ReadingColumns.decode_frame(columns.encode_frame())
         assert decoded.values == columns.values
-        assert decoded.timestamps == columns.timestamps
-        assert decoded.sizes == columns.sizes
+        assert list(decoded.timestamps) == list(columns.timestamps)
+        assert list(decoded.sizes) == list(columns.sizes)
