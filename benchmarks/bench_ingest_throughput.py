@@ -24,6 +24,15 @@ measures readings/second along five ingest paths:
   skipping wire encode/decode entirely (upper bound for in-process feeds).
   With the columnar storage refactor this path never materializes a reading
   object past the entry point.
+* ``sharded_frames`` — the multi-process runtime: fog L1 sections sharded
+  across worker processes (measured at 1, 2 and 4 workers), acquisition +
+  layer-1 aggregation per worker, drained batches shipped to the supervisor
+  as length-prefixed packed binary column frames over pipes, fog L2 → cloud
+  driven by the supervisor.  Timing starts after every worker has built its
+  workload (the READY/go barrier), mirroring the other pipelines whose
+  workload is pre-built outside the timer.  Each sharded run's cloud
+  contents are digest-verified against the single-process binary-frames
+  pipeline in the same benchmark run; a mismatch aborts the benchmark.
 
 Each pipeline runs ``repetitions`` times and the fastest run is kept — the
 shared-container measurement noise (±30% minute to minute) otherwise
@@ -49,6 +58,7 @@ from __future__ import annotations
 import bisect
 import contextlib
 import json
+import os
 import pathlib
 import time
 from collections import defaultdict
@@ -56,6 +66,7 @@ from typing import Dict, List, Optional, Tuple
 
 import repro.storage.tiered as tiered_module
 from repro.core.architecture import F2CDataManagement
+from repro.runtime import ShardedWorkload, cloud_digest, run_sharded
 from repro.dlc.acquisition import AcquisitionBlock, DataCollectionPhase
 from repro.dlc.model import LifeCycleBlock
 from repro.messaging.broker import Broker
@@ -79,6 +90,10 @@ PR1_BATCHED_BROKER_RECORD_RPS = 65_588
 #: the cross-PR comparison of the typed-array/binary-frame changes.
 PR2_DIRECT_BATCH_RECORD_RPS = 220_589
 PR2_COLUMNAR_FRAMES_RECORD_RPS = 95_918
+
+#: The committed PR 3 records (typed-array columns + packed binary frames).
+PR3_DIRECT_BATCH_RECORD_RPS = 214_667
+PR3_COLUMNAR_FRAMES_BINARY_RECORD_RPS = 113_904
 
 
 # --------------------------------------------------------------------------- #
@@ -364,6 +379,9 @@ def _system_outcome(system: F2CDataManagement) -> Dict[str, object]:
         "cloud_readings": len(system.cloud.storage),
         "fog1_bytes_received": traffic.get("fog_layer_1", 0),
         "cloud_bytes_received": traffic.get("cloud", 0),
+        # cloud_digest comes from the runtime's shared canonicalization, so
+        # sharded and single-process runs are comparable within one run.
+        "cloud_digest": cloud_digest(system),
     }
 
 
@@ -463,6 +481,35 @@ def run_columnar_frames(catalog, rounds, sensor_section, frame_format: str = "bi
         "frame_format": frame_format,
         "wire_bytes_published": broker.published_bytes,
         **_system_outcome(system),
+    }
+
+
+def run_sharded_frames(
+    catalog,
+    devices_per_type: int,
+    duration_s: float,
+    round_s: float,
+    seed: int,
+    workers: int,
+) -> Dict[str, object]:
+    """Multi-process path: sharded fog L1 workers over binary-frame IPC.
+
+    The workers regenerate the identical seeded workload locally (so no
+    input bytes cross the process boundary) and the supervisor drives fog
+    L2 → cloud; ``wall_s`` is the post-READY-barrier run time, comparable
+    to the other pipelines whose workload is pre-built outside the timer.
+    """
+    workload = ShardedWorkload.stream_rounds(
+        devices_per_type=devices_per_type, seed=seed, duration_s=duration_s, round_s=round_s
+    )
+    result = run_sharded(workers=workers, workload=workload, catalog=catalog)
+    return {
+        "wall_s": result.run_s,
+        "stages": {"spawn_and_build_s": result.wall_s - result.run_s},
+        "workers": workers,
+        "worker_restarts": result.worker_restarts,
+        "dropped_ipc_frames": result.dropped_ipc_frames,
+        **_system_outcome(result.architecture),
     }
 
 
@@ -593,8 +640,14 @@ def run_benchmark(
     with_micro: bool = True,
     catalog: Optional[SensorCatalog] = None,
     repetitions: int = 3,
+    sharded_workers: Tuple[int, ...] = (1, 2, 4),
 ) -> Dict[str, object]:
-    """Run the full ingest benchmark; returns the result dict (not written)."""
+    """Run the full ingest benchmark; returns the result dict (not written).
+
+    Raises ``RuntimeError`` if any sharded run's cloud contents differ from
+    the single-process binary-frames pipeline's — the committed record only
+    exists for runs whose parallel path was proven byte-identical.
+    """
     catalog = catalog if catalog is not None else BARCELONA_CATALOG
     rounds, sensor_section, total = build_workload(
         catalog, devices_per_type, duration_s, round_s, seed=seed
@@ -618,8 +671,26 @@ def run_benchmark(
             repetitions, lambda: run_direct_batch(catalog, rounds, sensor_section)
         ),
     }
-    for stats in pipelines.values():
-        stats["readings_per_sec"] = total / stats["wall_s"] if stats["wall_s"] else None
+    sharded: Dict[str, object] = {}
+    for workers in sharded_workers:
+        sharded[f"workers_{workers}"] = _best_of(
+            repetitions,
+            lambda workers=workers: run_sharded_frames(
+                catalog, devices_per_type, duration_s, round_s, seed, workers
+            ),
+        )
+    pipelines["sharded_frames"] = sharded
+    reference_digest = pipelines["columnar_frames_binary"]["cloud_digest"]
+    for name, stats in sharded.items():
+        if stats["cloud_digest"] != reference_digest:
+            raise RuntimeError(
+                f"sharded_frames/{name} cloud contents diverge from the "
+                "single-process binary-frames pipeline"
+            )
+    for name, stats in pipelines.items():
+        targets = stats.values() if name == "sharded_frames" else (stats,)
+        for entry in targets:
+            entry["readings_per_sec"] = total / entry["wall_s"] if entry["wall_s"] else None
     baseline_rps = pipelines["per_message"]["readings_per_sec"]
 
     def _speedup(name: str) -> Optional[float]:
@@ -630,8 +701,14 @@ def run_benchmark(
     frames_binary_rps = pipelines["columnar_frames_binary"]["readings_per_sec"]
     json_wire = pipelines["columnar_frames_json"]["wire_bytes_published"]
     binary_wire = pipelines["columnar_frames_binary"]["wire_bytes_published"]
+    sharded_speedups = {
+        f"sharded_frames_{name}_vs_frames_binary": (
+            stats["readings_per_sec"] / frames_binary_rps if frames_binary_rps else None
+        )
+        for name, stats in sharded.items()
+    }
     result: Dict[str, object] = {
-        "schema": "bench_ingest/v3",
+        "schema": "bench_ingest/v4",
         "workload": {
             "devices": devices_per_type * len(catalog),
             "devices_per_type": devices_per_type,
@@ -642,12 +719,22 @@ def run_benchmark(
             "seed": seed,
             "repetitions": repetitions,
         },
+        "environment": {
+            "cpu_count": os.cpu_count(),
+        },
         "pipelines": pipelines,
+        "sharded_equivalence": {
+            "verified": True,  # run_benchmark raises on divergence
+            "reference_pipeline": "columnar_frames_binary",
+            "cloud_digest": reference_digest,
+            "workers_measured": list(sharded_workers),
+        },
         "speedup": {
             "batched_broker_vs_per_message": _speedup("batched_broker"),
             "columnar_frames_json_vs_per_message": _speedup("columnar_frames_json"),
             "columnar_frames_binary_vs_per_message": _speedup("columnar_frames_binary"),
             "direct_batch_vs_per_message": _speedup("direct_batch"),
+            **sharded_speedups,
         },
         "frame_wire_bytes": {
             "json": json_wire,
@@ -671,6 +758,18 @@ def run_benchmark(
                 frames_binary_rps / PR2_COLUMNAR_FRAMES_RECORD_RPS if frames_binary_rps else None
             ),
         },
+        "pr3_record": {
+            "direct_batch_readings_per_sec": PR3_DIRECT_BATCH_RECORD_RPS,
+            "columnar_frames_binary_readings_per_sec": PR3_COLUMNAR_FRAMES_BINARY_RECORD_RPS,
+            "direct_batch_vs_pr3_record": (
+                direct_rps / PR3_DIRECT_BATCH_RECORD_RPS if direct_rps else None
+            ),
+            "columnar_frames_binary_vs_pr3_record": (
+                frames_binary_rps / PR3_COLUMNAR_FRAMES_BINARY_RECORD_RPS
+                if frames_binary_rps
+                else None
+            ),
+        },
     }
     if with_micro:
         result["micro"] = run_micro()
@@ -683,10 +782,19 @@ def main(output: pathlib.Path = DEFAULT_OUTPUT, **kwargs) -> Dict[str, object]:
     output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     workload = result["workload"]
     print(f"workload: {workload['total_readings']:,} readings, "
-          f"{workload['devices']} devices, {workload['rounds']} rounds")
+          f"{workload['devices']} devices, {workload['rounds']} rounds "
+          f"(cpu_count={result['environment']['cpu_count']})")
     for name, stats in result["pipelines"].items():
-        print(f"  {name:16s} {stats['readings_per_sec']:>12,.0f} readings/s "
+        if name == "sharded_frames":
+            for sub_name, sub_stats in stats.items():
+                label = f"{name}/{sub_name}"
+                print(f"  {label:24s} {sub_stats['readings_per_sec']:>12,.0f} readings/s "
+                      f"(wall {sub_stats['wall_s']:.3f} s, cloud={sub_stats['cloud_readings']})")
+            continue
+        print(f"  {name:24s} {stats['readings_per_sec']:>12,.0f} readings/s "
               f"(wall {stats['wall_s']:.3f} s, cloud={stats['cloud_readings']})")
+    print(f"  sharded cloud contents verified byte-identical vs "
+          f"{result['sharded_equivalence']['reference_pipeline']}")
     for name, factor in result["speedup"].items():
         print(f"  speedup {name}: {factor:.1f}x")
     wire = result["frame_wire_bytes"]

@@ -722,6 +722,145 @@ def decode_columns_binary(payload: bytes) -> Dict[str, Any]:
     }
 
 
+# --------------------------------------------------------------------------- #
+# Stream framing — length-prefixed frames over byte pipes
+#
+# Column frames are self-delimiting only as whole payloads; a byte *stream*
+# (a ``multiprocessing`` pipe between an ingest worker and its supervisor, a
+# socket, a spool file) needs record boundaries.  Each stream record is::
+#
+#   magic     4 bytes   b"\x00RBS"
+#   length    u32       payload length (bounded by the reader's max)
+#   crc       u32       CRC-32 (zlib) of magic + length + payload
+#   payload   length bytes
+#
+# The CRC covers the length field, so a corrupted prefix cannot silently
+# re-frame the stream.  Readers distinguish two failure classes:
+#
+# * a record whose header parsed but whose CRC failed leaves the reader at
+#   the next record boundary — the frame is lost, the stream is usable
+#   (:attr:`StreamFrameError.resynced` is true);
+# * structural damage (bad magic, truncated header/payload, oversized
+#   length) makes the boundary itself untrustworthy — the reader raises
+#   with ``resynced=False`` and the caller must abandon the stream.
+#
+# Either way a damaged record is rejected whole: stream framing can lose a
+# frame, never deliver part of one.
+# --------------------------------------------------------------------------- #
+
+#: Leading marker of one stream record.
+STREAM_FRAME_MAGIC = b"\x00RBS"
+
+#: Upper bound a reader accepts for one record's payload; a corrupted (or
+#: hostile) length field must not make the reader try to buffer gigabytes.
+MAX_STREAM_FRAME_BYTES = 1 << 30
+
+_STREAM_PREFIX = struct.Struct("<4sI")  # magic + payload length
+
+
+class StreamFrameError(ValueError):
+    """A corrupt record in a length-prefixed frame stream.
+
+    ``resynced`` is true when the reader consumed exactly the span the
+    stream's length field declared, leaving it at what the stream *claims*
+    is the next record boundary.  That claim holds when the damage was in
+    the payload; if the length field itself was corrupted (the CRC covers
+    it, so the mismatch is still detected) the position is arbitrary and
+    subsequent reads will fail structurally.  Callers that keep reading
+    after a resynced error must therefore still treat the stream as
+    unreliable: count every loss, and abandon the source wholesale on any
+    follow-up error (the sharded supervisor goes further and re-runs the
+    worker on *any* drop).  ``resynced`` false means the position is known
+    to be untrustworthy — stop immediately.
+    """
+
+    def __init__(self, message: str, resynced: bool = False) -> None:
+        super().__init__(message)
+        self.resynced = resynced
+
+
+def encode_stream_frame(payload: bytes) -> bytes:
+    """One length-prefixed, CRC-protected stream record around *payload*."""
+    prefix = _STREAM_PREFIX.pack(STREAM_FRAME_MAGIC, len(payload))
+    crc = zlib.crc32(payload, zlib.crc32(prefix))
+    return prefix + _U32.pack(crc) + payload
+
+
+class FrameStreamWriter:
+    """Writes length-prefixed frames through a ``write(bytes)`` callable.
+
+    The callable may perform partial writes (``os.write`` on a pipe); the
+    writer loops until the whole record is out.  It must return the number
+    of bytes written (every ``io`` writer and ``os.write`` do); a ``None``
+    return is rejected rather than guessed at — a non-blocking raw writer
+    returns ``None`` for "wrote nothing", and treating that as success
+    would silently truncate a record mid-wire.
+    """
+
+    def __init__(self, write) -> None:
+        self._write = write
+
+    def write_frame(self, payload: bytes) -> int:
+        """Frame *payload* and write it; returns the bytes put on the wire."""
+        data = encode_stream_frame(bytes(payload))
+        view = memoryview(data)
+        remaining = len(data)
+        while remaining:
+            written = self._write(view[-remaining:])
+            if written is None or written <= 0:
+                raise StreamFrameError("stream writer made no progress", resynced=False)
+            remaining -= written
+        return len(data)
+
+
+class FrameStreamReader:
+    """Reads length-prefixed frames through a ``read(n) -> bytes`` callable.
+
+    ``read`` may return fewer than *n* bytes (pipe semantics); empty bytes
+    mean end of stream.  :meth:`read_frame` returns one payload, ``None`` on
+    a clean end of stream (EOF exactly at a record boundary), and raises
+    :class:`StreamFrameError` for anything corrupt.
+    """
+
+    def __init__(self, read, max_frame_bytes: int = MAX_STREAM_FRAME_BYTES) -> None:
+        self._read = read
+        self._max_frame_bytes = max_frame_bytes
+
+    def _read_exact(self, size: int, what: str, allow_eof: bool = False):
+        chunks = []
+        remaining = size
+        while remaining:
+            chunk = self._read(remaining)
+            if not chunk:
+                if allow_eof and remaining == size:
+                    return None
+                raise StreamFrameError(f"frame stream truncated in {what}", resynced=False)
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def read_frame(self):
+        prefix = self._read_exact(_STREAM_PREFIX.size, "record header", allow_eof=True)
+        if prefix is None:
+            return None
+        magic, length = _STREAM_PREFIX.unpack(prefix)
+        if magic != STREAM_FRAME_MAGIC:
+            raise StreamFrameError("frame stream record has a bad magic prefix", resynced=False)
+        if length > self._max_frame_bytes:
+            raise StreamFrameError(
+                f"frame stream record length {length} exceeds the "
+                f"{self._max_frame_bytes}-byte bound", resynced=False,
+            )
+        (crc,) = _U32.unpack(self._read_exact(_U32.size, "record checksum"))
+        payload = b"" if not length else self._read_exact(length, "record payload")
+        if zlib.crc32(payload, zlib.crc32(prefix)) != crc:
+            # The declared span was consumed whole, so the reader sits at
+            # what the stream claims is the next boundary — a real boundary
+            # only if the length field was undamaged (see StreamFrameError).
+            raise StreamFrameError("frame stream record checksum mismatch", resynced=True)
+        return payload
+
+
 def pad_to_size(payload: bytes, target_size: int, fill: bytes = b" ") -> bytes:
     """Pad *payload* with *fill* bytes up to *target_size*.
 

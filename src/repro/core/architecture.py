@@ -110,6 +110,14 @@ class F2CDataManagement:
         # default_section are never cached.
         self._sensor_node_cache: Dict[str, str] = {}
         self._parent_cache: Dict[str, str] = {}
+        # (city_slug, section) -> rendered frame topic: frame publishing
+        # renders each topic once per deployment instead of once per
+        # (section, round) publish.
+        self._frame_topic_cache: Dict[Tuple[str, str], str] = {}
+        # Sharded runs: fog L1 storage statistics reported by the worker
+        # processes that actually ran each node's acquisition; overlays the
+        # local (empty) node stats in storage_report.
+        self._fog1_stats_override: Dict[str, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -201,16 +209,21 @@ class F2CDataManagement:
     def section_of_sensor(self, sensor_id: str) -> Optional[str]:
         return self._sensor_to_section.get(sensor_id)
 
-    def _spread_section(self, sensor_id: str) -> str:
+    def spread_section(self, sensor_id: str) -> str:
         """Deterministic section for a sensor with no explicit assignment.
 
         Uses a stable hash (CRC-32) so the spreading is identical across
         processes and ``PYTHONHASHSEED`` values — the builtin ``hash()`` of a
         string is salted per interpreter run and would shuffle unassigned
-        sensors between fog nodes from one run to the next.
+        sensors between fog nodes from one run to the next.  Public because
+        the sharded runtime's workers use it to decide shard membership of
+        unassigned sensors.
         """
         digest = zlib.crc32(sensor_id.encode("utf-8"))
         return self._section_ids[digest % len(self._section_ids)]
+
+    # Internal callers predate the public promotion.
+    _spread_section = spread_section
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -553,15 +566,70 @@ class F2CDataManagement:
                 raise RoutingError(f"unknown fog layer-1 node: {node_id}")
             per_section[section_id].append(reading)
         published: Dict[str, int] = {}
+        topic_cache = self._frame_topic_cache
         for section_id, section_readings in per_section.items():
+            topic = topic_cache.get((city_slug, section_id))
+            if topic is None:
+                topic = topic_cache[(city_slug, section_id)] = (
+                    f"city/{city_slug}/{section_id}/frame"
+                )
             columns = ReadingColumns.from_reading_list(section_readings)
             broker.publish(
-                f"city/{city_slug}/{section_id}/frame",
+                topic,
                 columns.encode_frame(format=frame_format),
                 timestamp=timestamp,
             )
             published[section_id] = len(section_readings)
         return published
+
+    # ------------------------------------------------------------------ #
+    # Sharded-runtime integration (supervisor side)
+    # ------------------------------------------------------------------ #
+    def receive_worker_batch(self, node_id: str, batch: ReadingBatch, now: float) -> int:
+        """Absorb a fog L1 batch that was acquired in a worker process.
+
+        The batch already went through the acquisition block in the worker
+        (it is what the node's ``drain_for_upward`` returned there); this
+        hop simulates and accounts the fog L1 → fog L2 transfer exactly
+        like :meth:`~repro.core.movement.DataMovementScheduler.sync_fog1_to_fog2`
+        does for a locally-drained node, then hands the batch to the parent
+        fog L2 node.  Returns the bytes moved.
+        """
+        self.fog1_node(node_id)  # validates the id
+        return self.scheduler.move_up_from_fog1(node_id, batch, now)
+
+    def merge_edge_transfers(self, records: Iterable[Dict[str, object]]) -> int:
+        """Replay worker-side sensors → fog L1 transfers into the accountant.
+
+        Workers record the edge hop in their own accountant at ingest time;
+        merging the records here keeps :meth:`traffic_report` identical to
+        a single-process run.  Returns the number of records merged.
+        """
+        merged = 0
+        record_transfer = self.simulator.accountant.record_transfer
+        for record in records:
+            record_transfer(
+                timestamp=float(record["timestamp"]),
+                source=str(record["source"]),
+                target=str(record["target"]),
+                target_layer=LayerName.FOG_1,
+                size_bytes=int(record["size_bytes"]),
+                message_count=int(record.get("message_count", 1)),
+            )
+            merged += 1
+        return merged
+
+    def merge_fog1_stats(self, stats_by_node: Dict[str, Dict[str, object]]) -> None:
+        """Overlay worker-reported fog L1 storage statistics.
+
+        In a sharded run the fog L1 stores live in the workers; the
+        supervisor's local nodes never ingest.  ``storage_report`` prefers
+        these reported statistics, so the merged report matches the
+        single-process run byte for byte.
+        """
+        for node_id, stats in stats_by_node.items():
+            self.fog1_node(node_id)  # validates the id
+            self._fog1_stats_override[node_id] = dict(stats)
 
     # ------------------------------------------------------------------ #
     # Data movement & reporting
@@ -575,10 +643,17 @@ class F2CDataManagement:
         return self.simulator.accountant.layer_report()
 
     def storage_report(self) -> Dict[str, Dict[str, object]]:
-        """Storage statistics per node, keyed by node id."""
+        """Storage statistics per node, keyed by node id.
+
+        Fog L1 entries prefer worker-reported statistics merged via
+        :meth:`merge_fog1_stats` (sharded runs), falling back to the local
+        node's own counters.
+        """
         report: Dict[str, Dict[str, object]] = {}
+        override = self._fog1_stats_override
         for fog1 in self.fog1_nodes():
-            report[fog1.node_id] = fog1.stats()
+            reported = override.get(fog1.node_id)
+            report[fog1.node_id] = dict(reported) if reported is not None else fog1.stats()
         for fog2 in self.fog2_nodes():
             report[fog2.node_id] = fog2.stats()
         report[self.cloud.node_id] = self.cloud.stats()
@@ -594,3 +669,21 @@ class F2CDataManagement:
             "districts": self.city.district_count,
             "sections": self.city.section_count,
         }
+
+
+def run_sharded(workers: int, workload=None, catalog: Optional[SensorCatalog] = None, **kwargs):
+    """Run a seeded city workload sharded over *workers* ingest processes.
+
+    The multi-process counterpart of driving :meth:`ingest_readings` +
+    :meth:`synchronise` in one process: fog layer-1 sections are
+    partitioned across worker processes (stable CRC-32), each worker runs
+    acquisition + layer-1 aggregation for its sections, and a supervisor
+    absorbs the acquired batches over binary-frame IPC and drives fog
+    layer 2 → cloud exactly as the in-process path.  Output (Table-I
+    traffic/storage reports and cloud contents) is byte-identical for any
+    worker count.  See :func:`repro.runtime.supervisor.run_sharded` for the
+    full parameter set; this is the architecture-level entry point.
+    """
+    from repro.runtime.supervisor import run_sharded as _run_sharded
+
+    return _run_sharded(workers=workers, workload=workload, catalog=catalog, **kwargs)

@@ -114,12 +114,22 @@ class DataMovementScheduler:
             batch = fog1.drain_for_upward()
             if not batch:
                 continue
-            parent_id = self.architecture.parent_of(fog1.node_id)
-            transfer = self._transfer(fog1.node_id, parent_id, batch, timestamp)
-            parent = self.architecture.fog2_node(parent_id)
-            parent.receive_from_child(fog1.node_id, batch, transfer.arrival_time)
-            moved[fog1.node_id] = batch.total_bytes
+            moved[fog1.node_id] = self.move_up_from_fog1(fog1.node_id, batch, timestamp)
         return moved
+
+    def move_up_from_fog1(self, node_id: str, batch: ReadingBatch, now: float) -> int:
+        """Push one already-drained fog L1 batch to the node's parent.
+
+        The single-node building block of :meth:`sync_fog1_to_fog2`, also
+        used by the sharded supervisor to absorb batches that were acquired
+        and drained in a worker process: the transfer is simulated and
+        accounted exactly as the in-process hop.  Returns the bytes moved.
+        """
+        parent_id = self.architecture.parent_of(node_id)
+        transfer = self._transfer(node_id, parent_id, batch, now)
+        parent = self.architecture.fog2_node(parent_id)
+        parent.receive_from_child(node_id, batch, transfer.arrival_time)
+        return batch.total_bytes
 
     def sync_fog2_to_cloud(self, now: Optional[float] = None) -> Dict[str, int]:
         """Drain every fog L2 node and push its pending data to the cloud."""

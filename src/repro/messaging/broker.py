@@ -90,13 +90,15 @@ class Broker:
         self._retained: Dict[str, Message] = {}
         self._pending_acks: Dict[Tuple[str, int], Message] = {}
         self._inboxes: Dict[str, List[Message]] = {}
-        # Topic routing caches: city telemetry reuses a small set of topics
+        # Topic routing cache: city telemetry reuses a small set of topics
         # (one per section × sensor type), so memoizing "which subscriptions
         # match this topic" turns publish from O(#subscriptions) wildcard
-        # matching into a dict hit.  Both caches are invalidated whenever the
-        # subscription set changes.
+        # matching into a dict hit.  A cached topic is by construction an
+        # already-validated one, so the hot publish path pays exactly one
+        # dict lookup per message — validation and matching both run only on
+        # the miss path.  The cache is invalidated whenever the subscription
+        # set changes.
         self._match_cache: Dict[str, List[_Subscription]] = {}
-        self._validated_topics: set = set()
         self._message_ids = itertools.count(1)
         self._published_count = 0
         self._delivered_count = 0
@@ -165,9 +167,19 @@ class Broker:
         timestamp: float = 0.0,
     ) -> Message:
         """Publish *payload* on *topic* and deliver to matching subscribers."""
-        if topic not in self._validated_topics:
+        matching = self._match_cache.get(topic)
+        if matching is None:
+            # Miss path: validate once, then match once — a cache hit means
+            # the topic was already validated, so the hot path skips both.
             validate_topic(topic, allow_wildcards=False)
-            self._validated_topics.add(topic)
+            if len(self._match_cache) >= self._TOPIC_CACHE_LIMIT:
+                # Workloads publishing unbounded distinct topics (per-message
+                # suffixes) must not leak; dropping the cache just costs a
+                # re-validate/re-match on the next publish of each topic.
+                self._match_cache.clear()
+            topic_levels = topic.split("/")
+            matching = [s for s in self._subscriptions if match_levels(s.filter_levels, topic_levels)]
+            self._match_cache[topic] = matching
         message = Message(
             topic=topic,
             payload=bytes(payload),
@@ -180,19 +192,6 @@ class Broker:
         self._published_bytes += message.size_bytes
         if retain:
             self._retained[topic] = message
-        matching = self._match_cache.get(topic)
-        if matching is None:
-            # The topic and every filter were validated at publish/subscribe
-            # time, so the miss path can use the validation-free matcher.
-            if len(self._match_cache) >= self._TOPIC_CACHE_LIMIT:
-                # Workloads publishing unbounded distinct topics (per-message
-                # suffixes) must not leak; dropping both caches just costs a
-                # re-validate/re-match on the next publish of each topic.
-                self._match_cache.clear()
-                self._validated_topics.clear()
-            topic_levels = topic.split("/")
-            matching = [s for s in self._subscriptions if match_levels(s.filter_levels, topic_levels)]
-            self._match_cache[topic] = matching
         enqueued_clients = None
         for subscription in matching:
             if subscription.batched:

@@ -1,0 +1,324 @@
+"""Worker ↔ supervisor IPC protocol.
+
+Every message travels as one length-prefixed, CRC-protected stream record
+(see :mod:`repro.common.serialization`'s stream framing); the record payload
+is one byte of message type followed by a type-specific body.  The heavy
+message — an acquired fog layer-1 batch — embeds the packed **binary column
+frame** the broker wire path already uses for the seven wire columns, plus a
+compact sidecar for the two fields that never travel on the broker wire but
+must survive the process boundary to keep cloud contents byte-identical:
+the per-row tag dicts written by the acquisition block, and the fog-node
+assignment.  Both sidecars are interned tables (tag dicts are shared
+per-batch by the fused acquisition loop, so the table is a handful of JSON
+entries) with adaptive-width row indices, mirroring the frame layout's
+string table.
+
+Failure semantics match the broker path's ``dropped_payloads`` accounting:
+a message decodes whole or not at all.  :class:`MessageReader` counts every
+rejected record in ``dropped_frames`` (the supervisor surfaces the sum as
+``dropped_ipc_frames``); a record that cannot even be skipped safely
+abandons the stream, which the supervisor treats as a worker fault — data
+is then re-run, never partially ingested.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from array import array
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.serialization import (
+    FrameStreamReader,
+    FrameStreamWriter,
+    StreamFrameError,
+    _index_typecode,
+)
+from repro.sensors.readings import ReadingColumns
+
+#: Message types.  READY is sent once at worker start-up (the supervisor
+#: answers with a go byte on the control pipe, so workload construction is
+#: excluded from timed runs); BATCH carries one fog node's drained acquired
+#: batch for one sync point; SYNC_DONE closes a worker's sync point and
+#: carries the edge-traffic accounting; FINAL carries the worker's fog
+#: layer-1 storage statistics; ERROR carries a traceback.
+MSG_READY = 1
+MSG_BATCH = 2
+MSG_SYNC_DONE = 3
+MSG_FINAL = 4
+MSG_ERROR = 5
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+_INDEX_WIDTHS = {"B": 1, "H": 2, "I": 4}
+
+
+class IpcProtocolError(ValueError):
+    """A structurally invalid IPC message payload."""
+
+
+def _intern(values: Iterable[Any], key: Callable[[Any], Any]) -> Tuple[List[Any], List[int]]:
+    """Intern *values* into (table, per-row indices) under *key* identity."""
+    index_for: Dict[Any, int] = {}
+    table: List[Any] = []
+    indices: List[int] = []
+    for value in values:
+        k = key(value)
+        index = index_for.get(k)
+        if index is None:
+            index = index_for[k] = len(table)
+            table.append(value)
+        indices.append(index)
+    return table, indices
+
+
+def _pack_json_table(out: bytearray, table: List[Any], indices: List[int]) -> None:
+    """Append a JSON-entry interned table + adaptive-width index column."""
+    out += _U32.pack(len(table))
+    for entry in table:
+        raw = json.dumps(entry, separators=(",", ":")).encode("utf-8")
+        out += _U32.pack(len(raw))
+        out += raw
+    code = _index_typecode(len(table) or 1)
+    out += code.encode("ascii")
+    out += array(code, indices).tobytes()
+
+
+def _unpack_json_table(view: memoryview, offset: int, n: int, what: str) -> Tuple[List[Any], int]:
+    """Inverse of :func:`_pack_json_table`: returns per-row values."""
+    if offset + _U32.size > len(view):
+        raise IpcProtocolError(f"IPC batch truncated in {what} table")
+    (count,) = _U32.unpack_from(view, offset)
+    offset += _U32.size
+    table: List[Any] = []
+    for _ in range(count):
+        if offset + _U32.size > len(view):
+            raise IpcProtocolError(f"IPC batch truncated in {what} table")
+        (length,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        if offset + length > len(view):
+            raise IpcProtocolError(f"IPC batch truncated in {what} table")
+        try:
+            table.append(json.loads(bytes(view[offset:offset + length]).decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise IpcProtocolError(f"IPC batch {what} table entry is not valid JSON") from exc
+        offset += length
+    if offset >= len(view):
+        raise IpcProtocolError(f"IPC batch truncated in {what} index column")
+    code = chr(view[offset])
+    offset += 1
+    width = _INDEX_WIDTHS.get(code)
+    if width is None or code != _index_typecode(count or 1):
+        raise IpcProtocolError(f"IPC batch has a bad {what} index width")
+    size = width * n
+    if offset + size > len(view):
+        raise IpcProtocolError(f"IPC batch truncated in {what} index column")
+    indices = array(code, bytes(view[offset:offset + size]))
+    offset += size
+    if n and (not count or max(indices) >= count):
+        raise IpcProtocolError(f"IPC batch has an out-of-range {what} index")
+    return [table[i] for i in indices], offset
+
+
+# --------------------------------------------------------------------------- #
+# Message encoders
+# --------------------------------------------------------------------------- #
+def encode_ready() -> bytes:
+    return bytes([MSG_READY])
+
+
+def encode_batch(sync_index: int, node_id: str, columns: ReadingColumns) -> bytes:
+    """One drained fog layer-1 batch: binary column frame + tag/fog sidecars."""
+    out = bytearray([MSG_BATCH])
+    out += _U32.pack(sync_index)
+    node_raw = node_id.encode("utf-8")
+    out += _U16.pack(len(node_raw))
+    out += node_raw
+    frame = columns.encode_frame(format="binary")
+    out += _U32.pack(len(frame))
+    out += frame
+    # Tag dicts are interned by object identity: the acquisition block hands
+    # rows of one batch the *same* dict per (score, category, fog) combo, so
+    # the table stays tiny and the decoder re-creates the same sharing.
+    tag_table, tag_indices = _intern(columns.tags, key=id)
+    _pack_json_table(out, tag_table, tag_indices)
+    fog_table, fog_indices = _intern(columns.fog_node_ids, key=lambda value: value)
+    _pack_json_table(out, fog_table, fog_indices)
+    return bytes(out)
+
+
+def encode_sync_done(sync_index: int, edge_transfers: Sequence[Dict[str, Any]]) -> bytes:
+    """Close one sync point; carries the sensors → fog L1 traffic records."""
+    body = json.dumps({"edge_transfers": list(edge_transfers)}, separators=(",", ":")).encode("utf-8")
+    return bytes([MSG_SYNC_DONE]) + _U32.pack(sync_index) + body
+
+
+def encode_final(fog1_stats: Dict[str, Dict[str, Any]], counters: Dict[str, int]) -> bytes:
+    body = json.dumps(
+        {"fog1_stats": fog1_stats, "counters": counters}, separators=(",", ":")
+    ).encode("utf-8")
+    return bytes([MSG_FINAL]) + body
+
+
+def encode_error(text: str) -> bytes:
+    return bytes([MSG_ERROR]) + text.encode("utf-8", "replace")
+
+
+# --------------------------------------------------------------------------- #
+# Message decoder
+# --------------------------------------------------------------------------- #
+def decode_message(payload: bytes) -> Tuple[int, Dict[str, Any]]:
+    """Decode one IPC record payload into ``(message_type, body)``.
+
+    Raises :class:`IpcProtocolError` for any malformed payload — a message
+    decodes whole or not at all, exactly like the broker frame path.
+    """
+    if not payload:
+        raise IpcProtocolError("empty IPC message")
+    msg_type = payload[0]
+    view = memoryview(payload)
+    if msg_type == MSG_READY:
+        if len(payload) != 1:
+            raise IpcProtocolError("READY message has trailing bytes")
+        return msg_type, {}
+    if msg_type == MSG_BATCH:
+        offset = 1
+        if offset + _U32.size + _U16.size > len(view):
+            raise IpcProtocolError("IPC batch truncated in header")
+        (sync_index,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        (node_len,) = _U16.unpack_from(view, offset)
+        offset += _U16.size
+        if offset + node_len + _U32.size > len(view):
+            raise IpcProtocolError("IPC batch truncated in node id")
+        try:
+            node_id = bytes(view[offset:offset + node_len]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise IpcProtocolError("IPC batch node id is not valid UTF-8") from exc
+        offset += node_len
+        (frame_len,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        if offset + frame_len > len(view):
+            raise IpcProtocolError("IPC batch truncated in column frame")
+        try:
+            columns = ReadingColumns.decode_frame(bytes(view[offset:offset + frame_len]))
+        except ValueError as exc:
+            raise IpcProtocolError(f"IPC batch column frame is invalid: {exc}") from exc
+        offset += frame_len
+        n = len(columns)
+        tags, offset = _unpack_json_table(view, offset, n, "tags")
+        fogs, offset = _unpack_json_table(view, offset, n, "fog ids")
+        if offset != len(view):
+            raise IpcProtocolError("IPC batch has trailing bytes")
+        for tag in tags:
+            if tag is not None and not isinstance(tag, dict):
+                raise IpcProtocolError("IPC batch tags table entry is not an object")
+        for fog in fogs:
+            if fog is not None and not isinstance(fog, str):
+                raise IpcProtocolError("IPC batch fog table entry is not a string")
+        columns.tags = tags
+        columns.fog_node_ids = fogs
+        return msg_type, {"sync_index": sync_index, "node_id": node_id, "columns": columns}
+    if msg_type == MSG_SYNC_DONE:
+        if len(view) < 1 + _U32.size:
+            raise IpcProtocolError("SYNC_DONE message truncated")
+        (sync_index,) = _U32.unpack_from(view, 1)
+        body = _decode_json_body(payload[1 + _U32.size:], "SYNC_DONE")
+        transfers = body.get("edge_transfers")
+        if not isinstance(transfers, list):
+            raise IpcProtocolError("SYNC_DONE message is missing edge_transfers")
+        # Validate each record here so a well-framed-but-malformed message
+        # fails message decoding (dropped + counted → shard re-run) instead
+        # of crashing the supervisor's merge step with a raw TypeError.
+        for record in transfers:
+            if (
+                not isinstance(record, dict)
+                or not isinstance(record.get("timestamp"), (int, float))
+                or not isinstance(record.get("source"), str)
+                or not isinstance(record.get("target"), str)
+                or not isinstance(record.get("size_bytes"), int)
+                or record["size_bytes"] < 0
+                or not isinstance(record.get("message_count", 1), int)
+                or record.get("message_count", 1) < 0
+                or isinstance(record["timestamp"], bool)
+                or isinstance(record["size_bytes"], bool)
+            ):
+                raise IpcProtocolError("SYNC_DONE message carries a malformed edge transfer")
+        return msg_type, {"sync_index": sync_index, "edge_transfers": transfers}
+    if msg_type == MSG_FINAL:
+        body = _decode_json_body(payload[1:], "FINAL")
+        stats = body.get("fog1_stats")
+        counters = body.get("counters")
+        if not isinstance(stats, dict) or not isinstance(counters, dict):
+            raise IpcProtocolError("FINAL message is missing fog1_stats/counters")
+        for node_id, node_stats in stats.items():
+            if not isinstance(node_id, str) or not isinstance(node_stats, dict):
+                raise IpcProtocolError("FINAL message carries malformed fog1_stats")
+        for name, value in counters.items():
+            if not isinstance(name, str) or not isinstance(value, int):
+                raise IpcProtocolError("FINAL message carries malformed counters")
+        return msg_type, {"fog1_stats": stats, "counters": counters}
+    if msg_type == MSG_ERROR:
+        return msg_type, {"text": payload[1:].decode("utf-8", "replace")}
+    raise IpcProtocolError(f"unknown IPC message type {msg_type}")
+
+
+def _decode_json_body(raw: bytes, what: str) -> Dict[str, Any]:
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IpcProtocolError(f"{what} message body is not valid JSON") from exc
+    if not isinstance(body, dict):
+        raise IpcProtocolError(f"{what} message body is not an object")
+    return body
+
+
+# --------------------------------------------------------------------------- #
+# Channels
+# --------------------------------------------------------------------------- #
+class MessageWriter:
+    """Frames and writes IPC messages through a ``write(bytes)`` callable."""
+
+    def __init__(self, write: Callable[[bytes], Any]) -> None:
+        self._writer = FrameStreamWriter(write)
+        self.sent_frames = 0
+        self.sent_bytes = 0
+
+    def send(self, payload: bytes) -> None:
+        self.sent_bytes += self._writer.write_frame(payload)
+        self.sent_frames += 1
+
+
+class MessageReader:
+    """Reads IPC messages, counting every corrupt record it rejects.
+
+    A record whose stream framing resynced cleanly (CRC mismatch over a
+    fully-consumed span) or whose payload failed message validation is
+    *dropped*: counted in :attr:`dropped_frames` and skipped, never
+    partially surfaced.  Structural stream damage also counts, then
+    re-raises — the caller must treat the whole stream (worker) as failed.
+    """
+
+    def __init__(self, read: Callable[[int], bytes]) -> None:
+        self._reader = FrameStreamReader(read)
+        self.dropped_frames = 0
+
+    def read_message(self) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """Next valid message, or ``None`` on a clean end of stream."""
+        while True:
+            try:
+                payload = self._reader.read_frame()
+            except StreamFrameError as exc:
+                self.dropped_frames += 1
+                if exc.resynced:
+                    continue
+                raise
+            if payload is None:
+                return None
+            try:
+                return decode_message(payload)
+            except IpcProtocolError:
+                # The record boundary was intact (framing CRC passed), so
+                # skipping just this message is safe.
+                self.dropped_frames += 1

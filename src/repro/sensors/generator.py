@@ -83,6 +83,51 @@ class ReadingGenerator:
     def all_devices(self) -> List[Sensor]:
         return [device for devices in self._devices.values() for device in devices]
 
+    def shard_devices(self, keep) -> List[Sensor]:
+        """The devices selected by ``keep(index, device)``, original order.
+
+        The index is the device's position in :meth:`all_devices` (catalog
+        order, then per-type construction order) — the order deployment
+        helpers use for round-robin section assignment, so shard workers
+        can recompute the same assignment without shipping a map.
+
+        Every device owns an independent RNG that was seeded at construction
+        (one draw from the shared seed per device, in catalog order), so a
+        filtered subset emits exactly the readings those same devices emit
+        in a full-population run: per-shard generation from the shared seed
+        is deterministic and bit-identical across any partitioning.
+        """
+        return [
+            device
+            for index, device in enumerate(self.all_devices())
+            if keep(index, device)
+        ]
+
+    @staticmethod
+    def transaction_for(devices: Iterable[Sensor], timestamp: float) -> ReadingBatch:
+        """One synchronised measurement round over an explicit device subset.
+
+        Equivalent to :meth:`transaction` restricted to *devices* (which
+        must be passed in canonical order for batch-order equivalence with
+        the full-population transaction).
+        """
+        batch = ReadingBatch()
+        for device in devices:
+            batch.append(device.sample(timestamp))
+        return batch
+
+    @staticmethod
+    def stream_for(
+        devices: Iterable[Sensor], start: float = 0.0, end: float = 86_400.0
+    ) -> Iterator[Reading]:
+        """Every reading the given devices produce in ``[start, end)``.
+
+        Device-major like :meth:`day_stream`; each device samples at its own
+        type's interval.
+        """
+        for device in devices:
+            yield from device.stream(start, end)
+
     def scale_factor(self, spec: SensorTypeSpec) -> float:
         """Ratio between the real population and the simulated sample.
 

@@ -1,9 +1,10 @@
 """Perf smoke test: the ingest throughput benchmark must stay runnable.
 
-Runs a deliberately tiny workload through all five benchmark pipelines —
-including both column-frame wire formats — and asserts (a) it completes
-well inside a generous wall-clock bound, and (b) the result dict has the
-``BENCH_ingest.json`` v3 schema future perf PRs compare against.
+Runs a deliberately tiny workload through all benchmark pipelines —
+including both column-frame wire formats and the multi-process sharded
+runtime — and asserts (a) it completes well inside a generous wall-clock
+bound, and (b) the result dict has the ``BENCH_ingest.json`` v4 schema
+future perf PRs compare against.
 Throughput *ratios* are not asserted tightly here — CI machines are noisy —
 beyond catastrophic-regression floors (batching and both frame formats must
 not be slower than the per-message baseline).
@@ -40,7 +41,8 @@ def bench_module():
 def smoke_result(bench_module):
     begin = time.perf_counter()
     result = bench_module.run_benchmark(
-        devices_per_type=3, duration_s=900.0, round_s=300.0, with_micro=False, repetitions=1
+        devices_per_type=3, duration_s=900.0, round_s=300.0, with_micro=False,
+        repetitions=1, sharded_workers=(1, 2),
     )
     elapsed = time.perf_counter() - begin
     return result, elapsed
@@ -53,8 +55,9 @@ class TestIngestBenchmarkSmoke:
 
     def test_result_schema(self, smoke_result):
         result, _ = smoke_result
-        assert result["schema"] == "bench_ingest/v3"
+        assert result["schema"] == "bench_ingest/v4"
         assert result["workload"]["total_readings"] > 0
+        assert result["environment"]["cpu_count"] >= 1
         for name in PIPELINES:
             stats = result["pipelines"][name]
             assert stats["readings_per_sec"] > 0
@@ -65,9 +68,30 @@ class TestIngestBenchmarkSmoke:
             "columnar_frames_json_vs_per_message",
             "columnar_frames_binary_vs_per_message",
             "direct_batch_vs_per_message",
+            "sharded_frames_workers_1_vs_frames_binary",
+            "sharded_frames_workers_2_vs_frames_binary",
         }
         assert result["pr1_record"]["direct_batch_readings_per_sec"] > 0
         assert result["pr2_record"]["columnar_frames_readings_per_sec"] > 0
+        assert result["pr3_record"]["columnar_frames_binary_readings_per_sec"] > 0
+
+    def test_sharded_pipeline_schema_and_equivalence(self, smoke_result):
+        # run_benchmark itself raises when a sharded run's cloud digest
+        # diverges from the single-process binary-frames pipeline, so a
+        # returned result implies the byte-identical check passed.
+        result, _ = smoke_result
+        sharded = result["pipelines"]["sharded_frames"]
+        assert set(sharded) == {"workers_1", "workers_2"}
+        reference = result["pipelines"]["columnar_frames_binary"]
+        for stats in sharded.values():
+            assert stats["readings_per_sec"] > 0
+            assert stats["worker_restarts"] == 0
+            assert stats["dropped_ipc_frames"] == 0
+            assert stats["cloud_readings"] == reference["cloud_readings"]
+            assert stats["cloud_digest"] == reference["cloud_digest"]
+        equivalence = result["sharded_equivalence"]
+        assert equivalence["verified"] is True
+        assert equivalence["reference_pipeline"] == "columnar_frames_binary"
 
     def test_batching_not_slower_than_per_message(self, smoke_result):
         result, _ = smoke_result

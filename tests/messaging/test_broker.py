@@ -233,3 +233,87 @@ class TestBatchedInboxes:
         assert broker.inbox_size("c1") == 1  # one inbox copy per client
         assert broker.flush_inboxes() == 1
         assert len(wide) == 1 and len(narrow) == 1  # both handlers ran once
+
+
+class TestPublishTopicMemoization:
+    """The per-publish topic-string cost (ROADMAP "Remaining per-row costs").
+
+    A published topic must be validated and wildcard-matched exactly once
+    while the subscription set is stable; repeat publishes pay one dict
+    lookup.  ``F2CDataManagement.publish_frames`` additionally renders each
+    section's frame topic once per deployment, not once per round.
+    """
+
+    def test_topic_validated_once_across_repeat_publishes(self, broker, monkeypatch):
+        import repro.messaging.broker as broker_module
+
+        calls = []
+        real_validate = broker_module.validate_topic
+
+        def counting_validate(topic, allow_wildcards=False):
+            calls.append(topic)
+            return real_validate(topic, allow_wildcards=allow_wildcards)
+
+        monkeypatch.setattr(broker_module, "validate_topic", counting_validate)
+        broker.subscribe("c1", "a/#", lambda m: None)
+        calls.clear()
+        for _ in range(50):
+            broker.publish("a/b", b"x")
+        assert calls == ["a/b"]
+
+    def test_invalid_topic_still_rejected_on_first_publish(self, broker):
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            broker.publish("a/+/b", b"x")  # wildcards are not publishable
+        with pytest.raises(ValidationError):
+            broker.publish("", b"x")
+
+    def test_subscription_change_revalidates_and_rematches(self, broker, monkeypatch):
+        import repro.messaging.broker as broker_module
+
+        received = []
+        broker.publish("a/b", b"first")  # caches the topic with no matches
+        broker.subscribe("c1", "a/b", received.append)
+        calls = []
+        real_validate = broker_module.validate_topic
+
+        def counting_validate(topic, allow_wildcards=False):
+            calls.append((topic, allow_wildcards))
+            return real_validate(topic, allow_wildcards=allow_wildcards)
+
+        monkeypatch.setattr(broker_module, "validate_topic", counting_validate)
+        broker.publish("a/b", b"second")  # cache was cleared: revalidate + rematch
+        broker.publish("a/b", b"third")   # hot again: no validation
+        assert calls == [("a/b", False)]
+        assert [m.payload for m in received] == [b"second", b"third"]
+
+    def test_publish_frames_renders_each_section_topic_once(self, small_city, small_catalog):
+        from repro.core.architecture import F2CDataManagement
+
+        system = F2CDataManagement(city=small_city, catalog=small_catalog)
+        broker = Broker()
+        system.attach_broker(broker, city_slug="toyville", batched=True)
+        topics = []
+        original_publish = Broker.publish
+
+        def recording_publish(self, topic, payload, **kwargs):
+            topics.append(topic)
+            return original_publish(self, topic, payload, **kwargs)
+
+        readings = [
+            make_reading(sensor_id=f"tm-{i}", timestamp=1.0, size_bytes=64)
+            for i in range(8)
+        ]
+        try:
+            Broker.publish = recording_publish
+            for round_index in range(3):
+                system.publish_frames(
+                    broker, readings, city_slug="toyville",
+                    default_section="d-01/s-01", timestamp=float(round_index),
+                )
+        finally:
+            Broker.publish = original_publish
+        assert topics == ["city/toyville/d-01/s-01/frame"] * 3
+        # One rendered string object reused across rounds, not re-built.
+        assert len({id(topic) for topic in topics}) == 1

@@ -1,0 +1,339 @@
+"""Unit tests for the worker ↔ supervisor IPC layer.
+
+Covers the length-prefixed stream framing (clean round trips, EOF
+semantics, resync-able vs fatal corruption), the typed message codecs
+(including the batch message's tag/fog sidecars), and the
+``dropped_frames`` accounting of :class:`MessageReader` — the
+``dropped_payloads``-style counter for the process boundary.
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.common.serialization import (
+    FrameStreamReader,
+    FrameStreamWriter,
+    StreamFrameError,
+    encode_stream_frame,
+)
+from repro.runtime import ipc
+from repro.sensors.readings import Reading, ReadingColumns
+
+
+def _reader_over(data: bytes) -> FrameStreamReader:
+    return FrameStreamReader(io.BytesIO(data).read)
+
+
+def _columns(n=3, tags=True) -> ReadingColumns:
+    columns = ReadingColumns()
+    shared_tag = {"city": "barcelona", "quality_score": 1.0, "fog_node": "fog1/d-01/s-01"}
+    for i in range(n):
+        columns.append_row(
+            f"sensor-{i:03d}",
+            "temperature",
+            "energy",
+            20.0 + i,
+            float(i),
+            "fog1/d-01/s-01" if i % 2 == 0 else None,
+            22,
+            i,
+            shared_tag if (tags and i % 2 == 0) else ({"solo": i} if tags else None),
+        )
+    return columns
+
+
+class TestStreamFraming:
+    def test_round_trip_through_bytesio(self):
+        payloads = [b"", b"a", b"hello world" * 100, bytes(range(256))]
+        buffer = io.BytesIO()
+        writer = FrameStreamWriter(buffer.write)
+        for payload in payloads:
+            writer.write_frame(payload)
+        buffer.seek(0)
+        reader = FrameStreamReader(buffer.read)
+        assert [reader.read_frame() for _ in payloads] == payloads
+        assert reader.read_frame() is None  # clean EOF, repeatable
+        assert reader.read_frame() is None
+
+    def test_round_trip_through_os_pipe(self):
+        read_fd, write_fd = os.pipe()
+        try:
+            writer = FrameStreamWriter(lambda data: os.write(write_fd, data))
+            # Stays under the pipe buffer so writes complete before reads.
+            payloads = [b"x" * 10, b"y" * 1000]
+            for payload in payloads:
+                writer.write_frame(payload)
+            os.close(write_fd)
+            write_fd = None
+            reader = FrameStreamReader(lambda n: os.read(read_fd, n))
+            assert [reader.read_frame() for _ in payloads] == payloads
+            assert reader.read_frame() is None
+        finally:
+            os.close(read_fd)
+            if write_fd is not None:
+                os.close(write_fd)
+
+    def test_partial_writes_are_retried(self):
+        buffer = io.BytesIO()
+
+        def trickle(data) -> int:  # writes one byte at a time
+            buffer.write(bytes(data[:1]))
+            return 1
+
+        FrameStreamWriter(trickle).write_frame(b"payload")
+        assert _reader_over(buffer.getvalue()).read_frame() == b"payload"
+
+    @pytest.mark.parametrize("cut", [1, 3, 4, 8, 11, 12, 15])
+    def test_every_truncation_is_rejected(self, cut):
+        encoded = encode_stream_frame(b"abcd")
+        assert len(encoded) == 16
+        reader = _reader_over(encoded[:cut])
+        with pytest.raises(StreamFrameError) as excinfo:
+            reader.read_frame()
+        assert not excinfo.value.resynced
+
+    def test_truncation_mid_second_frame_still_yields_first(self):
+        stream = encode_stream_frame(b"first") + encode_stream_frame(b"second")[:-2]
+        reader = _reader_over(stream)
+        assert reader.read_frame() == b"first"
+        with pytest.raises(StreamFrameError):
+            reader.read_frame()
+
+    def test_bad_magic_is_fatal(self):
+        encoded = bytearray(encode_stream_frame(b"abcd"))
+        encoded[1] = ord("X")
+        with pytest.raises(StreamFrameError) as excinfo:
+            _reader_over(bytes(encoded)).read_frame()
+        assert not excinfo.value.resynced
+
+    def test_payload_corruption_resyncs(self):
+        # A flipped payload bit fails the CRC but the span was consumed
+        # whole: the next frame must still be readable.
+        first = bytearray(encode_stream_frame(b"abcd"))
+        first[-1] ^= 0x01
+        stream = bytes(first) + encode_stream_frame(b"intact")
+        reader = _reader_over(stream)
+        with pytest.raises(StreamFrameError) as excinfo:
+            reader.read_frame()
+        assert excinfo.value.resynced
+        assert reader.read_frame() == b"intact"
+
+    def test_oversized_length_is_rejected_without_allocation(self):
+        reader = FrameStreamReader(
+            io.BytesIO(encode_stream_frame(b"abcd")).read, max_frame_bytes=2
+        )
+        with pytest.raises(StreamFrameError) as excinfo:
+            reader.read_frame()
+        assert not excinfo.value.resynced
+
+    def test_interleaved_partial_writes_are_rejected(self):
+        # A half-written record spliced with another writer's record: the
+        # framing must never surface either payload as valid.
+        a = encode_stream_frame(b"A" * 40)
+        b = encode_stream_frame(b"B" * 40)
+        spliced = a[: len(a) // 2] + b
+        reader = _reader_over(spliced)
+        with pytest.raises(StreamFrameError):
+            while reader.read_frame() is not None:
+                pass
+
+
+class TestMessageCodecs:
+    def test_ready_round_trip(self):
+        assert ipc.decode_message(ipc.encode_ready()) == (ipc.MSG_READY, {})
+
+    def test_ready_trailing_bytes_rejected(self):
+        with pytest.raises(ipc.IpcProtocolError):
+            ipc.decode_message(ipc.encode_ready() + b"x")
+
+    def test_batch_round_trip_preserves_all_columns(self):
+        columns = _columns()
+        msg_type, body = ipc.decode_message(ipc.encode_batch(7, "fog1/d-01/s-01", columns))
+        assert msg_type == ipc.MSG_BATCH
+        assert body["sync_index"] == 7
+        assert body["node_id"] == "fog1/d-01/s-01"
+        decoded = body["columns"]
+        assert decoded.sensor_ids == columns.sensor_ids
+        assert decoded.sensor_types == columns.sensor_types
+        assert decoded.categories == columns.categories
+        assert decoded.values == columns.values
+        assert list(decoded.timestamps) == list(columns.timestamps)
+        assert list(decoded.sizes) == list(columns.sizes)
+        assert list(decoded.sequences) == list(columns.sequences)
+        assert decoded.fog_node_ids == columns.fog_node_ids
+        assert decoded.tags == columns.tags
+        assert decoded.total_bytes == columns.total_bytes
+
+    def test_batch_tag_sharing_survives_the_boundary(self):
+        # Rows that shared one tag dict (the fused acquisition memo) must
+        # come back sharing one dict: same memory shape, not just equality.
+        columns = _columns(n=6)
+        _, body = ipc.decode_message(ipc.encode_batch(0, "node", columns))
+        decoded_tags = body["columns"].tags
+        assert decoded_tags[0] is decoded_tags[2] is decoded_tags[4]
+        assert decoded_tags[1] is not decoded_tags[3]  # distinct dicts stay distinct
+
+    def test_batch_none_tags_and_fogs(self):
+        columns = _columns(tags=False)
+        _, body = ipc.decode_message(ipc.encode_batch(0, "node", columns))
+        assert body["columns"].tags == columns.tags
+        assert body["columns"].fog_node_ids == columns.fog_node_ids
+
+    def test_empty_batch_round_trip(self):
+        _, body = ipc.decode_message(ipc.encode_batch(1, "node", ReadingColumns()))
+        assert len(body["columns"]) == 0
+
+    def test_batch_from_acquired_reading_batch(self):
+        # The real producer: a fog L1 node's drained acquired batch.
+        from repro.core.nodes import FogNodeLevel1
+        from repro.sensors.readings import ReadingBatch
+
+        node = FogNodeLevel1(node_id="fog1/x", section_id="x")
+        readings = [
+            Reading(
+                sensor_id=f"s-{i}", sensor_type="temperature", category="energy",
+                value=float(i), timestamp=1.0, size_bytes=30,
+            )
+            for i in range(5)
+        ]
+        node.ingest(ReadingBatch(readings), now=1.0)
+        drained = node.drain_for_upward()
+        _, body = ipc.decode_message(ipc.encode_batch(0, node.node_id, drained.columns))
+        decoded = body["columns"]
+        assert decoded.tags == drained.columns.tags
+        assert decoded.fog_node_ids == ["fog1/x"] * len(drained)
+
+    def test_batch_trailing_bytes_rejected(self):
+        payload = ipc.encode_batch(0, "node", _columns())
+        with pytest.raises(ipc.IpcProtocolError):
+            ipc.decode_message(payload + b"\x00")
+
+    def test_batch_truncations_rejected(self):
+        payload = ipc.encode_batch(0, "node", _columns())
+        for cut in range(1, len(payload)):
+            with pytest.raises((ipc.IpcProtocolError, ValueError)):
+                ipc.decode_message(payload[:cut])
+
+    def test_sync_done_round_trip(self):
+        transfers = [
+            {"timestamp": 900.0, "source": "sensors/a", "target": "fog1/a",
+             "size_bytes": 123, "message_count": 4},
+        ]
+        msg_type, body = ipc.decode_message(ipc.encode_sync_done(2, transfers))
+        assert msg_type == ipc.MSG_SYNC_DONE
+        assert body == {"sync_index": 2, "edge_transfers": transfers}
+
+    def test_final_round_trip(self):
+        stats = {"fog1/a": {"stored_readings": 5, "stored_bytes": 110}}
+        counters = {"dropped_payloads": 0}
+        msg_type, body = ipc.decode_message(ipc.encode_final(stats, counters))
+        assert msg_type == ipc.MSG_FINAL
+        assert body == {"fog1_stats": stats, "counters": counters}
+
+    def test_error_round_trip(self):
+        msg_type, body = ipc.decode_message(ipc.encode_error("boom\ntraceback"))
+        assert msg_type == ipc.MSG_ERROR
+        assert body["text"] == "boom\ntraceback"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            bytes([99]),
+            bytes([ipc.MSG_BATCH]),
+            bytes([ipc.MSG_SYNC_DONE]) + b"\x00",
+            bytes([ipc.MSG_SYNC_DONE]) + b"\x00\x00\x00\x00not json",
+            bytes([ipc.MSG_FINAL]) + b"[]",
+            bytes([ipc.MSG_FINAL]) + b'{"fog1_stats": 1, "counters": {}}',
+        ],
+    )
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(ipc.IpcProtocolError):
+            ipc.decode_message(payload)
+
+    @pytest.mark.parametrize(
+        "transfers",
+        [
+            ["bogus"],
+            [{"timestamp": "nan", "source": "a", "target": "b", "size_bytes": 1}],
+            [{"timestamp": 1.0, "source": "a", "target": "b", "size_bytes": -1}],
+            [{"timestamp": 1.0, "source": "a", "target": "b"}],
+            [{"timestamp": 1.0, "source": 3, "target": "b", "size_bytes": 1}],
+            [{"timestamp": 1.0, "source": "a", "target": "b", "size_bytes": 1,
+              "message_count": -2}],
+            [{"timestamp": True, "source": "a", "target": "b", "size_bytes": 1}],
+        ],
+    )
+    def test_malformed_edge_transfers_fail_decoding_not_the_merge(self, transfers):
+        # A well-framed SYNC_DONE with bad records must die here (dropped +
+        # counted → shard re-run), never reach the supervisor's merge step.
+        with pytest.raises(ipc.IpcProtocolError):
+            ipc.decode_message(ipc.encode_sync_done(0, transfers))
+
+    @pytest.mark.parametrize(
+        "stats,counters",
+        [
+            ({"fog1/a": 5}, {}),
+            ({}, {"dropped_payloads": "many"}),
+        ],
+    )
+    def test_malformed_final_bodies_rejected(self, stats, counters):
+        with pytest.raises(ipc.IpcProtocolError):
+            ipc.decode_message(ipc.encode_final(stats, counters))
+
+
+class TestMessageReaderAccounting:
+    """``dropped_ipc_frames``-style accounting at the reader."""
+
+    @staticmethod
+    def _stream(*frames: bytes) -> bytes:
+        return b"".join(encode_stream_frame(frame) for frame in frames)
+
+    def test_clean_stream_drops_nothing(self):
+        data = self._stream(ipc.encode_ready(), ipc.encode_error("x"))
+        reader = ipc.MessageReader(io.BytesIO(data).read)
+        assert reader.read_message()[0] == ipc.MSG_READY
+        assert reader.read_message()[0] == ipc.MSG_ERROR
+        assert reader.read_message() is None
+        assert reader.dropped_frames == 0
+
+    def test_crc_corrupt_record_is_dropped_and_counted(self):
+        first = bytearray(encode_stream_frame(ipc.encode_ready()))
+        first[-1] ^= 0x40  # payload bit flip: framing CRC fails, resyncs
+        data = bytes(first) + encode_stream_frame(ipc.encode_error("ok"))
+        reader = ipc.MessageReader(io.BytesIO(data).read)
+        msg_type, body = reader.read_message()
+        assert (msg_type, body["text"]) == (ipc.MSG_ERROR, "ok")
+        assert reader.dropped_frames == 1
+
+    def test_valid_frame_with_invalid_message_is_dropped_and_counted(self):
+        data = self._stream(bytes([99]) + b"junk", ipc.encode_ready())
+        reader = ipc.MessageReader(io.BytesIO(data).read)
+        assert reader.read_message()[0] == ipc.MSG_READY
+        assert reader.dropped_frames == 1
+
+    def test_structural_corruption_counts_then_raises(self):
+        data = self._stream(ipc.encode_ready())[:-3]  # truncated record
+        reader = ipc.MessageReader(io.BytesIO(data).read)
+        with pytest.raises(StreamFrameError):
+            reader.read_message()
+        assert reader.dropped_frames == 1
+
+    def test_never_partial_ingest_under_batch_corruption(self):
+        # A corrupted batch record must vanish whole: the reader yields the
+        # surrounding intact messages only.
+        good = ipc.encode_batch(0, "node", _columns())
+        corrupted = bytearray(encode_stream_frame(good))
+        corrupted[30] ^= 0x10
+        data = (
+            encode_stream_frame(ipc.encode_ready())
+            + bytes(corrupted)
+            + encode_stream_frame(ipc.encode_sync_done(0, []))
+        )
+        reader = ipc.MessageReader(io.BytesIO(data).read)
+        assert reader.read_message()[0] == ipc.MSG_READY
+        assert reader.read_message()[0] == ipc.MSG_SYNC_DONE
+        assert reader.read_message() is None
+        assert reader.dropped_frames == 1

@@ -1,0 +1,309 @@
+"""Unit tests for the shard model, the worker loop, and the merge APIs.
+
+Everything here runs in-process: :func:`run_shard` writes through a plain
+callable and the supervisor-side merge entries on
+:class:`F2CDataManagement` are exercised directly, so the whole sharded
+pipeline minus ``fork`` is under coverage.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.architecture import F2CDataManagement
+from repro.network.topology import LayerName
+from repro.runtime import ipc
+from repro.runtime.shards import (
+    ShardedWorkload,
+    WorkerFault,
+    WorkerSpec,
+    build_shard_rounds,
+    run_shard,
+    shard_of_section,
+    shard_section_ids,
+)
+from repro.sensors.catalog import BARCELONA_CATALOG
+from repro.sensors.generator import ReadingGenerator
+from repro.sensors.readings import Reading, ReadingBatch
+from tests.conftest import make_reading
+
+
+class TestShardPartition:
+    def test_partition_is_total_and_disjoint(self):
+        system = F2CDataManagement(catalog=BARCELONA_CATALOG)
+        sections = [s.section_id for s in system.city.sections]
+        for workers in (1, 2, 3, 4, 7):
+            owned = [shard_section_ids(system.city, workers, i) for i in range(workers)]
+            flattened = [s for shard in owned for s in shard]
+            assert sorted(flattened) == sorted(sections)
+            assert len(flattened) == len(set(flattened))
+
+    def test_partition_is_stable_crc32(self):
+        import zlib
+
+        assert shard_of_section("d-01/s-01", 4) == zlib.crc32(b"d-01/s-01") % 4
+
+    def test_single_worker_owns_everything(self):
+        system = F2CDataManagement(catalog=BARCELONA_CATALOG)
+        assert len(shard_section_ids(system.city, 1, 0)) == system.city.section_count
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_of_section("d-01/s-01", 0)
+
+
+class TestWorkloadValidation:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedWorkload(kind="nope")
+
+    def test_bad_assignment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedWorkload(assignment="nope")
+
+    def test_decreasing_sync_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedWorkload(sync_plan=((2, 1800.0), (1, 3600.0)))
+
+    def test_empty_sync_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedWorkload(sync_plan=())
+
+    def test_sync_plan_must_cover_every_round(self):
+        # Rounds past the last sync point would silently never be ingested.
+        with pytest.raises(ConfigurationError):
+            ShardedWorkload(rounds=6)  # default plan syncs after round 4
+        with pytest.raises(ConfigurationError):
+            ShardedWorkload(
+                kind="stream", duration_s=3600.0, round_s=900.0,
+                sync_plan=((2, 1800.0),),
+            )
+        # Covering more rounds than exist is fine (run_shard caps).
+        ShardedWorkload(rounds=2)
+
+    def test_stream_rounds_plan_covers_duration(self):
+        workload = ShardedWorkload.stream_rounds(duration_s=3600.0, round_s=900.0)
+        assert workload.sync_plan == ((1, 900.0), (2, 1800.0), (3, 2700.0), (4, 3600.0))
+        assert workload.round_count() == 4
+
+    def test_shard_index_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            WorkerSpec(shard_index=2, workers=2, workload=ShardedWorkload.golden())
+
+
+class TestPerShardGeneration:
+    """Per-shard regeneration must be bit-identical to the full stream."""
+
+    def test_shard_rounds_are_a_partition_of_the_full_transactions(self):
+        workload = ShardedWorkload.golden()
+        workers = 3
+        full_generator = ReadingGenerator(BARCELONA_CATALOG, devices_per_type=5, seed=2024)
+        full_rounds = [
+            list(batch)
+            for batch in full_generator.transactions(count=4, start=0.0, interval=900.0)
+        ]
+        merged = [dict() for _ in range(4)]
+        for shard_index in range(workers):
+            spec = WorkerSpec(
+                shard_index=shard_index, workers=workers, workload=workload,
+                catalog=BARCELONA_CATALOG,
+            )
+            system = F2CDataManagement(catalog=BARCELONA_CATALOG)
+            generator = ReadingGenerator(BARCELONA_CATALOG, devices_per_type=5, seed=2024)
+            rounds = build_shard_rounds(spec, system, generator)
+            assert len(rounds) == 4
+            for round_index, (timestamp, readings) in enumerate(rounds):
+                assert timestamp == round_index * 900.0
+                for reading in readings:
+                    assert reading.sensor_id not in merged[round_index]
+                    merged[round_index][reading.sensor_id] = reading
+        for round_index, full in enumerate(full_rounds):
+            assert len(full) == len(merged[round_index])
+            for reading in full:
+                assert merged[round_index][reading.sensor_id] == reading
+
+    def test_stream_kind_matches_benchmark_round_grouping(self):
+        workload = ShardedWorkload.stream_rounds(devices_per_type=3, seed=7)
+        spec = WorkerSpec(shard_index=0, workers=1, workload=workload,
+                          catalog=BARCELONA_CATALOG)
+        system = F2CDataManagement(catalog=BARCELONA_CATALOG)
+        generator = ReadingGenerator(BARCELONA_CATALOG, devices_per_type=3, seed=7)
+        rounds = build_shard_rounds(spec, system, generator)
+        assert [t for t, _ in rounds] == [900.0, 1800.0, 2700.0, 3600.0]
+        for round_end, readings in rounds:
+            assert readings == sorted(readings, key=lambda r: r.timestamp)
+            for reading in readings:
+                assert round_end - 900.0 <= reading.timestamp < round_end
+
+    def test_generator_shard_helpers_sample_identically(self):
+        full = ReadingGenerator(BARCELONA_CATALOG, devices_per_type=4, seed=11)
+        subset = ReadingGenerator(BARCELONA_CATALOG, devices_per_type=4, seed=11)
+        keep = lambda index, device: index % 3 == 1
+        kept = subset.shard_devices(keep)
+        batch = ReadingGenerator.transaction_for(kept, 900.0)
+        full_batch = full.transaction(900.0)
+        by_id = {r.sensor_id: r for r in full_batch}
+        assert len(batch) == len(kept) > 0
+        for reading in batch:
+            assert reading == by_id[reading.sensor_id]
+
+
+class TestRunShardProtocol:
+    @staticmethod
+    def _run(spec):
+        messages = []
+        run_shard(spec, lambda payload: messages.append(ipc.decode_message(payload)))
+        return messages
+
+    def test_message_sequence_shape(self):
+        spec = WorkerSpec(shard_index=0, workers=2,
+                          workload=ShardedWorkload.golden(), catalog=BARCELONA_CATALOG)
+        messages = self._run(spec)
+        types = [t for t, _ in messages]
+        assert types[0] == ipc.MSG_READY
+        assert types[-1] == ipc.MSG_FINAL
+        assert types.count(ipc.MSG_SYNC_DONE) == 1  # golden plan: one sync
+        assert ipc.MSG_BATCH in types
+        # Batches precede their SYNC_DONE and carry only owned sections.
+        owned = set()
+        for msg_type, body in messages:
+            if msg_type == ipc.MSG_BATCH:
+                assert body["sync_index"] == 0
+                owned.add(body["node_id"])
+        system = F2CDataManagement(catalog=BARCELONA_CATALOG)
+        own_sections = set(shard_section_ids(system.city, 2, 0))
+        assert {node.split("fog1/")[1] for node in owned} <= own_sections
+
+    def test_edge_transfers_cover_only_own_sections(self):
+        spec = WorkerSpec(shard_index=1, workers=2,
+                          workload=ShardedWorkload.golden(), catalog=BARCELONA_CATALOG)
+        messages = self._run(spec)
+        system = F2CDataManagement(catalog=BARCELONA_CATALOG)
+        own_sections = set(shard_section_ids(system.city, 2, 1))
+        sync_done = next(body for t, body in messages if t == ipc.MSG_SYNC_DONE)
+        assert sync_done["edge_transfers"]
+        for record in sync_done["edge_transfers"]:
+            assert record["source"].startswith("sensors/")
+            assert record["source"].split("sensors/")[1] in own_sections
+            assert record["target"].split("fog1/")[1] in own_sections
+
+    def test_final_stats_cover_every_owned_section_even_idle_ones(self):
+        spec = WorkerSpec(shard_index=0, workers=4,
+                          workload=ShardedWorkload.golden(), catalog=BARCELONA_CATALOG)
+        messages = self._run(spec)
+        final = next(body for t, body in messages if t == ipc.MSG_FINAL)
+        system = F2CDataManagement(catalog=BARCELONA_CATALOG)
+        owned = {f"fog1/{s}" for s in shard_section_ids(system.city, 4, 0)}
+        assert set(final["fog1_stats"]) == owned
+        assert final["counters"] == {"dropped_payloads": 0}
+
+    def test_fault_injection_dies_at_the_requested_round(self):
+        died = []
+
+        def fake_die(code):
+            died.append(code)
+            raise _Died()
+
+        class _Died(Exception):
+            pass
+
+        messages = []
+        spec = WorkerSpec(
+            shard_index=0, workers=1, workload=ShardedWorkload.golden(),
+            catalog=BARCELONA_CATALOG, fault=WorkerFault(shard_index=0, die_after_round=1),
+        )
+        with pytest.raises(_Died):
+            run_shard(spec, lambda p: messages.append(ipc.decode_message(p)), die=fake_die)
+        assert died == [17]
+        # Nothing past READY was shipped: death precedes the only sync.
+        assert [t for t, _ in messages] == [ipc.MSG_READY]
+
+    def test_fault_for_other_shard_is_ignored(self):
+        spec = WorkerSpec(
+            shard_index=0, workers=2, workload=ShardedWorkload.golden(),
+            catalog=BARCELONA_CATALOG, fault=WorkerFault(shard_index=1, die_after_round=0),
+        )
+        messages = self._run(spec)
+        assert messages[-1][0] == ipc.MSG_FINAL
+
+    def test_without_fault_strips_the_fault(self):
+        spec = WorkerSpec(
+            shard_index=0, workers=1, workload=ShardedWorkload.golden(),
+            fault=WorkerFault(shard_index=0),
+        )
+        assert spec.without_fault().fault is None
+
+
+class TestArchitectureMergeApis:
+    def test_receive_worker_batch_matches_local_drain(self, small_city, small_catalog):
+        """The absorb hop must equal the in-process fog1→fog2 sync."""
+
+        def seeded_system():
+            system = F2CDataManagement(city=small_city, catalog=small_catalog)
+            readings = [
+                make_reading(sensor_id=f"rwb-{i}", timestamp=1.0, size_bytes=40)
+                for i in range(6)
+            ]
+            system.ingest_readings(readings, now=1.0, default_section="d-01/s-01")
+            return system
+
+        local = seeded_system()
+        local.synchronise(now=10.0)
+
+        remote = F2CDataManagement(city=small_city, catalog=small_catalog)
+        worker = seeded_system()
+        node = worker.fog1_for_section("d-01/s-01")
+        drained = node.drain_for_upward()
+        moved = remote.receive_worker_batch(node.node_id, drained, now=10.0)
+        assert moved == drained.total_bytes
+        for record in worker.simulator.accountant.records:
+            remote.merge_edge_transfers([
+                {
+                    "timestamp": record.timestamp,
+                    "source": record.source,
+                    "target": record.target,
+                    "size_bytes": record.size_bytes,
+                    "message_count": record.message_count,
+                }
+            ])
+        remote.scheduler.sync_fog2_to_cloud(now=10.0)
+        assert remote.traffic_report() == local.traffic_report()
+        assert len(remote.cloud.storage) == len(local.cloud.storage)
+
+    def test_receive_worker_batch_validates_node_id(self, small_city, small_catalog):
+        from repro.common.errors import RoutingError
+
+        system = F2CDataManagement(city=small_city, catalog=small_catalog)
+        with pytest.raises(RoutingError):
+            system.receive_worker_batch("fog1/not-a-section", ReadingBatch(), now=0.0)
+
+    def test_merge_edge_transfers_lands_in_fog1_layer(self, small_city, small_catalog):
+        system = F2CDataManagement(city=small_city, catalog=small_catalog)
+        merged = system.merge_edge_transfers(
+            [
+                {"timestamp": 1.0, "source": "sensors/a", "target": "fog1/d-01/s-01",
+                 "size_bytes": 100, "message_count": 3},
+                {"timestamp": 2.0, "source": "sensors/b", "target": "fog1/d-01/s-02",
+                 "size_bytes": 50},
+            ]
+        )
+        assert merged == 2
+        assert system.traffic_report()["fog_layer_1"] == 150
+        assert system.simulator.accountant.messages_into_layer(LayerName.FOG_1) == 4
+
+    def test_merge_fog1_stats_overlays_storage_report(self, small_city, small_catalog):
+        system = F2CDataManagement(city=small_city, catalog=small_catalog)
+        node_id = "fog1/d-01/s-01"
+        reported = {"stored_readings": 9, "stored_bytes": 999,
+                    "ingested_readings": 9, "ingested_bytes": 999}
+        system.merge_fog1_stats({node_id: reported})
+        report = system.storage_report()
+        assert report[node_id] == reported
+        # Other nodes keep their local (empty) stats.
+        assert report["fog1/d-01/s-02"]["stored_readings"] == 0
+
+    def test_merge_fog1_stats_validates_node_id(self, small_city, small_catalog):
+        from repro.common.errors import RoutingError
+
+        system = F2CDataManagement(city=small_city, catalog=small_catalog)
+        with pytest.raises(RoutingError):
+            system.merge_fog1_stats({"fog1/bogus": {}})

@@ -1,0 +1,282 @@
+"""Supervisor fault-path tests over scripted worker streams.
+
+The integration tests kill real workers; these tests instead hand the
+supervisor hand-crafted byte streams (real worker output, then corrupted,
+truncated, reordered or replaced), pinning down every detection branch:
+damage before READY, mid-sync stream corruption, explicit worker ERROR
+messages, skipped sync points, death before FINAL — and the
+``dropped_ipc_frames`` accounting the supervisor surfaces for records it
+had to throw away.
+"""
+
+import io
+import json
+import pathlib
+
+import pytest
+
+from repro.common.serialization import encode_stream_frame
+from repro.runtime import ipc
+from repro.runtime.shards import ShardedWorkload, WorkerSpec, run_shard
+from repro.runtime.supervisor import ShardSupervisor, WorkerFailure
+from repro.sensors.catalog import BARCELONA_CATALOG
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / ".." / "integration" / "data" / "ingest_golden.json"
+
+
+def worker_stream(shard_index: int, workers: int) -> bytes:
+    """The exact byte stream a healthy worker writes for the golden plan."""
+    buffer = io.BytesIO()
+    writer = ipc.MessageWriter(buffer.write)
+    run_shard(
+        WorkerSpec(
+            shard_index=shard_index, workers=workers,
+            workload=ShardedWorkload.golden(), catalog=BARCELONA_CATALOG,
+        ),
+        writer.send,
+    )
+    return buffer.getvalue()
+
+
+class _ScriptedChannel:
+    def __init__(self, data: bytes) -> None:
+        self.reader = ipc.MessageReader(io.BytesIO(data).read)
+        self.go_signals = 0
+
+    def send_go(self) -> None:
+        self.go_signals += 1
+
+    def close(self) -> None:
+        pass
+
+    def join(self) -> None:
+        pass
+
+
+class ScriptedSupervisor(ShardSupervisor):
+    """A supervisor whose shard (re)spawns pop from per-shard script lists."""
+
+    def __init__(self, scripts, **kwargs):
+        super().__init__(workers=len(scripts), inline=True, **kwargs)
+        self._scripts = [list(per_shard) for per_shard in scripts]
+
+    def _spawn(self, shard):
+        shard.channel = _ScriptedChannel(self._scripts[shard.spec.shard_index].pop(0))
+        shard.started = False
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def healthy_streams():
+    return [worker_stream(i, 2) for i in range(2)]
+
+
+def _first_record_span(stream: bytes) -> int:
+    reader = io.BytesIO(stream)
+    from repro.common.serialization import FrameStreamReader
+
+    FrameStreamReader(reader.read).read_frame()
+    return reader.tell()
+
+
+class TestScriptedHappyPath:
+    def test_scripted_streams_reproduce_golden(self, healthy_streams, golden):
+        supervisor = ScriptedSupervisor([[s] for s in healthy_streams])
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert result.dropped_ipc_frames == 0
+        assert result.worker_restarts == 0
+
+
+class TestPreReadyFailures:
+    """Every damage mode before READY restarts the worker."""
+
+    def test_eof_before_ready(self, healthy_streams, golden):
+        supervisor = ScriptedSupervisor(
+            [[b"", healthy_streams[0]], [healthy_streams[1]]]
+        )
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert result.worker_restarts == 1
+        assert result.failure_state.is_node_failed("worker-0")
+
+    def test_corrupt_stream_before_ready(self, healthy_streams, golden):
+        supervisor = ScriptedSupervisor(
+            [[healthy_streams[0]], [b"\xde\xad\xbe\xef", healthy_streams[1]]]
+        )
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert result.worker_restarts == 1
+        assert result.dropped_ipc_frames >= 1
+
+    def test_error_message_before_ready(self, healthy_streams, golden):
+        dying = encode_stream_frame(ipc.encode_error("worker setup exploded"))
+        supervisor = ScriptedSupervisor(
+            [[dying, healthy_streams[0]], [healthy_streams[1]]]
+        )
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert "exploded" in result.worker_faults[0]["reason"]
+
+    def test_unexpected_message_before_ready(self, healthy_streams, golden):
+        weird = encode_stream_frame(ipc.encode_sync_done(0, []))
+        supervisor = ScriptedSupervisor(
+            [[weird + healthy_streams[0], healthy_streams[0]], [healthy_streams[1]]]
+        )
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert result.worker_restarts == 1
+
+
+class TestMidProtocolFailures:
+    def test_truncated_stream_mid_sync_restarts_and_matches_golden(
+        self, healthy_streams, golden
+    ):
+        # Cut the worker's stream off in the middle of its batch flow.
+        cut = len(healthy_streams[0]) // 2
+        supervisor = ScriptedSupervisor(
+            [[healthy_streams[0][:cut], healthy_streams[0]], [healthy_streams[1]]]
+        )
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert result.worker_restarts == 1
+
+    def test_error_message_mid_sync_restarts(self, healthy_streams, golden):
+        ready_span = _first_record_span(healthy_streams[0])
+        erroring = (
+            healthy_streams[0][:ready_span]
+            + encode_stream_frame(ipc.encode_error("acquisition crashed"))
+        )
+        supervisor = ScriptedSupervisor(
+            [[erroring, healthy_streams[0]], [healthy_streams[1]]]
+        )
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert any("crashed" in fault["reason"] for fault in result.worker_faults)
+
+    def test_well_framed_malformed_sync_done_is_a_fault_not_a_crash(
+        self, healthy_streams, golden
+    ):
+        # CRC-valid framing around a semantically bogus SYNC_DONE body: the
+        # message fails decoding, is counted as a dropped record, and the
+        # shard is re-run — the supervisor must not crash in its merge step.
+        ready_span = _first_record_span(healthy_streams[0])
+        bogus_body = bytes([ipc.MSG_SYNC_DONE]) + b"\x00\x00\x00\x00" + json.dumps(
+            {"edge_transfers": ["bogus"]}
+        ).encode()
+        malformed = healthy_streams[0][:ready_span] + encode_stream_frame(bogus_body)
+        supervisor = ScriptedSupervisor(
+            [[malformed, healthy_streams[0]], [healthy_streams[1]]]
+        )
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert result.worker_restarts == 1
+        assert result.dropped_ipc_frames >= 1
+
+    def test_final_with_unknown_node_id_is_a_fault_not_a_crash(
+        self, healthy_streams, golden
+    ):
+        # Structurally valid FINAL whose stats name a node that does not
+        # exist: caught at the merge and answered with a shard re-run.
+        final_payload = ipc.encode_final({"fog1/not-a-section": {}}, {})
+        # Replace the healthy stream's FINAL with the bogus one.  The
+        # healthy FINAL is the last record; find its start by scanning.
+        stream = healthy_streams[0]
+        reader_buf = io.BytesIO(stream)
+        from repro.common.serialization import FrameStreamReader
+
+        frame_reader = FrameStreamReader(reader_buf.read)
+        last_start = 0
+        while True:
+            position = reader_buf.tell()
+            if frame_reader.read_frame() is None:
+                break
+            last_start = position
+        doctored = stream[:last_start] + encode_stream_frame(final_payload)
+        supervisor = ScriptedSupervisor(
+            [[doctored, stream], [healthy_streams[1]]]
+        )
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert result.worker_restarts == 1
+        assert any("unknown node" in fault["reason"] for fault in result.worker_faults)
+
+    def test_skipped_sync_point_is_a_fault(self, healthy_streams, golden):
+        ready_span = _first_record_span(healthy_streams[0])
+        skipping = (
+            healthy_streams[0][:ready_span]
+            + encode_stream_frame(ipc.encode_sync_done(5, []))
+        )
+        supervisor = ScriptedSupervisor(
+            [[skipping, healthy_streams[0]], [healthy_streams[1]]]
+        )
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert any("skipped sync point" in fault["reason"] for fault in result.worker_faults)
+
+    def test_death_before_final_replays_and_discards(self, healthy_streams, golden):
+        # Everything up to (but not including) FINAL, then EOF: the restart
+        # replays all sync points, which must be discarded by index.
+        final_payload = ipc.encode_final({}, {})
+        final_span = len(encode_stream_frame(final_payload))
+        # The healthy stream's last record is FINAL; chop a suffix larger
+        # than any FINAL record to guarantee it is gone.
+        truncated = healthy_streams[0][: len(healthy_streams[0]) - final_span]
+        supervisor = ScriptedSupervisor(
+            [[truncated, healthy_streams[0]], [healthy_streams[1]]]
+        )
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert result.worker_restarts == 1
+
+
+class TestDroppedFrameAccounting:
+    def test_corrupted_batch_record_forces_shard_rerun_not_silent_loss(
+        self, healthy_streams, golden
+    ):
+        """A CRC-corrupt BATCH must never be silently skipped.
+
+        The reader resyncs past the record, but its readings are gone; if
+        the supervisor completed the sync anyway the run would 'succeed'
+        with divergent cloud contents.  Any dropped record in a worker's
+        stream is therefore a shard failure: re-run from seed, end golden.
+        """
+        stream = healthy_streams[0]
+        ready_span = _first_record_span(stream)
+        corrupted = bytearray(stream)
+        # Flip a bit inside the payload of the first record after READY —
+        # a BATCH message on the golden plan.
+        corrupted[ready_span + 13] ^= 0x01
+        supervisor = ScriptedSupervisor(
+            [[bytes(corrupted), stream], [healthy_streams[1]]]
+        )
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert result.worker_restarts == 1
+        assert result.dropped_ipc_frames >= 1
+        assert any("records lost" in fault["reason"] for fault in result.worker_faults)
+
+    def test_resynced_corruption_is_counted_and_survived(self, healthy_streams, golden):
+        # Flip one payload bit inside the *second* worker's READY record:
+        # the framing CRC rejects it, the reader resyncs, and the supervisor
+        # counts the loss.  The READY never arrives, so the worker is
+        # restarted — and the final report is still golden.
+        corrupted = bytearray(healthy_streams[1])
+        corrupted[14] ^= 0x01  # inside the first record's payload
+        supervisor = ScriptedSupervisor(
+            [[healthy_streams[0]], [bytes(corrupted), healthy_streams[1]]]
+        )
+        result = supervisor.run()
+        assert result.golden_report() == golden
+        assert result.dropped_ipc_frames >= 1
+
+    def test_restart_budget_exhaustion(self, healthy_streams):
+        supervisor = ScriptedSupervisor(
+            [[b"", b"", b""], [healthy_streams[1]]], max_restarts=1
+        )
+        with pytest.raises(WorkerFailure):
+            supervisor.run()
