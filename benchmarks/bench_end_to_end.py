@@ -45,7 +45,7 @@ def run_full_day():
             batch.extend(transaction)
         total_readings += len(batch)
         section = sections[hour % len(sections)]
-        f2c.ingest_readings(batch, now=window_start, default_section=section)
+        f2c.api_pipeline.ingest_rows(batch, now=window_start, default_section=section)
         centralized.ingest_readings(batch, now=window_start)
         f2c.scheduler.full_sync(now=window_start + 3_599.0)
 
@@ -94,7 +94,7 @@ def test_ingest_throughput(benchmark):
     section = system.city.sections[0].section_id
 
     def ingest():
-        system.ingest_readings(batch, now=0.0, default_section=section)
+        system.api_pipeline.ingest_rows(batch, now=0.0, default_section=section)
 
     benchmark(ingest)
     assert len(system.fog1_for_section(section).storage) >= len(batch)

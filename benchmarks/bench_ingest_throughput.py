@@ -65,6 +65,7 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
 import repro.storage.tiered as tiered_module
+from repro.api import Pipeline
 from repro.core.architecture import F2CDataManagement
 from repro.runtime import ShardedWorkload, cloud_digest, run_sharded
 from repro.dlc.acquisition import AcquisitionBlock, DataCollectionPhase
@@ -399,7 +400,7 @@ def run_per_message(catalog, rounds, sensor_section) -> Dict[str, object]:
     with legacy_mode():
         system = _fresh_system(catalog, sensor_section)
         broker = Broker()
-        system.attach_broker(broker, batched=False)
+        Pipeline.for_system(system).attach_broker(broker, batched=False)
         publish_s = 0.0
         sync_s = 0.0
         begin = time.perf_counter()
@@ -426,8 +427,9 @@ def run_per_message(catalog, rounds, sensor_section) -> Dict[str, object]:
 def run_batched_broker(catalog, rounds, sensor_section) -> Dict[str, object]:
     """Batch-native path: inbox per fog node, one acquisition per node-round."""
     system = _fresh_system(catalog, sensor_section)
+    pipeline = Pipeline.for_system(system)
     broker = Broker()
-    system.attach_broker(broker, batched=True)
+    pipeline.attach_broker(broker, batched=True)
     publish_s = 0.0
     flush_s = 0.0
     sync_s = 0.0
@@ -442,7 +444,7 @@ def run_batched_broker(catalog, rounds, sensor_section) -> Dict[str, object]:
             )
         publish_s += time.perf_counter() - t0
         t0 = time.perf_counter()
-        system.flush_broker(now=round_end)
+        pipeline.flush_broker(now=round_end)
         flush_s += time.perf_counter() - t0
         t0 = time.perf_counter()
         system.synchronise(now=round_end)
@@ -458,18 +460,19 @@ def run_batched_broker(catalog, rounds, sensor_section) -> Dict[str, object]:
 def run_columnar_frames(catalog, rounds, sensor_section, frame_format: str = "binary") -> Dict[str, object]:
     """Columnar wire path: one encoded column frame per (section, round)."""
     system = _fresh_system(catalog, sensor_section)
+    pipeline = Pipeline.for_system(system)
     broker = Broker()
-    system.attach_broker(broker, batched=True)
+    pipeline.attach_broker(broker, batched=True)
     publish_s = 0.0
     flush_s = 0.0
     sync_s = 0.0
     begin = time.perf_counter()
     for round_end, readings in rounds:
         t0 = time.perf_counter()
-        system.publish_frames(broker, readings, timestamp=round_end, frame_format=frame_format)
+        pipeline.publish_frames(broker, readings, timestamp=round_end, frame_format=frame_format)
         publish_s += time.perf_counter() - t0
         t0 = time.perf_counter()
-        system.flush_broker(now=round_end)
+        pipeline.flush_broker(now=round_end)
         flush_s += time.perf_counter() - t0
         t0 = time.perf_counter()
         system.synchronise(now=round_end)
@@ -514,14 +517,15 @@ def run_sharded_frames(
 
 
 def run_direct_batch(catalog, rounds, sensor_section) -> Dict[str, object]:
-    """In-process feed: whole per-round batches via ingest_readings."""
+    """In-process feed: whole per-round batches via the direct transport."""
     system = _fresh_system(catalog, sensor_section)
+    ingest_rows = Pipeline.for_system(system).ingest_rows
     ingest_s = 0.0
     sync_s = 0.0
     begin = time.perf_counter()
     for round_end, readings in rounds:
         t0 = time.perf_counter()
-        system.ingest_readings(readings, now=round_end)
+        ingest_rows(readings, now=round_end)
         ingest_s += time.perf_counter() - t0
         t0 = time.perf_counter()
         system.synchronise(now=round_end)

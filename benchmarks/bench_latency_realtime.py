@@ -38,7 +38,7 @@ def measure_latencies():
     centralized = CentralizedCloudDataManagement()
     section = f2c.city.sections[0].section_id
 
-    f2c.ingest_readings([_sample_reading()], now=0.0, default_section=section)
+    f2c.api_pipeline.ingest_rows([_sample_reading()], now=0.0, default_section=section)
     centralized.ingest_readings([_sample_reading()], now=0.0)
 
     engine = ServicePlacementEngine(f2c)

@@ -36,7 +36,7 @@ def run_offload_experiment():
 
     # Collection phase.
     for section in sections:
-        f2c.ingest_readings(transaction, now=0.0, default_section=section)
+        f2c.api_pipeline.ingest_rows(transaction, now=0.0, default_section=section)
     centralized.ingest_readings(transaction, now=0.0)
     f2c.synchronise()
 

@@ -59,7 +59,7 @@ def run_sampling_experiment(rate_multiplier: int):
             [RedundantDataElimination(scope="consecutive"), WindowAveraging(window_seconds=WINDOW_SECONDS)]
         ),
     )
-    f2c.ingest_readings(day, now=86_400.0, default_section=f2c.city.sections[0].section_id)
+    f2c.api_pipeline.ingest_rows(day, now=86_400.0, default_section=f2c.city.sections[0].section_id)
     f2c.synchronise()
 
     return {

@@ -49,7 +49,7 @@ def run_scheduling_experiment(defer_to_offpeak: bool):
     peak_bytes = 0
     total_bytes = 0
     for hour in range(24):
-        system.ingest_readings(_hourly_batch(hour), now=hour * 3600.0, default_section=section)
+        system.api_pipeline.ingest_rows(_hourly_batch(hour), now=hour * 3600.0, default_section=section)
         system.scheduler.sync_fog1_to_fog2(now=hour * 3600.0)
         system.scheduler.sync_fog2_to_cloud(now=hour * 3600.0)
     for record in system.simulator.accountant.records:

@@ -89,10 +89,14 @@ def collect_json_results(include_ingest: bool = True) -> dict:
         if bench_dir not in sys.path:
             sys.path.insert(0, bench_dir)
         from bench_ingest_throughput import run_benchmark
+        from bench_query_latency import run_benchmark as run_query_benchmark
 
-        # Modest workload: meaningful throughput numbers in a few seconds.
+        # Modest workloads: meaningful numbers in a few seconds.
         results["ingest_throughput"] = run_benchmark(
             devices_per_type=10, duration_s=3600.0, round_s=900.0, with_micro=False
+        )
+        results["query_latency"] = run_query_benchmark(
+            devices_per_type=10, repetitions=50
         )
     return results
 

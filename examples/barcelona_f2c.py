@@ -13,7 +13,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import BARCELONA_CATALOG, F2CDataManagement, ReadingGenerator, TrafficEstimator
+from repro import BARCELONA_CATALOG, ReadingGenerator, TrafficEstimator
+from repro.api import connect
 from repro.common.units import format_bytes
 from repro.core.baseline import CentralizedCloudDataManagement
 from repro.core.comparison import analytic_comparison, measured_comparison
@@ -43,19 +44,18 @@ def simulated_part() -> None:
     catalog = BARCELONA_CATALOG.scaled(0.00005)
     generator = ReadingGenerator(catalog, devices_per_type=3, seed=11)
 
-    f2c = F2CDataManagement(catalog=catalog)
+    f2c = connect(catalog=catalog)
     centralized = CentralizedCloudDataManagement(catalog=catalog)
-    sections = [s.section_id for s in f2c.city.sections]
+    sections = [s.section_id for s in f2c.system.city.sections]
 
     for hour in range(6):  # six hours is enough to show the shape
         start = hour * 3600.0
-        batch = f2c_batch = None
         from repro.sensors.readings import ReadingBatch
 
         batch = ReadingBatch()
         for transaction in generator.transactions(count=4, start=start, interval=900.0):
             batch.extend(transaction)
-        f2c.ingest_readings(batch, now=start, default_section=sections[hour % len(sections)])
+        f2c.ingest(batch, now=start, default_section=sections[hour % len(sections)])
         centralized.ingest_readings(batch, now=start)
         f2c.synchronise(now=start + 3_599.0)
 
@@ -66,8 +66,8 @@ def simulated_part() -> None:
     )
     print(comparison.format())
     print()
-    print("Cloud archive datasets created:", len(f2c.cloud.archive.datasets()))
-    print("Cloud archive volume:", format_bytes(f2c.cloud.archive.archived_bytes))
+    print("Cloud archive datasets created:", len(f2c.system.cloud.archive.datasets()))
+    print("Cloud archive volume:", format_bytes(f2c.system.cloud.archive.archived_bytes))
 
 
 def main() -> None:

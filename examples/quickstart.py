@@ -1,9 +1,10 @@
-"""Quickstart: a small F2C deployment end to end.
+"""Quickstart: a small F2C deployment end to end, through ``repro.api``.
 
 Builds the Barcelona F2C hierarchy (73 fog layer-1 nodes, 10 fog layer-2
-nodes, one cloud), streams a few rounds of synthetic sensor readings into
-one section, lets the acquisition block filter them, moves data upwards, and
-queries each layer.
+nodes, one cloud) behind the unified client, streams a few rounds of
+synthetic sensor readings into one section, lets the acquisition block
+filter them, moves data upwards, and answers hierarchical queries from the
+nearest tier that holds the window.
 
 Run with::
 
@@ -12,17 +13,17 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    BARCELONA_CATALOG,
-    F2CDataManagement,
-    ReadingGenerator,
-)
+from repro import BARCELONA_CATALOG, ReadingGenerator
+from repro.api import connect
 from repro.common.units import format_bytes
+from repro.sensors.readings import ReadingBatch
 
 
 def main() -> None:
-    # 1. Deploy the F2C data-management system for Barcelona.
-    system = F2CDataManagement()
+    # 1. Deploy the F2C data-management system for Barcelona behind the
+    #    unified client: one object for ingest, queries and health.
+    client = connect()
+    system = client.system
     print("Deployment:", system.summary())
 
     # 2. A sampled sensor population (the real catalog has ~1M devices; five
@@ -34,21 +35,25 @@ def main() -> None:
 
     # The fog node accumulates an hour of readings before its upward sync, so
     # the acquisition block sees repeated measurements and can deduplicate them.
-    from repro.sensors.readings import ReadingBatch
-
     hour = ReadingBatch()
     for transaction in generator.transactions(count=4, start=0.0, interval=900.0):
         hour.extend(transaction)
-    system.ingest_readings(hour, now=2_700.0, default_section=section)
+    client.ingest(hour, now=2_700.0, default_section=section)
 
-    # 3. Real-time data is available locally at fog layer 1 immediately.
-    fog1 = system.fog1_for_section(section)
-    sample_sensor = fog1.storage.store.sensor_ids()[0]
-    latest = fog1.latest(sample_sensor)
-    print(f"Fog layer 1 holds {len(fog1.storage)} readings; latest from {sample_sensor}: {latest.value}")
+    # 3. Real-time data is available immediately — and the query service
+    #    serves it from the section's own fog layer-1 node (the nearest
+    #    tier), with per-tier attribution.
+    realtime = client.query(since=0.0, until=3_600.0, section_id=section)
+    print(
+        f"Real-time window: {len(realtime)} readings served from "
+        f"{', '.join(realtime.tiers())} ({realtime.rows_by_tier})"
+    )
+    sample_sensor = realtime.columns.sensor_ids[0]
+    latest = system.fog1_for_section(section).latest(sample_sensor)
+    print(f"Latest from {sample_sensor}: {latest.value}")
 
     # 4. Move data upwards (fog L1 -> fog L2 -> cloud) as the scheduler would.
-    moved = system.synchronise(now=3_600.0)
+    moved = client.synchronise(now=3_600.0)
     print("\nUpward movement:", {hop: sum(v.values()) for hop, v in moved.items()})
 
     # 5. The cloud preserved everything that moved up, with lineage.
@@ -57,12 +62,15 @@ def main() -> None:
 
     # 6. The traffic accountant shows the per-layer byte volumes — the
     #    quantity the paper's evaluation is about.
-    report = system.traffic_report()
+    report = client.traffic_report()
     print("\nBytes received per layer:")
     for layer, size in report.items():
         print(f"  {layer:<12} {format_bytes(size)}")
     reduction = 1 - report["cloud"] / report["fog_layer_1"] if report["fog_layer_1"] else 0.0
     print(f"\nBackhaul reduction from aggregation at fog layer 1: {reduction:.1%}")
+
+    # 7. One health report covers every drop/fault counter in the system.
+    print("\nHealth:", client.health())
 
 
 if __name__ == "__main__":

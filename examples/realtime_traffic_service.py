@@ -14,7 +14,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import F2CDataManagement
+from repro.api import connect
 from repro.city.services import RealTimeService, ServiceRequirements
 from repro.core.baseline import CentralizedCloudDataManagement
 from repro.core.placement import ServicePlacementEngine
@@ -40,7 +40,8 @@ def traffic_readings(section: str, count: int = 20) -> ReadingBatch:
 
 
 def main() -> None:
-    system = F2CDataManagement()
+    client = connect()
+    system = client.system
     section = system.city.sections[0].section_id
     engine = ServicePlacementEngine(system)
 
@@ -58,11 +59,14 @@ def main() -> None:
     print(f"  estimated data-access latency: {decision.estimated_access_latency_s * 1e3:.3f} ms")
     print(f"  reason: {decision.reason}")
 
-    # Ingest live readings; they become available at the local fog node.
+    # Ingest live readings; the query service serves them from the local
+    # fog node — the nearest tier — which is the whole point of the
+    # placement decision above.
     batch = traffic_readings(section)
-    system.ingest_readings(batch, now=20.0, default_section=section)
-    fog1 = system.fog1_for_section(section)
-    window = fog1.query_window(category="urban")
+    client.ingest(batch, now=20.0, default_section=section)
+    result = client.query(section_id=section, category="urban")
+    assert result.tiers() == ("fog_layer_1",)
+    window = result.batch()
 
     alerts = service.evaluate(list(window), access_latency_s=decision.estimated_access_latency_s)
     print(f"\nEvaluated {len(window)} readings, {len(alerts)} incident(s) detected:")

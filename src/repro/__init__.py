@@ -8,15 +8,17 @@ optimisations evaluated at fog layer 1, the centralized-cloud baseline, and
 the simulated substrates (sensor catalog, messaging, network, storage, city
 model) everything runs on.
 
-Quick start::
+Quick start (the :mod:`repro.api` facade is the public surface)::
 
-    from repro import F2CDataManagement, ReadingGenerator, BARCELONA_CATALOG
+    from repro import ReadingGenerator, BARCELONA_CATALOG
+    from repro.api import connect
 
-    system = F2CDataManagement()
+    client = connect()
     generator = ReadingGenerator(BARCELONA_CATALOG.scaled(0.0001), devices_per_type=5)
-    system.ingest_readings(generator.transaction(timestamp=0.0))
-    system.synchronise()
-    print(system.traffic_report())
+    client.ingest(generator.transaction(timestamp=0.0))
+    client.synchronise()
+    print(client.traffic_report())
+    print(client.query(since=0.0, until=900.0).rows_by_tier)
 """
 
 from repro.aggregation import (

@@ -1,0 +1,56 @@
+"""repro.api — the typed public facade of the F2C data-management system.
+
+This package is *the* way to use the system:
+
+Write side (one pipeline abstraction, five transports)::
+
+    from repro.api import PipelineConfig, connect
+
+    client = connect(transport="frames-binary")
+    client.ingest(readings, now=0.0)
+    client.synchronise(now=900.0)
+
+or run a whole declarative seeded workload through any transport —
+including the multi-process sharded runtime — in one call::
+
+    from repro.api import run_workload
+
+    client = run_workload(transport="sharded", workers=4)
+
+Read side (the paper's nearest-layer data access)::
+
+    result = client.query(since=0.0, until=900.0, category="energy")
+    result.rows_by_tier    # e.g. {"fog_layer_1": 412}
+    result.sources         # per-(node, tier) attribution
+
+Operations::
+
+    client.health()        # drops, worker restarts, query counters
+    client.summary()       # deployment summary + health
+
+The pre-facade entry points on
+:class:`~repro.core.architecture.F2CDataManagement` (``ingest_readings``,
+``ingest_columns``, ``attach_broker``, ``flush_broker``,
+``publish_frames``) still work — they delegate to this layer — but are
+deprecated and warn.  The exported surface below is contract-tested
+(``tests/api/test_api_contract.py``): changing it requires updating the
+snapshot deliberately.
+"""
+
+from repro.api.client import F2CClient, connect, run_workload
+from repro.api.config import TRANSPORTS, PipelineConfig
+from repro.api.pipeline import IngestSession, Pipeline
+from repro.api.query import QueryResult, QueryService, TierSlice
+
+__all__ = [
+    "F2CClient",
+    "IngestSession",
+    "Pipeline",
+    "PipelineConfig",
+    "QueryResult",
+    "QueryService",
+    "TRANSPORTS",
+    "TierSlice",
+    "connect",
+    "run_workload",
+]

@@ -1,0 +1,227 @@
+"""The unified F2C client: one object for both sides of the architecture.
+
+:class:`F2CClient` pairs a write-side :class:`~repro.api.pipeline.Pipeline`
+(ingest through any transport) with a read-side
+:class:`~repro.api.query.QueryService` (nearest-tier hierarchical queries)
+over one deployed system, and unifies the operational counters scattered
+across the subsystems — broker payload drops, sharded-runtime IPC frame
+drops and worker restarts, query cache behaviour — into a single
+:meth:`health` report surfaced through :meth:`summary`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
+
+from repro.api.config import PipelineConfig
+from repro.api.pipeline import IngestSession, Pipeline
+from repro.api.query import QueryResult, QueryService
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.architecture import F2CDataManagement
+    from repro.runtime.shards import ShardedWorkload
+    from repro.runtime.supervisor import ShardedRunResult
+    from repro.sensors.readings import Reading
+
+
+class F2CClient:
+    """Typed facade over one F2C deployment (ingest + query + health)."""
+
+    def __init__(
+        self,
+        system: Optional["F2CDataManagement"] = None,
+        *,
+        config: Optional[PipelineConfig] = None,
+        pipeline: Optional[Pipeline] = None,
+        session: Optional[IngestSession] = None,
+        sharded: Optional["ShardedRunResult"] = None,
+        catalog=None,
+        city=None,
+        broker=None,
+    ) -> None:
+        if pipeline is None:
+            if system is not None:
+                pipeline = Pipeline(config, system=system, catalog=catalog, city=city)
+            else:
+                pipeline = Pipeline(config, catalog=catalog, city=city)
+        self.pipeline = pipeline
+        self.sharded = sharded
+        self._session = session
+        self._broker = broker
+        self.queries = QueryService(pipeline.system if system is None else system)
+
+    # ------------------------------------------------------------------ #
+    # Deployment access
+    # ------------------------------------------------------------------ #
+    @property
+    def system(self) -> "F2CDataManagement":
+        return self.queries.system
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self.pipeline.config
+
+    @property
+    def session(self) -> IngestSession:
+        """The write-side session (attaches the broker on first use)."""
+        if self._session is None:
+            self._session = self.pipeline.session(broker=self._broker)
+        return self._session
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+    def ingest(
+        self,
+        readings: Iterable["Reading"],
+        now: Optional[float] = None,
+        default_section: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Drive *readings* through the configured transport.
+
+        Returns readings acquired per fog layer-1 node (see
+        :meth:`IngestSession.ingest`).  Memoized query windows are
+        invalidated — new data changes both window contents and which tier
+        is nearest.
+        """
+        counts = self.session.ingest(readings, now=now, default_section=default_section)
+        self.queries.invalidate()
+        return counts
+
+    def synchronise(self, now: Optional[float] = None) -> Dict[str, Dict[str, int]]:
+        """Move pending data fog L1 → fog L2 → cloud immediately."""
+        moved = self.system.synchronise(now=now)
+        self.queries.invalidate()
+        return moved
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        sensor_id: Optional[str] = None,
+        section_id: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> QueryResult:
+        """Nearest-tier hierarchical query (see :class:`QueryService`)."""
+        return self.queries.query(
+            since=since,
+            until=until,
+            sensor_id=sensor_id,
+            section_id=section_id,
+            category=category,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Health & reports
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, Any]:
+        """One report for every drop/fault counter in the deployment.
+
+        * ``dropped_payloads`` — malformed broker payloads (bad CSV lines,
+          corrupt/truncated/unknown-version frames) dropped at fog layer 1;
+          in a sharded run the supervisor folds the workers' counts in.
+        * ``dropped_ipc_frames`` — records lost (and resynced past) on the
+          worker → supervisor streams, including rejected corrupt frames.
+        * ``worker_restarts`` / ``worker_faults`` — shards re-run from seed
+          after a worker death or protocol damage.
+        * ``queries`` — served-from counters and cache behaviour of the
+          read side.
+        """
+        sharded = self.sharded
+        return {
+            "dropped_payloads": self.system.dropped_payloads,
+            "dropped_ipc_frames": sharded.dropped_ipc_frames if sharded is not None else 0,
+            "worker_restarts": sharded.worker_restarts if sharded is not None else 0,
+            "worker_faults": list(sharded.worker_faults) if sharded is not None else [],
+            "queries": self.queries.stats(),
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """The deployment summary with the health report folded in."""
+        report = self.system.summary()
+        report["health"] = self.health()
+        return report
+
+    def traffic_report(self) -> Dict[str, int]:
+        """Bytes received per layer (the paper's core comparison quantity)."""
+        return self.system.traffic_report()
+
+    def storage_report(self) -> Dict[str, Dict[str, Any]]:
+        """Storage statistics per node, keyed by node id."""
+        return self.system.storage_report()
+
+    def golden_report(self) -> Dict[str, Any]:
+        """Traffic + storage in the ``ingest_golden.json`` fixture shape."""
+        storage = {
+            node_id: {
+                "stored_readings": stats["stored_readings"],
+                "stored_bytes": stats["stored_bytes"],
+                "ingested_readings": stats["ingested_readings"],
+                "ingested_bytes": stats["ingested_bytes"],
+            }
+            for node_id, stats in self.storage_report().items()
+        }
+        return {"traffic": self.traffic_report(), "storage": storage}
+
+    def cloud_contents(self) -> List[tuple]:
+        """Canonical (sorted) cloud store contents for equivalence checks."""
+        from repro.runtime.supervisor import cloud_contents
+
+        return cloud_contents(self.system)
+
+    def cloud_digest(self) -> str:
+        """SHA-256 over the canonical cloud contents (cheap equality token)."""
+        from repro.runtime.supervisor import cloud_digest
+
+        return cloud_digest(self.system)
+
+
+def connect(
+    config: Optional[PipelineConfig] = None,
+    *,
+    system: Optional["F2CDataManagement"] = None,
+    catalog=None,
+    city=None,
+    broker=None,
+    **config_kwargs,
+) -> F2CClient:
+    """Build an :class:`F2CClient` for streaming use.
+
+    ``connect()`` deploys Barcelona with the direct transport;
+    ``connect(transport="frames-binary")`` (or any
+    :class:`PipelineConfig` field as a keyword) selects another wire.  Pass
+    an existing *system* to put the facade over a deployment you already
+    drive elsewhere.  The sharded transport has no streaming mode — use
+    :func:`run_workload`.
+    """
+    if config is not None and config_kwargs:
+        raise TypeError("pass either a PipelineConfig or config keywords, not both")
+    if config is None:
+        config = PipelineConfig(**config_kwargs)
+    return F2CClient(system=system, config=config, catalog=catalog, city=city, broker=broker)
+
+
+def run_workload(
+    workload: Optional["ShardedWorkload"] = None,
+    config: Optional[PipelineConfig] = None,
+    *,
+    catalog=None,
+    city=None,
+    **config_kwargs,
+) -> F2CClient:
+    """Run a declarative seeded workload and return a client over the result.
+
+    The one-call form of :meth:`Pipeline.run`, covering every transport
+    including ``sharded(N)``: ``run_workload(transport="sharded",
+    workers=4)`` executes the golden workload across four worker
+    processes.  The returned client answers queries and reports; for
+    non-sharded transports it can also keep ingesting.
+    """
+    if config is not None and config_kwargs:
+        raise TypeError("pass either a PipelineConfig or config keywords, not both")
+    if config is None:
+        config = PipelineConfig(**config_kwargs)
+    return Pipeline(config, catalog=catalog, city=city).run(workload)

@@ -1,0 +1,140 @@
+"""The one ingest-pipeline configuration object.
+
+Before the facade existed the repo had five divergent write entry points
+(per-message broker delivery, batched broker CSV, JSON column frames,
+binary column frames, direct batch ingest) plus the multi-process sharded
+runtime — each with its own driver code and knobs.  :class:`PipelineConfig`
+collapses that into one frozen value: pick a *transport*, and the
+:class:`~repro.api.pipeline.Pipeline` drives the identical data through the
+identical acquisition/movement machinery, proven byte-identical by the
+golden equivalence tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.serialization import FRAME_FORMATS
+
+#: Every supported write-side transport, in historical order of appearance.
+TRANSPORTS: Tuple[str, ...] = (
+    "direct",         # ingest whole batches in-process (no wire encoding)
+    "broker-csv",     # one CSV payload per reading over the MQTT-style broker
+    "frames-json",    # one JSON column frame per (section, round)
+    "frames-binary",  # one packed binary column frame per (section, round)
+    "sharded",        # N worker processes over binary-frame IPC + a supervisor
+)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """How readings travel from sensors into the F2C hierarchy.
+
+    Attributes
+    ----------
+    transport:
+        One of :data:`TRANSPORTS`.  ``"direct"`` is the in-process upper
+        bound; the broker transports reproduce a real deployment's wire
+        path; ``"sharded"`` runs fog layer-1 acquisition in *workers*
+        processes (whole-workload runs only, see
+        :meth:`~repro.api.pipeline.Pipeline.run`).
+    workers:
+        Worker-process count for the sharded transport (must stay 1
+        otherwise).
+    batched:
+        Broker-CSV only: ``True`` parks messages in per-fog-node inboxes
+        and acquires them per flush (the high-throughput mode); ``False``
+        delivers per message, reproducing the pre-batching legacy path.
+    city_slug:
+        Topic prefix for broker transports
+        (``city/<slug>/<section>/...``).
+    frame_format:
+        Wire layout override for frame transports.  Normally derived from
+        the transport (``frames-json`` → ``"json"``, ``frames-binary`` →
+        ``"binary"``); setting it to the conflicting layout is a
+        configuration error.
+    fog1_sync_interval_s / fog2_sync_interval_s:
+        Upward-movement cadence for deployments the pipeline builds
+        itself (maps onto :class:`~repro.core.movement.MovementPolicy`);
+        ``None`` keeps the policy defaults (15 min / 60 min).
+    inline_workers:
+        Sharded only: run the workers in-process over in-memory channels
+        (identical protocol bytes, no fork) — the deterministic mode tests
+        and coverage runs use.
+    """
+
+    transport: str = "direct"
+    workers: int = 1
+    batched: bool = True
+    city_slug: str = "bcn"
+    frame_format: Optional[str] = None
+    fog1_sync_interval_s: Optional[float] = None
+    fog2_sync_interval_s: Optional[float] = None
+    inline_workers: bool = False
+
+    def __post_init__(self) -> None:
+        if self.transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {TRANSPORTS}, got {self.transport!r}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError("workers must be positive")
+        if self.workers > 1 and self.transport != "sharded":
+            raise ConfigurationError(
+                f"workers={self.workers} requires the 'sharded' transport, "
+                f"got {self.transport!r}"
+            )
+        if self.frame_format is not None:
+            if self.frame_format not in FRAME_FORMATS:
+                raise ConfigurationError(
+                    f"frame_format must be one of {FRAME_FORMATS}, got {self.frame_format!r}"
+                )
+            derived = self._derived_frame_format()
+            if derived is not None and derived != self.frame_format:
+                raise ConfigurationError(
+                    f"transport {self.transport!r} implies frame_format={derived!r}, "
+                    f"got {self.frame_format!r}"
+                )
+        if self.inline_workers and self.transport != "sharded":
+            raise ConfigurationError("inline_workers requires the 'sharded' transport")
+
+    def _derived_frame_format(self) -> Optional[str]:
+        if self.transport == "frames-json":
+            return "json"
+        if self.transport == "frames-binary":
+            return "binary"
+        return None
+
+    def resolved_frame_format(self) -> Optional[str]:
+        """The wire layout frames are published in (``None`` = process default)."""
+        derived = self._derived_frame_format()
+        return derived if derived is not None else self.frame_format
+
+    def uses_broker(self) -> bool:
+        return self.transport in ("broker-csv", "frames-json", "frames-binary")
+
+    def movement_policy(self):
+        """A :class:`~repro.core.movement.MovementPolicy` for the sync cadence.
+
+        Returns ``None`` when both intervals are unset so pipeline-built
+        deployments keep the architecture's own default policy.
+        """
+        if self.fog1_sync_interval_s is None and self.fog2_sync_interval_s is None:
+            return None
+        from repro.core.movement import MovementPolicy
+
+        defaults = MovementPolicy()
+        return MovementPolicy(
+            fog1_to_fog2_interval_s=(
+                self.fog1_sync_interval_s
+                if self.fog1_sync_interval_s is not None
+                else defaults.fog1_to_fog2_interval_s
+            ),
+            fog2_to_cloud_interval_s=(
+                self.fog2_sync_interval_s
+                if self.fog2_sync_interval_s is not None
+                else defaults.fog2_to_cloud_interval_s
+            ),
+        )

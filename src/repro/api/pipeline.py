@@ -1,0 +1,624 @@
+"""The unified write-side pipeline.
+
+One engine, five transports.  :class:`Pipeline` owns the transport-level
+ingest operations that used to live directly on
+:class:`~repro.core.architecture.F2CDataManagement` — direct batch ingest,
+broker CSV delivery (per-message and batched), column-frame publishing and
+flushing — plus the config-driven porcelain on top:
+
+* :meth:`Pipeline.session` returns an :class:`IngestSession` whose single
+  ``ingest()`` verb drives readings through whatever transport the frozen
+  :class:`~repro.api.config.PipelineConfig` selects;
+* :meth:`Pipeline.run` executes a whole declarative seeded workload
+  (:class:`~repro.runtime.shards.ShardedWorkload`) through the configured
+  transport — including ``sharded(N)``, which delegates to the
+  multi-process runtime — and returns an
+  :class:`~repro.api.client.F2CClient` over the finished deployment.
+
+The deprecated ``F2CDataManagement.ingest_readings`` /
+``ingest_columns`` / ``attach_broker`` / ``flush_broker`` /
+``publish_frames`` shims delegate here, so every legacy entry point and the
+new facade run the identical code path — that is what keeps the golden
+byte-accounting fixtures reproducible from either surface.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from repro.city.barcelona import fog1_node_id
+from repro.common.errors import ConfigurationError, RoutingError
+from repro.common.serialization import FRAME_FORMATS, decode_csv_line
+from repro.messaging.broker import Broker, Message
+from repro.network.topology import LayerName
+from repro.sensors.readings import Reading, ReadingBatch, ReadingColumns
+
+from repro.api.config import PipelineConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.api.client import F2CClient
+    from repro.core.architecture import F2CDataManagement
+    from repro.runtime.shards import ShardedWorkload
+
+
+class Pipeline:
+    """Transport engine bound to one F2C deployment.
+
+    Construct with a frozen :class:`PipelineConfig` (the deployment is
+    built lazily from *catalog*/*city* on first use), or wrap an existing
+    system with :meth:`for_system`.  The verb-level methods
+    (:meth:`ingest_rows`, :meth:`publish_frames`, :meth:`flush_broker`,
+    ...) are the canonical implementations of the F2C write path; the
+    config-driven :meth:`session` / :meth:`run` porcelain maps the
+    configured transport onto them.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        *,
+        system: Optional["F2CDataManagement"] = None,
+        catalog=None,
+        city=None,
+    ) -> None:
+        self.config = config if config is not None else PipelineConfig()
+        self._system = system
+        self._catalog = catalog if catalog is not None else (
+            system.catalog if system is not None else None
+        )
+        self._city = city
+
+    @classmethod
+    def for_system(cls, system: "F2CDataManagement") -> "Pipeline":
+        """The engine for an existing deployment (default direct config)."""
+        return cls(system=system)
+
+    # ------------------------------------------------------------------ #
+    # Deployment access
+    # ------------------------------------------------------------------ #
+    @property
+    def system(self) -> "F2CDataManagement":
+        """The underlying deployment (built on first use)."""
+        if self._system is None:
+            if self.config.transport == "sharded":
+                raise ConfigurationError(
+                    "the sharded transport builds its deployment per run(); "
+                    "use Pipeline.run(workload) instead of streaming ingest"
+                )
+            self._system = self._build_system(self._catalog)
+        return self._system
+
+    def _build_system(self, catalog) -> "F2CDataManagement":
+        from repro.core.architecture import F2CDataManagement
+
+        return F2CDataManagement(
+            city=self._city,
+            catalog=catalog,
+            movement_policy=self.config.movement_policy(),
+            frame_format=self.config.resolved_frame_format(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Direct ingestion (moved from F2CDataManagement.ingest_readings)
+    # ------------------------------------------------------------------ #
+    def ingest_rows(
+        self,
+        readings: Iterable[Reading],
+        now: Optional[float] = None,
+        default_section: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Route readings to their section's fog layer-1 node and acquire them.
+
+        Readings from sensors without an explicit assignment are spread over
+        sections deterministically (stable CRC-32 hash of the sensor id, so
+        the spreading is identical across runs), or sent to *default_section*
+        when given.  Returns the number of readings acquired per fog layer-1
+        node.
+
+        The edge→fog hop is also recorded in the traffic accountant, so the
+        per-layer byte report includes what fog layer 1 received from the
+        sensors themselves.
+        """
+        system = self.system
+        timestamp = now if now is not None else system.simulator.clock.now()
+        if isinstance(readings, ReadingBatch):
+            return self.ingest_columns(readings.columns, now=timestamp, default_section=default_section)
+        if isinstance(readings, ReadingColumns):
+            return self.ingest_columns(readings, now=timestamp, default_section=default_section)
+        # Bucket into plain per-node lists first (one append per reading),
+        # then decompose each node's list into columns in bulk — the batch
+        # stays columnar from here to the cloud.  Routing is inlined with a
+        # persistent sensor → node cache: the cache hit is the common case
+        # and must not pay a function call per reading.
+        node_cache = system._sensor_node_cache
+        route = system._resolve_node_cached
+        per_node: Dict[str, List[Reading]] = defaultdict(list)
+        if default_section is None:
+            for reading in readings:
+                sensor_id = reading.sensor_id
+                node_id = node_cache.get(sensor_id)
+                if node_id is None:
+                    node_id = route(sensor_id, None)
+                per_node[node_id].append(reading)
+        else:
+            # A caller default overrides cached spread routes, so the cache
+            # is bypassed (assignment still wins inside the resolver).
+            for reading in readings:
+                per_node[route(reading.sensor_id, default_section)].append(reading)
+
+        acquired_counts: Dict[str, int] = {}
+        for node_id, node_readings in per_node.items():
+            batch = ReadingBatch.from_columns(ReadingColumns.from_reading_list(node_readings))
+            acquired_counts[node_id] = self._acquire_at_node(node_id, batch, timestamp)
+        return acquired_counts
+
+    def ingest_columns(
+        self,
+        columns: ReadingColumns,
+        now: Optional[float] = None,
+        default_section: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Columnar-native ingest: route and acquire a whole column batch.
+
+        Same semantics as :meth:`ingest_rows` but the input is already in
+        the native column representation (e.g. decoded wire frames or an
+        in-process columnar feed), so no per-reading objects exist anywhere
+        on the path.
+        """
+        system = self.system
+        timestamp = now if now is not None else system.simulator.clock.now()
+        node_cache = system._sensor_node_cache
+        route = system._resolve_node_cached
+        buckets: Dict[str, List[int]] = {}
+        index = 0
+        for sensor_id in columns.sensor_ids:
+            if default_section is None:
+                node_id = node_cache.get(sensor_id)
+                if node_id is None:
+                    node_id = route(sensor_id, None)
+            else:
+                node_id = route(sensor_id, default_section)
+            bucket = buckets.get(node_id)
+            if bucket is None:
+                bucket = buckets[node_id] = []
+            bucket.append(index)
+            index += 1
+        acquired_counts: Dict[str, int] = {}
+        if len(buckets) == 1:
+            (node_id, _), = buckets.items()
+            acquired_counts[node_id] = self._acquire_at_node(
+                node_id, ReadingBatch.from_columns(columns), timestamp
+            )
+            return acquired_counts
+        for node_id, indices in buckets.items():
+            batch = ReadingBatch.from_columns(columns.gather(indices))
+            acquired_counts[node_id] = self._acquire_at_node(node_id, batch, timestamp)
+        return acquired_counts
+
+    def _acquire_at_node(self, node_id: str, batch: ReadingBatch, timestamp: float) -> int:
+        system = self.system
+        fog1 = system.fog1_node(node_id)
+        system.simulator.accountant.record_transfer(
+            timestamp=timestamp,
+            source=f"sensors/{fog1.section_id}",
+            target=node_id,
+            target_layer=LayerName.FOG_1,
+            size_bytes=batch.total_bytes,
+            message_count=len(batch),
+        )
+        acquired = fog1.ingest(batch, timestamp)
+        return len(acquired)
+
+    # ------------------------------------------------------------------ #
+    # Broker integration (moved from F2CDataManagement)
+    # ------------------------------------------------------------------ #
+    def attach_broker(self, broker: Broker, city_slug: str = "bcn", batched: bool = False) -> None:
+        """Subscribe every fog layer-1 node to its section's topic subtree.
+
+        Topics follow ``city/<city>/<district>/<section>/<category>/<type>``;
+        the payload must be the reading's wire encoding produced by
+        :meth:`repro.sensors.readings.Reading.encode` and is re-parsed into a
+        minimal reading (value as string) for acquisition.
+
+        With ``batched=True`` messages are parked in a per-fog-node broker
+        inbox instead of running the acquisition block per message; call
+        :meth:`flush_broker` to drain every inbox and acquire each node's
+        backlog as one batch.  This is the high-throughput ingest mode: the
+        acquisition block, traffic accounting and storage bookkeeping all run
+        once per batch instead of once per reading.
+
+        The subscription state lives on the deployment (not this engine), so
+        any pipeline or shim bound to the same system shares it.
+        """
+        system = self.system
+        system._broker = broker
+        system._broker_batched = batched
+        for district in system.city.districts:
+            for section in district.sections:
+                node_id = fog1_node_id(section.section_id)
+                # Section ids contain '/', which is fine for MQTT topics.
+                topic_filter = f"city/{city_slug}/{section.section_id}/#"
+                broker.subscribe(
+                    client_id=node_id,
+                    topic_filter=topic_filter,
+                    handler=self._broker_handler(node_id),
+                    batched=batched,
+                )
+
+    @staticmethod
+    def _parse_broker_message(message: Message) -> Optional[Reading]:
+        """Decode one CSV wire payload back into a minimal reading.
+
+        Returns ``None`` for anything that does not parse as a reading line
+        — too few fields, a non-numeric timestamp, bytes that are not UTF-8
+        (e.g. a binary frame whose magic got corrupted in flight).  A bad
+        payload is dropped, never raised.
+        """
+        try:
+            fields = decode_csv_line(message.payload.rstrip(b" "))
+        except UnicodeDecodeError:
+            return None
+        if len(fields) < 4:
+            return None
+        sensor_id, sensor_type, value_text, timestamp_text = fields[:4]
+        try:
+            value: object = float(value_text)
+        except ValueError:
+            value = value_text
+        try:
+            timestamp = float(timestamp_text)
+        except ValueError:
+            return None
+        category = message.topic.split("/")[-2] if message.topic.count("/") >= 2 else "unknown"
+        return Reading(
+            sensor_id=sensor_id,
+            sensor_type=sensor_type,
+            category=category,
+            value=value,
+            timestamp=timestamp,
+            size_bytes=len(message.payload),
+        )
+
+    def _decode_message_columns(self, message: Message) -> Optional[ReadingColumns]:
+        """Decode any broker payload (column frame or CSV line) into columns.
+
+        Column frames carry the whole batch, including the per-reading
+        Table-I wire sizes, so downstream traffic accounting is identical to
+        the per-reading CSV path.  Returns ``None`` (and counts the drop)
+        for any malformed payload: a frame decodes whole or not at all, so
+        a corrupt message can neither abort a flush nor partially ingest.
+        """
+        payload = message.payload
+        if ReadingColumns.is_frame(payload):
+            try:
+                return ReadingColumns.decode_frame(payload)
+            except (ValueError, TypeError, KeyError, OverflowError):
+                # Malformed frames are dropped exactly like malformed CSV
+                # payloads (QoS 0): one corrupt message must not abort a
+                # flush and lose the rest of the drained inbox.
+                self.system.dropped_payloads += 1
+                return None
+        reading = self._parse_broker_message(message)
+        if reading is None:
+            self.system.dropped_payloads += 1
+            return None
+        columns = ReadingColumns()
+        columns.append_reading(reading)
+        return columns
+
+    def _broker_handler(self, node_id: str):
+        def handle(message: Message) -> None:
+            columns = self._decode_message_columns(message)
+            if columns is None or not len(columns):
+                return
+            system = self.system
+            timestamp = max(columns.timestamps)
+            fog1 = system.fog1_node(node_id)
+            system.simulator.accountant.record_transfer(
+                timestamp=timestamp,
+                source=f"broker/{node_id}",
+                target=node_id,
+                target_layer=LayerName.FOG_1,
+                size_bytes=columns.total_bytes,
+                message_count=len(columns),
+            )
+            fog1.ingest(ReadingBatch.from_columns(columns), timestamp)
+
+        return handle
+
+    def flush_broker(self, now: Optional[float] = None) -> Dict[str, int]:
+        """Drain every fog node's broker inbox and acquire it as one batch.
+
+        Only meaningful after ``attach_broker(..., batched=True)``.  Returns
+        the number of readings acquired per fog layer-1 node.  The traffic
+        accountant records one transfer per (node, flush) with the summed
+        byte volume, mirroring what :meth:`ingest_rows` does for direct
+        batch ingestion.
+        """
+        system = self.system
+        if system._broker is None:
+            raise ConfigurationError("no broker attached")
+        if not system._broker_batched:
+            raise ConfigurationError("broker was not attached in batched mode")
+        acquired_counts: Dict[str, int] = {}
+        # Drain only this architecture's own fog layer-1 subscriptions: other
+        # batched clients may share the broker and own their inboxes.
+        decode = self._decode_message_columns
+        for node_id in system._fog1:
+            messages = system._broker.drain_inbox(node_id)
+            if not messages:
+                continue
+            columns = ReadingColumns()
+            for message in messages:
+                decoded = decode(message)
+                if decoded is not None:
+                    columns.extend_columns(decoded)
+            if not len(columns):
+                continue
+            # Batch maximum, not the last arrival: with out-of-order arrivals
+            # an older last message would make newer readings look like they
+            # are from the future and fail the quality phase's skew check.
+            timestamp = now if now is not None else max(columns.timestamps)
+            fog1 = system.fog1_node(node_id)
+            system.simulator.accountant.record_transfer(
+                timestamp=timestamp,
+                source=f"broker/{node_id}",
+                target=node_id,
+                target_layer=LayerName.FOG_1,
+                size_bytes=columns.total_bytes,
+                message_count=len(columns),
+            )
+            acquired = fog1.ingest(ReadingBatch.from_columns(columns), timestamp)
+            acquired_counts[node_id] = len(acquired)
+        return acquired_counts
+
+    def _route_per_section(
+        self, readings: Iterable[Reading], default_section: Optional[str]
+    ) -> Dict[str, List[Reading]]:
+        """Group readings per owning section, exactly like direct ingest routes."""
+        system = self.system
+        section_by_node = {node_id: fog1.section_id for node_id, fog1 in system._fog1.items()}
+        node_cache = system._sensor_node_cache
+        route = system._resolve_node_cached
+        per_section: Dict[str, List[Reading]] = defaultdict(list)
+        for reading in readings:
+            if default_section is None:
+                node_id = node_cache.get(reading.sensor_id)
+                if node_id is None:
+                    node_id = route(reading.sensor_id, None)
+            else:
+                node_id = route(reading.sensor_id, default_section)
+            section_id = section_by_node.get(node_id)
+            if section_id is None:
+                # Same descriptive failure as the direct ingest path.
+                raise RoutingError(f"unknown fog layer-1 node: {node_id}")
+            per_section[section_id].append(reading)
+        return per_section
+
+    def publish_frames(
+        self,
+        broker: Optional[Broker] = None,
+        readings: Iterable[Reading] = (),
+        city_slug: str = "bcn",
+        default_section: Optional[str] = None,
+        timestamp: float = 0.0,
+        frame_format: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Publish readings as one column frame per section (wire fast path).
+
+        Readings are routed to sections exactly like :meth:`ingest_rows`
+        routes them to fog nodes, then each section's rows are encoded into
+        a single :meth:`ReadingColumns.encode_frame` payload and published
+        on ``city/<slug>/<section>/frame``.  Fog layer-1 subscribers decode
+        the frame back into columns (see :meth:`_decode_message_columns`),
+        so one broker delivery replaces one delivery per reading while the
+        per-reading Table-I wire sizes — carried inside the frame — keep the
+        traffic accounting identical.
+
+        *frame_format* overrides the wire layout for this call; otherwise
+        the system's configured :attr:`~repro.core.architecture.F2CDataManagement.frame_format`
+        applies (and, when that is ``None`` too, the process-wide default).
+        Receivers auto-detect the layout per payload, so format can change
+        mid-stream.
+
+        Returns the number of readings framed per section.
+        """
+        system = self.system
+        if broker is None:
+            broker = system._broker
+        if broker is None:
+            raise ConfigurationError("no broker attached and none supplied")
+        if frame_format is None:
+            frame_format = system.frame_format
+        elif frame_format not in FRAME_FORMATS:
+            raise ConfigurationError(
+                f"frame_format must be one of {FRAME_FORMATS}, got {frame_format!r}"
+            )
+        per_section = self._route_per_section(readings, default_section)
+        published: Dict[str, int] = {}
+        topic_cache = system._frame_topic_cache
+        for section_id, section_readings in per_section.items():
+            topic = topic_cache.get((city_slug, section_id))
+            if topic is None:
+                topic = topic_cache[(city_slug, section_id)] = (
+                    f"city/{city_slug}/{section_id}/frame"
+                )
+            columns = ReadingColumns.from_reading_list(section_readings)
+            broker.publish(
+                topic,
+                columns.encode_frame(format=frame_format),
+                timestamp=timestamp,
+            )
+            published[section_id] = len(section_readings)
+        return published
+
+    def publish_csv(
+        self,
+        broker: Optional[Broker] = None,
+        readings: Iterable[Reading] = (),
+        city_slug: str = "bcn",
+        default_section: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Publish readings one CSV payload at a time (the per-reading wire).
+
+        The historical broker transport: each reading is encoded with
+        :meth:`Reading.encode` and published on its own
+        ``city/<slug>/<section>/<category>/<type>`` topic at the reading's
+        timestamp.  Returns the number of readings published per section.
+
+        Note the CSV wire truncates payloads to the reading's Table-I
+        ``size_bytes``; readings whose line does not fit are dropped on
+        re-parse at the fog node (frames are lossless — prefer a frame
+        transport for new code).
+        """
+        system = self.system
+        if broker is None:
+            broker = system._broker
+        if broker is None:
+            raise ConfigurationError("no broker attached and none supplied")
+        per_section = self._route_per_section(readings, default_section)
+        published: Dict[str, int] = {}
+        publish = broker.publish
+        for section_id, section_readings in per_section.items():
+            prefix = f"city/{city_slug}/{section_id}/"
+            for reading in section_readings:
+                publish(
+                    f"{prefix}{reading.category}/{reading.sensor_type}",
+                    reading.encode(),
+                    timestamp=reading.timestamp,
+                )
+            published[section_id] = len(section_readings)
+        return published
+
+    # ------------------------------------------------------------------ #
+    # Config-driven porcelain
+    # ------------------------------------------------------------------ #
+    def session(self, broker: Optional[Broker] = None) -> "IngestSession":
+        """An :class:`IngestSession` over this pipeline's deployment."""
+        return IngestSession(self, broker=broker)
+
+    def run(self, workload: Optional["ShardedWorkload"] = None) -> "F2CClient":
+        """Run a declarative seeded workload through the configured transport.
+
+        The one entry point that covers all transports, including
+        ``sharded(N)``: the workload (default: the golden-fixture workload)
+        is regenerated deterministically, ingested round by round through
+        the configured wire, and synchronised per its sync plan.  Returns an
+        :class:`~repro.api.client.F2CClient` over the finished deployment —
+        query it, read its reports, or keep ingesting (non-sharded
+        transports).
+        """
+        from repro.api.client import F2CClient
+        from repro.runtime.shards import ShardedWorkload, WorkerSpec, build_shard_rounds
+        from repro.sensors.catalog import BARCELONA_CATALOG
+        from repro.sensors.generator import ReadingGenerator
+
+        config = self.config
+        if workload is None:
+            workload = ShardedWorkload.golden()
+        catalog = self._catalog if self._catalog is not None else BARCELONA_CATALOG
+        if config.transport == "sharded":
+            from repro.runtime.supervisor import run_sharded
+
+            result = run_sharded(
+                workers=config.workers,
+                workload=workload,
+                catalog=catalog,
+                inline=config.inline_workers,
+            )
+            return result.client()
+
+        # Single process: regenerate the full workload exactly like a
+        # one-shard run (workers=1 keeps every section), then drive it
+        # through this transport's session round by round.
+        system = self._build_system(catalog)
+        pipeline = Pipeline(config, system=system, catalog=catalog)
+        generator = ReadingGenerator(
+            catalog, devices_per_type=workload.devices_per_type, seed=workload.seed
+        )
+        spec = WorkerSpec(shard_index=0, workers=1, workload=workload, catalog=catalog)
+        rounds = build_shard_rounds(spec, system, generator)
+        session = pipeline.session()
+        ingested = 0
+        for rounds_before, sync_time in workload.sync_plan:
+            while ingested < min(rounds_before, len(rounds)):
+                timestamp, readings = rounds[ingested]
+                if readings:
+                    session.ingest(readings, now=timestamp)
+                ingested += 1
+            system.synchronise(now=sync_time)
+        return F2CClient(system=system, pipeline=pipeline, session=session)
+
+
+class IngestSession:
+    """One ``ingest()`` verb, whatever the transport.
+
+    Sessions are cheap views over a :class:`Pipeline`: they attach the
+    broker (for broker transports) on construction and translate
+    ``ingest(readings)`` into the transport's publish/flush/acquire steps.
+    """
+
+    def __init__(self, pipeline: Pipeline, broker: Optional[Broker] = None) -> None:
+        config = pipeline.config
+        if config.transport == "sharded":
+            raise ConfigurationError(
+                "the sharded transport runs whole workloads; use Pipeline.run(workload)"
+            )
+        self.pipeline = pipeline
+        self.config = config
+        self.broker: Optional[Broker] = None
+        if config.uses_broker():
+            self.broker = broker if broker is not None else Broker()
+            batched = config.batched if config.transport == "broker-csv" else True
+            pipeline.attach_broker(self.broker, city_slug=config.city_slug, batched=batched)
+
+    @property
+    def system(self) -> "F2CDataManagement":
+        return self.pipeline.system
+
+    def ingest(
+        self,
+        readings: Iterable[Reading],
+        now: Optional[float] = None,
+        default_section: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Drive *readings* through the configured transport.
+
+        Returns the number of readings acquired per fog layer-1 node for
+        the batched transports.  For the per-message broker transport
+        (``broker-csv`` with ``batched=False``) acquisition happens
+        synchronously during publishing and the returned counts are the
+        readings *published* per node (a truncated-CSV payload can still be
+        dropped at the fog node — see
+        :attr:`~repro.core.architecture.F2CDataManagement.dropped_payloads`).
+        """
+        transport = self.config.transport
+        pipeline = self.pipeline
+        if transport == "direct":
+            return pipeline.ingest_rows(readings, now=now, default_section=default_section)
+        if transport == "broker-csv":
+            published = pipeline.publish_csv(
+                self.broker,
+                readings,
+                city_slug=self.config.city_slug,
+                default_section=default_section,
+            )
+            if self.config.batched:
+                return pipeline.flush_broker(now=now)
+            return {fog1_node_id(section): count for section, count in published.items()}
+        # Frame transports: one column frame per section, then one flush.
+        timestamp = now if now is not None else pipeline.system.simulator.clock.now()
+        pipeline.publish_frames(
+            self.broker,
+            readings,
+            city_slug=self.config.city_slug,
+            default_section=default_section,
+            timestamp=timestamp,
+            frame_format=self.config.resolved_frame_format(),
+        )
+        return pipeline.flush_broker(now=now)
+
+    def synchronise(self, now: Optional[float] = None) -> Dict[str, Dict[str, int]]:
+        """Move pending data fog L1 → fog L2 → cloud immediately."""
+        return self.pipeline.system.synchronise(now=now)

@@ -1,0 +1,304 @@
+"""Hierarchical F2C data access: serve every query from the nearest tier.
+
+The paper's architecture is two-sided: data moves *up* (acquisition → fog
+layer 1 → fog layer 2 → cloud) and consumers read *down*, served from the
+closest layer that still holds the requested window — real-time windows
+from the section's own fog layer-1 node, recent history from the district's
+fog layer-2 node, and everything older from the cloud.
+:class:`QueryService` implements that resolution over a deployed
+:class:`~repro.core.architecture.F2CDataManagement`:
+
+* a query names a *scope* (sensor, section, category, or the whole city)
+  and a half-open time window ``since <= t < until``;
+* per fog layer-1 chain the service picks the nearest tier whose store
+  still covers the window (a tier that has never evicted holds its full
+  local history; one that has is trusted only back to its oldest retained
+  timestamp) and falls through to fog layer 2 and the cloud otherwise;
+* city- and category-wide queries scatter-gather across every section's
+  chain and merge the columnar results;
+* results carry per-tier attribution (:class:`TierSlice` sources and a
+  rows-by-tier summary) and the service keeps served-from counters;
+* hot windows are memoized — the owning client invalidates the cache on
+  every ingest/synchronise.
+
+In a sharded run the supervisor's fog layer-1 stores are empty (the data
+was acquired in worker processes), which the architecture reports via
+:meth:`~repro.core.architecture.F2CDataManagement.fog1_store_is_authoritative`;
+queries then resolve to fog layer 2 / cloud, exactly as a remote consumer
+would experience it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.sensors.readings import Reading, ReadingBatch, ReadingColumns
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.architecture import F2CDataManagement
+
+#: Tier names, nearest first (the order resolution walks them).
+TIER_FOG_1 = "fog_layer_1"
+TIER_FOG_2 = "fog_layer_2"
+TIER_CLOUD = "cloud"
+TIERS: Tuple[str, ...] = (TIER_FOG_1, TIER_FOG_2, TIER_CLOUD)
+
+
+@dataclass(frozen=True)
+class TierSlice:
+    """One consulted (node, tier) and the rows it contributed."""
+
+    node_id: str
+    tier: str
+    section_id: Optional[str]
+    rows: int
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A columnar query answer with per-tier attribution.
+
+    ``columns`` holds the merged rows (section chains in canonical city
+    order, rows in per-store order); ``sources`` records every consulted
+    chain's serving node and tier; ``rows_by_tier`` sums rows per tier.
+    ``cache_hit`` is true when the service answered from its memo.
+    """
+
+    since: float
+    until: float
+    columns: ReadingColumns
+    sources: Tuple[TierSlice, ...]
+    rows_by_tier: Dict[str, int] = field(default_factory=dict)
+    cache_hit: bool = False
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def batch(self) -> ReadingBatch:
+        """The result as a :class:`ReadingBatch` (adopts the columns)."""
+        return ReadingBatch.from_columns(self.columns)
+
+    def readings(self) -> List[Reading]:
+        """Materialized :class:`Reading` objects (API-boundary convenience)."""
+        return self.columns.to_readings()
+
+    def tiers(self) -> Tuple[str, ...]:
+        """The distinct tiers that served rows, nearest first."""
+        used = {source.tier for source in self.sources if source.rows}
+        return tuple(tier for tier in TIERS if tier in used)
+
+
+class QueryService:
+    """Nearest-tier query resolution over one F2C deployment."""
+
+    def __init__(self, system: "F2CDataManagement") -> None:
+        self.system = system
+        self._cache: Dict[tuple, QueryResult] = {}
+        self.queries_served = 0
+        self.cache_hits = 0
+        self.rows_by_tier: Dict[str, int] = {tier: 0 for tier in TIERS}
+        self.queries_by_tier: Dict[str, int] = {tier: 0 for tier in TIERS}
+
+    # ------------------------------------------------------------------ #
+    # Cache control
+    # ------------------------------------------------------------------ #
+    def invalidate(self) -> int:
+        """Drop every memoized window; returns how many entries were dropped.
+
+        Called by the owning client whenever data moves (ingest or an
+        upward sync): both change what a window contains *and* which tier
+        is nearest for it.
+        """
+        dropped = len(self._cache)
+        self._cache.clear()
+        return dropped
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        sensor_id: Optional[str] = None,
+        section_id: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> QueryResult:
+        """Answer (scope, window) from the nearest tier holding the window.
+
+        Scope: *sensor_id* resolves to the sensor's section chain,
+        *section_id* to that section's chain, neither to a scatter-gather
+        across every section; *category* narrows any scope.  The window is
+        half-open (``since <= t < until``); an inverted window is simply
+        empty.  Repeated queries are memoized until :meth:`invalidate`.
+        """
+        key = (since, until, sensor_id, section_id, category)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.queries_served += 1
+            self.cache_hits += 1
+            # Hand out copies of the mutable parts: QueryResult.batch()
+            # adopts the columns, so a caller mutating its answer must not
+            # corrupt the memo for everyone else.
+            return replace(
+                cached,
+                columns=cached.columns.copy(),
+                rows_by_tier=dict(cached.rows_by_tier),
+                cache_hit=True,
+            )
+
+        system = self.system
+        scatter = sensor_id is None and section_id is None
+        if section_id is not None:
+            fog1_nodes = [system.fog1_for_section(section_id)]  # validates the id
+        elif sensor_id is not None:
+            fog1_nodes = [self._node_for_sensor(sensor_id)]
+        else:
+            fog1_nodes = system.fog1_nodes()  # canonical city-section order
+
+        out = ReadingColumns()
+        sources: List[TierSlice] = []
+        rows_by_tier: Dict[str, int] = {}
+        for fog1 in fog1_nodes:
+            for node, tier, sub_since, sub_until in self._chain_slices(fog1, since, until):
+                part = self._query_at(
+                    node, tier, fog1, sub_since, sub_until, sensor_id, category
+                )
+                rows = len(part)
+                if rows:
+                    out.extend_columns(part)
+                    rows_by_tier[tier] = rows_by_tier.get(tier, 0) + rows
+                if rows or not scatter:
+                    # Scatter-gather over 73 empty sections would drown the
+                    # attribution in zero-row slices; targeted queries keep
+                    # their (possibly empty) chain so callers see the tier
+                    # that answered.
+                    sources.append(TierSlice(node.node_id, tier, fog1.section_id, rows))
+
+        result = QueryResult(
+            since=since,
+            until=until,
+            columns=out,
+            sources=tuple(sources),
+            rows_by_tier=rows_by_tier,
+        )
+        # The memo keeps its own copy of the mutable parts for the same
+        # reason cache hits return copies: the first caller owns `result`.
+        self._cache[key] = replace(
+            result, columns=out.copy(), rows_by_tier=dict(rows_by_tier)
+        )
+        self.queries_served += 1
+        for tier in {source.tier for source in sources}:
+            self.queries_by_tier[tier] += 1
+        for tier, rows in rows_by_tier.items():
+            self.rows_by_tier[tier] += rows
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Resolution internals
+    # ------------------------------------------------------------------ #
+    def _node_for_sensor(self, sensor_id: str):
+        """The fog layer-1 chain owning *sensor_id*'s data.
+
+        Explicit assignment wins; otherwise a sensor that was routed with a
+        caller-supplied ``default_section`` is found by scanning the (at
+        most 73) fog layer-1 stores for its series; last, the stable
+        CRC-32 spreading names the chain — the same order of precedence the
+        write path routes with.
+        """
+        system = self.system
+        section = system.section_of_sensor(sensor_id)
+        if section is not None:
+            return system.fog1_for_section(section)
+        for fog1 in system.fog1_nodes():
+            if fog1.storage.has_series(sensor_id):
+                return fog1
+        return system.fog1_for_section(system.spread_section(sensor_id))
+
+    def _chain_slices(self, fog1, since: float, until: float):
+        """Partition the window across *fog1*'s chain, nearest tier first.
+
+        Walks fog L1 → fog L2 → cloud.  A tier that covers the (remaining)
+        window serves all of it and terminates the walk; a tier that only
+        retains a newer tail — it evicted back to ``oldest`` but holds rows
+        the broader tiers may not have received yet (pending upward sync) —
+        serves ``[oldest, upper)`` and passes ``[since, oldest)`` down the
+        chain.  Each tier keeps *every* row from its oldest retained
+        timestamp onward (eviction only drops prefixes) and the broader
+        tiers hold everything that was ever synced up, so the returned
+        slices are a duplicate-free, loss-free partition of the window.
+
+        Returns ``(node, tier, sub_since, sub_until)`` tuples in ascending
+        time order.
+        """
+        system = self.system
+        fog2 = system.fog2_node(system.parent_of(fog1.node_id))
+        chain = []
+        if system.fog1_store_is_authoritative(fog1.node_id):
+            chain.append((fog1, TIER_FOG_1))
+        chain.append((fog2, TIER_FOG_2))
+        slices = []
+        upper = until
+        for node, tier in chain:
+            if upper <= since:
+                break
+            if self._covers(node.storage, since):
+                slices.append((node, tier, since, upper))
+                break
+            oldest = node.storage.store.oldest_timestamp()
+            if oldest is not None and since < oldest < upper:
+                slices.append((node, tier, oldest, upper))
+                upper = oldest
+        else:
+            if upper > since:
+                slices.append((system.cloud, TIER_CLOUD, since, upper))
+        slices.reverse()
+        return slices
+
+    @staticmethod
+    def _covers(storage, since: float) -> bool:
+        """Whether a tier still holds everything from *since* onward.
+
+        A tier that never evicted holds its full local history (upward
+        drains copy, they do not remove), so it covers any window; one
+        that has evicted is trusted only back to its oldest retained
+        timestamp.
+        """
+        if storage.evicted_count == 0:
+            return True
+        oldest = storage.store.oldest_timestamp()
+        return oldest is not None and oldest <= since
+
+    @staticmethod
+    def _query_at(node, tier, fog1, since, until, sensor_id, category) -> ReadingColumns:
+        """One tier's rows for one chain's scope, as columns."""
+        # At the broad tiers the chain's area is selected by the acquiring
+        # fog node's id, which every stored reading carries; at fog layer 1
+        # the store *is* the area.
+        fog_filter = None if tier == TIER_FOG_1 else fog1.node_id
+        batch = node.storage.query_window(
+            since=since,
+            until=until,
+            category=category,
+            sensor_id=sensor_id,
+            fog_node_id=fog_filter,
+        )
+        return batch.columns
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """Served-from counters (folded into the client's health report)."""
+        return {
+            "served": self.queries_served,
+            "cache_hits": self.cache_hits,
+            "cache_size": len(self._cache),
+            "queries_by_tier": dict(self.queries_by_tier),
+            "rows_by_tier": dict(self.rows_by_tier),
+        }

@@ -7,23 +7,32 @@ Usage (after installation)::
     python -m repro fig7 [--category energy]
     python -m repro compare [--no-compression]
     python -m repro simulate [--hours 6] [--scale 0.00005]
+    python -m repro ingest [--transport frames-binary] [--workers 4] [--json]
+    python -m repro query --since 0 --until 900 [--category energy] [--json]
 
-Every subcommand prints the same text the benchmark harness writes under
-``benchmarks/results/``; the ``simulate`` subcommand runs the event-level
+The reproduction subcommands print the same text the benchmark harness
+writes under ``benchmarks/results/``; ``simulate`` runs the event-level
 pipeline on a sampled sensor population and reports the measured per-layer
-traffic next to the analytic estimate.
+traffic next to the analytic estimate.  ``ingest`` and ``query`` drive the
+:mod:`repro.api` client: ``ingest`` runs a seeded workload through any
+transport (including the multi-process sharded runtime) and reports the
+deployment summary + health counters; ``query`` runs the same workload and
+then answers a nearest-tier hierarchical query with per-tier attribution.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 from typing import Optional, Sequence
 
+from repro.api import PipelineConfig, connect, run_workload
+from repro.api.config import TRANSPORTS
 from repro.core.architecture import F2CDataManagement
 from repro.core.baseline import CentralizedCloudDataManagement
 from repro.core.comparison import analytic_comparison, measured_comparison
 from repro.core.estimation import TrafficEstimator
-from repro.core.movement import MovementPolicy
 from repro.sensors.catalog import BARCELONA_CATALOG, SensorCategory
 from repro.sensors.generator import ReadingGenerator
 from repro.sensors.readings import ReadingBatch
@@ -62,6 +71,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.00005, help="sensor-population scale factor (default 5e-5)"
     )
     simulate.add_argument("--seed", type=int, default=11, help="random seed (default 11)")
+
+    def add_workload_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--transport",
+            choices=TRANSPORTS,
+            default="direct",
+            help="ingest transport (default: direct)",
+        )
+        subparser.add_argument(
+            "--workers", type=int, default=1, help="worker processes (sharded transport only)"
+        )
+        subparser.add_argument(
+            "--inline-workers",
+            action="store_true",
+            help="sharded: run workers in-process over in-memory channels",
+        )
+        subparser.add_argument(
+            "--devices-per-type", type=int, default=5, help="devices per sensor type (default 5)"
+        )
+        subparser.add_argument(
+            "--rounds", type=int, default=4, help="15-minute measurement rounds (default 4)"
+        )
+        subparser.add_argument("--seed", type=int, default=2024, help="workload seed (default 2024)")
+        subparser.add_argument("--json", action="store_true", help="machine-readable output")
+
+    ingest = subparsers.add_parser(
+        "ingest", help="run a seeded workload through the repro.api ingest pipeline"
+    )
+    add_workload_arguments(ingest)
+
+    query = subparsers.add_parser(
+        "query", help="run a seeded workload, then answer a nearest-tier query"
+    )
+    add_workload_arguments(query)
+    query.add_argument("--since", type=float, default=float("-inf"), help="window start (inclusive)")
+    query.add_argument("--until", type=float, default=float("inf"), help="window end (exclusive)")
+    query.add_argument("--sensor", default=None, help="restrict to one sensor id")
+    query.add_argument("--section", default=None, help="restrict to one city section")
+    query.add_argument(
+        "--category",
+        choices=[c.value for c in SensorCategory],
+        default=None,
+        help="restrict to one Sentilo category",
+    )
+    query.add_argument(
+        "--limit", type=int, default=5, help="sample readings shown in text output (default 5)"
+    )
     return parser
 
 
@@ -95,12 +151,12 @@ def _cmd_simulate(hours: int, scale: float, seed: int) -> str:
         raise SystemExit("--scale must be positive")
     catalog = BARCELONA_CATALOG.scaled(scale)
     generator = ReadingGenerator(catalog, devices_per_type=3, seed=seed)
-    f2c = F2CDataManagement(
+    client = connect(
         catalog=catalog,
-        movement_policy=MovementPolicy(fog1_to_fog2_interval_s=3_600.0, fog2_to_cloud_interval_s=3_600.0),
+        config=PipelineConfig(fog1_sync_interval_s=3_600.0, fog2_sync_interval_s=3_600.0),
     )
     centralized = CentralizedCloudDataManagement(catalog=catalog)
-    sections = [s.section_id for s in f2c.city.sections]
+    sections = [s.section_id for s in client.system.city.sections]
 
     total_readings = 0
     for hour in range(hours):
@@ -109,16 +165,130 @@ def _cmd_simulate(hours: int, scale: float, seed: int) -> str:
         for transaction in generator.transactions(count=4, start=start, interval=900.0):
             batch.extend(transaction)
         total_readings += len(batch)
-        f2c.ingest_readings(batch, now=start, default_section=sections[hour % len(sections)])
+        client.ingest(batch, now=start, default_section=sections[hour % len(sections)])
         centralized.ingest_readings(batch, now=start)
-        f2c.synchronise(now=start + 3_599.0)
+        client.synchronise(now=start + 3_599.0)
 
     comparison = measured_comparison(
         workload=f"{hours} simulated hours, {total_readings:,} readings (scale {scale})",
-        f2c_traffic_report=f2c.traffic_report(),
+        f2c_traffic_report=client.traffic_report(),
         centralized_traffic_report=centralized.traffic_report(),
     )
     return comparison.format()
+
+
+def _run_workload_from_args(args) -> "object":
+    """Build and run the seeded workload the ingest/query subcommands share."""
+    from repro.runtime.shards import ShardedWorkload
+
+    if args.devices_per_type <= 0:
+        raise SystemExit("--devices-per-type must be positive")
+    if args.rounds <= 0:
+        raise SystemExit("--rounds must be positive")
+    if args.workers <= 0:
+        raise SystemExit("--workers must be positive")
+    transport = args.transport
+    if args.workers > 1 and transport != "sharded":
+        raise SystemExit("--workers requires --transport sharded")
+    if args.inline_workers and transport != "sharded":
+        raise SystemExit("--inline-workers requires --transport sharded")
+    workload = ShardedWorkload(
+        devices_per_type=args.devices_per_type,
+        seed=args.seed,
+        rounds=args.rounds,
+        sync_plan=((args.rounds, args.rounds * 900.0),),
+    )
+    config = PipelineConfig(
+        transport=transport,
+        workers=args.workers,
+        inline_workers=args.inline_workers,
+    )
+    return run_workload(workload, config)
+
+
+def _cmd_ingest(args) -> str:
+    client = _run_workload_from_args(args)
+    summary = client.summary()
+    traffic = client.traffic_report()
+    if args.json:
+        return json.dumps(
+            {"transport": args.transport, "summary": summary, "traffic": traffic},
+            indent=2,
+            sort_keys=True,
+        )
+    health = summary.pop("health")
+    lines = [f"Ingested the seeded workload via transport {args.transport!r}:"]
+    lines.extend(f"  {key}: {value}" for key, value in summary.items())
+    lines.append("traffic (bytes received per layer):")
+    lines.extend(f"  {layer}: {volume:,}" for layer, volume in traffic.items())
+    lines.append("health:")
+    lines.extend(
+        f"  {key}: {value}" for key, value in health.items() if key != "queries"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_query(args) -> str:
+    client = _run_workload_from_args(args)
+    result = client.query(
+        since=args.since,
+        until=args.until,
+        sensor_id=args.sensor,
+        section_id=args.section,
+        category=args.category,
+    )
+    if args.json:
+        # Unbounded window ends become null: json.dumps would otherwise emit
+        # the non-standard Infinity literal that strict parsers reject.
+        def finite_or_none(value: float):
+            return value if math.isfinite(value) else None
+
+        return json.dumps(
+            {
+                "window": {
+                    "since": finite_or_none(args.since),
+                    "until": finite_or_none(args.until),
+                },
+                "filters": {
+                    "sensor_id": args.sensor,
+                    "section_id": args.section,
+                    "category": args.category,
+                },
+                "rows": len(result),
+                "rows_by_tier": result.rows_by_tier,
+                "sources": [
+                    {
+                        "node_id": source.node_id,
+                        "tier": source.tier,
+                        "section_id": source.section_id,
+                        "rows": source.rows,
+                    }
+                    for source in result.sources
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    lines = [
+        f"{len(result)} readings in [{args.since}, {args.until}) "
+        f"served from {', '.join(result.tiers()) or 'no tier (empty)'}:"
+    ]
+    lines.extend(
+        f"  {tier}: {rows:,} rows" for tier, rows in sorted(result.rows_by_tier.items())
+    )
+    shown = 0
+    for reading in result.columns.iter_readings():
+        if shown >= max(0, args.limit):
+            break
+        lines.append(
+            f"  [{reading.timestamp:10.1f}] {reading.sensor_id} "
+            f"{reading.category}/{reading.sensor_type} = {reading.value}"
+        )
+        shown += 1
+    remaining = len(result) - shown
+    if remaining > 0:
+        lines.append(f"  ... {remaining:,} more")
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -133,6 +303,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output = _cmd_compare(apply_compression=not args.no_compression)
     elif args.command == "simulate":
         output = _cmd_simulate(args.hours, args.scale, args.seed)
+    elif args.command == "ingest":
+        output = _cmd_ingest(args)
+    elif args.command == "query":
+        output = _cmd_query(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {args.command!r}")
     print(output)

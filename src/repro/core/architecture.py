@@ -13,15 +13,20 @@
   :class:`~repro.core.movement.DataMovementScheduler` that moves data
   upwards periodically.
 
-Readings enter through :meth:`ingest_readings` (direct) or through an
-MQTT-style broker subscription (:meth:`attach_broker`), reproducing the data
-path of a real deployment.
+Readings enter through the write-side pipeline of :mod:`repro.api` — one
+:class:`~repro.api.pipeline.Pipeline` abstraction covering direct batch
+ingest, the MQTT-style broker (per-message CSV, batched CSV, JSON/binary
+column frames) and the multi-process sharded runtime.  The historical entry
+points on this class (:meth:`ingest_readings`, :meth:`ingest_columns`,
+:meth:`attach_broker`, :meth:`flush_broker`, :meth:`publish_frames`) remain
+as thin delegating shims: they run the identical pipeline code and still
+reproduce the golden byte-accounting fixtures, but are deprecated and warn.
 """
 
 from __future__ import annotations
 
+import warnings
 import zlib
-from collections import defaultdict
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.aggregation.base import AggregationTechnique
@@ -39,12 +44,25 @@ from repro.common.errors import ConfigurationError, RoutingError
 from repro.common.serialization import FRAME_FORMATS
 from repro.core.movement import DataMovementScheduler, MovementPolicy
 from repro.core.nodes import CloudNode, FogNodeLevel1, FogNodeLevel2
-from repro.messaging.broker import Broker, Message
+from repro.messaging.broker import Broker
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import LayerName, NetworkTopology
 from repro.network.traffic import TrafficAccountant
 from repro.sensors.catalog import SensorCatalog
 from repro.sensors.readings import Reading, ReadingBatch, ReadingColumns
+
+
+def _warn_legacy_entry_point(old: str, new: str) -> None:
+    """One deprecation warning per shimmed write entry point.
+
+    ``stacklevel=3`` points at the shim's caller (helper → shim → caller).
+    """
+    warnings.warn(
+        f"F2CDataManagement.{old}() is a deprecated shim; use {new} from repro.api "
+        "(the shim delegates to the same pipeline and keeps working for now)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 #: Builds the default fog layer-1 aggregator the paper evaluates: redundant
@@ -118,6 +136,9 @@ class F2CDataManagement:
         # processes that actually ran each node's acquisition; overlays the
         # local (empty) node stats in storage_report.
         self._fog1_stats_override: Dict[str, Dict[str, object]] = {}
+        # The repro.api Pipeline engine every write entry point (new facade
+        # and deprecated shims alike) runs through; built on first use.
+        self._api_pipeline = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -226,57 +247,40 @@ class F2CDataManagement:
     _spread_section = spread_section
 
     # ------------------------------------------------------------------ #
-    # Ingestion
+    # Ingestion (deprecated shims over the repro.api pipeline)
     # ------------------------------------------------------------------ #
+    @property
+    def api_pipeline(self):
+        """The :class:`repro.api.pipeline.Pipeline` engine bound to this system.
+
+        Every write entry point — the :mod:`repro.api` facade and the
+        deprecated shims below alike — runs through this one engine, so the
+        behaviour (routing, accounting, golden byte fidelity) cannot drift
+        between the surfaces.  Internal callers use this property directly;
+        external code should hold a :class:`repro.api.F2CClient` instead.
+        """
+        pipeline = self._api_pipeline
+        if pipeline is None:
+            from repro.api.pipeline import Pipeline
+
+            pipeline = self._api_pipeline = Pipeline.for_system(self)
+        return pipeline
+
     def ingest_readings(
         self,
         readings: Iterable[Reading],
         now: Optional[float] = None,
         default_section: Optional[str] = None,
     ) -> Dict[str, int]:
-        """Route readings to their section's fog layer-1 node and acquire them.
+        """Deprecated shim for :meth:`repro.api.pipeline.Pipeline.ingest_rows`.
 
-        Readings from sensors without an explicit assignment are spread over
-        sections deterministically (stable CRC-32 hash of the sensor id, so
-        the spreading is identical across runs), or sent to *default_section*
-        when given.  Returns the number of readings acquired per fog layer-1
-        node.
-
-        The edge→fog hop is also recorded in the traffic accountant, so the
-        per-layer byte report includes what fog layer 1 received from the
-        sensors themselves.
+        Routes readings to their section's fog layer-1 node and acquires
+        them; returns the readings acquired per node.  Use
+        ``repro.api.connect().ingest(...)`` (or ``Pipeline.ingest_rows``)
+        in new code.
         """
-        timestamp = now if now is not None else self.simulator.clock.now()
-        if isinstance(readings, ReadingBatch):
-            return self.ingest_columns(readings.columns, now=timestamp, default_section=default_section)
-        if isinstance(readings, ReadingColumns):
-            return self.ingest_columns(readings, now=timestamp, default_section=default_section)
-        # Bucket into plain per-node lists first (one append per reading),
-        # then decompose each node's list into columns in bulk — the batch
-        # stays columnar from here to the cloud.  Routing is inlined with a
-        # persistent sensor → node cache: the cache hit is the common case
-        # and must not pay a function call per reading.
-        node_cache = self._sensor_node_cache
-        route = self._resolve_node_cached
-        per_node: Dict[str, List[Reading]] = defaultdict(list)
-        if default_section is None:
-            for reading in readings:
-                sensor_id = reading.sensor_id
-                node_id = node_cache.get(sensor_id)
-                if node_id is None:
-                    node_id = route(sensor_id, None)
-                per_node[node_id].append(reading)
-        else:
-            # A caller default overrides cached spread routes, so the cache
-            # is bypassed (assignment still wins inside the resolver).
-            for reading in readings:
-                per_node[route(reading.sensor_id, default_section)].append(reading)
-
-        acquired_counts: Dict[str, int] = {}
-        for node_id, node_readings in per_node.items():
-            batch = ReadingBatch.from_columns(ReadingColumns.from_reading_list(node_readings))
-            acquired_counts[node_id] = self._acquire_at_node(node_id, batch, timestamp)
-        return acquired_counts
+        _warn_legacy_entry_point("ingest_readings", "F2CClient.ingest / Pipeline.ingest_rows")
+        return self.api_pipeline.ingest_rows(readings, now=now, default_section=default_section)
 
     def ingest_columns(
         self,
@@ -284,41 +288,13 @@ class F2CDataManagement:
         now: Optional[float] = None,
         default_section: Optional[str] = None,
     ) -> Dict[str, int]:
-        """Columnar-native ingest: route and acquire a whole column batch.
+        """Deprecated shim for :meth:`repro.api.pipeline.Pipeline.ingest_columns`.
 
-        Same semantics as :meth:`ingest_readings` but the input is already
-        in the native column representation (e.g. decoded wire frames or an
-        in-process columnar feed), so no per-reading objects exist anywhere
-        on the path.
+        Columnar-native ingest: routes and acquires a whole column batch.
+        Use ``Pipeline.ingest_columns`` from :mod:`repro.api` in new code.
         """
-        timestamp = now if now is not None else self.simulator.clock.now()
-        node_cache = self._sensor_node_cache
-        route = self._resolve_node_cached
-        buckets: Dict[str, List[int]] = {}
-        index = 0
-        for sensor_id in columns.sensor_ids:
-            if default_section is None:
-                node_id = node_cache.get(sensor_id)
-                if node_id is None:
-                    node_id = route(sensor_id, None)
-            else:
-                node_id = route(sensor_id, default_section)
-            bucket = buckets.get(node_id)
-            if bucket is None:
-                bucket = buckets[node_id] = []
-            bucket.append(index)
-            index += 1
-        acquired_counts: Dict[str, int] = {}
-        if len(buckets) == 1:
-            (node_id, _), = buckets.items()
-            acquired_counts[node_id] = self._acquire_at_node(
-                node_id, ReadingBatch.from_columns(columns), timestamp
-            )
-            return acquired_counts
-        for node_id, indices in buckets.items():
-            batch = ReadingBatch.from_columns(columns.gather(indices))
-            acquired_counts[node_id] = self._acquire_at_node(node_id, batch, timestamp)
-        return acquired_counts
+        _warn_legacy_entry_point("ingest_columns", "Pipeline.ingest_columns")
+        return self.api_pipeline.ingest_columns(columns, now=now, default_section=default_section)
 
     def _resolve_node_cached(self, sensor_id: str, default_section: Optional[str]) -> str:
         """Resolve a sensor's fog L1 node, caching stable routes.
@@ -340,177 +316,28 @@ class F2CDataManagement:
         self._sensor_node_cache[sensor_id] = node_id
         return node_id
 
-    def _acquire_at_node(self, node_id: str, batch: ReadingBatch, timestamp: float) -> int:
-        fog1 = self.fog1_node(node_id)
-        self.simulator.accountant.record_transfer(
-            timestamp=timestamp,
-            source=f"sensors/{fog1.section_id}",
-            target=node_id,
-            target_layer=LayerName.FOG_1,
-            size_bytes=batch.total_bytes,
-            message_count=len(batch),
-        )
-        acquired = fog1.ingest(batch, timestamp)
-        return len(acquired)
-
     # ------------------------------------------------------------------ #
-    # Broker integration
+    # Broker integration (deprecated shims over the repro.api pipeline)
     # ------------------------------------------------------------------ #
     def attach_broker(self, broker: Broker, city_slug: str = "bcn", batched: bool = False) -> None:
-        """Subscribe every fog layer-1 node to its section's topic subtree.
+        """Deprecated shim for :meth:`repro.api.pipeline.Pipeline.attach_broker`.
 
-        Topics follow ``city/<city>/<district>/<section>/<category>/<type>``;
-        the payload must be the reading's wire encoding produced by
-        :meth:`repro.sensors.readings.Reading.encode` and is re-parsed into a
-        minimal reading (value as string) for acquisition.
-
-        With ``batched=True`` messages are parked in a per-fog-node broker
-        inbox instead of running the acquisition block per message; call
-        :meth:`flush_broker` to drain every inbox and acquire each node's
-        backlog as one batch.  This is the high-throughput ingest mode: the
-        acquisition block, traffic accounting and storage bookkeeping all run
-        once per batch instead of once per reading.
+        Subscribes every fog layer-1 node to its section's topic subtree;
+        with ``batched=True`` messages park in per-node inboxes drained by
+        :meth:`flush_broker`.  New code selects a broker transport in a
+        :class:`repro.api.PipelineConfig` instead.
         """
-        self._broker = broker
-        self._broker_batched = batched
-        for district in self.city.districts:
-            for section in district.sections:
-                node_id = fog1_node_id(section.section_id)
-                # Section ids contain '/', which is fine for MQTT topics.
-                topic_filter = f"city/{city_slug}/{section.section_id}/#"
-                broker.subscribe(
-                    client_id=node_id,
-                    topic_filter=topic_filter,
-                    handler=self._broker_handler(node_id),
-                    batched=batched,
-                )
-
-    @staticmethod
-    def _parse_broker_message(message: Message) -> Optional[Reading]:
-        """Decode one CSV wire payload back into a minimal reading.
-
-        Returns ``None`` for anything that does not parse as a reading line
-        — too few fields, a non-numeric timestamp, bytes that are not UTF-8
-        (e.g. a binary frame whose magic got corrupted in flight).  A bad
-        payload is dropped, never raised.
-        """
-        from repro.common.serialization import decode_csv_line
-
-        try:
-            fields = decode_csv_line(message.payload.rstrip(b" "))
-        except UnicodeDecodeError:
-            return None
-        if len(fields) < 4:
-            return None
-        sensor_id, sensor_type, value_text, timestamp_text = fields[:4]
-        try:
-            value: object = float(value_text)
-        except ValueError:
-            value = value_text
-        try:
-            timestamp = float(timestamp_text)
-        except ValueError:
-            return None
-        category = message.topic.split("/")[-2] if message.topic.count("/") >= 2 else "unknown"
-        return Reading(
-            sensor_id=sensor_id,
-            sensor_type=sensor_type,
-            category=category,
-            value=value,
-            timestamp=timestamp,
-            size_bytes=len(message.payload),
-        )
-
-    def _decode_message_columns(self, message: Message) -> Optional[ReadingColumns]:
-        """Decode any broker payload (column frame or CSV line) into columns.
-
-        Column frames carry the whole batch, including the per-reading
-        Table-I wire sizes, so downstream traffic accounting is identical to
-        the per-reading CSV path.  Returns ``None`` (and counts the drop)
-        for any malformed payload: a frame decodes whole or not at all, so
-        a corrupt message can neither abort a flush nor partially ingest.
-        """
-        payload = message.payload
-        if ReadingColumns.is_frame(payload):
-            try:
-                return ReadingColumns.decode_frame(payload)
-            except (ValueError, TypeError, KeyError, OverflowError):
-                # Malformed frames are dropped exactly like malformed CSV
-                # payloads (QoS 0): one corrupt message must not abort a
-                # flush and lose the rest of the drained inbox.
-                self.dropped_payloads += 1
-                return None
-        reading = self._parse_broker_message(message)
-        if reading is None:
-            self.dropped_payloads += 1
-            return None
-        columns = ReadingColumns()
-        columns.append_reading(reading)
-        return columns
-
-    def _broker_handler(self, node_id: str):
-        def handle(message: Message) -> None:
-            columns = self._decode_message_columns(message)
-            if columns is None or not len(columns):
-                return
-            timestamp = max(columns.timestamps)
-            fog1 = self.fog1_node(node_id)
-            self.simulator.accountant.record_transfer(
-                timestamp=timestamp,
-                source=f"broker/{node_id}",
-                target=node_id,
-                target_layer=LayerName.FOG_1,
-                size_bytes=columns.total_bytes,
-                message_count=len(columns),
-            )
-            fog1.ingest(ReadingBatch.from_columns(columns), timestamp)
-
-        return handle
+        _warn_legacy_entry_point("attach_broker", "PipelineConfig(transport='broker-csv'|'frames-*')")
+        self.api_pipeline.attach_broker(broker, city_slug=city_slug, batched=batched)
 
     def flush_broker(self, now: Optional[float] = None) -> Dict[str, int]:
-        """Drain every fog node's broker inbox and acquire it as one batch.
+        """Deprecated shim for :meth:`repro.api.pipeline.Pipeline.flush_broker`.
 
-        Only meaningful after ``attach_broker(..., batched=True)``.  Returns
-        the number of readings acquired per fog layer-1 node.  The traffic
-        accountant records one transfer per (node, flush) with the summed
-        byte volume, mirroring what :meth:`ingest_readings` does for direct
-        batch ingestion.
+        Drains every fog node's broker inbox and acquires it as one batch;
+        returns the readings acquired per fog layer-1 node.
         """
-        if self._broker is None:
-            raise ConfigurationError("no broker attached")
-        if not self._broker_batched:
-            raise ConfigurationError("broker was not attached in batched mode")
-        acquired_counts: Dict[str, int] = {}
-        # Drain only this architecture's own fog layer-1 subscriptions: other
-        # batched clients may share the broker and own their inboxes.
-        decode = self._decode_message_columns
-        for node_id in self._fog1:
-            messages = self._broker.drain_inbox(node_id)
-            if not messages:
-                continue
-            columns = ReadingColumns()
-            for message in messages:
-                decoded = decode(message)
-                if decoded is not None:
-                    columns.extend_columns(decoded)
-            if not len(columns):
-                continue
-            # Batch maximum, not the last arrival: with out-of-order arrivals
-            # an older last message would make newer readings look like they
-            # are from the future and fail the quality phase's skew check.
-            timestamp = now if now is not None else max(columns.timestamps)
-            fog1 = self.fog1_node(node_id)
-            self.simulator.accountant.record_transfer(
-                timestamp=timestamp,
-                source=f"broker/{node_id}",
-                target=node_id,
-                target_layer=LayerName.FOG_1,
-                size_bytes=columns.total_bytes,
-                message_count=len(columns),
-            )
-            acquired = fog1.ingest(ReadingBatch.from_columns(columns), timestamp)
-            acquired_counts[node_id] = len(acquired)
-        return acquired_counts
+        _warn_legacy_entry_point("flush_broker", "IngestSession.ingest / Pipeline.flush_broker")
+        return self.api_pipeline.flush_broker(now=now)
 
     def publish_frames(
         self,
@@ -521,66 +348,22 @@ class F2CDataManagement:
         timestamp: float = 0.0,
         frame_format: Optional[str] = None,
     ) -> Dict[str, int]:
-        """Publish readings as one column frame per section (wire fast path).
+        """Deprecated shim for :meth:`repro.api.pipeline.Pipeline.publish_frames`.
 
-        Readings are routed to sections exactly like :meth:`ingest_readings`
-        routes them to fog nodes, then each section's rows are encoded into
-        a single :meth:`ReadingColumns.encode_frame` payload and published
-        on ``city/<slug>/<section>/frame``.  Fog layer-1 subscribers decode
-        the frame back into columns (see :meth:`_decode_message_columns`),
-        so one broker delivery replaces one delivery per reading while the
-        per-reading Table-I wire sizes — carried inside the frame — keep the
-        traffic accounting identical.
-
-        *frame_format* overrides the wire layout for this call; otherwise
-        the system's configured :attr:`frame_format` applies (and, when that
-        is ``None`` too, the process-wide default).  Receivers auto-detect
-        the layout per payload, so format can change mid-stream.
-
-        Returns the number of readings framed per section.
+        Publishes readings as one column frame per section on
+        ``city/<slug>/<section>/frame``; returns the readings framed per
+        section.  New code uses a ``frames-json`` / ``frames-binary``
+        transport session from :mod:`repro.api`.
         """
-        if broker is None:
-            broker = self._broker
-        if broker is None:
-            raise ConfigurationError("no broker attached and none supplied")
-        if frame_format is None:
-            frame_format = self.frame_format
-        elif frame_format not in FRAME_FORMATS:
-            raise ConfigurationError(
-                f"frame_format must be one of {FRAME_FORMATS}, got {frame_format!r}"
-            )
-        section_by_node = {node_id: fog1.section_id for node_id, fog1 in self._fog1.items()}
-        node_cache = self._sensor_node_cache
-        route = self._resolve_node_cached
-        per_section: Dict[str, List[Reading]] = defaultdict(list)
-        for reading in readings:
-            if default_section is None:
-                node_id = node_cache.get(reading.sensor_id)
-                if node_id is None:
-                    node_id = route(reading.sensor_id, None)
-            else:
-                node_id = route(reading.sensor_id, default_section)
-            section_id = section_by_node.get(node_id)
-            if section_id is None:
-                # Same descriptive failure as the direct ingest path.
-                raise RoutingError(f"unknown fog layer-1 node: {node_id}")
-            per_section[section_id].append(reading)
-        published: Dict[str, int] = {}
-        topic_cache = self._frame_topic_cache
-        for section_id, section_readings in per_section.items():
-            topic = topic_cache.get((city_slug, section_id))
-            if topic is None:
-                topic = topic_cache[(city_slug, section_id)] = (
-                    f"city/{city_slug}/{section_id}/frame"
-                )
-            columns = ReadingColumns.from_reading_list(section_readings)
-            broker.publish(
-                topic,
-                columns.encode_frame(format=frame_format),
-                timestamp=timestamp,
-            )
-            published[section_id] = len(section_readings)
-        return published
+        _warn_legacy_entry_point("publish_frames", "IngestSession.ingest / Pipeline.publish_frames")
+        return self.api_pipeline.publish_frames(
+            broker,
+            readings,
+            city_slug=city_slug,
+            default_section=default_section,
+            timestamp=timestamp,
+            frame_format=frame_format,
+        )
 
     # ------------------------------------------------------------------ #
     # Sharded-runtime integration (supervisor side)
@@ -631,6 +414,17 @@ class F2CDataManagement:
             self.fog1_node(node_id)  # validates the id
             self._fog1_stats_override[node_id] = dict(stats)
 
+    def fog1_store_is_authoritative(self, node_id: str) -> bool:
+        """Whether *node_id*'s local store actually holds its section's data.
+
+        False after :meth:`merge_fog1_stats` named the node: its acquisition
+        ran in a worker process, so the supervisor-local store is empty and
+        readers (the :mod:`repro.api` query service) must fall through to
+        fog layer 2 / cloud for its area.
+        """
+        self.fog1_node(node_id)  # validates the id
+        return node_id not in self._fog1_stats_override
+
     # ------------------------------------------------------------------ #
     # Data movement & reporting
     # ------------------------------------------------------------------ #
@@ -672,18 +466,21 @@ class F2CDataManagement:
 
 
 def run_sharded(workers: int, workload=None, catalog: Optional[SensorCatalog] = None, **kwargs):
-    """Run a seeded city workload sharded over *workers* ingest processes.
+    """Deprecated shim for the sharded transport of :mod:`repro.api`.
 
-    The multi-process counterpart of driving :meth:`ingest_readings` +
-    :meth:`synchronise` in one process: fog layer-1 sections are
-    partitioned across worker processes (stable CRC-32), each worker runs
-    acquisition + layer-1 aggregation for its sections, and a supervisor
-    absorbs the acquired batches over binary-frame IPC and drives fog
-    layer 2 → cloud exactly as the in-process path.  Output (Table-I
-    traffic/storage reports and cloud contents) is byte-identical for any
-    worker count.  See :func:`repro.runtime.supervisor.run_sharded` for the
-    full parameter set; this is the architecture-level entry point.
+    Runs a seeded city workload sharded over *workers* ingest processes.
+    New code uses ``repro.api.run_workload(transport="sharded",
+    workers=N)`` (a queryable client) or calls
+    :func:`repro.runtime.supervisor.run_sharded` directly for the raw
+    :class:`~repro.runtime.supervisor.ShardedRunResult`.
     """
+    warnings.warn(
+        "repro.core.architecture.run_sharded() is a deprecated shim; use "
+        "repro.api.run_workload(transport='sharded', workers=N) or "
+        "repro.runtime.run_sharded()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.runtime.supervisor import run_sharded as _run_sharded
 
     return _run_sharded(workers=workers, workload=workload, catalog=catalog, **kwargs)

@@ -78,8 +78,21 @@ class _BaseNode:
     def has_series(self, sensor_id: str) -> bool:
         return self.storage.has_series(sensor_id)
 
-    def query_window(self, since: float = float("-inf"), until: float = float("inf"), category: Optional[str] = None) -> ReadingBatch:
-        return self.storage.query_window(since=since, until=until, category=category)
+    def query_window(
+        self,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        category: Optional[str] = None,
+        sensor_id: Optional[str] = None,
+        fog_node_id: Optional[str] = None,
+    ) -> ReadingBatch:
+        return self.storage.query_window(
+            since=since,
+            until=until,
+            category=category,
+            sensor_id=sensor_id,
+            fog_node_id=fog_node_id,
+        )
 
     def stats(self) -> Dict[str, object]:
         data = self.storage.stats()

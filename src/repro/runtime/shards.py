@@ -266,13 +266,14 @@ def run_shard(
         wait_for_go()
 
     accountant = system.simulator.accountant
+    ingest_rows = system.api_pipeline.ingest_rows
     records_seen = 0
     ingested = 0
     for sync_index, (rounds_before, sync_time) in enumerate(workload.sync_plan):
         while ingested < min(rounds_before, len(rounds)):
             timestamp, readings = rounds[ingested]
             if readings:
-                system.ingest_readings(readings, now=timestamp)
+                ingest_rows(readings, now=timestamp)
             ingested += 1
             if fault is not None and fault.die_after_round == ingested - 1:
                 die(17)

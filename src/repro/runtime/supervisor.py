@@ -127,6 +127,23 @@ class ShardedRunResult:
         """SHA-256 over the canonical cloud contents (cheap equality token)."""
         return cloud_digest(self.architecture)
 
+    def client(self):
+        """A :class:`repro.api.F2CClient` over this run's deployment.
+
+        The same facade a single-process run returns: hierarchical queries
+        resolve against the supervisor's fog layer 2 / cloud tiers (the
+        worker-local fog layer-1 stores are not local here), and
+        ``health()`` carries this run's IPC drop / restart counters.
+        """
+        from repro.api.client import F2CClient
+        from repro.api.pipeline import Pipeline
+
+        return F2CClient(
+            system=self.architecture,
+            pipeline=Pipeline.for_system(self.architecture),
+            sharded=self,
+        )
+
 
 class _InlineChannel:
     """An in-memory worker channel: run_shard output replayed to a reader."""

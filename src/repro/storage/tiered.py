@@ -100,8 +100,16 @@ class TieredStore:
         since: float = float("-inf"),
         until: float = float("inf"),
         category: Optional[str] = None,
+        sensor_id: Optional[str] = None,
+        fog_node_id: Optional[str] = None,
     ) -> ReadingBatch:
-        return self.store.query_window(since=since, until=until, category=category)
+        return self.store.query_window(
+            since=since,
+            until=until,
+            category=category,
+            sensor_id=sensor_id,
+            fog_node_id=fog_node_id,
+        )
 
     def __len__(self) -> int:
         return len(self.store)

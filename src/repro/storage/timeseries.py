@@ -629,14 +629,29 @@ class TimeSeriesStore:
         since: float = float("-inf"),
         until: float = float("inf"),
         category: Optional[str] = None,
+        sensor_id: Optional[str] = None,
+        fog_node_id: Optional[str] = None,
     ) -> ReadingBatch:
-        """All readings across series in the window, optionally per category.
+        """All readings across series in the window, optionally filtered.
+
+        ``since`` is inclusive, ``until`` exclusive (``since <= ts < until``,
+        matching :meth:`query`).  *category*, *sensor_id* and *fog_node_id*
+        narrow the result; the fog filter is what lets a broad tier (fog
+        layer 2, the cloud) answer for one fog layer-1 node's area — its
+        stored readings carry the acquiring node's id.
 
         The result batch is assembled column-wise (bulk slice copies); no
         ``Reading`` objects are created unless the caller materializes them.
         """
         out = ReadingColumns()
-        for sensor_id, series in self._series.items():
+        if sensor_id is not None:
+            # The store is keyed by sensor id: a sensor-scoped query is one
+            # dict hit, not a scan over every series.
+            series = self._series.get(sensor_id)
+            candidates = [(sensor_id, series)] if series is not None else []
+        else:
+            candidates = self._series.items()
+        for series_id, series in candidates:
             timestamps = series.timestamps
             if not timestamps:
                 continue
@@ -644,30 +659,43 @@ class TimeSeriesStore:
             end = bisect_left(timestamps, until)
             if start >= end:
                 continue
-            if category is not None:
-                if series.category0 is not None:
-                    if series.category0 != category:
-                        continue
-                else:
-                    cats = series.cats
-                    indices = [i for i in range(start, end) if cats[i] == category]
-                    if not indices:
-                        continue
-                    row_size = series.row_size
-                    out.extend_arrays(
-                        [sensor_id] * len(indices),
-                        [series.types[i] if series.types is not None else series.type0 for i in indices],
-                        [cats[i] for i in indices],
-                        [series.values[i] for i in indices],
-                        [series.timestamps[i] for i in indices],
-                        [series.fogs[i] if series.fogs is not None else series.fog0 for i in indices],
-                        [row_size(i) for i in indices],
-                        [series.sequences[i] for i in indices],
-                        [series.tags[i] for i in indices],
-                    )
+            # Interned scalar rejections: a series whose uniform category or
+            # fog id mismatches is skipped without touching any row.
+            if category is not None and series.cats is None and series.category0 != category:
+                continue
+            if fog_node_id is not None and series.fogs is None and series.fog0 != fog_node_id:
+                continue
+            per_row = (category is not None and series.cats is not None) or (
+                fog_node_id is not None and series.fogs is not None
+            )
+            if per_row:
+                cats = series.cats
+                fogs = series.fogs
+                category0 = series.category0
+                fog0 = series.fog0
+                indices = [
+                    i
+                    for i in range(start, end)
+                    if (category is None or (cats[i] if cats is not None else category0) == category)
+                    and (fog_node_id is None or (fogs[i] if fogs is not None else fog0) == fog_node_id)
+                ]
+                if not indices:
                     continue
+                row_size = series.row_size
+                out.extend_arrays(
+                    [series_id] * len(indices),
+                    [series.types[i] if series.types is not None else series.type0 for i in indices],
+                    [cats[i] if cats is not None else category0 for i in indices],
+                    [series.values[i] for i in indices],
+                    [series.timestamps[i] for i in indices],
+                    [fogs[i] if fogs is not None else fog0 for i in indices],
+                    [row_size(i) for i in indices],
+                    [series.sequences[i] for i in indices],
+                    [series.tags[i] for i in indices],
+                )
+                continue
             out.extend_arrays(
-                [sensor_id] * (end - start),
+                [series_id] * (end - start),
                 series.types_slice(start, end),
                 series.cats_slice(start, end),
                 series.values[start:end],

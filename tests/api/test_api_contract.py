@@ -1,0 +1,92 @@
+"""Public-API contract snapshot for ``repro.api``.
+
+The facade is the contract every later PR builds on (async serving,
+caching, multi-backend).  This test renders the exported surface — names,
+function signatures, class constructor signatures, dataclass fields, public
+methods and properties — into a canonical description and compares it
+against the committed snapshot.  Any surface change (addition, removal,
+signature drift) fails until the snapshot is updated deliberately:
+
+    REPRO_UPDATE_API_SNAPSHOT=1 PYTHONPATH=src python -m pytest tests/api/test_api_contract.py
+"""
+
+import dataclasses
+import inspect
+import json
+import os
+import pathlib
+
+import repro.api
+
+SNAPSHOT_PATH = pathlib.Path(__file__).parent / "data" / "api_surface.json"
+
+
+def describe_surface() -> dict:
+    surface = {}
+    for name in sorted(repro.api.__all__):
+        obj = getattr(repro.api, name)
+        if inspect.isclass(obj):
+            entry = {"kind": "class", "signature": str(inspect.signature(obj))}
+            if dataclasses.is_dataclass(obj):
+                entry["fields"] = {
+                    field.name: {
+                        "type": str(field.type),
+                        "default": (
+                            repr(field.default)
+                            if field.default is not dataclasses.MISSING
+                            else None
+                        ),
+                    }
+                    for field in dataclasses.fields(obj)
+                }
+            methods = {}
+            properties = []
+            for member_name, member in inspect.getmembers(obj):
+                if member_name.startswith("_"):
+                    continue
+                if isinstance(inspect.getattr_static(obj, member_name), property):
+                    properties.append(member_name)
+                elif inspect.isfunction(member) or inspect.ismethod(member):
+                    methods[member_name] = str(inspect.signature(member))
+            entry["methods"] = methods
+            entry["properties"] = sorted(properties)
+            surface[name] = entry
+        elif inspect.isfunction(obj):
+            surface[name] = {"kind": "function", "signature": str(inspect.signature(obj))}
+        else:
+            surface[name] = {"kind": "value", "value": repr(obj)}
+    return surface
+
+
+class TestPublicApiContract:
+    def test_exported_surface_matches_the_snapshot(self):
+        actual = describe_surface()
+        if os.environ.get("REPRO_UPDATE_API_SNAPSHOT") == "1":
+            SNAPSHOT_PATH.parent.mkdir(exist_ok=True)
+            SNAPSHOT_PATH.write_text(
+                json.dumps(actual, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        assert SNAPSHOT_PATH.exists(), (
+            "no API snapshot committed; regenerate with "
+            "REPRO_UPDATE_API_SNAPSHOT=1 pytest tests/api/test_api_contract.py"
+        )
+        snapshot = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
+        assert actual == snapshot, (
+            "the exported surface of repro.api changed; if intentional, regenerate "
+            "the snapshot with REPRO_UPDATE_API_SNAPSHOT=1 pytest "
+            "tests/api/test_api_contract.py and commit the diff"
+        )
+
+    def test_all_exports_resolve(self):
+        for name in repro.api.__all__:
+            assert hasattr(repro.api, name), name
+
+    def test_no_unlisted_public_exports(self):
+        """Everything public that the package module defines is in __all__."""
+        public = {
+            name
+            for name, obj in vars(repro.api).items()
+            if not name.startswith("_")
+            and getattr(obj, "__module__", "").startswith("repro.api")
+        }
+        assert public <= set(repro.api.__all__)

@@ -1,0 +1,82 @@
+"""One ``client.health()`` report unifies every drop/fault counter.
+
+Broker payload drops (``dropped_payloads``), sharded-runtime IPC record
+drops and worker restarts, and the query service's served-from counters all
+surface through the same report — and through ``client.summary()``.
+"""
+
+from repro.api import F2CClient, PipelineConfig
+from repro.core.architecture import F2CDataManagement
+from repro.runtime import ShardedWorkload, WorkerFault, run_sharded
+from tests.conftest import make_reading
+
+
+def _client(small_city, small_catalog, **config_kwargs):
+    system = F2CDataManagement(
+        city=small_city, catalog=small_catalog, fog1_aggregator_factory=None
+    )
+    return F2CClient(system=system, config=PipelineConfig(**config_kwargs))
+
+
+class TestHealthReport:
+    def test_clean_deployment_reports_zero_everything(self, small_city, small_catalog):
+        client = _client(small_city, small_catalog)
+        health = client.health()
+        assert health["dropped_payloads"] == 0
+        assert health["dropped_ipc_frames"] == 0
+        assert health["worker_restarts"] == 0
+        assert health["worker_faults"] == []
+        assert health["queries"]["served"] == 0
+
+    def test_dropped_broker_payloads_surface_in_health(self, small_city, small_catalog):
+        client = _client(
+            small_city, small_catalog, transport="frames-binary", city_slug="toyville"
+        )
+        client.ingest(
+            [make_reading(sensor_id="ok-1", value=1.0, timestamp=1.0)],
+            now=1.0,
+            default_section="d-01/s-01",
+        )
+        broker = client.session.broker
+        # A corrupt frame and a malformed CSV line, parked then flushed.
+        broker.publish("city/toyville/d-01/s-01/frame", b"\x00RBB garbage", timestamp=2.0)
+        broker.publish("city/toyville/d-01/s-01/energy/temperature", b"\xff\xfe", timestamp=2.0)
+        client.ingest([], now=2.0)  # drains the inboxes via the session flush
+        health = client.health()
+        assert health["dropped_payloads"] == 2
+        assert client.system.dropped_payloads == 2  # the legacy counter agrees
+
+    def test_query_counters_flow_into_health(self, small_city, small_catalog):
+        client = _client(small_city, small_catalog)
+        client.ingest(
+            [make_reading(sensor_id="h-1", value=1.0, timestamp=5.0)],
+            now=5.0,
+            default_section="d-01/s-01",
+        )
+        client.query(since=0.0, until=10.0)
+        client.query(since=0.0, until=10.0)
+        queries = client.health()["queries"]
+        assert queries["served"] == 2
+        assert queries["cache_hits"] == 1
+        assert queries["rows_by_tier"]["fog_layer_1"] == 1
+
+    def test_summary_embeds_the_health_report(self, small_city, small_catalog):
+        client = _client(small_city, small_catalog)
+        summary = client.summary()
+        assert summary["city"] == "Toyville"
+        assert summary["health"]["dropped_payloads"] == 0
+        # The architecture's own summary stays health-free (Fig. 6 shape).
+        assert "health" not in client.system.summary()
+
+
+class TestShardedHealth:
+    def test_worker_fault_counters_surface_in_health(self):
+        result = run_sharded(
+            workers=2,
+            workload=ShardedWorkload.golden(),
+            fault=WorkerFault(shard_index=0, die_after_round=1),
+            inline=True,
+        )
+        health = result.client().health()
+        assert health["worker_restarts"] == 1
+        assert health["worker_faults"] and health["worker_faults"][0]["worker"] == 0

@@ -1,0 +1,99 @@
+"""The legacy write entry points are working, warning, delegating shims.
+
+Each shimmed ``F2CDataManagement`` method must (a) emit a
+``DeprecationWarning`` naming its replacement, and (b) behave exactly like
+the :mod:`repro.api` pipeline verb it delegates to — the golden equivalence
+suite proves (b) at full-workload scale; here we pin it per call.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import Pipeline
+from repro.core import architecture
+from repro.core.architecture import F2CDataManagement
+from repro.messaging.broker import Broker
+from tests.conftest import make_reading
+
+
+def _system(small_city, small_catalog):
+    return F2CDataManagement(
+        city=small_city, catalog=small_catalog, fog1_aggregator_factory=None
+    )
+
+
+class TestShimsWarnAndDelegate:
+    def test_ingest_readings_warns_and_ingests(self, small_city, small_catalog):
+        system = _system(small_city, small_catalog)
+        with pytest.warns(DeprecationWarning, match="ingest_readings"):
+            counts = system.ingest_readings(
+                [make_reading(sensor_id="dep-1", value=1.0)], now=0.0,
+                default_section="d-01/s-01",
+            )
+        assert counts == {"fog1/d-01/s-01": 1}
+        assert system.fog1_for_section("d-01/s-01").has_series("dep-1")
+
+    def test_ingest_columns_warns_and_ingests(self, small_city, small_catalog):
+        from repro.sensors.readings import ReadingColumns
+
+        system = _system(small_city, small_catalog)
+        columns = ReadingColumns.from_reading_list(
+            [make_reading(sensor_id="dep-2", value=2.0)]
+        )
+        with pytest.warns(DeprecationWarning, match="ingest_columns"):
+            counts = system.ingest_columns(columns, now=0.0, default_section="d-01/s-01")
+        assert counts == {"fog1/d-01/s-01": 1}
+
+    def test_broker_shims_warn_and_work(self, small_city, small_catalog):
+        system = _system(small_city, small_catalog)
+        broker = Broker()
+        with pytest.warns(DeprecationWarning, match="attach_broker"):
+            system.attach_broker(broker, city_slug="toyville", batched=True)
+        with pytest.warns(DeprecationWarning, match="publish_frames"):
+            published = system.publish_frames(
+                broker,
+                [make_reading(sensor_id="dep-3", value=3.0, timestamp=1.0)],
+                city_slug="toyville",
+                default_section="d-01/s-01",
+                timestamp=1.0,
+            )
+        assert published == {"d-01/s-01": 1}
+        with pytest.warns(DeprecationWarning, match="flush_broker"):
+            counts = system.flush_broker(now=1.0)
+        assert counts == {"fog1/d-01/s-01": 1}
+
+    def test_module_level_run_sharded_warns(self):
+        from repro.runtime import ShardedWorkload
+
+        with pytest.warns(DeprecationWarning, match="run_sharded"):
+            result = architecture.run_sharded(
+                workers=1, workload=ShardedWorkload.golden(), inline=True
+            )
+        assert result.total_readings_absorbed > 0
+
+    def test_shims_share_state_with_the_pipeline(self, small_city, small_catalog):
+        """A broker attached via the shim is visible to the pipeline verbs."""
+        system = _system(small_city, small_catalog)
+        broker = Broker()
+        with pytest.warns(DeprecationWarning):
+            system.attach_broker(broker, city_slug="toyville", batched=True)
+        pipeline = Pipeline.for_system(system)
+        reading = make_reading(sensor_id="dep-4", value=4.0, timestamp=1.0, size_bytes=64)
+        broker.publish(
+            "city/toyville/d-01/s-01/energy/temperature", reading.encode(), timestamp=1.0
+        )
+        counts = pipeline.flush_broker(now=1.0)  # no warning, same inboxes
+        assert counts == {"fog1/d-01/s-01": 1}
+
+    def test_pipeline_verbs_do_not_warn(self, small_city, small_catalog):
+        system = _system(small_city, small_catalog)
+        pipeline = Pipeline.for_system(system)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            pipeline.ingest_rows(
+                [make_reading(sensor_id="dep-5", value=5.0)], now=0.0,
+                default_section="d-01/s-01",
+            )
+            pipeline.attach_broker(Broker(), city_slug="toyville", batched=True)
+            pipeline.flush_broker(now=0.0)

@@ -61,3 +61,94 @@ class TestCli:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestIngestCommand:
+    def test_ingest_direct_text_report(self, capsys):
+        code, out = run_cli(capsys, "ingest")
+        assert code == 0
+        assert "transport 'direct'" in out
+        assert "fog_layer_1_nodes: 73" in out
+        assert "dropped_payloads: 0" in out
+
+    def test_ingest_json_carries_summary_health_and_traffic(self, capsys):
+        import json
+
+        code, out = run_cli(capsys, "ingest", "--transport", "frames-binary", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["transport"] == "frames-binary"
+        assert payload["summary"]["health"]["dropped_payloads"] == 0
+        assert payload["traffic"]["cloud"] > 0
+
+    def test_ingest_sharded_inline(self, capsys):
+        code, out = run_cli(
+            capsys, "ingest", "--transport", "sharded", "--workers", "2",
+            "--inline-workers",
+        )
+        assert code == 0
+        assert "worker_restarts: 0" in out
+
+    def test_workers_require_sharded_transport(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["ingest", "--workers", "2"])
+        with pytest.raises(SystemExit):
+            main(["ingest", "--rounds", "0"])
+        with pytest.raises(SystemExit):
+            main(["ingest", "--inline-workers"])
+
+
+class TestQueryCommand:
+    def test_query_text_output_names_the_serving_tier(self, capsys):
+        code, out = run_cli(capsys, "query", "--since", "0", "--until", "1800")
+        assert code == 0
+        assert "served from fog_layer_1" in out
+        assert "more" in out or "=" in out
+
+    def test_query_json_reports_attribution(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "query", "--since", "0", "--until", "900",
+            "--category", "energy", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["rows"] > 0
+        assert set(payload["rows_by_tier"]) == {"fog_layer_1"}
+        assert all(source["tier"] == "fog_layer_1" for source in payload["sources"])
+
+    def test_query_sharded_serves_from_broad_tiers(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "query", "--transport", "sharded", "--workers", "2",
+            "--inline-workers", "--since", "0", "--until", "900", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["rows"] > 0
+        assert "fog_layer_1" not in payload["rows_by_tier"]
+
+    def test_query_json_default_window_is_strict_json(self, capsys):
+        import json
+
+        code, out = run_cli(capsys, "query", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        # Unbounded ends must be null, not the non-standard Infinity literal.
+        assert payload["window"] == {"since": None, "until": None}
+        assert "Infinity" not in out
+
+    def test_query_section_filter(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "query", "--section", "district-01/section-01", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert all(
+            source["section_id"] == "district-01/section-01"
+            for source in payload["sources"]
+        )

@@ -28,7 +28,7 @@ readings = [
             category="energy", value=1.0, timestamp=0.0, size_bytes=22)
     for i in range(40)
 ]
-counts = system.ingest_readings(readings, now=0.0)
+counts = system.api_pipeline.ingest_rows(readings, now=0.0)
 print(";".join(f"{{node}}={{count}}" for node, count in sorted(counts.items())))
 """
 
@@ -37,23 +37,23 @@ class TestStableSpreading:
     def test_unassigned_sensor_routing_uses_stable_hash(self, f2c_system):
         sections = [s.section_id for s in f2c_system.city.sections]
         reading = make_reading(sensor_id="unassigned-1")
-        counts = f2c_system.ingest_readings([reading], now=0.0)
+        counts = f2c_system.api_pipeline.ingest_rows([reading], now=0.0)
         expected_section = sections[zlib.crc32(b"unassigned-1") % len(sections)]
         assert list(counts.keys()) == [f"fog1/{expected_section}"]
 
     def test_assignment_overrides_spreading(self, f2c_system):
         f2c_system.assign_sensor("pinned-1", "d-02/s-02")
-        counts = f2c_system.ingest_readings([make_reading(sensor_id="pinned-1")], now=0.0)
+        counts = f2c_system.api_pipeline.ingest_rows([make_reading(sensor_id="pinned-1")], now=0.0)
         assert list(counts.keys()) == ["fog1/d-02/s-02"]
 
     def test_reassignment_invalidates_route_cache(self, f2c_system):
-        f2c_system.ingest_readings([make_reading(sensor_id="mover-1")], now=0.0)
+        f2c_system.api_pipeline.ingest_rows([make_reading(sensor_id="mover-1")], now=0.0)
         f2c_system.assign_sensor("mover-1", "d-01/s-02")
-        counts = f2c_system.ingest_readings([make_reading(sensor_id="mover-1")], now=1.0)
+        counts = f2c_system.api_pipeline.ingest_rows([make_reading(sensor_id="mover-1")], now=1.0)
         assert list(counts.keys()) == ["fog1/d-01/s-02"]
 
     def test_default_section_still_wins(self, f2c_system):
-        counts = f2c_system.ingest_readings(
+        counts = f2c_system.api_pipeline.ingest_rows(
             [make_reading(sensor_id="anyone")], now=0.0, default_section="d-01/s-01"
         )
         assert list(counts.keys()) == ["fog1/d-01/s-01"]
@@ -82,9 +82,9 @@ class TestStableSpreading:
 class TestDefaultSectionPrecedence:
     def test_default_section_wins_after_prior_spread_routing(self, f2c_system):
         # First call spreads (and caches) the unassigned sensor...
-        f2c_system.ingest_readings([make_reading(sensor_id="wanderer")], now=0.0)
+        f2c_system.api_pipeline.ingest_rows([make_reading(sensor_id="wanderer")], now=0.0)
         # ...but a later call with an explicit default must still win.
-        counts = f2c_system.ingest_readings(
+        counts = f2c_system.api_pipeline.ingest_rows(
             [make_reading(sensor_id="wanderer")], now=1.0, default_section="d-02/s-01"
         )
         assert list(counts.keys()) == ["fog1/d-02/s-01"]

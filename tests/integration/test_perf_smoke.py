@@ -40,9 +40,12 @@ def bench_module():
 @pytest.fixture(scope="module")
 def smoke_result(bench_module):
     begin = time.perf_counter()
+    # Best-of-2: with a single repetition the tiny workload's wall times are
+    # milliseconds and one scheduler hiccup can flip the (deliberately
+    # loose) speedup floors when the suite runs on a loaded container.
     result = bench_module.run_benchmark(
         devices_per_type=3, duration_s=900.0, round_s=300.0, with_micro=False,
-        repetitions=1, sharded_workers=(1, 2),
+        repetitions=2, sharded_workers=(1, 2),
     )
     elapsed = time.perf_counter() - begin
     return result, elapsed

@@ -51,12 +51,13 @@ def frame_path_digest():
     for index, device in enumerate(generator.all_devices()):
         system.assign_sensor(device.sensor_id, sections[index % len(sections)])
     broker = Broker()
-    system.attach_broker(broker, batched=True)
+    pipeline = system.api_pipeline
+    pipeline.attach_broker(broker, batched=True)
     for round_index, batch in enumerate(
         generator.transactions(count=4, start=0.0, interval=900.0)
     ):
-        system.publish_frames(broker, batch, timestamp=round_index * 900.0)
-        system.flush_broker(now=round_index * 900.0)
+        pipeline.publish_frames(broker, batch, timestamp=round_index * 900.0)
+        pipeline.flush_broker(now=round_index * 900.0)
     system.synchronise(now=3600.0)
     return cloud_digest(system)
 
@@ -93,7 +94,7 @@ class TestThreeWayShardedEquivalence:
         for round_index, batch in enumerate(
             generator.transactions(count=4, start=0.0, interval=900.0)
         ):
-            system.ingest_readings(batch, now=round_index * 900.0)
+            system.api_pipeline.ingest_rows(batch, now=round_index * 900.0)
         system.synchronise(now=3600.0)
         result = run_sharded(workers=2, workload=ShardedWorkload.golden(), inline=True)
         assert result.storage == system.storage_report()

@@ -293,7 +293,7 @@ class TestPublishTopicMemoization:
 
         system = F2CDataManagement(city=small_city, catalog=small_catalog)
         broker = Broker()
-        system.attach_broker(broker, city_slug="toyville", batched=True)
+        system.api_pipeline.attach_broker(broker, city_slug="toyville", batched=True)
         topics = []
         original_publish = Broker.publish
 
@@ -308,7 +308,7 @@ class TestPublishTopicMemoization:
         try:
             Broker.publish = recording_publish
             for round_index in range(3):
-                system.publish_frames(
+                system.api_pipeline.publish_frames(
                     broker, readings, city_slug="toyville",
                     default_section="d-01/s-01", timestamp=float(round_index),
                 )

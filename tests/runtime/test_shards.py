@@ -243,7 +243,7 @@ class TestArchitectureMergeApis:
                 make_reading(sensor_id=f"rwb-{i}", timestamp=1.0, size_bytes=40)
                 for i in range(6)
             ]
-            system.ingest_readings(readings, now=1.0, default_section="d-01/s-01")
+            system.api_pipeline.ingest_rows(readings, now=1.0, default_section="d-01/s-01")
             return system
 
         local = seeded_system()
