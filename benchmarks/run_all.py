@@ -95,8 +95,10 @@ def collect_json_results(include_ingest: bool = True) -> dict:
         results["ingest_throughput"] = run_benchmark(
             devices_per_type=10, duration_s=3600.0, round_s=900.0, with_micro=False
         )
+        # gate=False: the acceptance ratios are enforced on the committed
+        # full-size run, not on this quick small-workload pass.
         results["query_latency"] = run_query_benchmark(
-            devices_per_type=10, repetitions=50
+            devices_per_type=10, repetitions=50, gate=False
         )
     return results
 

@@ -40,7 +40,7 @@ snapshot deliberately.
 from repro.api.client import F2CClient, connect, run_workload
 from repro.api.config import TRANSPORTS, PipelineConfig
 from repro.api.pipeline import IngestSession, Pipeline
-from repro.api.query import QueryResult, QueryService, TierSlice
+from repro.api.query import QueryResult, QueryService, QuerySummary, TierSlice
 
 __all__ = [
     "F2CClient",
@@ -49,6 +49,7 @@ __all__ = [
     "PipelineConfig",
     "QueryResult",
     "QueryService",
+    "QuerySummary",
     "TRANSPORTS",
     "TierSlice",
     "connect",

@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
 
 from repro.api.config import PipelineConfig
 from repro.api.pipeline import IngestSession, Pipeline
-from repro.api.query import QueryResult, QueryService
+from repro.api.query import QueryResult, QueryService, QuerySummary
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.core.architecture import F2CDataManagement
@@ -48,7 +48,10 @@ class F2CClient:
         self.sharded = sharded
         self._session = session
         self._broker = broker
-        self.queries = QueryService(pipeline.system if system is None else system)
+        self.queries = QueryService(
+            pipeline.system if system is None else system,
+            cache_bytes=pipeline.config.query_cache_bytes,
+        )
 
     # ------------------------------------------------------------------ #
     # Deployment access
@@ -110,6 +113,21 @@ class F2CClient:
             since=since,
             until=until,
             sensor_id=sensor_id,
+            section_id=section_id,
+            category=category,
+        )
+
+    def summarize(
+        self,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        section_id: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> QuerySummary:
+        """Constant-size approximate answer (see :meth:`QueryService.summarize`)."""
+        return self.queries.summarize(
+            since=since,
+            until=until,
             section_id=section_id,
             category=category,
         )

@@ -63,6 +63,11 @@ class PipelineConfig:
         Sharded only: run the workers in-process over in-memory channels
         (identical protocol bytes, no fork) — the deterministic mode tests
         and coverage runs use.
+    query_cache_bytes:
+        Byte budget for the client's query memo
+        (:class:`~repro.api.query.QueryService`'s LRU); least-recently-hit
+        windows are evicted once accounted bytes exceed it.  ``0`` disables
+        memoization entirely.
     """
 
     transport: str = "direct"
@@ -73,6 +78,7 @@ class PipelineConfig:
     fog1_sync_interval_s: Optional[float] = None
     fog2_sync_interval_s: Optional[float] = None
     inline_workers: bool = False
+    query_cache_bytes: int = 8 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:
@@ -99,6 +105,8 @@ class PipelineConfig:
                 )
         if self.inline_workers and self.transport != "sharded":
             raise ConfigurationError("inline_workers requires the 'sharded' transport")
+        if self.query_cache_bytes < 0:
+            raise ConfigurationError("query_cache_bytes must be non-negative (0 disables)")
 
     def _derived_frame_format(self) -> Optional[str]:
         if self.transport == "frames-json":

@@ -15,11 +15,32 @@ fog layer-2 node, and everything older from the cloud.
   local history; one that has is trusted only back to its oldest retained
   timestamp) and falls through to fog layer 2 and the cloud otherwise;
 * city- and category-wide queries scatter-gather across every section's
-  chain and merge the columnar results;
+  chain; chains that resolve to the *same* broad node and window are
+  answered together by one partitioned store pass
+  (:meth:`~repro.storage.timeseries.TimeSeriesStore.query_window_partitioned`)
+  instead of one filtered scan per section, and the per-section sub-queries
+  the broad tiers do pay ride the store's fog/category series indexes;
 * results carry per-tier attribution (:class:`TierSlice` sources and a
   rows-by-tier summary) and the service keeps served-from counters;
-* hot windows are memoized — the owning client invalidates the cache on
-  every ingest/synchronise.
+* hot windows are memoized in a **byte-accounted LRU** (capacity set by
+  :attr:`~repro.api.config.PipelineConfig.query_cache_bytes`); the owning
+  client invalidates it on every ingest/synchronise, and evictions are
+  surfaced through :meth:`stats` / the client's health report;
+* wide historical windows can be answered approximately through
+  :meth:`summarize`, which folds the window into constant-size sketches
+  (:class:`~repro.aggregation.sketches.CountMinSketch` /
+  :class:`~repro.aggregation.sketches.DistinctCounter`) with the same
+  per-tier attribution, so a city-wide question does not have to
+  materialize every cloud row for the consumer.
+
+Results (cold and memoized alike) share *frozen* read-only columns — no
+defensive copy per hit; :meth:`QueryResult.batch` copies lazily when a
+caller adopts the rows.
+
+Attribution conventions: per-result ``rows_by_tier`` and the service-level
+``rows_by_tier`` / ``queries_by_tier`` counters are all *sparse* — a tier
+appears once it has served rows (resp. been consulted), never as a
+pre-seeded zero.
 
 In a sharded run the supervisor's fog layer-1 stores are empty (the data
 was acquired in worker processes), which the architecture reports via
@@ -30,9 +51,12 @@ would experience it.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.aggregation.sketches import CountMinSketch, DistinctCounter
+from repro.common.errors import RoutingError
 from repro.sensors.readings import Reading, ReadingBatch, ReadingColumns
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
@@ -61,8 +85,13 @@ class QueryResult:
 
     ``columns`` holds the merged rows (section chains in canonical city
     order, rows in per-store order); ``sources`` records every consulted
-    chain's serving node and tier; ``rows_by_tier`` sums rows per tier.
+    chain's serving node and tier; ``rows_by_tier`` sums rows per tier
+    (sparse: only tiers that served rows appear).
     ``cache_hit`` is true when the service answered from its memo.
+
+    Service-produced results are backed by *frozen* (read-only) columns
+    shared with the memo; mutating them raises.  :meth:`batch` hands out a
+    batch over a private mutable copy, made lazily only then.
     """
 
     since: float
@@ -76,8 +105,15 @@ class QueryResult:
         return len(self.columns)
 
     def batch(self) -> ReadingBatch:
-        """The result as a :class:`ReadingBatch` (adopts the columns)."""
-        return ReadingBatch.from_columns(self.columns)
+        """The result as a :class:`ReadingBatch` the caller may mutate.
+
+        Frozen (service-shared) columns are copied here, lazily — callers
+        that never adopt the rows never pay for a copy.
+        """
+        columns = self.columns
+        if columns.frozen:
+            columns = columns.copy()
+        return ReadingBatch.from_columns(columns)
 
     def readings(self) -> List[Reading]:
         """Materialized :class:`Reading` objects (API-boundary convenience)."""
@@ -89,16 +125,97 @@ class QueryResult:
         return tuple(tier for tier in TIERS if tier in used)
 
 
+@dataclass(frozen=True)
+class QuerySummary:
+    """A constant-size approximate answer for a (wide) window.
+
+    Instead of the window's rows, carries one mergeable
+    :class:`~repro.aggregation.sketches.CountMinSketch` (per-sensor reading
+    frequencies) and one
+    :class:`~repro.aggregation.sketches.DistinctCounter` (distinct active
+    sensors) per category, plus the exact row/tier attribution the
+    equivalent exact query would have reported.  A city-wide historical
+    question costs the consumer a few KB regardless of how many cloud rows
+    the window spans.
+    """
+
+    since: float
+    until: float
+    rows: int
+    rows_by_tier: Dict[str, int]
+    sources: Tuple[TierSlice, ...]
+    frequency: Dict[str, CountMinSketch]
+    distinct: Dict[str, DistinctCounter]
+
+    def categories(self) -> List[str]:
+        """The categories observed in the window, sorted."""
+        return sorted(self.frequency)
+
+    def distinct_sensors(self, category: str) -> float:
+        """Estimated number of distinct sensors that reported in *category*."""
+        counter = self.distinct.get(category)
+        return counter.estimate() if counter is not None else 0.0
+
+    def reading_count(self, category: str, sensor_id: str) -> int:
+        """Estimated readings of *sensor_id* in *category* (never undercounts)."""
+        sketch = self.frequency.get(category)
+        return sketch.estimate(sensor_id) if sketch is not None else 0
+
+    def size_bytes(self) -> int:
+        """Approximate serialized size of the summary's sketches."""
+        return sum(sketch.size_bytes() for sketch in self.frequency.values()) + sum(
+            counter.size_bytes() for counter in self.distinct.values()
+        )
+
+    def tiers(self) -> Tuple[str, ...]:
+        """The distinct tiers that served rows, nearest first."""
+        used = {source.tier for source in self.sources if source.rows}
+        return tuple(tier for tier in TIERS if tier in used)
+
+
+#: Shared empty columns for zero-row partitioned buckets (never mutated).
+_EMPTY_COLUMNS = ReadingColumns().freeze()
+
+
 class QueryService:
     """Nearest-tier query resolution over one F2C deployment."""
 
-    def __init__(self, system: "F2CDataManagement") -> None:
+    #: Default memo capacity (bytes) when no config names one.
+    DEFAULT_CACHE_BYTES = 8 * 1024 * 1024
+
+    # In-memory cost model for the memo's byte accounting: nine column
+    # slots per row (~9 pointers + amortized boxed numerics) plus fixed
+    # per-entry / per-source overheads.  Deliberately simple and
+    # deterministic — the bound exists to cap growth, not to be an exact
+    # allocator model.
+    _CACHE_ENTRY_OVERHEAD = 512
+    _CACHE_ROW_COST = 96
+    _CACHE_SOURCE_COST = 64
+
+    def __init__(
+        self,
+        system: "F2CDataManagement",
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ) -> None:
         self.system = system
-        self._cache: Dict[tuple, QueryResult] = {}
+        #: key -> (memoized result, accounted cost); ordered oldest-hit first.
+        self._cache: "OrderedDict[tuple, Tuple[QueryResult, int]]" = OrderedDict()
+        self._cache_bytes = 0
+        self.cache_capacity_bytes = max(0, int(cache_bytes))
+        self.cache_evictions = 0
+        #: sensor id -> fog layer-1 node id, for sensors with no explicit
+        #: assignment (resolved via the broad tiers' series index or the
+        #: probe loop); invalidated together with the window memo.
+        self._sensor_chain: Dict[str, str] = {}
+        #: ``False`` answers city-wide scatters with one filtered sub-query
+        #: per section chain (the pre-partitioned behaviour); kept as an
+        #: A/B lever for the benchmark and the equivalence suite.
+        self.partitioned_scatter = True
         self.queries_served = 0
+        self.summaries_served = 0
         self.cache_hits = 0
-        self.rows_by_tier: Dict[str, int] = {tier: 0 for tier in TIERS}
-        self.queries_by_tier: Dict[str, int] = {tier: 0 for tier in TIERS}
+        self.rows_by_tier: Dict[str, int] = {}
+        self.queries_by_tier: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Cache control
@@ -108,15 +225,48 @@ class QueryService:
 
         Called by the owning client whenever data moves (ingest or an
         upward sync): both change what a window contains *and* which tier
-        is nearest for it.
+        is nearest for it.  The sensor→chain memo drops too (routing can
+        change with new data).  Invalidation is not eviction — it does not
+        bump :attr:`cache_evictions`.
         """
         dropped = len(self._cache)
         self._cache.clear()
+        self._cache_bytes = 0
+        self._sensor_chain.clear()
         return dropped
 
     @property
     def cache_size(self) -> int:
         return len(self._cache)
+
+    @property
+    def cache_bytes(self) -> int:
+        """Accounted bytes currently held by the memo."""
+        return self._cache_bytes
+
+    def _memoize(self, key: tuple, result: QueryResult) -> None:
+        """Insert a result into the LRU, evicting oldest entries over budget."""
+        capacity = self.cache_capacity_bytes
+        if capacity <= 0:
+            return
+        cost = (
+            self._CACHE_ENTRY_OVERHEAD
+            + len(result) * self._CACHE_ROW_COST
+            + len(result.sources) * self._CACHE_SOURCE_COST
+        )
+        if cost > capacity:
+            # An oversized result would evict the whole memo and still not
+            # fit; serving it uncached is strictly better.
+            return
+        # The memo keeps its own rows_by_tier dict (callers may mutate
+        # theirs); the columns are frozen and safely shared.
+        self._cache[key] = (replace(result, rows_by_tier=dict(result.rows_by_tier)), cost)
+        self._cache_bytes += cost
+        cache = self._cache
+        while self._cache_bytes > capacity:
+            _, (_, evicted_cost) = cache.popitem(last=False)
+            self._cache_bytes -= evicted_cost
+            self.cache_evictions += 1
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -135,40 +285,42 @@ class QueryService:
         *section_id* to that section's chain, neither to a scatter-gather
         across every section; *category* narrows any scope.  The window is
         half-open (``since <= t < until``); an inverted window is simply
-        empty.  Repeated queries are memoized until :meth:`invalidate`.
+        empty.  Repeated queries are memoized (LRU, byte-bounded) until
+        :meth:`invalidate`.
         """
         key = (since, until, sensor_id, section_id, category)
-        cached = self._cache.get(key)
-        if cached is not None:
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache.move_to_end(key)
             self.queries_served += 1
             self.cache_hits += 1
-            # Hand out copies of the mutable parts: QueryResult.batch()
-            # adopts the columns, so a caller mutating its answer must not
-            # corrupt the memo for everyone else.
-            return replace(
-                cached,
-                columns=cached.columns.copy(),
-                rows_by_tier=dict(cached.rows_by_tier),
-                cache_hit=True,
-            )
+            cached = entry[0]
+            # No columnar copy: the columns are frozen and shared.  Only
+            # the small mutable dict is duplicated per hit.
+            return replace(cached, rows_by_tier=dict(cached.rows_by_tier), cache_hit=True)
 
-        system = self.system
         scatter = sensor_id is None and section_id is None
-        if section_id is not None:
-            fog1_nodes = [system.fog1_for_section(section_id)]  # validates the id
-        elif sensor_id is not None:
-            fog1_nodes = [self._node_for_sensor(sensor_id)]
-        else:
-            fog1_nodes = system.fog1_nodes()  # canonical city-section order
+        plans = self._chain_plans(since, until, sensor_id, section_id)
+        parts = (
+            self._partitioned_parts(plans, category)
+            if scatter and self.partitioned_scatter
+            else None
+        )
 
         out = ReadingColumns()
         sources: List[TierSlice] = []
         rows_by_tier: Dict[str, int] = {}
-        for fog1 in fog1_nodes:
-            for node, tier, sub_since, sub_until in self._chain_slices(fog1, since, until):
-                part = self._query_at(
-                    node, tier, fog1, sub_since, sub_until, sensor_id, category
+        for fog1, slices in plans:
+            for node, tier, sub_since, sub_until in slices:
+                part = (
+                    parts.get((node.node_id, sub_since, sub_until, fog1.node_id))
+                    if parts is not None
+                    else None
                 )
+                if part is None:
+                    part = self._query_at(
+                        node, tier, fog1, sub_since, sub_until, sensor_id, category
+                    )
                 rows = len(part)
                 if rows:
                     out.extend_columns(part)
@@ -183,39 +335,186 @@ class QueryService:
         result = QueryResult(
             since=since,
             until=until,
-            columns=out,
+            columns=out.freeze(),
             sources=tuple(sources),
             rows_by_tier=rows_by_tier,
         )
-        # The memo keeps its own copy of the mutable parts for the same
-        # reason cache hits return copies: the first caller owns `result`.
-        self._cache[key] = replace(
-            result, columns=out.copy(), rows_by_tier=dict(rows_by_tier)
-        )
+        self._memoize(key, result)
         self.queries_served += 1
-        for tier in {source.tier for source in sources}:
-            self.queries_by_tier[tier] += 1
-        for tier, rows in rows_by_tier.items():
-            self.rows_by_tier[tier] += rows
+        self._account(sources, rows_by_tier)
         return result
+
+    def summarize(
+        self,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        section_id: Optional[str] = None,
+        category: Optional[str] = None,
+        *,
+        width: int = 256,
+        depth: int = 4,
+        precision: int = 10,
+    ) -> QuerySummary:
+        """Approximate (scope, window) as constant-size per-category sketches.
+
+        Resolves tiers exactly like :meth:`query` (same chain walk, same
+        partitioned scatter, same attribution) but folds each tier's rows
+        into a count-min sketch + distinct counter per category instead of
+        accumulating columns, so the answer stays a few KB however wide
+        the window is.  *width*/*depth*/*precision* size the sketches (see
+        :mod:`repro.aggregation.sketches`).  Summaries are not memoized —
+        they are already cheap to hold and recompute windows are usually
+        historical one-offs.
+        """
+        scatter = section_id is None
+        plans = self._chain_plans(since, until, None, section_id)
+        parts = (
+            self._partitioned_parts(plans, category)
+            if scatter and self.partitioned_scatter
+            else None
+        )
+
+        frequency: Dict[str, CountMinSketch] = {}
+        distinct: Dict[str, DistinctCounter] = {}
+        sources: List[TierSlice] = []
+        rows_by_tier: Dict[str, int] = {}
+        total = 0
+        for fog1, slices in plans:
+            for node, tier, sub_since, sub_until in slices:
+                part = (
+                    parts.get((node.node_id, sub_since, sub_until, fog1.node_id))
+                    if parts is not None
+                    else None
+                )
+                if part is None:
+                    part = self._query_at(
+                        node, tier, fog1, sub_since, sub_until, None, category
+                    )
+                rows = len(part)
+                if rows:
+                    total += rows
+                    rows_by_tier[tier] = rows_by_tier.get(tier, 0) + rows
+                    for sensor_id, row_category in zip(part.sensor_ids, part.categories):
+                        sketch = frequency.get(row_category)
+                        if sketch is None:
+                            sketch = frequency[row_category] = CountMinSketch(width, depth)
+                            distinct[row_category] = DistinctCounter(precision)
+                        sketch.add(sensor_id)
+                        distinct[row_category].add(sensor_id)
+                if rows or not scatter:
+                    sources.append(TierSlice(node.node_id, tier, fog1.section_id, rows))
+
+        self.summaries_served += 1
+        self._account(sources, rows_by_tier)
+        return QuerySummary(
+            since=since,
+            until=until,
+            rows=total,
+            rows_by_tier=rows_by_tier,
+            sources=tuple(sources),
+            frequency=frequency,
+            distinct=distinct,
+        )
 
     # ------------------------------------------------------------------ #
     # Resolution internals
     # ------------------------------------------------------------------ #
+    def _account(self, sources: List[TierSlice], rows_by_tier: Dict[str, int]) -> None:
+        """Fold one answer's attribution into the service counters (sparse)."""
+        queries_by_tier = self.queries_by_tier
+        for tier in {source.tier for source in sources}:
+            queries_by_tier[tier] = queries_by_tier.get(tier, 0) + 1
+        service_rows = self.rows_by_tier
+        for tier, rows in rows_by_tier.items():
+            service_rows[tier] = service_rows.get(tier, 0) + rows
+
+    def _chain_plans(
+        self,
+        since: float,
+        until: float,
+        sensor_id: Optional[str],
+        section_id: Optional[str],
+    ) -> List[tuple]:
+        """The fog layer-1 chains in scope, each with its window slices."""
+        system = self.system
+        if section_id is not None:
+            fog1_nodes = [system.fog1_for_section(section_id)]  # validates the id
+        elif sensor_id is not None:
+            fog1_nodes = [self._node_for_sensor(sensor_id)]
+        else:
+            fog1_nodes = system.fog1_chain()  # canonical city-section order
+        return [(fog1, self._chain_slices(fog1, since, until)) for fog1 in fog1_nodes]
+
+    def _partitioned_parts(self, plans: List[tuple], category: Optional[str]) -> Dict[tuple, ReadingColumns]:
+        """One-pass answers for broad-tier slices shared by ≥2 chains.
+
+        Chains whose windows resolve to the *same* broad node and sub-window
+        (the common case for a city-wide scatter: every chain fell through
+        to the cloud for the same range) are answered together: one
+        partitioned store pass bins the window's rows by acquiring fog
+        node, instead of one fog-filtered scan per chain.  Returns
+        ``(node_id, sub_since, sub_until, fog1_id) -> columns`` for every
+        covered slice; slices not covered here fall back to per-chain
+        filtered queries.
+        """
+        groups: Dict[Tuple[str, float, float], Tuple[object, List[str]]] = {}
+        for fog1, slices in plans:
+            for node, tier, sub_since, sub_until in slices:
+                if tier == TIER_FOG_1:
+                    continue  # the fog L1 store *is* the area; nothing to share
+                key = (node.node_id, sub_since, sub_until)
+                entry = groups.get(key)
+                if entry is None:
+                    groups[key] = (node, [fog1.node_id])
+                else:
+                    entry[1].append(fog1.node_id)
+        parts: Dict[tuple, ReadingColumns] = {}
+        for (node_id, sub_since, sub_until), (node, members) in groups.items():
+            if len(members) < 2:
+                continue  # a lone chain gains nothing over one filtered scan
+            buckets = node.storage.query_window_partitioned(
+                since=sub_since, until=sub_until, category=category
+            )
+            for fog1_id in members:
+                batch = buckets.get(fog1_id)
+                parts[(node_id, sub_since, sub_until, fog1_id)] = (
+                    batch.columns if batch is not None else _EMPTY_COLUMNS
+                )
+        return parts
+
     def _node_for_sensor(self, sensor_id: str):
         """The fog layer-1 chain owning *sensor_id*'s data.
 
-        Explicit assignment wins; otherwise a sensor that was routed with a
-        caller-supplied ``default_section`` is found by scanning the (at
-        most 73) fog layer-1 stores for its series; last, the stable
-        CRC-32 spreading names the chain — the same order of precedence the
-        write path routes with.
+        Explicit assignment wins.  Otherwise the broad tiers' series
+        indexes answer in O(#broad nodes) dict hits: every synced reading
+        carries its acquiring fog node, so the cloud (or a fog layer-2
+        node) can name the chain directly.  Only a sensor whose data never
+        synced upward still needs the fog layer-1 probe loop; last, the
+        stable CRC-32 spreading names the chain — the same order of
+        precedence the write path routes with.  Resolved chains are
+        memoized until :meth:`invalidate`.
         """
         system = self.system
         section = system.section_of_sensor(sensor_id)
         if section is not None:
             return system.fog1_for_section(section)
-        for fog1 in system.fog1_nodes():
+        cached = self._sensor_chain.get(sensor_id)
+        if cached is not None:
+            return system.fog1_node(cached)
+        node = self._resolve_sensor_chain(sensor_id)
+        self._sensor_chain[sensor_id] = node.node_id
+        return node
+
+    def _resolve_sensor_chain(self, sensor_id: str):
+        system = self.system
+        for broad in (system.cloud, *system.fog2_nodes()):
+            fog_id = broad.storage.fog_of_series(sensor_id)
+            if fog_id is not None:
+                try:
+                    return system.fog1_node(fog_id)
+                except RoutingError:  # pragma: no cover - foreign/synthetic fog id
+                    break  # fall back to the probe loop
+        for fog1 in system.fog1_chain():
             if fog1.storage.has_series(sensor_id):
                 return fog1
         return system.fog1_for_section(system.spread_section(sensor_id))
@@ -294,11 +593,22 @@ class QueryService:
     # Reporting
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, object]:
-        """Served-from counters (folded into the client's health report)."""
+        """Served-from counters (folded into the client's health report).
+
+        ``queries_by_tier`` / ``rows_by_tier`` are sparse: a tier appears
+        once it has been consulted (resp. served rows), matching the
+        per-result ``rows_by_tier`` convention.  ``cache_evictions`` counts
+        LRU budget evictions only — :meth:`invalidate` drops are not
+        evictions.
+        """
         return {
             "served": self.queries_served,
+            "summaries": self.summaries_served,
             "cache_hits": self.cache_hits,
             "cache_size": len(self._cache),
+            "cache_bytes": self._cache_bytes,
+            "cache_capacity_bytes": self.cache_capacity_bytes,
+            "cache_evictions": self.cache_evictions,
             "queries_by_tier": dict(self.queries_by_tier),
             "rows_by_tier": dict(self.rows_by_tier),
         }

@@ -118,6 +118,11 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--limit", type=int, default=5, help="sample readings shown in text output (default 5)"
     )
+    query.add_argument(
+        "--summarize",
+        action="store_true",
+        help="answer with constant-size per-category sketches instead of rows",
+    )
     return parser
 
 
@@ -228,8 +233,53 @@ def _cmd_ingest(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_summarize(args, client) -> str:
+    if args.sensor is not None:
+        raise SystemExit("--summarize answers per category, not per sensor")
+    summary = client.summarize(
+        since=args.since,
+        until=args.until,
+        section_id=args.section,
+        category=args.category,
+    )
+    if args.json:
+        def finite_or_none(value: float):
+            return value if math.isfinite(value) else None
+
+        return json.dumps(
+            {
+                "window": {
+                    "since": finite_or_none(args.since),
+                    "until": finite_or_none(args.until),
+                },
+                "filters": {"section_id": args.section, "category": args.category},
+                "rows": summary.rows,
+                "rows_by_tier": summary.rows_by_tier,
+                "summary_bytes": summary.size_bytes(),
+                "categories": {
+                    category: {"distinct_sensors": summary.distinct_sensors(category)}
+                    for category in summary.categories()
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    lines = [
+        f"~{summary.rows} readings in [{args.since}, {args.until}) "
+        f"summarized in {summary.size_bytes():,} sketch bytes "
+        f"(served from {', '.join(summary.tiers()) or 'no tier (empty)'}):"
+    ]
+    lines.extend(
+        f"  {category}: ~{summary.distinct_sensors(category):.0f} distinct sensors"
+        for category in summary.categories()
+    )
+    return "\n".join(lines)
+
+
 def _cmd_query(args) -> str:
     client = _run_workload_from_args(args)
+    if args.summarize:
+        return _cmd_summarize(args, client)
     result = client.query(
         since=args.since,
         until=args.until,

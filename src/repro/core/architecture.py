@@ -128,6 +128,7 @@ class F2CDataManagement:
         # default_section are never cached.
         self._sensor_node_cache: Dict[str, str] = {}
         self._parent_cache: Dict[str, str] = {}
+        self._fog1_chain: Optional[Tuple[FogNodeLevel1, ...]] = None
         # (city_slug, section) -> rendered frame topic: frame publishing
         # renders each topic once per deployment instead of once per
         # (section, round) publish.
@@ -177,6 +178,18 @@ class F2CDataManagement:
     # ------------------------------------------------------------------ #
     def fog1_nodes(self) -> List[FogNodeLevel1]:
         return list(self._fog1.values())
+
+    def fog1_chain(self) -> Tuple[FogNodeLevel1, ...]:
+        """Every fog layer-1 node, in canonical city-section order.
+
+        The node set is fixed after construction, so the tuple is built
+        once and shared — city-wide scatter queries walk it per query and
+        a fresh list per call would be pure allocation churn.
+        """
+        chain = self._fog1_chain
+        if chain is None:
+            chain = self._fog1_chain = tuple(self._fog1.values())
+        return chain
 
     def fog2_nodes(self) -> List[FogNodeLevel2]:
         return list(self._fog2.values())

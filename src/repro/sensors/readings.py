@@ -456,6 +456,27 @@ class ReadingColumns:
         out._total_bytes = column_sum(out.sizes)
         return out
 
+    @property
+    def frozen(self) -> bool:
+        """Whether the instance is read-only (see :meth:`freeze`)."""
+        return False
+
+    def freeze(self) -> "ReadingColumns":
+        """Make the instance read-only in place; returns ``self``.
+
+        Every mutating method raises afterwards.  Freezing lets a shared
+        owner (the query service's memo) hand the same columns to many
+        readers without a defensive copy per reader — anyone who needs a
+        mutable instance takes an explicit :meth:`copy` (which is always
+        unfrozen), e.g. via ``QueryResult.batch()``.
+
+        Implemented as a class swap onto an empty-``__slots__`` subclass,
+        so the unfrozen mutation paths (the ingest hot path) pay nothing —
+        not even a flag check.
+        """
+        self.__class__ = _FrozenReadingColumns
+        return self
+
     def copy(self) -> "ReadingColumns":
         out = ReadingColumns()
         out.sensor_ids = list(self.sensor_ids)
@@ -618,6 +639,40 @@ class ReadingColumns:
 
     def __repr__(self) -> str:
         return f"ReadingColumns(n={len(self.sensor_ids)}, bytes={self._total_bytes})"
+
+
+class _FrozenReadingColumns(ReadingColumns):
+    """Read-only :class:`ReadingColumns` (the post-:meth:`freeze` class).
+
+    Same memory layout (empty ``__slots__``), so :meth:`ReadingColumns.freeze`
+    can swap a live instance's class; every mutator raises.  :meth:`copy`
+    (inherited) still returns a regular, mutable ``ReadingColumns``.
+    """
+
+    __slots__ = ()
+
+    @property
+    def frozen(self) -> bool:
+        return True
+
+    def freeze(self) -> "ReadingColumns":
+        return self
+
+    def _refuse(self, *_args, **_kwargs):
+        raise TypeError(
+            "these ReadingColumns are frozen (shared read-only, e.g. a memoized "
+            "query result); take a mutable copy with .copy() or adopt via "
+            "QueryResult.batch()"
+        )
+
+    append_reading = _refuse
+    append_row = _refuse
+    extend_readings = _refuse
+    extend_columns = _refuse
+    extend_arrays = _refuse
+    clear = _refuse
+    compact = _refuse
+    _invalidate = _refuse
 
 
 class ReadingsView(Sequence):

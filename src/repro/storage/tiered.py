@@ -9,7 +9,7 @@ data-movement scheduler can drain exactly the new data.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.sensors.readings import Reading, ReadingBatch
 from repro.storage.retention import KeepEverything, RetentionPolicy
@@ -110,6 +110,28 @@ class TieredStore:
             sensor_id=sensor_id,
             fog_node_id=fog_node_id,
         )
+
+    def query_window_partitioned(
+        self,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        partition_by: str = "fog_node_id",
+        category: Optional[str] = None,
+    ) -> Dict[Optional[str], ReadingBatch]:
+        """One-pass scatter: the window binned by acquiring fog node.
+
+        See :meth:`TimeSeriesStore.query_window_partitioned` — each bin is
+        row-identical to the corresponding filtered :meth:`query_window`,
+        but an all-areas consumer pays one store pass instead of one
+        filtered scan per area.
+        """
+        return self.store.query_window_partitioned(
+            since=since, until=until, partition_by=partition_by, category=category
+        )
+
+    def fog_of_series(self, sensor_id: str) -> Optional[str]:
+        """The acquiring fog node of a sensor's rows (see the store method)."""
+        return self.store.fog_of_series(sensor_id)
 
     def __len__(self) -> int:
         return len(self.store)

@@ -33,6 +33,24 @@ than one category additionally keeps per-category cumulative columns.
 bisect for the cutoff plus prefix-sum differences — and never touches the
 evicted readings individually.  Out-of-order inserts mark the prefix data
 dirty; it is rebuilt lazily on the next eviction.
+
+Secondary indexes
+-----------------
+The store maintains incremental per-``fog_node_id`` and per-``category``
+series-id indexes so that a filtered :meth:`TimeSeriesStore.query_window`
+visits only the series that can match instead of scanning all of them
+(at a broad tier — fog layer 2, the cloud — a per-area query previously
+paid O(#series) interned-scalar compares).  For a *uniform* series (the
+overwhelming case: one fog node, one category for its whole life) index
+maintenance is a single dict insert at series creation and nothing per
+row; a series that diverges lands in a small "mixed" overflow set that
+every filtered query also considers.  The index is a *superset* index:
+eviction never removes entries (an emptied series costs a filtered query
+one bisect, exactly like the scan path), so indexed results are proven
+row-identical to the scan path — order included — by the property suite.
+:meth:`TimeSeriesStore.query_window_partitioned` walks every series once
+and bins rows by fog node (or category), answering an all-areas scatter
+with one store pass instead of one filtered scan per area.
 """
 
 from __future__ import annotations
@@ -59,10 +77,20 @@ class _Series:
     value while the matching full column (``types`` / ``cats`` / ``fogs`` /
     ``sizes``) is ``None``; the column is built lazily the first time a row
     diverges.  ``category0 is None`` iff the series is mixed-category.
+
+    ``order`` is the series' creation sequence number within its store —
+    filtered queries that select candidate series through the secondary
+    indexes sort by it to reproduce the exact row order of a full scan
+    (series are never removed from the store map, so creation order *is*
+    map iteration order).  ``store`` is a back-reference used only to
+    report fog/category divergence (at most twice per series lifetime) so
+    the store can move the series into its mixed overflow sets.
     """
 
     __slots__ = (
         "sensor_id",
+        "order",
+        "store",
         "timestamps",
         "last_ts",
         "values",
@@ -96,6 +124,8 @@ class _Series:
         size: int,
     ) -> None:
         self.sensor_id = sensor_id
+        self.order = 0
+        self.store: Optional["TimeSeriesStore"] = None
         self.timestamps = float_column()  # array('d'), always sorted
         # Tail timestamp as a plain Python float: the in-order fast path
         # compares against it without re-boxing ``timestamps[-1]`` out of
@@ -158,6 +188,8 @@ class _Series:
         elif fog_node_id != self.fog0:
             self.fogs = [self.fog0] * (len(timestamps) - 1)
             self.fogs.append(fog_node_id)
+            if self.store is not None:
+                self.store._note_mixed_fog(self.sensor_id)
         sizes = self.sizes
         if sizes is not None:
             sizes.append(size)
@@ -264,6 +296,8 @@ class _Series:
             self.types.insert(index, sensor_type)
         if self.fogs is None and fog_node_id != self.fog0:
             self.fogs = [self.fog0] * (len(self.timestamps) - 1)
+            if self.store is not None:
+                self.store._note_mixed_fog(self.sensor_id)
         if self.fogs is not None:
             self.fogs.insert(index, fog_node_id)
         if self.sizes is None and size != self.size0:
@@ -278,6 +312,8 @@ class _Series:
             self.cat_rows = {}
             self.cat_cum = {}
             self.cat_base = {}
+            if self.store is not None:
+                self.store._note_mixed_category(self.sensor_id)
         if self.cats is not None:
             self.cats.insert(index, category)
             self.prefix_dirty = True
@@ -317,6 +353,8 @@ class _Series:
             self.cat_cum[category0] = prefix_sums(self.sizes_slice(0, previous))
             self.cat_base[category0] = 0
         self.category0 = None
+        if self.store is not None:
+            self.store._note_mixed_category(self.sensor_id)
         self._note_category(category, size)
 
     def _rebuild_prefixes(self) -> None:
@@ -474,16 +512,65 @@ class TimeSeriesStore:
         self._count = 0
         self._total_bytes = 0
         self._bytes_by_category: defaultdict = defaultdict(int)
+        # Secondary indexes: value -> series ids whose *uniform* fog node /
+        # category is that value (one dict insert per series lifetime), plus
+        # small overflow sets of series whose fog/category column diverged
+        # (filtered queries consider those too, filtering per row).  The
+        # indexes are supersets — eviction never unindexes (an emptied or
+        # out-of-window series costs a query one bisect) — so indexed
+        # results stay row-identical to a full scan.
+        self._fog_index: Dict[Optional[str], set] = {}
+        self._cat_index: Dict[str, set] = {}
+        self._mixed_fog_sids: set = set()
+        self._mixed_cat_sids: set = set()
+        self._series_seq = 0
+        #: Escape hatch for A/B measurement (and the equivalence property
+        #: suite): ``False`` forces filtered queries back onto the full
+        #: O(#series) scan path.
+        self.use_indexes = True
 
     # ------------------------------------------------------------------ #
     # Writing
     # ------------------------------------------------------------------ #
+    def _new_series(
+        self,
+        sensor_id: str,
+        sensor_type: str,
+        category: str,
+        fog_node_id: Optional[str],
+        size: int,
+    ) -> _Series:
+        """Create, register and index a series (the only creation path)."""
+        series = self._series[sensor_id] = _Series(
+            sensor_id, sensor_type, category, fog_node_id, size
+        )
+        series.order = self._series_seq
+        self._series_seq += 1
+        series.store = self
+        fog_set = self._fog_index.get(fog_node_id)
+        if fog_set is None:
+            fog_set = self._fog_index[fog_node_id] = set()
+        fog_set.add(sensor_id)
+        cat_set = self._cat_index.get(category)
+        if cat_set is None:
+            cat_set = self._cat_index[category] = set()
+        cat_set.add(sensor_id)
+        return series
+
+    def _note_mixed_fog(self, sensor_id: str) -> None:
+        """A series' fog column diverged: track it in the overflow set."""
+        self._mixed_fog_sids.add(sensor_id)
+
+    def _note_mixed_category(self, sensor_id: str) -> None:
+        """A series' category column diverged: track it in the overflow set."""
+        self._mixed_cat_sids.add(sensor_id)
+
     def append(self, reading: Reading) -> None:
         """Insert a reading, keeping the series ordered by timestamp."""
         sensor_id = reading.sensor_id
         series = self._series.get(sensor_id)
         if series is None:
-            series = self._series[sensor_id] = _Series(
+            series = self._new_series(
                 sensor_id,
                 reading.sensor_type,
                 reading.category,
@@ -556,7 +643,7 @@ class TimeSeriesStore:
                 series = series_map.get(sensor_id)
                 if series is None:
                     first = indices[0]
-                    series = series_map[sensor_id] = _Series(
+                    series = self._new_series(
                         sensor_id,
                         columns.sensor_types[first],
                         columns.categories[first],
@@ -582,7 +669,7 @@ class TimeSeriesStore:
                 if sensor_id is not last_sensor_id:
                     series = series_map.get(sensor_id)
                     if series is None:
-                        series = series_map[sensor_id] = _Series(
+                        series = self._new_series(
                             sensor_id, sensor_type, category, fog_node_id, size
                         )
                     last_sensor_id = sensor_id
@@ -608,6 +695,42 @@ class TimeSeriesStore:
     def has_series(self, sensor_id: str) -> bool:
         series = self._series.get(sensor_id)
         return series is not None and bool(series.timestamps)
+
+    def fog_of_series(self, sensor_id: str) -> Optional[str]:
+        """The acquiring fog node id of *sensor_id*'s rows, when unambiguous.
+
+        ``None`` for an absent/empty series — and for the (rare) series
+        whose fog column diverged, where no single answer exists; callers
+        fall back to probing then.  A broad tier (fog layer 2, the cloud)
+        uses this to name the fog layer-1 chain owning a sensor's area in
+        one dict hit instead of probing every chain's store.
+        """
+        series = self._series.get(sensor_id)
+        if series is None or not series.timestamps or series.fogs is not None:
+            return None
+        return series.fog0
+
+    def _filtered_candidates(
+        self, category: Optional[str], fog_node_id: Optional[str]
+    ) -> List[Tuple[str, _Series]]:
+        """Series that can match the filters, in series-creation order.
+
+        Union of the exact (uniform-series) index entry and the mixed
+        overflow set per filter, intersected across filters; sorting by
+        the series' creation sequence reproduces the full scan's series
+        order exactly (series are never removed from the store map).
+        """
+        sids: Optional[set] = None
+        if fog_node_id is not None:
+            exact = self._fog_index.get(fog_node_id)
+            sids = (exact | self._mixed_fog_sids) if exact else set(self._mixed_fog_sids)
+        if category is not None:
+            exact = self._cat_index.get(category)
+            cat_sids = (exact | self._mixed_cat_sids) if exact else set(self._mixed_cat_sids)
+            sids = cat_sids if sids is None else (sids & cat_sids)
+        series_map = self._series
+        ordered = sorted(sids, key=lambda sid: series_map[sid].order)
+        return [(sid, series_map[sid]) for sid in ordered]
 
     def query(
         self,
@@ -649,6 +772,10 @@ class TimeSeriesStore:
             # dict hit, not a scan over every series.
             series = self._series.get(sensor_id)
             candidates = [(sensor_id, series)] if series is not None else []
+        elif self.use_indexes and (category is not None or fog_node_id is not None):
+            # Secondary indexes: only the series that can match the area/
+            # category filters, in scan order (row-identical to the scan).
+            candidates = self._filtered_candidates(category, fog_node_id)
         else:
             candidates = self._series.items()
         for series_id, series in candidates:
@@ -706,6 +833,94 @@ class TimeSeriesStore:
                 series.tags[start:end],
             )
         return ReadingBatch.from_columns(out)
+
+    def query_window_partitioned(
+        self,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        partition_by: str = "fog_node_id",
+        category: Optional[str] = None,
+    ) -> Dict[Optional[str], ReadingBatch]:
+        """All readings in the window, binned by acquiring fog node (or category).
+
+        One pass over the stored series answers *every* partition at once:
+        ``result[key]`` is row-identical (order included) to
+        ``query_window(fog_node_id=key)`` (resp. ``category=key``), but a
+        scatter over N areas pays one scan instead of N filtered scans.
+        Partitions without rows in the window are absent from the result.
+        The optional *category* narrows rows before binning (only
+        meaningful with ``partition_by="fog_node_id"``).
+        """
+        if partition_by not in ("fog_node_id", "category"):
+            raise StorageError(
+                f"partition_by must be 'fog_node_id' or 'category', got {partition_by!r}"
+            )
+        by_fog = partition_by == "fog_node_id"
+        buckets: Dict[Optional[str], ReadingColumns] = {}
+        for series_id, series in self._series.items():
+            timestamps = series.timestamps
+            if not timestamps:
+                continue
+            start = bisect_left(timestamps, since)
+            end = bisect_left(timestamps, until)
+            if start >= end:
+                continue
+            if category is not None and series.cats is None and series.category0 != category:
+                continue
+            key_column = series.fogs if by_fog else series.cats
+            key0 = series.fog0 if by_fog else series.category0
+            per_row_cat = category is not None and series.cats is not None
+            if key_column is None and not per_row_cat:
+                # Uniform partition key: the whole slice lands in one
+                # bucket via bulk column extends (the common case).
+                out = buckets.get(key0)
+                if out is None:
+                    out = buckets[key0] = ReadingColumns()
+                out.extend_arrays(
+                    [series_id] * (end - start),
+                    series.types_slice(start, end),
+                    series.cats_slice(start, end),
+                    series.values[start:end],
+                    series.timestamps[start:end],
+                    series.fogs_slice(start, end),
+                    series.sizes_slice(start, end),
+                    series.sequences[start:end],
+                    series.tags[start:end],
+                )
+                continue
+            # Mixed partition column and/or per-row category filter: bin
+            # row indices per key, then bulk-gather each key's rows so the
+            # relative row order within a bucket matches the filtered scan.
+            cats = series.cats
+            category0 = series.category0
+            indices_by_key: Dict[Optional[str], List[int]] = {}
+            for i in range(start, end):
+                if category is not None and (cats[i] if cats is not None else category0) != category:
+                    continue
+                key = key_column[i] if key_column is not None else key0
+                bucket = indices_by_key.get(key)
+                if bucket is None:
+                    bucket = indices_by_key[key] = []
+                bucket.append(i)
+            if not indices_by_key:
+                continue
+            row_size = series.row_size
+            for key, indices in indices_by_key.items():
+                out = buckets.get(key)
+                if out is None:
+                    out = buckets[key] = ReadingColumns()
+                out.extend_arrays(
+                    [series_id] * len(indices),
+                    [series.types[i] if series.types is not None else series.type0 for i in indices],
+                    [cats[i] if cats is not None else category0 for i in indices],
+                    [series.values[i] for i in indices],
+                    [series.timestamps[i] for i in indices],
+                    [series.fogs[i] if series.fogs is not None else series.fog0 for i in indices],
+                    [row_size(i) for i in indices],
+                    [series.sequences[i] for i in indices],
+                    [series.tags[i] for i in indices],
+                )
+        return {key: ReadingBatch.from_columns(columns) for key, columns in buckets.items()}
 
     def all_readings(self) -> Iterator[Reading]:
         for series in self._series.values():
@@ -804,3 +1019,8 @@ class TimeSeriesStore:
         self._count = 0
         self._total_bytes = 0
         self._bytes_by_category.clear()
+        self._fog_index.clear()
+        self._cat_index.clear()
+        self._mixed_fog_sids.clear()
+        self._mixed_cat_sids.clear()
+        self._series_seq = 0

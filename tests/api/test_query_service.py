@@ -292,15 +292,20 @@ class TestQueryResultViews:
         client = _client(small_city, small_catalog)
         _seed(client, count=3)
         first = client.query(since=0.0, until=1_000.0, section_id="d-01/s-01")
-        # QueryResult.batch() adopts the columns; mutate through it.
-        first.batch().append(make_reading(sensor_id="injected", value=9.9, timestamp=5.0))
-        assert len(first) == 4
+        # Service results are frozen; batch() copies lazily, so adopting and
+        # mutating the batch leaves the result (and the memo) untouched.
+        assert first.columns.frozen
+        adopted = first.batch()
+        adopted.append(make_reading(sensor_id="injected", value=9.9, timestamp=5.0))
+        assert len(adopted) == 4
+        assert len(first) == 3
         second = client.query(since=0.0, until=1_000.0, section_id="d-01/s-01")
         assert second.cache_hit
         assert len(second) == 3
         assert "injected" not in second.columns.sensor_ids
-        # ...and mutating a cache hit must not corrupt later hits either.
-        second.columns.append_reading(make_reading(sensor_id="again", value=1.0))
+        # ...and mutating a hit's columns directly is refused outright.
+        with pytest.raises(TypeError, match="frozen"):
+            second.columns.append_reading(make_reading(sensor_id="again", value=1.0))
         third = client.query(since=0.0, until=1_000.0, section_id="d-01/s-01")
         assert len(third) == 3
 

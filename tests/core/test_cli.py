@@ -152,3 +152,22 @@ class TestQueryCommand:
             source["section_id"] == "district-01/section-01"
             for source in payload["sources"]
         )
+
+    def test_query_summarize_text_and_json(self, capsys):
+        import json
+
+        code, out = run_cli(capsys, "query", "--summarize")
+        assert code == 0
+        assert "sketch bytes" in out
+        assert "distinct sensors" in out
+
+        code, out = run_cli(capsys, "query", "--summarize", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["rows"] > 0
+        assert payload["summary_bytes"] > 0
+        assert payload["categories"]["energy"]["distinct_sensors"] > 0
+
+    def test_query_summarize_rejects_sensor_filter(self, capsys):
+        with pytest.raises(SystemExit, match="per category"):
+            run_cli(capsys, "query", "--summarize", "--sensor", "s-1")

@@ -1,0 +1,266 @@
+"""Property tests for the query-side scale-out machinery.
+
+Three layers of row-identity, checked with Hypothesis across random
+ingest / eviction / sync interleavings:
+
+1. **Store**: ``query_window`` answered through the secondary indexes is
+   row-identical (order included) to the brute-force all-series scan
+   (``use_indexes = False``) for every category / fog-node filter combo —
+   including after partial and total eviction, and with *mixed* series
+   (one sensor reporting through several fog nodes or categories, which
+   pushes the series into the overflow index).
+2. **Store**: every bucket of ``query_window_partitioned`` is
+   row-identical to the corresponding filtered ``query_window``, and the
+   buckets partition the window (no loss, no duplication).
+3. **Service**: ``QueryService.query`` answers the same deployment state
+   identically with the partitioned scatter on or off and with the store
+   indexes on or off — columns, sources, and rows-by-tier all equal —
+   including after tier evictions and under a simulated sharded run where
+   fog layer-1 stores are non-authoritative.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import F2CClient, PipelineConfig
+from repro.core.architecture import F2CDataManagement
+from repro.sensors.readings import Reading
+from repro.storage.timeseries import TimeSeriesStore
+from tests.conftest import make_reading
+
+# --------------------------------------------------------------------- #
+# Store-level strategies: small pools so collisions (same sensor, new
+# fog node / category → mixed series) happen often.
+# --------------------------------------------------------------------- #
+SENSORS = tuple(f"s-{i}" for i in range(5))
+CATEGORIES = ("energy", "traffic", "waste")
+FOGS = ("fog1/a", "fog1/b", None)
+
+inserts = st.tuples(
+    st.sampled_from(SENSORS),
+    st.sampled_from(CATEGORIES),
+    st.sampled_from(FOGS),
+    st.integers(min_value=0, max_value=40),  # timestamp
+)
+
+ops = st.one_of(
+    st.tuples(st.just("insert"), inserts),
+    st.tuples(st.just("evict_older"), st.integers(min_value=0, max_value=45)),
+    st.tuples(st.just("evict_oldest"), st.integers(min_value=0, max_value=10)),
+)
+
+
+def _apply(store: TimeSeriesStore, program) -> None:
+    for op, arg in program:
+        if op == "insert":
+            sensor_id, category, fog, ts = arg
+            store.append(
+                make_reading(
+                    sensor_id=sensor_id,
+                    category=category,
+                    timestamp=float(ts),
+                    fog_node_id=fog,
+                )
+            )
+        elif op == "evict_older":
+            store.remove_older_than(float(arg))
+        else:
+            store.remove_oldest(arg)
+
+
+def _rows(batch):
+    cols = batch.columns
+    return list(
+        zip(
+            cols.sensor_ids,
+            cols.timestamps,
+            cols.categories,
+            cols.fog_node_ids,
+            cols.sequences,
+        )
+    )
+
+
+class TestIndexedWindowMatchesScan:
+    @given(program=st.lists(ops, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_every_filter_combo_is_row_identical(self, program):
+        store = TimeSeriesStore()
+        _apply(store, program)
+        windows = [(float("-inf"), float("inf")), (10.0, 30.0), (0.0, 0.0)]
+        for category in (None, *CATEGORIES):
+            for fog in (None, *FOGS[:2]):
+                for since, until in windows:
+                    store.use_indexes = True
+                    indexed = store.query_window(
+                        since=since, until=until, category=category, fog_node_id=fog
+                    )
+                    store.use_indexes = False
+                    scanned = store.query_window(
+                        since=since, until=until, category=category, fog_node_id=fog
+                    )
+                    assert _rows(indexed) == _rows(scanned)
+
+
+class TestPartitionedMatchesFiltered:
+    @given(program=st.lists(ops, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_buckets_are_the_filtered_queries(self, program):
+        store = TimeSeriesStore()
+        _apply(store, program)
+        for since, until in [(float("-inf"), float("inf")), (10.0, 30.0)]:
+            buckets = store.query_window_partitioned(since=since, until=until)
+            whole_window = _rows(store.query_window(since=since, until=until))
+            # Every bucket matches the equivalent filtered query.  (A None
+            # key — rows never routed through a fog node — has no filtered
+            # equivalent, since fog_node_id=None means *unfiltered*; those
+            # buckets are checked against the window's None-fog rows.)
+            for fog, bucket in buckets.items():
+                if fog is None:
+                    expected = [row for row in whole_window if row[3] is None]
+                else:
+                    expected = _rows(
+                        store.query_window(since=since, until=until, fog_node_id=fog)
+                    )
+                assert _rows(bucket) == expected
+            # ...no empty buckets are emitted...
+            assert all(len(b) for b in buckets.values())
+            # ...and together they partition the window exactly.
+            assert sum(len(b) for b in buckets.values()) == len(whole_window)
+
+    @given(program=st.lists(ops, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_by_category(self, program):
+        store = TimeSeriesStore()
+        _apply(store, program)
+        buckets = store.query_window_partitioned(partition_by="category")
+        for category, bucket in buckets.items():
+            filtered = store.query_window(category=category)
+            assert _rows(bucket) == _rows(filtered)
+        assert sum(len(b) for b in buckets.values()) == len(store.query_window())
+
+
+# --------------------------------------------------------------------- #
+# Service level: random ingest / sync / evict rounds over the small city,
+# then answer identity across the four engine configurations.
+# --------------------------------------------------------------------- #
+SECTIONS = ("d-01/s-01", "d-01/s-02", "d-02/s-01", "d-02/s-02")
+
+rounds = st.lists(
+    st.tuples(
+        st.lists(  # readings this round: (sensor index, section index, category)
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=3),
+                st.sampled_from(("energy", "traffic")),
+            ),
+            max_size=6,
+        ),
+        st.booleans(),  # synchronise after ingesting?
+        st.sampled_from((None, "fog1", "fog2", "both")),  # evict which tiers?
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _canonical(result):
+    cols = result.columns
+    return (
+        list(cols.sensor_ids),
+        list(cols.timestamps),
+        list(cols.values),
+        list(cols.categories),
+        list(cols.fog_node_ids),
+        list(cols.sequences),
+        [(s.node_id, s.tier, s.section_id, s.rows) for s in result.sources],
+        dict(result.rows_by_tier),
+    )
+
+
+def _answers(client, since, until, **scope):
+    """The same question through all four engine configurations."""
+    service = client.queries
+    stores = [node.storage.store for node in client.system.fog1_nodes()]
+    stores += [node.storage.store for node in client.system.fog2_nodes()]
+    stores.append(client.system.cloud.storage.store)
+    out = []
+    for partitioned in (True, False):
+        for indexed in (True, False):
+            service.partitioned_scatter = partitioned
+            for store in stores:
+                store.use_indexes = indexed
+            service.invalidate()
+            out.append(_canonical(service.query(since=since, until=until, **scope)))
+    return out
+
+
+def _run_rounds(client, program, sharded: bool):
+    clock = 0.0
+    for index, (readings, sync, evict) in enumerate(program):
+        batch = []
+        for offset, (sensor, section, category) in enumerate(readings):
+            clock = index * 1000.0 + offset
+            batch.append(
+                Reading(
+                    sensor_id=f"p-{sensor}",
+                    sensor_type="temperature" if category == "energy" else "traffic",
+                    category=category,
+                    value=float(offset),
+                    timestamp=clock,
+                )
+            )
+            client.system.assign_sensor(f"p-{sensor}", SECTIONS[section])
+        if batch:
+            # Round-robin the default section so unassigned routing stays stable.
+            client.ingest(batch, now=clock, default_section=SECTIONS[index % 4])
+        if sync:
+            client.synchronise(now=clock)
+        if evict in ("fog1", "both"):
+            for fog1 in client.system.fog1_nodes():
+                fog1.enforce_retention(clock + 9 * 3600)
+        if evict in ("fog2", "both"):
+            for fog2 in client.system.fog2_nodes():
+                fog2.enforce_retention(clock + 81 * 3600)
+    if sharded:
+        # Simulate a sharded supervisor: fog L1 acquisition happened in
+        # workers, so the local stores are empty and non-authoritative.
+        client.synchronise(now=clock)
+        for fog1 in client.system.fog1_nodes():
+            fog1.storage.store.clear()
+            client.system.merge_fog1_stats({fog1.node_id: {"stored_readings": 0}})
+        client.queries.invalidate()
+
+
+class TestServiceAnswersAreEngineInvariant:
+    @pytest.mark.parametrize("sharded", [False, True])
+    @given(program=rounds)
+    # The fixtures are read-only descriptors (City / SensorCatalog); every
+    # example deploys its own F2CDataManagement over them, so sharing them
+    # across examples is safe.
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_partitioned_and_indexed_paths_agree(
+        self, small_city, small_catalog, program, sharded
+    ):
+        system = F2CDataManagement(
+            city=small_city, catalog=small_catalog, fog1_aggregator_factory=None
+        )
+        client = F2CClient(system=system, config=PipelineConfig())
+        _run_rounds(client, program, sharded)
+        scopes = [
+            {},  # city-wide scatter
+            {"category": "energy"},
+            {"section_id": "d-01/s-01"},
+            {"sensor_id": "p-0"},
+        ]
+        for scope in scopes:
+            for since, until in [(float("-inf"), float("inf")), (500.0, 2500.0)]:
+                answers = _answers(client, since, until, **scope)
+                assert all(a == answers[0] for a in answers[1:]), scope

@@ -156,3 +156,79 @@ class TestWindowFilters:
         window = store.query_window(fog_node_id="fog1/a")
         assert [r.timestamp for r in window] == [1.0, 3.0]
         assert len(store.query_window(fog_node_id="fog1/c")) == 0
+
+
+class TestPartitionedWindow:
+    def _store(self):
+        return _store_with(
+            [
+                make_reading(sensor_id="s-a", category="energy", timestamp=1.0,
+                             fog_node_id="fog1/a"),
+                make_reading(sensor_id="s-b", category="urban", timestamp=2.0,
+                             fog_node_id="fog1/b", sensor_type="traffic"),
+                make_reading(sensor_id="mv", category="energy", timestamp=3.0,
+                             fog_node_id="fog1/a"),
+                make_reading(sensor_id="mv", category="energy", timestamp=4.0,
+                             fog_node_id="fog1/b"),
+                make_reading(sensor_id="free", category="energy", timestamp=5.0),
+            ]
+        )
+
+    def test_buckets_match_filtered_queries(self):
+        store = self._store()
+        buckets = store.query_window_partitioned()
+        assert set(buckets) == {"fog1/a", "fog1/b", None}
+        for fog in ("fog1/a", "fog1/b"):
+            expected = store.query_window(fog_node_id=fog)
+            assert list(buckets[fog].columns.timestamps) == list(
+                expected.columns.timestamps
+            )
+        assert list(buckets[None].columns.sensor_ids) == ["free"]
+
+    def test_window_and_category_narrow_the_partition(self):
+        store = self._store()
+        buckets = store.query_window_partitioned(since=2.0, until=5.0, category="energy")
+        assert set(buckets) == {"fog1/a", "fog1/b"}
+        assert list(buckets["fog1/a"].columns.timestamps) == [3.0]
+        assert list(buckets["fog1/b"].columns.timestamps) == [4.0]
+
+    def test_partition_by_category(self):
+        store = self._store()
+        buckets = store.query_window_partitioned(partition_by="category")
+        assert set(buckets) == {"energy", "urban"}
+        assert len(buckets["energy"]) == 4
+
+    def test_unknown_partition_key_raises(self):
+        with pytest.raises(StorageError, match="partition_by"):
+            self._store().query_window_partitioned(partition_by="sensor_type")
+
+    def test_empty_store_partitions_to_nothing(self):
+        assert TimeSeriesStore().query_window_partitioned() == {}
+
+
+class TestFogOfSeries:
+    def test_uniform_series_reports_its_fog(self):
+        store = self._seed()
+        assert store.fog_of_series("s-a") == "fog1/a"
+        assert store.fog_of_series("free") is None  # no fog recorded
+        assert store.fog_of_series("nobody") is None  # unknown sensor
+
+    def test_diverged_series_reports_none(self):
+        store = self._seed()
+        assert store.fog_of_series("mv") is None
+
+    def test_fully_evicted_series_reports_none(self):
+        store = self._seed()
+        store.remove_older_than(100.0)
+        assert store.fog_of_series("s-a") is None
+
+    @staticmethod
+    def _seed():
+        return _store_with(
+            [
+                make_reading(sensor_id="s-a", timestamp=1.0, fog_node_id="fog1/a"),
+                make_reading(sensor_id="mv", timestamp=2.0, fog_node_id="fog1/a"),
+                make_reading(sensor_id="mv", timestamp=3.0, fog_node_id="fog1/b"),
+                make_reading(sensor_id="free", timestamp=4.0),
+            ]
+        )
