@@ -20,6 +20,10 @@ measures readings/second along five ingest paths:
   bytes per round; each frame pipeline also reports
   ``wire_bytes_published`` so the shrink factor is measured in the same
   run.
+* ``columnar_frames_binary_v2`` — the binary pipeline over the v2
+  shared-dictionary layout: the same frame body compressed against the
+  deployment-scoped zlib dictionary, so the v1/v2 wire A/B is measured in
+  the same run.
 * ``direct_batch`` — ``ingest_readings`` with whole per-round batches,
   skipping wire encode/decode entirely (upper bound for in-process feeds).
   With the columnar storage refactor this path never materializes a reading
@@ -33,6 +37,11 @@ measures readings/second along five ingest paths:
   workload is pre-built outside the timer.  Each sharded run's cloud
   contents are digest-verified against the single-process binary-frames
   pipeline in the same benchmark run; a mismatch aborts the benchmark.
+  Measured under both BATCH codecs — ``sharded_frames`` ships v1 binary
+  frames + JSON identity sidecars, ``sharded_frames_v2`` ships extended
+  v2 dictionary-compressed frames with the identity columns in-body —
+  and every leg records ``ipc_bytes`` (what the supervisor read off the
+  worker pipes, stream framing included).
 
 Each pipeline runs ``repetitions`` times and the fastest run is kept — the
 shared-container measurement noise (±30% minute to minute) otherwise
@@ -95,6 +104,14 @@ PR2_COLUMNAR_FRAMES_RECORD_RPS = 95_918
 #: The committed PR 3 records (typed-array columns + packed binary frames).
 PR3_DIRECT_BATCH_RECORD_RPS = 214_667
 PR3_COLUMNAR_FRAMES_BINARY_RECORD_RPS = 113_904
+
+#: The committed PR 6 records (the pre-v2 wire: v1 binary frames, sharded
+#: BATCH = frame + JSON sidecars, supervisor absorb re-wrapping columns in
+#: a ReadingBatch).  The v2 codec + rewrap-free absorb are compared against
+#: these.
+PR6_COLUMNAR_FRAMES_BINARY_RECORD_RPS = 102_535
+PR6_SHARDED_W1_RECORD_RPS = 77_249
+PR6_BINARY_WIRE_BYTES = 169_785
 
 
 # --------------------------------------------------------------------------- #
@@ -494,6 +511,7 @@ def run_sharded_frames(
     round_s: float,
     seed: int,
     workers: int,
+    frame_format: str = "binary",
 ) -> Dict[str, object]:
     """Multi-process path: sharded fog L1 workers over binary-frame IPC.
 
@@ -501,17 +519,25 @@ def run_sharded_frames(
     input bytes cross the process boundary) and the supervisor drives fog
     L2 → cloud; ``wall_s`` is the post-READY-barrier run time, comparable
     to the other pipelines whose workload is pre-built outside the timer.
+    *frame_format* picks the BATCH codec: ``"binary"`` = v1 frame + JSON
+    identity sidecars, ``"binary-v2"`` = one extended dictionary-compressed
+    frame; ``ipc_bytes`` counts everything the supervisor read off the
+    worker pipes either way.
     """
     workload = ShardedWorkload.stream_rounds(
         devices_per_type=devices_per_type, seed=seed, duration_s=duration_s, round_s=round_s
     )
-    result = run_sharded(workers=workers, workload=workload, catalog=catalog)
+    result = run_sharded(
+        workers=workers, workload=workload, catalog=catalog, frame_format=frame_format
+    )
     return {
         "wall_s": result.run_s,
         "stages": {"spawn_and_build_s": result.wall_s - result.run_s},
         "workers": workers,
+        "frame_format": frame_format,
         "worker_restarts": result.worker_restarts,
         "dropped_ipc_frames": result.dropped_ipc_frames,
+        "ipc_bytes": result.ipc_bytes,
         **_system_outcome(result.architecture),
     }
 
@@ -671,28 +697,41 @@ def run_benchmark(
             repetitions,
             lambda: run_columnar_frames(catalog, rounds, sensor_section, frame_format="binary"),
         ),
+        "columnar_frames_binary_v2": _best_of(
+            repetitions,
+            lambda: run_columnar_frames(catalog, rounds, sensor_section, frame_format="binary-v2"),
+        ),
         "direct_batch": _best_of(
             repetitions, lambda: run_direct_batch(catalog, rounds, sensor_section)
         ),
     }
-    sharded: Dict[str, object] = {}
-    for workers in sharded_workers:
-        sharded[f"workers_{workers}"] = _best_of(
-            repetitions,
-            lambda workers=workers: run_sharded_frames(
-                catalog, devices_per_type, duration_s, round_s, seed, workers
-            ),
-        )
-    pipelines["sharded_frames"] = sharded
-    reference_digest = pipelines["columnar_frames_binary"]["cloud_digest"]
-    for name, stats in sharded.items():
-        if stats["cloud_digest"] != reference_digest:
-            raise RuntimeError(
-                f"sharded_frames/{name} cloud contents diverge from the "
-                "single-process binary-frames pipeline"
+    sharded_legs = {"sharded_frames": "binary", "sharded_frames_v2": "binary-v2"}
+    for leg, frame_format in sharded_legs.items():
+        pipelines[leg] = {
+            f"workers_{workers}": _best_of(
+                repetitions,
+                lambda workers=workers, frame_format=frame_format: run_sharded_frames(
+                    catalog, devices_per_type, duration_s, round_s, seed, workers,
+                    frame_format=frame_format,
+                ),
             )
+            for workers in sharded_workers
+        }
+    reference_digest = pipelines["columnar_frames_binary"]["cloud_digest"]
+    if pipelines["columnar_frames_binary_v2"]["cloud_digest"] != reference_digest:
+        raise RuntimeError(
+            "columnar_frames_binary_v2 cloud contents diverge from the v1 "
+            "binary-frames pipeline"
+        )
+    for leg in sharded_legs:
+        for name, stats in pipelines[leg].items():
+            if stats["cloud_digest"] != reference_digest:
+                raise RuntimeError(
+                    f"{leg}/{name} cloud contents diverge from the "
+                    "single-process binary-frames pipeline"
+                )
     for name, stats in pipelines.items():
-        targets = stats.values() if name == "sharded_frames" else (stats,)
+        targets = stats.values() if name in sharded_legs else (stats,)
         for entry in targets:
             entry["readings_per_sec"] = total / entry["wall_s"] if entry["wall_s"] else None
     baseline_rps = pipelines["per_message"]["readings_per_sec"]
@@ -703,16 +742,23 @@ def run_benchmark(
 
     direct_rps = pipelines["direct_batch"]["readings_per_sec"]
     frames_binary_rps = pipelines["columnar_frames_binary"]["readings_per_sec"]
+    frames_v2_rps = pipelines["columnar_frames_binary_v2"]["readings_per_sec"]
     json_wire = pipelines["columnar_frames_json"]["wire_bytes_published"]
     binary_wire = pipelines["columnar_frames_binary"]["wire_bytes_published"]
-    sharded_speedups = {
-        f"sharded_frames_{name}_vs_frames_binary": (
-            stats["readings_per_sec"] / frames_binary_rps if frames_binary_rps else None
-        )
-        for name, stats in sharded.items()
-    }
+    v2_wire = pipelines["columnar_frames_binary_v2"]["wire_bytes_published"]
+    sharded_speedups = {}
+    for leg, reference_rps in (
+        ("sharded_frames", frames_binary_rps),
+        ("sharded_frames_v2", frames_v2_rps),
+    ):
+        for name, stats in pipelines[leg].items():
+            sharded_speedups[f"{leg}_{name}_vs_frames_{'binary_v2' if leg.endswith('v2') else 'binary'}"] = (
+                stats["readings_per_sec"] / reference_rps if reference_rps else None
+            )
+    ipc_v1_w1 = pipelines["sharded_frames"]["workers_1"]["ipc_bytes"]
+    ipc_v2_w1 = pipelines["sharded_frames_v2"]["workers_1"]["ipc_bytes"]
     result: Dict[str, object] = {
-        "schema": "bench_ingest/v4",
+        "schema": "bench_ingest/v5",
         "workload": {
             "devices": devices_per_type * len(catalog),
             "devices_per_type": devices_per_type,
@@ -732,18 +778,27 @@ def run_benchmark(
             "reference_pipeline": "columnar_frames_binary",
             "cloud_digest": reference_digest,
             "workers_measured": list(sharded_workers),
+            "frame_formats_measured": list(sharded_legs.values()),
         },
         "speedup": {
             "batched_broker_vs_per_message": _speedup("batched_broker"),
             "columnar_frames_json_vs_per_message": _speedup("columnar_frames_json"),
             "columnar_frames_binary_vs_per_message": _speedup("columnar_frames_binary"),
+            "columnar_frames_binary_v2_vs_per_message": _speedup("columnar_frames_binary_v2"),
             "direct_batch_vs_per_message": _speedup("direct_batch"),
             **sharded_speedups,
         },
         "frame_wire_bytes": {
             "json": json_wire,
             "binary": binary_wire,
+            "binary_v2": v2_wire,
             "shrink_factor": (json_wire / binary_wire) if binary_wire else None,
+            "v2_shrink_factor": (binary_wire / v2_wire) if v2_wire else None,
+        },
+        "ipc_bytes": {
+            "sharded_frames_workers_1": ipc_v1_w1,
+            "sharded_frames_v2_workers_1": ipc_v2_w1,
+            "v2_shrink_factor": (ipc_v1_w1 / ipc_v2_w1) if ipc_v2_w1 else None,
         },
         "pr1_record": {
             "direct_batch_readings_per_sec": PR1_DIRECT_BATCH_RECORD_RPS,
@@ -774,6 +829,19 @@ def run_benchmark(
                 else None
             ),
         },
+        "pr6_record": {
+            "columnar_frames_binary_readings_per_sec": PR6_COLUMNAR_FRAMES_BINARY_RECORD_RPS,
+            "sharded_workers_1_readings_per_sec": PR6_SHARDED_W1_RECORD_RPS,
+            "binary_wire_bytes": PR6_BINARY_WIRE_BYTES,
+            "sharded_w1_vs_frames_binary": (
+                PR6_SHARDED_W1_RECORD_RPS / PR6_COLUMNAR_FRAMES_BINARY_RECORD_RPS
+            ),
+            "columnar_frames_binary_vs_pr6_record": (
+                frames_binary_rps / PR6_COLUMNAR_FRAMES_BINARY_RECORD_RPS
+                if frames_binary_rps
+                else None
+            ),
+        },
     }
     if with_micro:
         result["micro"] = run_micro()
@@ -789,13 +857,14 @@ def main(output: pathlib.Path = DEFAULT_OUTPUT, **kwargs) -> Dict[str, object]:
           f"{workload['devices']} devices, {workload['rounds']} rounds "
           f"(cpu_count={result['environment']['cpu_count']})")
     for name, stats in result["pipelines"].items():
-        if name == "sharded_frames":
+        if name.startswith("sharded_frames"):
             for sub_name, sub_stats in stats.items():
                 label = f"{name}/{sub_name}"
-                print(f"  {label:24s} {sub_stats['readings_per_sec']:>12,.0f} readings/s "
-                      f"(wall {sub_stats['wall_s']:.3f} s, cloud={sub_stats['cloud_readings']})")
+                print(f"  {label:28s} {sub_stats['readings_per_sec']:>12,.0f} readings/s "
+                      f"(wall {sub_stats['wall_s']:.3f} s, cloud={sub_stats['cloud_readings']}, "
+                      f"ipc={sub_stats['ipc_bytes']:,} B)")
             continue
-        print(f"  {name:24s} {stats['readings_per_sec']:>12,.0f} readings/s "
+        print(f"  {name:28s} {stats['readings_per_sec']:>12,.0f} readings/s "
               f"(wall {stats['wall_s']:.3f} s, cloud={stats['cloud_readings']})")
     print(f"  sharded cloud contents verified byte-identical vs "
           f"{result['sharded_equivalence']['reference_pipeline']}")
@@ -803,11 +872,21 @@ def main(output: pathlib.Path = DEFAULT_OUTPUT, **kwargs) -> Dict[str, object]:
         print(f"  speedup {name}: {factor:.1f}x")
     wire = result["frame_wire_bytes"]
     print(f"  frame wire bytes: json={wire['json']:,} binary={wire['binary']:,} "
-          f"(binary {wire['shrink_factor']:.2f}x smaller)")
+          f"(binary {wire['shrink_factor']:.2f}x smaller) "
+          f"binary_v2={wire['binary_v2']:,} (v2 {wire['v2_shrink_factor']:.2f}x smaller than v1)")
+    ipc = result["ipc_bytes"]
+    print(f"  ipc bytes (workers_1): v1={ipc['sharded_frames_workers_1']:,} "
+          f"v2={ipc['sharded_frames_v2_workers_1']:,} "
+          f"(v2 {ipc['v2_shrink_factor']:.2f}x smaller)")
     print(f"  direct_batch vs PR1 record: "
           f"{result['pr1_record']['direct_batch_vs_pr1_record']:.2f}x")
     print(f"  frames (binary) vs PR2 frames record: "
           f"{result['pr2_record']['columnar_frames_binary_vs_pr2_record']:.2f}x")
+    print(f"  sharded workers_1 overhead: "
+          f"{result['speedup']['sharded_frames_workers_1_vs_frames_binary']:.2f}x of frames_binary "
+          f"(v2: {result['speedup']['sharded_frames_v2_workers_1_vs_frames_binary_v2']:.2f}x "
+          f"of frames_binary_v2; PR6 record was "
+          f"{result['pr6_record']['sharded_w1_vs_frames_binary']:.2f}x)")
     print(f"wrote {output}")
     return result
 

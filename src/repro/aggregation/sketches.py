@@ -69,14 +69,24 @@ class CountMinSketch:
 
     def merge(self, other: "CountMinSketch") -> "CountMinSketch":
         """Merge two sketches of identical dimensions (cell-wise sum)."""
+        merged = CountMinSketch(width=self.width, depth=self.depth)
+        merged.update(self)
+        merged.update(other)
+        return merged
+
+    def update(self, other: "CountMinSketch") -> None:
+        """Fold *other* into this sketch in place (cell-wise sum).
+
+        The merge primitive decomposable aggregation relies on: folding a
+        cached per-segment sketch into an accumulator costs one bulk pass
+        over the table instead of re-adding every row the segment held.
+        *other* is not modified.
+        """
         if (self.width, self.depth) != (other.width, other.depth):
             raise ConfigurationError("cannot merge sketches with different dimensions")
-        merged = CountMinSketch(width=self.width, depth=self.depth)
-        for row in range(self.depth):
-            for column in range(self.width):
-                merged._table[row][column] = self._table[row][column] + other._table[row][column]
-        merged._total = self._total + other._total
-        return merged
+        for mine, theirs in zip(self._table, other._table):
+            mine[:] = [a + b for a, b in zip(mine, theirs)]
+        self._total += other._total
 
     @property
     def total(self) -> int:
@@ -125,11 +135,18 @@ class DistinctCounter:
         return raw
 
     def merge(self, other: "DistinctCounter") -> "DistinctCounter":
+        merged = DistinctCounter(precision=self.precision)
+        merged.update(self)
+        merged.update(other)
+        return merged
+
+    def update(self, other: "DistinctCounter") -> None:
+        """Fold *other* into this counter in place (register-wise maxima)."""
         if self.precision != other.precision:
             raise ConfigurationError("cannot merge counters with different precision")
-        merged = DistinctCounter(precision=self.precision)
-        merged._registers = [max(a, b) for a, b in zip(self._registers, other._registers)]
-        return merged
+        self._registers[:] = [
+            max(a, b) for a, b in zip(self._registers, other._registers)
+        ]
 
     def size_bytes(self) -> int:
         """Approximate serialised size (1 byte per register)."""

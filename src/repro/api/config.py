@@ -25,6 +25,7 @@ TRANSPORTS: Tuple[str, ...] = (
     "frames-json",    # one JSON column frame per (section, round)
     "frames-binary",  # one packed binary column frame per (section, round)
     "sharded",        # N worker processes over binary-frame IPC + a supervisor
+    "frames-binary-v2",  # binary frames compressed with the deployment dictionary
 )
 
 
@@ -103,6 +104,11 @@ class PipelineConfig:
                     f"transport {self.transport!r} implies frame_format={derived!r}, "
                     f"got {self.frame_format!r}"
                 )
+            if self.transport == "sharded" and self.frame_format == "json":
+                raise ConfigurationError(
+                    "the sharded transport streams binary IPC frames; "
+                    "frame_format must be 'binary' or 'binary-v2'"
+                )
         if self.inline_workers and self.transport != "sharded":
             raise ConfigurationError("inline_workers requires the 'sharded' transport")
         if self.query_cache_bytes < 0:
@@ -113,6 +119,8 @@ class PipelineConfig:
             return "json"
         if self.transport == "frames-binary":
             return "binary"
+        if self.transport == "frames-binary-v2":
+            return "binary-v2"
         return None
 
     def resolved_frame_format(self) -> Optional[str]:
@@ -121,7 +129,12 @@ class PipelineConfig:
         return derived if derived is not None else self.frame_format
 
     def uses_broker(self) -> bool:
-        return self.transport in ("broker-csv", "frames-json", "frames-binary")
+        return self.transport in (
+            "broker-csv",
+            "frames-json",
+            "frames-binary",
+            "frames-binary-v2",
+        )
 
     def movement_policy(self):
         """A :class:`~repro.core.movement.MovementPolicy` for the sync cadence.

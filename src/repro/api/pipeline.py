@@ -526,6 +526,7 @@ class Pipeline:
                 workload=workload,
                 catalog=catalog,
                 inline=config.inline_workers,
+                frame_format=config.resolved_frame_format(),
             )
             return result.client()
 

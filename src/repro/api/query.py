@@ -183,14 +183,18 @@ class QueryService:
     #: Default memo capacity (bytes) when no config names one.
     DEFAULT_CACHE_BYTES = 8 * 1024 * 1024
 
-    # In-memory cost model for the memo's byte accounting: nine column
-    # slots per row (~9 pointers + amortized boxed numerics) plus fixed
-    # per-entry / per-source overheads.  Deliberately simple and
-    # deterministic — the bound exists to cap growth, not to be an exact
-    # allocator model.
+    # Byte accounting for the memo: each entry is charged the *measured*
+    # footprint of its frozen columns (:meth:`ReadingColumns.memory_bytes`
+    # — packed buffers at itemsize per row, list columns at a pointer per
+    # row plus every distinct referenced object once) plus fixed
+    # per-entry / per-source overheads for the result shell.
     _CACHE_ENTRY_OVERHEAD = 512
-    _CACHE_ROW_COST = 96
     _CACHE_SOURCE_COST = 64
+
+    #: Per-segment sketch cache bound (segments, LRU).  Each entry is a few
+    #: KB (one sketch pair per category in the segment), so the cap keeps
+    #: the cache around a MB at the default sketch sizes.
+    _SKETCH_CACHE_MAX_SEGMENTS = 256
 
     def __init__(
         self,
@@ -207,6 +211,11 @@ class QueryService:
         #: assignment (resolved via the broad tiers' series index or the
         #: probe loop); invalidated together with the window memo.
         self._sensor_chain: Dict[str, str] = {}
+        #: (node, window, fog1, category, sketch params) -> (rows, pairs):
+        #: the folded sketches of one synced broad-tier segment, reused by
+        #: :meth:`summarize` instead of re-adding the segment's rows.
+        self._sketch_cache: "OrderedDict[tuple, Tuple[int, Dict[str, tuple]]]" = OrderedDict()
+        self.sketch_cache_hits = 0
         #: ``False`` answers city-wide scatters with one filtered sub-query
         #: per section chain (the pre-partitioned behaviour); kept as an
         #: A/B lever for the benchmark and the equivalence suite.
@@ -233,6 +242,7 @@ class QueryService:
         self._cache.clear()
         self._cache_bytes = 0
         self._sensor_chain.clear()
+        self._sketch_cache.clear()
         return dropped
 
     @property
@@ -251,7 +261,7 @@ class QueryService:
             return
         cost = (
             self._CACHE_ENTRY_OVERHEAD
-            + len(result) * self._CACHE_ROW_COST
+            + result.columns.memory_bytes()
             + len(result.sources) * self._CACHE_SOURCE_COST
         )
         if cost > capacity:
@@ -362,9 +372,11 @@ class QueryService:
         into a count-min sketch + distinct counter per category instead of
         accumulating columns, so the answer stays a few KB however wide
         the window is.  *width*/*depth*/*precision* size the sketches (see
-        :mod:`repro.aggregation.sketches`).  Summaries are not memoized —
-        they are already cheap to hold and recompute windows are usually
-        historical one-offs.
+        :mod:`repro.aggregation.sketches`).  Whole summaries are not
+        memoized, but each synced broad-tier segment's folded sketch pair
+        is (until :meth:`invalidate`): a repeated city-wide summary merges
+        one cached constant-size pair per segment instead of re-adding
+        every cloud row.
         """
         scatter = section_id is None
         plans = self._chain_plans(since, until, None, section_id)
@@ -381,26 +393,23 @@ class QueryService:
         total = 0
         for fog1, slices in plans:
             for node, tier, sub_since, sub_until in slices:
-                part = (
-                    parts.get((node.node_id, sub_since, sub_until, fog1.node_id))
-                    if parts is not None
-                    else None
+                rows, pairs = self._segment_sketches(
+                    node, tier, fog1, sub_since, sub_until, category,
+                    parts, width, depth, precision,
                 )
-                if part is None:
-                    part = self._query_at(
-                        node, tier, fog1, sub_since, sub_until, None, category
-                    )
-                rows = len(part)
                 if rows:
                     total += rows
                     rows_by_tier[tier] = rows_by_tier.get(tier, 0) + rows
-                    for sensor_id, row_category in zip(part.sensor_ids, part.categories):
+                    for row_category, (seg_sketch, seg_counter) in pairs.items():
                         sketch = frequency.get(row_category)
                         if sketch is None:
                             sketch = frequency[row_category] = CountMinSketch(width, depth)
                             distinct[row_category] = DistinctCounter(precision)
-                        sketch.add(sensor_id)
-                        distinct[row_category].add(sensor_id)
+                        # Decomposable fold: one bulk merge per segment
+                        # instead of one sketch add per row.  The cached
+                        # pair is never mutated, only folded from.
+                        sketch.update(seg_sketch)
+                        distinct[row_category].update(seg_counter)
                 if rows or not scatter:
                     sources.append(TierSlice(node.node_id, tier, fog1.section_id, rows))
 
@@ -415,6 +424,64 @@ class QueryService:
             frequency=frequency,
             distinct=distinct,
         )
+
+    def _segment_sketches(
+        self,
+        node,
+        tier: str,
+        fog1,
+        sub_since: float,
+        sub_until: float,
+        category: Optional[str],
+        parts: Optional[Dict[tuple, ReadingColumns]],
+        width: int,
+        depth: int,
+        precision: int,
+    ) -> Tuple[int, Dict[str, tuple]]:
+        """One chain segment's rows folded into per-category sketch pairs.
+
+        Broad-tier (fog layer 2 / cloud) segments are cached by
+        ``(node, window, chain, category, sketch params)``: their contents
+        only change when data moves, at which point :meth:`invalidate`
+        drops the cache, so a repeated :meth:`summarize` over a synced
+        window folds one cached constant-size pair per segment instead of
+        re-adding every row.  Fog layer-1 segments are always computed
+        fresh (their stores churn with every ingest round).
+        """
+        key = None
+        if tier != TIER_FOG_1:
+            key = (
+                node.node_id, sub_since, sub_until, fog1.node_id,
+                category, width, depth, precision,
+            )
+            cached = self._sketch_cache.get(key)
+            if cached is not None:
+                self._sketch_cache.move_to_end(key)
+                self.sketch_cache_hits += 1
+                return cached
+        part = (
+            parts.get((node.node_id, sub_since, sub_until, fog1.node_id))
+            if parts is not None
+            else None
+        )
+        if part is None:
+            part = self._query_at(node, tier, fog1, sub_since, sub_until, None, category)
+        rows = len(part)
+        pairs: Dict[str, tuple] = {}
+        for sensor_id, row_category in zip(part.sensor_ids, part.categories):
+            pair = pairs.get(row_category)
+            if pair is None:
+                pair = pairs[row_category] = (
+                    CountMinSketch(width, depth),
+                    DistinctCounter(precision),
+                )
+            pair[0].add(sensor_id)
+            pair[1].add(sensor_id)
+        if key is not None:
+            self._sketch_cache[key] = (rows, pairs)
+            while len(self._sketch_cache) > self._SKETCH_CACHE_MAX_SEGMENTS:
+                self._sketch_cache.popitem(last=False)
+        return rows, pairs
 
     # ------------------------------------------------------------------ #
     # Resolution internals
@@ -609,6 +676,8 @@ class QueryService:
             "cache_bytes": self._cache_bytes,
             "cache_capacity_bytes": self.cache_capacity_bytes,
             "cache_evictions": self.cache_evictions,
+            "sketch_cache_size": len(self._sketch_cache),
+            "sketch_cache_hits": self.sketch_cache_hits,
             "queries_by_tier": dict(self.queries_by_tier),
             "rows_by_tier": dict(self.rows_by_tier),
         }

@@ -394,6 +394,18 @@ class F2CDataManagement:
         self.fog1_node(node_id)  # validates the id
         return self.scheduler.move_up_from_fog1(node_id, batch, now)
 
+    def receive_worker_columns(self, node_id: str, columns, now: float) -> int:
+        """Columns-native :meth:`receive_worker_batch` (no batch wrapper).
+
+        The supervisor hands decoded worker columns straight through:
+        transfer simulation, fog L2 storage and the pending-upward queue
+        all consume the columns directly, so absorbing a sync point
+        allocates no per-batch ``ReadingBatch`` objects.  Returns the
+        bytes moved.
+        """
+        self.fog1_node(node_id)  # validates the id
+        return self.scheduler.move_up_from_fog1_columns(node_id, columns, now)
+
     def merge_edge_transfers(self, records: Iterable[Dict[str, object]]) -> int:
         """Replay worker-side sensors → fog L1 transfers into the accountant.
 

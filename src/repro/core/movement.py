@@ -131,6 +131,22 @@ class DataMovementScheduler:
         parent.receive_from_child(node_id, batch, transfer.arrival_time)
         return batch.total_bytes
 
+    def move_up_from_fog1_columns(self, node_id: str, columns, now: float) -> int:
+        """Columns-native :meth:`move_up_from_fog1` (no batch wrapper).
+
+        The sharded supervisor's absorb path: decoded worker columns go to
+        the parent fog L2 node as-is — transfer simulation, accounting and
+        storage all consume the columns directly, so no per-batch
+        ``ReadingBatch`` object is created on the supervisor's hot loop.
+        """
+        parent_id = self.architecture.parent_of(node_id)
+        transfer = self._record_transfer(
+            node_id, parent_id, columns.category_counts(), columns.total_bytes, len(columns), now
+        )
+        parent = self.architecture.fog2_node(parent_id)
+        parent.receive_columns_from_child(node_id, columns, transfer.arrival_time)
+        return columns.total_bytes
+
     def sync_fog2_to_cloud(self, now: Optional[float] = None) -> Dict[str, int]:
         """Drain every fog L2 node and push its pending data to the cloud."""
         timestamp = now if now is not None else self.simulator.clock.now()
@@ -185,13 +201,25 @@ class DataMovementScheduler:
     # Internals
     # ------------------------------------------------------------------ #
     def _transfer(self, source: str, target: str, batch: ReadingBatch, departure: float) -> Transfer:
-        category_counts = batch.categories()
+        return self._record_transfer(
+            source, target, batch.categories(), batch.total_bytes, len(batch), departure
+        )
+
+    def _record_transfer(
+        self,
+        source: str,
+        target: str,
+        category_counts: Dict[str, int],
+        size_bytes: int,
+        message_count: int,
+        departure: float,
+    ) -> Transfer:
         dominant_category = max(category_counts, key=category_counts.get) if category_counts else None
         transfer = self.simulator.send(
             source=source,
             target=target,
-            size_bytes=batch.total_bytes,
-            message_count=len(batch),
+            size_bytes=size_bytes,
+            message_count=message_count,
             category=dominant_category,
             departure_time=departure,
         )

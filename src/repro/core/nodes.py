@@ -213,6 +213,21 @@ class FogNodeLevel2(_BaseNode):
         self.storage.ingest_batch(reduced, mark_for_upward=True)
         return reduced
 
+    def receive_columns_from_child(self, child_node_id: str, columns, now: float) -> None:
+        """Columns-native :meth:`receive_from_child` (the supervisor absorb path).
+
+        Storage and the pending-upward queue consume the columns directly;
+        a batch wrapper is created only when a layer-2 aggregator is
+        configured (aggregation techniques operate on batches).
+        """
+        if child_node_id not in self.children:
+            self.register_child(child_node_id)
+        if self.aggregator is not None:
+            reduced = self.aggregator.apply(ReadingBatch.from_columns(columns)).batch
+            self.storage.ingest_batch(reduced, mark_for_upward=True)
+            return
+        self.storage.ingest_columns(columns, mark_for_upward=True)
+
     def drain_for_upward(self) -> ReadingBatch:
         return self.storage.drain_pending_upward()
 

@@ -4,14 +4,20 @@ Every message travels as one length-prefixed, CRC-protected stream record
 (see :mod:`repro.common.serialization`'s stream framing); the record payload
 is one byte of message type followed by a type-specific body.  The heavy
 message — an acquired fog layer-1 batch — embeds the packed **binary column
-frame** the broker wire path already uses for the seven wire columns, plus a
-compact sidecar for the two fields that never travel on the broker wire but
-must survive the process boundary to keep cloud contents byte-identical:
-the per-row tag dicts written by the acquisition block, and the fog-node
-assignment.  Both sidecars are interned tables (tag dicts are shared
-per-batch by the fused acquisition loop, so the table is a handful of JSON
-entries) with adaptive-width row indices, mirroring the frame layout's
-string table.
+frame** the broker wire path already uses for the seven wire columns, plus
+the two fields that never travel on the broker wire but must survive the
+process boundary to keep cloud contents byte-identical: the per-row tag
+dicts written by the acquisition block, and the fog-node assignment.  With
+the default v1 frames those ride as trailing JSON sidecars — interned
+tables (tag dicts are shared per-batch by the fused acquisition loop, so
+the table is a handful of JSON entries) with adaptive-width row indices,
+mirroring the frame layout's string table.  With ``frame_format
+"binary-v2"`` the batch ships one *extended* v2 frame instead: the same
+identity tables travel as dictionary-coded columns inside the frame body,
+compressed under the deployment dictionary in the same pass as the wire
+columns, and the sidecars (plus their duplicate interning work) disappear.
+The decoder auto-detects which shape arrived from the frame header, so a
+supervisor absorbs v1 and v2 workers interchangeably.
 
 Failure semantics match the broker path's ``dropped_payloads`` accounting:
 a message decodes whole or not at all.  :class:`MessageReader` counts every
@@ -33,6 +39,7 @@ from repro.common.serialization import (
     FrameStreamWriter,
     StreamFrameError,
     _index_typecode,
+    frame_carries_identity,
 )
 from repro.sensors.readings import ReadingColumns
 
@@ -128,13 +135,31 @@ def encode_ready() -> bytes:
     return bytes([MSG_READY])
 
 
-def encode_batch(sync_index: int, node_id: str, columns: ReadingColumns) -> bytes:
-    """One drained fog layer-1 batch: binary column frame + tag/fog sidecars."""
+def encode_batch(
+    sync_index: int,
+    node_id: str,
+    columns: ReadingColumns,
+    frame_format: Optional[str] = None,
+) -> bytes:
+    """One drained fog layer-1 batch.
+
+    *frame_format* ``None``/``"binary"`` emits the v1 shape (binary column
+    frame + tag/fog JSON sidecars, byte-identical to earlier releases);
+    ``"binary-v2"`` emits one extended v2 frame with the identity columns
+    in-body and no sidecars.
+    """
+    if frame_format not in (None, "binary", "binary-v2"):
+        raise ValueError(f"IPC batches require a binary frame format, got {frame_format!r}")
     out = bytearray([MSG_BATCH])
     out += _U32.pack(sync_index)
     node_raw = node_id.encode("utf-8")
     out += _U16.pack(len(node_raw))
     out += node_raw
+    if frame_format == "binary-v2":
+        frame = columns.encode_frame_extended()
+        out += _U32.pack(len(frame))
+        out += frame
+        return bytes(out)
     frame = columns.encode_frame(format="binary")
     out += _U32.pack(len(frame))
     out += frame
@@ -201,11 +226,18 @@ def decode_message(payload: bytes) -> Tuple[int, Dict[str, Any]]:
         offset += _U32.size
         if offset + frame_len > len(view):
             raise IpcProtocolError("IPC batch truncated in column frame")
+        frame = bytes(view[offset:offset + frame_len])
         try:
-            columns = ReadingColumns.decode_frame(bytes(view[offset:offset + frame_len]))
+            columns = ReadingColumns.decode_frame(frame)
         except ValueError as exc:
             raise IpcProtocolError(f"IPC batch column frame is invalid: {exc}") from exc
         offset += frame_len
+        if frame_carries_identity(frame):
+            # Extended v2 batch: tags and fog ids arrived inside the frame,
+            # validated per table entry by the frame decoder — no sidecars.
+            if offset != len(view):
+                raise IpcProtocolError("IPC batch has trailing bytes")
+            return msg_type, {"sync_index": sync_index, "node_id": node_id, "columns": columns}
         n = len(columns)
         tags, offset = _unpack_json_table(view, offset, n, "tags")
         fogs, offset = _unpack_json_table(view, offset, n, "fog ids")

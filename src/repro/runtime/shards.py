@@ -25,6 +25,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
+from repro.common.serialization import DEFAULT_FRAME_FORMAT
 from repro.runtime import ipc
 from repro.sensors.catalog import BARCELONA_CATALOG, SensorCatalog
 from repro.sensors.generator import ReadingGenerator
@@ -150,17 +151,35 @@ class ShardedWorkload:
 
 @dataclass(frozen=True)
 class WorkerSpec:
-    """Everything one worker needs to run its shard."""
+    """Everything one worker needs to run its shard.
+
+    ``frame_format`` selects the BATCH payload shape (``"binary"`` — v1
+    frame + JSON sidecars — or ``"binary-v2"`` — one extended
+    shared-dictionary frame); ``None`` follows the process-wide
+    ``REPRO_FRAME_FORMAT`` knob, falling back to ``"binary"`` for any
+    non-v2 default (IPC batches are always binary).
+    """
 
     shard_index: int
     workers: int
     workload: ShardedWorkload
     catalog: Optional[SensorCatalog] = None
     fault: Optional[WorkerFault] = None
+    frame_format: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.shard_index < self.workers:
             raise ConfigurationError("shard_index must be in [0, workers)")
+        if self.frame_format not in (None, "binary", "binary-v2"):
+            raise ConfigurationError(
+                f"worker frame_format must be 'binary' or 'binary-v2', got {self.frame_format!r}"
+            )
+
+    def resolved_frame_format(self) -> str:
+        """The concrete BATCH frame format this worker ships."""
+        if self.frame_format is not None:
+            return self.frame_format
+        return "binary-v2" if DEFAULT_FRAME_FORMAT == "binary-v2" else "binary"
 
     def without_fault(self) -> "WorkerSpec":
         return replace(self, fault=None)
@@ -260,6 +279,7 @@ def run_shard(
     own_sections = shard_section_ids(system.city, spec.workers, spec.shard_index)
     own_nodes = [system.fog1_for_section(section_id) for section_id in own_sections]
     fault = spec.fault if spec.fault is not None and spec.fault.shard_index == spec.shard_index else None
+    frame_format = spec.resolved_frame_format()
 
     send(ipc.encode_ready())
     if wait_for_go is not None:
@@ -280,7 +300,7 @@ def run_shard(
         for node in own_nodes:
             if node.storage.pending_upward_count:
                 batch = node.drain_for_upward()
-                send(ipc.encode_batch(sync_index, node.node_id, batch.columns))
+                send(ipc.encode_batch(sync_index, node.node_id, batch.columns, frame_format))
         new_records = accountant.records[records_seen:]
         records_seen += len(new_records)
         send(

@@ -43,7 +43,6 @@ from repro.core.faults import FailureState
 from repro.runtime import ipc
 from repro.runtime.shards import ShardedWorkload, WorkerFault, WorkerSpec, worker_main
 from repro.sensors.catalog import SensorCatalog
-from repro.sensors.readings import ReadingBatch
 
 #: Restarts allowed per shard before the run is abandoned.
 DEFAULT_MAX_RESTARTS = 2
@@ -105,6 +104,9 @@ class ShardedRunResult:
     wall_s: float
     run_s: float
     worker_faults: List[Dict[str, Any]] = field(default_factory=list)
+    #: Total bytes the supervisor read off worker IPC streams (stream
+    #: framing included) — what the bench harness records per leg.
+    ipc_bytes: int = 0
 
     def golden_report(self) -> Dict[str, Any]:
         """The report shape of the ``ingest_golden.json`` fixture."""
@@ -172,9 +174,12 @@ class _InlineChannel:
             writer.send(ipc.encode_error(traceback.format_exc()))
         self._buffer.seek(0)
         self.reader = ipc.MessageReader(self._read)
+        self.bytes_read = 0
 
     def _read(self, size: int) -> bytes:
-        return self._buffer.read(size)
+        chunk = self._buffer.read(size)
+        self.bytes_read += len(chunk)
+        return chunk
 
     def send_go(self) -> None:
         pass
@@ -220,9 +225,12 @@ class _ProcessChannel:
         os.close(write_fd)
         os.close(go_read_fd)
         self.reader = ipc.MessageReader(self._read)
+        self.bytes_read = 0
 
     def _read(self, size: int) -> bytes:
-        return os.read(self._read_fd, size)
+        chunk = os.read(self._read_fd, size)
+        self.bytes_read += len(chunk)
+        return chunk
 
     def send_go(self) -> None:
         try:
@@ -266,6 +274,7 @@ class ShardSupervisor:
         fault: Optional[WorkerFault] = None,
         max_restarts: int = DEFAULT_MAX_RESTARTS,
         inline: bool = False,
+        frame_format: Optional[str] = None,
     ) -> None:
         if workers <= 0:
             raise ConfigurationError("workers must be positive")
@@ -279,6 +288,7 @@ class ShardSupervisor:
         self.worker_faults: List[Dict[str, Any]] = []
         self.dropped_ipc_frames = 0
         self.worker_restarts = 0
+        self.ipc_bytes_received = 0
         self._context = None
         self._shards = [
             _ShardHandle(
@@ -288,6 +298,7 @@ class ShardSupervisor:
                     workload=self.workload,
                     catalog=catalog,
                     fault=fault,
+                    frame_format=frame_format,
                 )
             )
             for index in range(workers)
@@ -326,6 +337,7 @@ class ShardSupervisor:
                 f"shard {shard.spec.shard_index} failed {shard.restarts + 1} time(s); "
                 f"giving up: {reason}"
             )
+        self.ipc_bytes_received += getattr(shard.channel, "bytes_read", 0)
         shard.channel.close()
         shard.channel.join()
         shard.restarts += 1
@@ -530,9 +542,7 @@ class ShardSupervisor:
                 if columns is None:
                     continue
                 total_absorbed += len(columns)
-                architecture.receive_worker_batch(
-                    node_id, ReadingBatch.from_columns(columns), now=sync_time
-                )
+                architecture.receive_worker_columns(node_id, columns, now=sync_time)
             architecture.merge_edge_transfers(edge_transfers)
             architecture.scheduler.sync_fog2_to_cloud(now=sync_time)
 
@@ -562,6 +572,12 @@ class ShardSupervisor:
             wall_s=end - begin_total,
             run_s=end - begin_run,
             worker_faults=list(self.worker_faults),
+            ipc_bytes=self.ipc_bytes_received
+            + sum(
+                getattr(shard.channel, "bytes_read", 0)
+                for shard in self._shards
+                if shard.channel is not None
+            ),
         )
 
 
@@ -578,13 +594,16 @@ def run_sharded(
     fault: Optional[WorkerFault] = None,
     max_restarts: int = DEFAULT_MAX_RESTARTS,
     inline: bool = False,
+    frame_format: Optional[str] = None,
 ) -> ShardedRunResult:
     """Run *workload* sharded over *workers* ingest processes.
 
     See :class:`ShardSupervisor`; this is the one-call entry point.  With
     ``inline=True`` the workers run in-process over in-memory channels
     (identical protocol bytes, no fork) — the mode tests use for
-    deterministic coverage of the whole pipeline.
+    deterministic coverage of the whole pipeline.  ``frame_format`` picks
+    the BATCH frame codec (``"binary"`` sidecar shape or ``"binary-v2"``
+    extended frames); ``None`` follows ``REPRO_FRAME_FORMAT``.
     """
     supervisor = ShardSupervisor(
         workers=workers,
@@ -593,5 +612,6 @@ def run_sharded(
         fault=fault,
         max_restarts=max_restarts,
         inline=inline,
+        frame_format=frame_format,
     )
     return supervisor.run()

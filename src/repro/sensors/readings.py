@@ -31,6 +31,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 from repro.common.serialization import (
     decode_columns,
     encode_columns,
+    encode_columns_binary_v2,
     encode_csv_line,
     is_column_frame,
     pad_to_size,
@@ -536,6 +537,43 @@ class ReadingColumns:
     def category_bytes(self) -> Dict[str, int]:
         return dict(self._category_stats()[1])
 
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of the nine columns.
+
+        Typed array columns count their packed buffer; list columns count
+        one slot pointer per row plus each distinct referenced object once
+        — the string and tag columns share references heavily (interning),
+        so a shared object is never double-charged.  An honest O(rows)
+        accounting for cache budgets, not an exact allocator model.
+        """
+        import sys
+
+        total = 0
+        seen = set()
+        for column in (
+            self.sensor_ids,
+            self.sensor_types,
+            self.categories,
+            self.values,
+            self.timestamps,
+            self.fog_node_ids,
+            self.sizes,
+            self.sequences,
+            self.tags,
+        ):
+            if isinstance(column, list):
+                total += 8 * len(column)  # one CPython slot pointer per row
+                for item in column:
+                    if item is None:
+                        continue
+                    marker = id(item)
+                    if marker not in seen:
+                        seen.add(marker)
+                        total += sys.getsizeof(item)
+            else:  # typed array backing: a packed buffer, itemsize per row
+                total += len(column) * column.itemsize
+        return total
+
     def _invalidate(self) -> None:
         """Drop cached statistics after a direct column mutation."""
         self._cat_cache = None
@@ -568,24 +606,41 @@ class ReadingColumns:
         receiving node's acquisition block, exactly as with CSV payloads).
 
         *format* selects the wire layout (``"binary"`` — packed columns,
-        the compact default — or ``"json"`` — the PR 2 compatibility
-        layout); ``None`` uses the process-wide default (see
-        :data:`repro.common.serialization.DEFAULT_FRAME_FORMAT`).  Both
+        the compact default — ``"binary-v2"`` — the shared-dictionary
+        layout — or ``"json"`` — the PR 2 compatibility layout); ``None``
+        uses the process-wide default (see
+        :data:`repro.common.serialization.DEFAULT_FRAME_FORMAT`).  All
         layouts decode to identical columns via :meth:`decode_frame`, which
         auto-detects the format from the payload's magic prefix.
         """
-        return encode_columns(
-            {
-                "sensor_ids": self.sensor_ids,
-                "sensor_types": self.sensor_types,
-                "categories": self.categories,
-                "values": self.values,
-                "timestamps": self.timestamps,
-                "sizes": self.sizes,
-                "sequences": self.sequences,
-            },
-            format=format,
+        return encode_columns(self._wire_columns(), format=format)
+
+    def encode_frame_extended(self) -> bytes:
+        """One *extended* v2 frame carrying tags and fog-node ids in-body.
+
+        Unlike :meth:`encode_frame`, the per-row tag dicts and fog-node
+        assignments travel inside the frame as dictionary-coded columns
+        (identity-interned, so rows sharing one tag dict decode back to one
+        shared object).  This is the IPC batch payload — the broker wire
+        keeps the plain seven-column layout, where the receiving node's
+        acquisition block assigns tags and fog ids itself.  It uses the
+        codec's *fast* deflate: pipe bytes are CPU-bound, not
+        bandwidth-bound.
+        """
+        return encode_columns_binary_v2(
+            self._wire_columns(), tags=self.tags, fog_node_ids=self.fog_node_ids, fast=True
         )
+
+    def _wire_columns(self) -> dict:
+        return {
+            "sensor_ids": self.sensor_ids,
+            "sensor_types": self.sensor_types,
+            "categories": self.categories,
+            "values": self.values,
+            "timestamps": self.timestamps,
+            "sizes": self.sizes,
+            "sequences": self.sequences,
+        }
 
     @classmethod
     def decode_frame(cls, payload: bytes) -> "ReadingColumns":
@@ -627,8 +682,13 @@ class ReadingColumns:
             # append_row both enforce this); a frame must not smuggle one
             # into the byte accounting.
             raise ValueError("column frame carries a negative wire size")
-        out.fog_node_ids = [None] * n
-        out.tags = [None] * n
+        # Extended v2 frames carry the identity columns in-body (already
+        # validated per table entry by the frame decoder); every other
+        # layout leaves them for the receiving acquisition block to assign.
+        tags = record.get("tags")
+        out.tags = list(tags) if tags is not None else [None] * n
+        fog_node_ids = record.get("fog_node_ids")
+        out.fog_node_ids = list(fog_node_ids) if fog_node_ids is not None else [None] * n
         out._total_bytes = column_sum(out.sizes)
         return out
 

@@ -66,6 +66,23 @@ class TieredStore:
             self._pending_upward.extend(batch)
         return count
 
+    def ingest_columns(self, columns, mark_for_upward: bool = True) -> int:
+        """Columns-native :meth:`ingest_batch` (no batch wrapper created).
+
+        The store and the pending-upward queue both consume the columns
+        directly — the sharded supervisor's absorb path, where decoded
+        worker columns flow through without per-batch ``ReadingBatch``
+        objects.
+        """
+        count = self.store.extend_columns(columns)
+        if count == 0:
+            return 0
+        self._ingested_count += count
+        self._ingested_bytes += columns.total_bytes
+        if mark_for_upward:
+            self._pending_upward.extend(columns)
+        return count
+
     # ------------------------------------------------------------------ #
     # Upward propagation support
     # ------------------------------------------------------------------ #

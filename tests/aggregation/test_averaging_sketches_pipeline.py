@@ -93,6 +93,40 @@ class TestCountMinSketch:
         with pytest.raises(ConfigurationError):
             CountMinSketch(64, 4).merge(CountMinSketch(32, 4))
 
+    def test_update_folds_in_place_without_mutating_the_source(self):
+        accumulator = CountMinSketch(width=64, depth=4)
+        segment = CountMinSketch(width=64, depth=4)
+        accumulator.add("x", 5)
+        segment.add("x", 3)
+        segment.add("y", 2)
+        before = [row[:] for row in segment._table]
+        accumulator.update(segment)
+        assert accumulator.estimate("x") >= 8
+        assert accumulator.estimate("y") >= 2
+        assert accumulator.total == 10
+        assert segment._table == before  # the folded-from sketch is untouched
+        assert segment.total == 5
+
+    def test_update_dimension_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(64, 4).update(CountMinSketch(64, 2))
+
+    def test_update_matches_row_wise_adds(self):
+        # Folding per-segment sketches must equal adding every row directly
+        # (the decomposability summarize()'s segment cache relies on).
+        direct = CountMinSketch(width=128, depth=4)
+        seg_a = CountMinSketch(width=128, depth=4)
+        seg_b = CountMinSketch(width=128, depth=4)
+        for i in range(200):
+            key = f"key-{i % 7}"
+            direct.add(key)
+            (seg_a if i % 2 == 0 else seg_b).add(key)
+        folded = CountMinSketch(width=128, depth=4)
+        folded.update(seg_a)
+        folded.update(seg_b)
+        assert folded._table == direct._table
+        assert folded.total == direct.total
+
     def test_from_error_bounds(self):
         sketch = CountMinSketch.from_error_bounds(epsilon=0.01, delta=0.01)
         assert sketch.width >= 100
@@ -136,6 +170,24 @@ class TestDistinctCounter:
     def test_merge_precision_mismatch(self):
         with pytest.raises(ConfigurationError):
             DistinctCounter(10).merge(DistinctCounter(12))
+
+    def test_update_matches_row_wise_adds(self):
+        direct = DistinctCounter(precision=10)
+        seg_a = DistinctCounter(precision=10)
+        seg_b = DistinctCounter(precision=10)
+        for i in range(500):
+            direct.add(f"s-{i}")
+            (seg_a if i % 2 == 0 else seg_b).add(f"s-{i}")
+        registers_a = list(seg_a._registers)
+        folded = DistinctCounter(precision=10)
+        folded.update(seg_a)
+        folded.update(seg_b)
+        assert folded._registers == direct._registers
+        assert seg_a._registers == registers_a  # source untouched
+
+    def test_update_precision_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            DistinctCounter(10).update(DistinctCounter(12))
 
 
 class TestSketchSummaryAggregation:

@@ -216,6 +216,118 @@ class TestSummarize:
         assert stats["cache_size"] == 0
 
 
+class TestHonestCosting:
+    """Memo entries are charged their *measured* footprint, not a flat
+    per-row guess — interned tags and fog ids cost what they cost."""
+
+    def test_entry_cost_is_the_measured_column_footprint(
+        self, small_city, small_catalog
+    ):
+        client = _client(small_city, small_catalog)
+        _seed(client)
+        service = client.queries
+        result = client.query(since=0.0, until=1_000.0, section_id="d-01/s-01")
+        expected = (
+            QueryService._CACHE_ENTRY_OVERHEAD
+            + result.columns.memory_bytes()
+            + len(result.sources) * QueryService._CACHE_SOURCE_COST
+        )
+        assert service.cache_bytes == expected
+        assert service.stats()["cache_bytes"] == expected
+
+    def test_memory_bytes_charges_shared_objects_once(self):
+        from repro.sensors.readings import ReadingColumns
+
+        shared = {"site": "barcelona", "quality": 0.9}
+        with_shared = ReadingColumns.from_readings(
+            make_reading(sensor_id=f"m-{i}", timestamp=float(i), tags=shared)
+            for i in range(6)
+        )
+        with_distinct = ReadingColumns.from_readings(
+            make_reading(
+                sensor_id=f"m-{i}", timestamp=float(i), tags=dict(shared)
+            )
+            for i in range(6)
+        )
+        # Same rows, same values — but six aliases of one dict must cost
+        # less than six equal-but-distinct dicts.
+        assert with_shared.memory_bytes() < with_distinct.memory_bytes()
+
+    def test_memory_bytes_grows_with_rows(self):
+        from repro.sensors.readings import ReadingColumns
+
+        small = ReadingColumns.from_readings(
+            make_reading(sensor_id=f"g-{i}", timestamp=float(i)) for i in range(4)
+        )
+        large = ReadingColumns.from_readings(
+            make_reading(sensor_id=f"g-{i}", timestamp=float(i)) for i in range(64)
+        )
+        assert 0 < small.memory_bytes() < large.memory_bytes()
+
+
+class TestSketchSegmentCache:
+    """summarize() folds cached per-segment sketch pairs on broad tiers."""
+
+    def _broad_tier_client(self, small_city, small_catalog):
+        # Seed, sync upward, then drop the fog L1 copies so summaries must
+        # be served from the (cacheable) broad tiers.
+        client = _client(small_city, small_catalog)
+        _seed(client, count=12)
+        client.synchronise(now=500.0)
+        for fog1 in client.system.fog1_nodes():
+            fog1.storage.store.clear()
+            client.system.merge_fog1_stats({fog1.node_id: {"stored_readings": 0}})
+        client.queries.invalidate()
+        return client
+
+    def test_warm_summaries_fold_identical_cached_sketches(
+        self, small_city, small_catalog
+    ):
+        client = self._broad_tier_client(small_city, small_catalog)
+        service = client.queries
+        cold = client.summarize(since=0.0, until=1_000.0)
+        assert cold.rows == 12
+        assert service.stats()["sketch_cache_size"] > 0
+        assert service.sketch_cache_hits == 0
+        warm = client.summarize(since=0.0, until=1_000.0)
+        assert service.sketch_cache_hits > 0
+        # The folded result is bit-identical to the cold per-row pass.
+        assert warm.rows == cold.rows and warm.rows_by_tier == cold.rows_by_tier
+        assert set(warm.frequency) == set(cold.frequency)
+        for category, sketch in cold.frequency.items():
+            assert warm.frequency[category]._table == sketch._table
+            assert warm.distinct[category]._registers == (
+                cold.distinct[category]._registers
+            )
+
+    def test_fog1_segments_are_not_cached(self, small_city, small_catalog):
+        # Fog L1 contents churn with every ingest; only the broad tiers —
+        # whose contents change exactly at invalidate() points — cache.
+        client = _client(small_city, small_catalog)
+        _seed(client)
+        summary = client.summarize(since=0.0, until=1_000.0)
+        assert summary.rows == 8
+        assert summary.tiers() == ("fog_layer_1",)
+        stats = client.queries.stats()
+        assert stats["sketch_cache_size"] == 0
+        assert stats["sketch_cache_hits"] == 0
+
+    def test_invalidate_clears_the_sketch_cache(self, small_city, small_catalog):
+        client = self._broad_tier_client(small_city, small_catalog)
+        client.summarize(since=0.0, until=1_000.0)
+        assert client.queries.stats()["sketch_cache_size"] > 0
+        client.queries.invalidate()
+        assert client.queries.stats()["sketch_cache_size"] == 0
+
+    def test_cache_is_bounded(self, small_city, small_catalog):
+        client = self._broad_tier_client(small_city, small_catalog)
+        service = client.queries
+        service._SKETCH_CACHE_MAX_SEGMENTS = 2
+        for i in range(8):
+            client.summarize(since=0.0, until=900.0 + i)
+        assert len(service._sketch_cache) <= 2
+
+
 class TestSensorRouting:
     """Sensor→chain resolution order: assignment, broad-tier index, probe."""
 

@@ -356,8 +356,17 @@ class TestBinaryFrameDecoderFuzz:
     def test_wrong_version_is_rejected_even_with_a_valid_crc(self):
         _, payload = self._frame()
         raw_body, n = self._raw_body(payload)
-        bad = self._rebuild_binary(raw_body, n, version=2)
+        bad = self._rebuild_binary(raw_body, n, version=3)
         with pytest.raises(ValueError, match="version"):
+            ReadingColumns.decode_frame(bad)
+
+    def test_v1_frame_stamped_as_v2_is_rejected(self):
+        # Version 2 dispatches to the v2 decoder, whose wider header makes a
+        # restamped v1 frame structurally invalid — it must not decode.
+        _, payload = self._frame()
+        raw_body, n = self._raw_body(payload)
+        bad = self._rebuild_binary(raw_body, n, version=2)
+        with pytest.raises(ValueError):
             ReadingColumns.decode_frame(bad)
 
     def test_unknown_flags_are_rejected(self):

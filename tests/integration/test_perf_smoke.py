@@ -1,10 +1,10 @@
 """Perf smoke test: the ingest throughput benchmark must stay runnable.
 
 Runs a deliberately tiny workload through all benchmark pipelines —
-including both column-frame wire formats and the multi-process sharded
-runtime — and asserts (a) it completes well inside a generous wall-clock
-bound, and (b) the result dict has the ``BENCH_ingest.json`` v4 schema
-future perf PRs compare against.
+including all three column-frame wire formats and the multi-process
+sharded runtime under both BATCH codecs — and asserts (a) it completes
+well inside a generous wall-clock bound, and (b) the result dict has the
+``BENCH_ingest.json`` v5 schema future perf PRs compare against.
 Throughput *ratios* are not asserted tightly here — CI machines are noisy —
 beyond catastrophic-regression floors (batching and both frame formats must
 not be slower than the per-message baseline).
@@ -25,6 +25,7 @@ PIPELINES = (
     "batched_broker",
     "columnar_frames_json",
     "columnar_frames_binary",
+    "columnar_frames_binary_v2",
     "direct_batch",
 )
 
@@ -58,7 +59,7 @@ class TestIngestBenchmarkSmoke:
 
     def test_result_schema(self, smoke_result):
         result, _ = smoke_result
-        assert result["schema"] == "bench_ingest/v4"
+        assert result["schema"] == "bench_ingest/v5"
         assert result["workload"]["total_readings"] > 0
         assert result["environment"]["cpu_count"] >= 1
         for name in PIPELINES:
@@ -70,31 +71,45 @@ class TestIngestBenchmarkSmoke:
             "batched_broker_vs_per_message",
             "columnar_frames_json_vs_per_message",
             "columnar_frames_binary_vs_per_message",
+            "columnar_frames_binary_v2_vs_per_message",
             "direct_batch_vs_per_message",
             "sharded_frames_workers_1_vs_frames_binary",
             "sharded_frames_workers_2_vs_frames_binary",
+            "sharded_frames_v2_workers_1_vs_frames_binary_v2",
+            "sharded_frames_v2_workers_2_vs_frames_binary_v2",
         }
         assert result["pr1_record"]["direct_batch_readings_per_sec"] > 0
         assert result["pr2_record"]["columnar_frames_readings_per_sec"] > 0
         assert result["pr3_record"]["columnar_frames_binary_readings_per_sec"] > 0
+        assert result["pr6_record"]["sharded_workers_1_readings_per_sec"] > 0
 
     def test_sharded_pipeline_schema_and_equivalence(self, smoke_result):
         # run_benchmark itself raises when a sharded run's cloud digest
         # diverges from the single-process binary-frames pipeline, so a
         # returned result implies the byte-identical check passed.
         result, _ = smoke_result
-        sharded = result["pipelines"]["sharded_frames"]
-        assert set(sharded) == {"workers_1", "workers_2"}
         reference = result["pipelines"]["columnar_frames_binary"]
-        for stats in sharded.values():
-            assert stats["readings_per_sec"] > 0
-            assert stats["worker_restarts"] == 0
-            assert stats["dropped_ipc_frames"] == 0
-            assert stats["cloud_readings"] == reference["cloud_readings"]
-            assert stats["cloud_digest"] == reference["cloud_digest"]
+        for leg, frame_format in (
+            ("sharded_frames", "binary"),
+            ("sharded_frames_v2", "binary-v2"),
+        ):
+            sharded = result["pipelines"][leg]
+            assert set(sharded) == {"workers_1", "workers_2"}
+            for stats in sharded.values():
+                assert stats["readings_per_sec"] > 0
+                assert stats["frame_format"] == frame_format
+                assert stats["worker_restarts"] == 0
+                assert stats["dropped_ipc_frames"] == 0
+                assert stats["ipc_bytes"] > 0
+                assert stats["cloud_readings"] == reference["cloud_readings"]
+                assert stats["cloud_digest"] == reference["cloud_digest"]
         equivalence = result["sharded_equivalence"]
         assert equivalence["verified"] is True
         assert equivalence["reference_pipeline"] == "columnar_frames_binary"
+        # The v2 BATCH codec folds the JSON sidecars into the frame and
+        # compresses against the shared dictionary — same sync points, so
+        # it must ship fewer IPC bytes, not just fewer wire bytes.
+        assert result["ipc_bytes"]["v2_shrink_factor"] > 1.0
 
     def test_batching_not_slower_than_per_message(self, smoke_result):
         result, _ = smoke_result
@@ -116,6 +131,8 @@ class TestIngestBenchmarkSmoke:
         wire = result["frame_wire_bytes"]
         assert wire["binary"] < wire["json"]
         assert wire["shrink_factor"] > 1.0
+        assert wire["binary_v2"] < wire["binary"]
+        assert wire["v2_shrink_factor"] > 1.0
 
     def test_frame_paths_match_direct_ingest_outcome(self, smoke_result):
         # Column frames carry the readings losslessly (no CSV truncation to
@@ -124,7 +141,11 @@ class TestIngestBenchmarkSmoke:
         # readings, same byte accounting.
         result, _ = smoke_result
         direct_stats = result["pipelines"]["direct_batch"]
-        for name in ("columnar_frames_json", "columnar_frames_binary"):
+        for name in (
+            "columnar_frames_json",
+            "columnar_frames_binary",
+            "columnar_frames_binary_v2",
+        ):
             frame_stats = result["pipelines"][name]
             for key in ("cloud_readings", "fog1_bytes_received", "cloud_bytes_received"):
                 assert frame_stats[key] == direct_stats[key]

@@ -216,6 +216,51 @@ class TestMessageCodecs:
             with pytest.raises((ipc.IpcProtocolError, ValueError)):
                 ipc.decode_message(payload[:cut])
 
+    def test_v2_batch_round_trip_without_sidecars(self):
+        # binary-v2 folds the identity columns into the frame itself: the
+        # message is frame-only, and decode returns the same columns.
+        columns = _columns()
+        v1 = ipc.encode_batch(7, "fog1/d-01/s-01", columns)
+        v2 = ipc.encode_batch(7, "fog1/d-01/s-01", columns, frame_format="binary-v2")
+        msg_type, body = ipc.decode_message(v2)
+        assert msg_type == ipc.MSG_BATCH
+        assert body["sync_index"] == 7
+        assert body["node_id"] == "fog1/d-01/s-01"
+        decoded = body["columns"]
+        assert decoded.sensor_ids == columns.sensor_ids
+        assert decoded.values == columns.values
+        assert decoded.tags == columns.tags
+        assert decoded.fog_node_ids == columns.fog_node_ids
+        assert decoded.total_bytes == columns.total_bytes
+        # The v1 message for the same batch carries JSON sidecars after the
+        # frame; the v2 message must not.
+        _, v1_body = ipc.decode_message(v1)
+        assert v1_body["columns"].tags == decoded.tags
+
+    def test_v2_batch_tag_sharing_survives_the_boundary(self):
+        columns = _columns(n=6)
+        _, body = ipc.decode_message(
+            ipc.encode_batch(0, "node", columns, frame_format="binary-v2")
+        )
+        decoded_tags = body["columns"].tags
+        assert decoded_tags[0] is decoded_tags[2] is decoded_tags[4]
+        assert decoded_tags[1] is not decoded_tags[3]
+
+    def test_v2_batch_trailing_bytes_rejected(self):
+        payload = ipc.encode_batch(0, "node", _columns(), frame_format="binary-v2")
+        with pytest.raises(ipc.IpcProtocolError):
+            ipc.decode_message(payload + b"\x00")
+
+    def test_v2_batch_truncations_rejected(self):
+        payload = ipc.encode_batch(0, "node", _columns(), frame_format="binary-v2")
+        for cut in range(1, len(payload)):
+            with pytest.raises((ipc.IpcProtocolError, ValueError)):
+                ipc.decode_message(payload[:cut])
+
+    def test_batch_rejects_non_binary_frame_formats(self):
+        with pytest.raises(ValueError, match="binary frame format"):
+            ipc.encode_batch(0, "node", _columns(), frame_format="json")
+
     def test_sync_done_round_trip(self):
         transfers = [
             {"timestamp": 900.0, "source": "sensors/a", "target": "fog1/a",
