@@ -28,6 +28,14 @@ measures readings/second along five ingest paths:
   skipping wire encode/decode entirely (upper bound for in-process feeds).
   With the columnar storage refactor this path never materializes a reading
   object past the entry point.
+* ``direct_batch_durable`` — the same direct feed with the durable segment
+  log on in its default configuration (``durable_dir`` set, cloud log only
+  — fog L2 logs are the optional extra): every batch synced into the cloud
+  is appended as a ``\\x00RBS`` record and fsync'd once per sync point.
+  The A/B against ``direct_batch`` prices durability; the ratio is
+  recorded under the ``durable`` result section (gate: ≤ 1.5x the
+  memory-only wall clock) and the leg's cloud digest is verified identical
+  to the memory-only run's.
 * ``sharded_frames`` — the multi-process runtime: fog L1 sections sharded
   across worker processes (measured at 1, 2 and 4 workers), acquisition +
   layer-1 aggregation per worker, drained batches shipped to the supervisor
@@ -69,6 +77,8 @@ import contextlib
 import json
 import os
 import pathlib
+import shutil
+import tempfile
 import time
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
@@ -564,6 +574,47 @@ def run_direct_batch(catalog, rounds, sensor_section) -> Dict[str, object]:
     }
 
 
+def run_direct_batch_durable(catalog, rounds, sensor_section) -> Dict[str, object]:
+    """``direct_batch`` with the segment log on: the durability-overhead A/B.
+
+    Uses the default durable configuration (cloud log only — the gated
+    price of ``PipelineConfig(durable_dir=...)`` as users enable it;
+    ``durable_fog2=True`` adds a second append per row on top).  Each run
+    writes its log into a fresh temp directory (removed afterwards) so
+    repetitions never replay each other's files; the log byte/segment
+    counters are folded into the stats so the record shows what the
+    fsync'd wall-clock delta actually bought.
+    """
+    durable_dir = tempfile.mkdtemp(prefix="bench-seglog-")
+    try:
+        system = F2CDataManagement(catalog=catalog, durable_dir=durable_dir)
+        for sensor_id, section_id in sensor_section.items():
+            system.assign_sensor(sensor_id, section_id)
+        ingest_rows = Pipeline.for_system(system).ingest_rows
+        ingest_s = 0.0
+        sync_s = 0.0
+        begin = time.perf_counter()
+        for round_end, readings in rounds:
+            t0 = time.perf_counter()
+            ingest_rows(readings, now=round_end)
+            ingest_s += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            system.synchronise(now=round_end)
+            sync_s += time.perf_counter() - t0
+        wall = time.perf_counter() - begin
+        report = system.durable_report()
+        system.durable.close()
+        return {
+            "wall_s": wall,
+            "stages": {"ingest_s": ingest_s, "sync_s": sync_s},
+            "segments": report["segments"],
+            "log_bytes": sum(stats["log_bytes"] for stats in report["logs"].values()),
+            **_system_outcome(system),
+        }
+    finally:
+        shutil.rmtree(durable_dir, ignore_errors=True)
+
+
 # --------------------------------------------------------------------------- #
 # Storage micro-benchmarks (new vs legacy algorithms)
 # --------------------------------------------------------------------------- #
@@ -704,6 +755,9 @@ def run_benchmark(
         "direct_batch": _best_of(
             repetitions, lambda: run_direct_batch(catalog, rounds, sensor_section)
         ),
+        "direct_batch_durable": _best_of(
+            repetitions, lambda: run_direct_batch_durable(catalog, rounds, sensor_section)
+        ),
     }
     sharded_legs = {"sharded_frames": "binary", "sharded_frames_v2": "binary-v2"}
     for leg, frame_format in sharded_legs.items():
@@ -722,6 +776,11 @@ def run_benchmark(
         raise RuntimeError(
             "columnar_frames_binary_v2 cloud contents diverge from the v1 "
             "binary-frames pipeline"
+        )
+    if pipelines["direct_batch_durable"]["cloud_digest"] != pipelines["direct_batch"]["cloud_digest"]:
+        raise RuntimeError(
+            "direct_batch_durable cloud contents diverge from the memory-only "
+            "direct pipeline — the segment log changed what the cloud stored"
         )
     for leg in sharded_legs:
         for name, stats in pipelines[leg].items():
@@ -757,6 +816,8 @@ def run_benchmark(
             )
     ipc_v1_w1 = pipelines["sharded_frames"]["workers_1"]["ipc_bytes"]
     ipc_v2_w1 = pipelines["sharded_frames_v2"]["workers_1"]["ipc_bytes"]
+    direct_wall = pipelines["direct_batch"]["wall_s"]
+    durable_wall = pipelines["direct_batch_durable"]["wall_s"]
     result: Dict[str, object] = {
         "schema": "bench_ingest/v5",
         "workload": {
@@ -799,6 +860,15 @@ def run_benchmark(
             "sharded_frames_workers_1": ipc_v1_w1,
             "sharded_frames_v2_workers_1": ipc_v2_w1,
             "v2_shrink_factor": (ipc_v1_w1 / ipc_v2_w1) if ipc_v2_w1 else None,
+        },
+        # Deliberately NOT a "speedup" entry: durability is an overhead
+        # ratio against direct_batch, gated in CI, not a throughput win.
+        "durable": {
+            "overhead_vs_direct": (durable_wall / direct_wall) if direct_wall else None,
+            "gate_max_overhead": 1.5,
+            "digest_verified": True,  # run_benchmark raises on divergence
+            "segments": pipelines["direct_batch_durable"]["segments"],
+            "log_bytes": pipelines["direct_batch_durable"]["log_bytes"],
         },
         "pr1_record": {
             "direct_batch_readings_per_sec": PR1_DIRECT_BATCH_RECORD_RPS,
@@ -878,6 +948,10 @@ def main(output: pathlib.Path = DEFAULT_OUTPUT, **kwargs) -> Dict[str, object]:
     print(f"  ipc bytes (workers_1): v1={ipc['sharded_frames_workers_1']:,} "
           f"v2={ipc['sharded_frames_v2_workers_1']:,} "
           f"(v2 {ipc['v2_shrink_factor']:.2f}x smaller)")
+    durable = result["durable"]
+    print(f"  durable overhead: {durable['overhead_vs_direct']:.2f}x of direct_batch "
+          f"(gate ≤ {durable['gate_max_overhead']:.1f}x; {durable['segments']} segments, "
+          f"{durable['log_bytes']:,} log bytes, digest verified)")
     print(f"  direct_batch vs PR1 record: "
           f"{result['pr1_record']['direct_batch_vs_pr1_record']:.2f}x")
     print(f"  frames (binary) vs PR2 frames record: "

@@ -28,6 +28,15 @@ Operations::
     client.health()        # drops, worker restarts, query counters
     client.summary()       # deployment summary + health
 
+Durability (crash recovery from segment logs)::
+
+    from repro.api import recover, run_workload
+
+    run_workload(transport="sharded", workers=2, durable_dir="state/")
+    # ...process killed mid-run; later:
+    client = recover(durable_dir="state/")
+    client.cloud_digest()  # byte-identical to the uncrashed run
+
 The pre-facade entry points on
 :class:`~repro.core.architecture.F2CDataManagement` (``ingest_readings``,
 ``ingest_columns``, ``attach_broker``, ``flush_broker``,
@@ -37,7 +46,7 @@ deprecated and warn.  The exported surface below is contract-tested
 snapshot deliberately.
 """
 
-from repro.api.client import F2CClient, connect, run_workload
+from repro.api.client import F2CClient, connect, recover, run_workload
 from repro.api.config import TRANSPORTS, PipelineConfig
 from repro.api.pipeline import IngestSession, Pipeline
 from repro.api.query import QueryResult, QueryService, QuerySummary, TierSlice
@@ -53,5 +62,6 @@ __all__ = [
     "TRANSPORTS",
     "TierSlice",
     "connect",
+    "recover",
     "run_workload",
 ]

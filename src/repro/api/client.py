@@ -147,6 +147,9 @@ class F2CClient:
           after a worker death or protocol damage.
         * ``queries`` — served-from counters and cache behaviour of the
           read side.
+        * ``durable`` — the segment-log report (``{"enabled": False}`` on a
+          memory-only deployment): per-log segment/byte counts and how many
+          damaged tail records were dropped-and-counted.
         """
         sharded = self.sharded
         return {
@@ -155,6 +158,7 @@ class F2CClient:
             "worker_restarts": sharded.worker_restarts if sharded is not None else 0,
             "worker_faults": list(sharded.worker_faults) if sharded is not None else [],
             "queries": self.queries.stats(),
+            "durable": self.system.durable_report(),
         }
 
     def summary(self) -> Dict[str, Any]:
@@ -243,3 +247,47 @@ def run_workload(
     if config is None:
         config = PipelineConfig(**config_kwargs)
     return Pipeline(config, catalog=catalog, city=city).run(workload)
+
+
+def recover(
+    config: Optional[PipelineConfig] = None,
+    *,
+    catalog=None,
+    city=None,
+    **config_kwargs,
+) -> F2CClient:
+    """Rebuild a durable deployment from its segment logs and wrap a client.
+
+    The crash-recovery entry point: point a config with ``durable_dir`` at
+    the directory a previous (possibly killed) run wrote, and the broad
+    tiers are replayed from their logs — opening each log repairs any
+    damaged tail (truncate-and-count, never a partial ingest), cloud
+    records re-run the normal receive path so the store *and* the
+    preservation/archive state rebuild in original arrival order, and the
+    recovered cloud digest is byte-identical to the uncrashed run's.  The
+    fog layer-1 stores start empty and are marked non-authoritative, so
+    queries resolve to the restored broad tiers exactly as after a sharded
+    run.  Works for any transport's logs (the on-disk format does not
+    depend on the wire); the returned client can keep ingesting on
+    non-sharded transports.
+    """
+    if config is not None and config_kwargs:
+        raise TypeError("pass either a PipelineConfig or config keywords, not both")
+    if config is None:
+        config = PipelineConfig(**config_kwargs)
+    if config.durable_dir is None:
+        from repro.common.errors import ConfigurationError
+
+        raise ConfigurationError("recover() requires a config with durable_dir set")
+    from repro.core.architecture import F2CDataManagement
+
+    system = F2CDataManagement(
+        city=city,
+        catalog=catalog,
+        movement_policy=config.movement_policy(),
+        frame_format=config.resolved_frame_format(),
+        durable_dir=config.durable_dir,
+        durable_fog2=config.durable_fog2,
+    )
+    system.restore_from_segments()
+    return F2CClient(system=system, config=config, catalog=catalog, city=city)

@@ -69,6 +69,17 @@ class PipelineConfig:
         (:class:`~repro.api.query.QueryService`'s LRU); least-recently-hit
         windows are evicted once accounted bytes exceed it.  ``0`` disables
         memoization entirely.
+    durable_dir:
+        Directory for the durable segment logs
+        (:mod:`repro.storage.segments`).  When set, every batch synced
+        into the cloud tier is appended as a CRC-framed ``\\x00RBS`` record
+        and fsync'd at sync-point boundaries; a crashed run is recovered
+        with :func:`repro.api.recover`.  ``None`` (the default) keeps the
+        deployment memory-only.
+    durable_fog2:
+        Also keep per-district segment logs for the fog layer-2 tiers
+        (requires *durable_dir*); their TTL eviction then drops whole
+        segments instead of rows.
     """
 
     transport: str = "direct"
@@ -80,6 +91,8 @@ class PipelineConfig:
     fog2_sync_interval_s: Optional[float] = None
     inline_workers: bool = False
     query_cache_bytes: int = 8 * 1024 * 1024
+    durable_dir: Optional[str] = None
+    durable_fog2: bool = False
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:
@@ -113,6 +126,10 @@ class PipelineConfig:
             raise ConfigurationError("inline_workers requires the 'sharded' transport")
         if self.query_cache_bytes < 0:
             raise ConfigurationError("query_cache_bytes must be non-negative (0 disables)")
+        if self.durable_dir is not None and not self.durable_dir:
+            raise ConfigurationError("durable_dir must be a non-empty path (or None)")
+        if self.durable_fog2 and self.durable_dir is None:
+            raise ConfigurationError("durable_fog2 requires durable_dir")
 
     def _derived_frame_format(self) -> Optional[str]:
         if self.transport == "frames-json":

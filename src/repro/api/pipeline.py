@@ -97,6 +97,8 @@ class Pipeline:
             catalog=catalog,
             movement_policy=self.config.movement_policy(),
             frame_format=self.config.resolved_frame_format(),
+            durable_dir=self.config.durable_dir,
+            durable_fog2=self.config.durable_fog2,
         )
 
     # ------------------------------------------------------------------ #
@@ -527,6 +529,8 @@ class Pipeline:
                 catalog=catalog,
                 inline=config.inline_workers,
                 frame_format=config.resolved_frame_format(),
+                durable_dir=config.durable_dir,
+                durable_fog2=config.durable_fog2,
             )
             return result.client()
 

@@ -22,6 +22,13 @@ fog layer-2 node, and everything older from the cloud.
   the broad tiers do pay ride the store's fog/category series indexes;
 * results carry per-tier attribution (:class:`TierSlice` sources and a
   rows-by-tier summary) and the service keeps served-from counters;
+* on a durable deployment (:attr:`~repro.api.config.PipelineConfig.durable_dir`)
+  a broad tier whose in-memory store has aged a window out can still answer
+  it from its cold :class:`~repro.storage.segments.SegmentLog`: the service
+  hydrates a shadow store by replaying the log (decoding one frame per
+  segment, lazily, only when a cold window is actually asked for) and serves
+  the whole slice from it — row-identical to the in-memory engine, same
+  per-tier attribution, cached until the log's contents change;
 * hot windows are memoized in a **byte-accounted LRU** (capacity set by
   :attr:`~repro.api.config.PipelineConfig.query_cache_bytes`); the owning
   client invalidates it on every ingest/synchronise, and evictions are
@@ -220,6 +227,14 @@ class QueryService:
         #: per section chain (the pre-partitioned behaviour); kept as an
         #: A/B lever for the benchmark and the equivalence suite.
         self.partitioned_scatter = True
+        #: node_id -> (log state key, hydrated shadow store): the cold
+        #: serving stores, rebuilt only when the backing segment log's
+        #: contents change (the state key covers appends and drops), so
+        #: they survive :meth:`invalidate` — an ingest that did not touch
+        #: the log cannot stale them.
+        self._cold_stores: Dict[str, Tuple[tuple, object]] = {}
+        self.cold_segment_queries = 0
+        self.cold_store_builds = 0
         self.queries_served = 0
         self.summaries_served = 0
         self.cache_hits = 0
@@ -539,7 +554,10 @@ class QueryService:
         for (node_id, sub_since, sub_until), (node, members) in groups.items():
             if len(members) < 2:
                 continue  # a lone chain gains nothing over one filtered scan
-            buckets = node.storage.query_window_partitioned(
+            # A durable tier whose hot store aged the window out answers
+            # the same one-pass partitioned scan from its hydrated cold
+            # store — the scatter stays one store pass either way.
+            buckets = self._serving_store(node, sub_since).query_window_partitioned(
                 since=sub_since, until=sub_until, category=category
             )
             for fog1_id in members:
@@ -613,10 +631,10 @@ class QueryService:
         for node, tier in chain:
             if upper <= since:
                 break
-            if self._covers(node.storage, since):
+            if self._covers_node(node, since):
                 slices.append((node, tier, since, upper))
                 break
-            oldest = node.storage.store.oldest_timestamp()
+            oldest = self._oldest_retained(node)
             if oldest is not None and since < oldest < upper:
                 slices.append((node, tier, oldest, upper))
                 upper = oldest
@@ -628,7 +646,7 @@ class QueryService:
 
     @staticmethod
     def _covers(storage, since: float) -> bool:
-        """Whether a tier still holds everything from *since* onward.
+        """Whether a tier's *in-memory* store holds everything from *since* on.
 
         A tier that never evicted holds its full local history (upward
         drains copy, they do not remove), so it covers any window; one
@@ -640,14 +658,83 @@ class QueryService:
         oldest = storage.store.oldest_timestamp()
         return oldest is not None and oldest <= since
 
-    @staticmethod
-    def _query_at(node, tier, fog1, since, until, sensor_id, category) -> ReadingColumns:
+    def _covers_node(self, node, since: float) -> bool:
+        """Whether *node* can answer [*since*, …) — hot store or cold log.
+
+        The hot-store rule is :meth:`_covers`.  A durable tier additionally
+        covers windows its segment log still holds: the log records every
+        batch the tier ever stored, so until TTL eviction drops segments it
+        holds the tier's full history, and after drops it is trusted back
+        to its oldest live segment.
+        """
+        if self._covers(node.storage, since):
+            return True
+        log = node.segment_log
+        if log is None or not log.segment_count:
+            return False
+        if log.dropped_segments == 0:
+            return True
+        oldest = log.oldest_time()
+        return oldest is not None and oldest <= since
+
+    def _oldest_retained(self, node) -> Optional[float]:
+        """Oldest timestamp *node* can still serve, across hot store and log."""
+        oldest = node.storage.store.oldest_timestamp()
+        log = node.segment_log
+        if log is not None and log.segment_count:
+            seg_oldest = log.oldest_time()
+            if seg_oldest is not None and (oldest is None or seg_oldest < oldest):
+                oldest = seg_oldest
+        return oldest
+
+    def _serving_store(self, node, since: float):
+        """The store answering [*since*, …) at *node* — usually the hot one.
+
+        Falls back to the hydrated cold store only when the in-memory store
+        has evicted past *since* and the node keeps a segment log; a
+        non-durable node always serves (possibly incompletely) from memory,
+        exactly as before.
+        """
+        storage = node.storage
+        if self._covers(storage, since):
+            return storage
+        log = node.segment_log
+        if log is None:
+            return storage
+        self.cold_segment_queries += 1
+        return self._cold_store(node.node_id, log)
+
+    def _cold_store(self, node_id: str, log):
+        """A shadow store hydrated from *log*, rebuilt only when it changes.
+
+        Replaying the full log in append order reproduces the hot store's
+        ingest order exactly (the log records precisely what the tier
+        stored, at the moment it stored it), so window queries against the
+        shadow are row-identical — including row order and the fog/category
+        attribution carried in the extended frames — to what the in-memory
+        engine would have answered before eviction.  Frames are decoded
+        here, one per segment, only when a cold window is actually served.
+        """
+        state = (log.segment_count, log.appended_rows, log.dropped_segments)
+        cached = self._cold_stores.get(node_id)
+        if cached is not None and cached[0] == state:
+            return cached[1]
+        from repro.storage.tiered import TieredStore
+
+        store = TieredStore(name=f"{node_id}:cold")
+        for _segment, columns in log.replay():
+            store.ingest_columns(columns, mark_for_upward=False)
+        self._cold_stores[node_id] = (state, store)
+        self.cold_store_builds += 1
+        return store
+
+    def _query_at(self, node, tier, fog1, since, until, sensor_id, category) -> ReadingColumns:
         """One tier's rows for one chain's scope, as columns."""
         # At the broad tiers the chain's area is selected by the acquiring
         # fog node's id, which every stored reading carries; at fog layer 1
         # the store *is* the area.
         fog_filter = None if tier == TIER_FOG_1 else fog1.node_id
-        batch = node.storage.query_window(
+        batch = self._serving_store(node, since).query_window(
             since=since,
             until=until,
             category=category,
@@ -678,6 +765,8 @@ class QueryService:
             "cache_evictions": self.cache_evictions,
             "sketch_cache_size": len(self._sketch_cache),
             "sketch_cache_hits": self.sketch_cache_hits,
+            "cold_segment_queries": self.cold_segment_queries,
+            "cold_store_builds": self.cold_store_builds,
             "queries_by_tier": dict(self.queries_by_tier),
             "rows_by_tier": dict(self.rows_by_tier),
         }

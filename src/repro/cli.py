@@ -94,6 +94,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "--rounds", type=int, default=4, help="15-minute measurement rounds (default 4)"
         )
         subparser.add_argument("--seed", type=int, default=2024, help="workload seed (default 2024)")
+        subparser.add_argument(
+            "--durable-dir",
+            default=None,
+            metavar="DIR",
+            help="write fsync'd segment logs under DIR (crash-recoverable via repro.api.recover)",
+        )
         subparser.add_argument("--json", action="store_true", help="machine-readable output")
 
     ingest = subparsers.add_parser(
@@ -207,6 +213,7 @@ def _run_workload_from_args(args) -> "object":
         transport=transport,
         workers=args.workers,
         inline_workers=args.inline_workers,
+        durable_dir=args.durable_dir,
     )
     return run_workload(workload, config)
 

@@ -84,11 +84,15 @@ class F2CDataManagement:
         fog2_aggregator_factory: Optional[Callable[[], AggregationTechnique]] = None,
         movement_policy: Optional[MovementPolicy] = None,
         frame_format: Optional[str] = None,
+        durable_dir: Optional[str] = None,
+        durable_fog2: bool = False,
     ) -> None:
         if frame_format is not None and frame_format not in FRAME_FORMATS:
             raise ConfigurationError(
                 f"frame_format must be one of {FRAME_FORMATS}, got {frame_format!r}"
             )
+        if durable_fog2 and durable_dir is None:
+            raise ConfigurationError("durable_fog2 requires durable_dir")
         #: Wire layout this deployment publishes column frames in ("binary"
         #: or "json"); ``None`` defers to the process-wide default
         #: (``REPRO_FRAME_FORMAT`` / serialization.DEFAULT_FRAME_FORMAT).
@@ -109,6 +113,19 @@ class F2CDataManagement:
         self.cloud = CloudNode(node_id=CLOUD_NODE_ID)
 
         self._build_nodes(fog1_aggregator_factory, fog2_aggregator_factory)
+        #: Durable segment logs (repro.storage.segments) when the deployment
+        #: is configured with a durable directory; opening the logs rebuilds
+        #: their indexes (and repairs damaged tails) immediately, so a
+        #: recovery run can call :meth:`restore_from_segments` next.
+        self.durable: Optional["DurableTierLogs"] = None
+        if durable_dir is not None:
+            from repro.storage.segments import DurableTierLogs
+
+            self.durable = DurableTierLogs(durable_dir, fog2=durable_fog2)
+            self.cloud.segment_log = self.durable.log_for(self.cloud.node_id)
+            if durable_fog2:
+                for fog2 in self._fog2.values():
+                    fog2.segment_log = self.durable.log_for(fog2.node_id)
         self.scheduler = DataMovementScheduler(
             architecture=self, simulator=self.simulator, policy=movement_policy
         )
@@ -456,6 +473,28 @@ class F2CDataManagement:
     def synchronise(self, now: Optional[float] = None) -> Dict[str, Dict[str, int]]:
         """Move pending data fog L1 → fog L2 → cloud immediately."""
         return self.scheduler.full_sync(now)
+
+    def restore_from_segments(self) -> Dict[str, int]:
+        """Replay the durable segment logs into this (fresh) deployment.
+
+        The recovery path: build the system with the same ``durable_dir``
+        (opening the logs repairs any damaged tail), then replay — cloud
+        records run through the normal receive path so storage *and* the
+        preservation/archive state rebuild in original arrival order, and
+        the SHA-256 cloud digest of a replayed run is byte-identical to
+        the uncrashed one.  Returns the replay counters.
+        """
+        if self.durable is None:
+            raise ConfigurationError(
+                "restore_from_segments requires a deployment built with durable_dir"
+            )
+        return self.durable.restore(self)
+
+    def durable_report(self) -> Dict[str, object]:
+        """Durable-log counters (health surface); ``enabled: False`` without."""
+        if self.durable is None:
+            return {"enabled": False}
+        return self.durable.report()
 
     def traffic_report(self) -> Dict[str, int]:
         """Bytes received per layer (the paper's core comparison quantity)."""

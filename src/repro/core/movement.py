@@ -115,6 +115,7 @@ class DataMovementScheduler:
             if not batch:
                 continue
             moved[fog1.node_id] = self.move_up_from_fog1(fog1.node_id, batch, timestamp)
+        self._commit_durable()
         return moved
 
     def move_up_from_fog1(self, node_id: str, batch: ReadingBatch, now: float) -> int:
@@ -128,7 +129,11 @@ class DataMovementScheduler:
         parent_id = self.architecture.parent_of(node_id)
         transfer = self._transfer(node_id, parent_id, batch, now)
         parent = self.architecture.fog2_node(parent_id)
-        parent.receive_from_child(node_id, batch, transfer.arrival_time)
+        stored = parent.receive_from_child(node_id, batch, transfer.arrival_time)
+        if parent.segment_log is not None and stored is not None:
+            # Log what the tier stored (a layer-2 aggregator may have
+            # reduced the batch); fsync'd by the sync-point commit.
+            parent.segment_log.append(node_id, stored.columns, transfer.arrival_time)
         return batch.total_bytes
 
     def move_up_from_fog1_columns(self, node_id: str, columns, now: float) -> int:
@@ -144,7 +149,9 @@ class DataMovementScheduler:
             node_id, parent_id, columns.category_counts(), columns.total_bytes, len(columns), now
         )
         parent = self.architecture.fog2_node(parent_id)
-        parent.receive_columns_from_child(node_id, columns, transfer.arrival_time)
+        stored = parent.receive_columns_from_child(node_id, columns, transfer.arrival_time)
+        if parent.segment_log is not None and stored is not None:
+            parent.segment_log.append(node_id, stored, transfer.arrival_time)
         return columns.total_bytes
 
     def sync_fog2_to_cloud(self, now: Optional[float] = None) -> Dict[str, int]:
@@ -160,8 +167,23 @@ class DataMovementScheduler:
             departure = self.policy.next_transmission_time(timestamp, profile)
             transfer = self._transfer(fog2.node_id, cloud.node_id, batch, departure)
             cloud.receive_from_fog(fog2.node_id, batch, transfer.arrival_time)
+            if cloud.segment_log is not None:
+                cloud.segment_log.append(fog2.node_id, batch.columns, transfer.arrival_time)
             moved[fog2.node_id] = batch.total_bytes
+        self._commit_durable()
         return moved
+
+    def _commit_durable(self) -> None:
+        """fsync every durable segment log — the sync-point boundary.
+
+        Runs at the end of each one-shot synchronisation, so the durability
+        contract ("at most the current round's un-fsync'd tail can be
+        lost") holds for both hops on both the single-process and the
+        sharded supervisor drive paths.
+        """
+        durable = self.architecture.durable
+        if durable is not None:
+            durable.commit()
 
     def full_sync(self, now: Optional[float] = None) -> Dict[str, Dict[str, int]]:
         """Fog L1 → fog L2 followed by fog L2 → cloud."""

@@ -45,6 +45,9 @@ class _BaseNode:
         self._compute_in_use = 0.0
         self.storage = TieredStore(name=node_id, retention=retention)
         self.processing = ProcessingBlock()
+        #: Durable segment log backing this node's tier (set by the
+        #: architecture on broad tiers when a durable_dir is configured).
+        self.segment_log = None
 
     # -- computing capacity -------------------------------------------- #
     @property
@@ -213,26 +216,36 @@ class FogNodeLevel2(_BaseNode):
         self.storage.ingest_batch(reduced, mark_for_upward=True)
         return reduced
 
-    def receive_columns_from_child(self, child_node_id: str, columns, now: float) -> None:
+    def receive_columns_from_child(self, child_node_id: str, columns, now: float):
         """Columns-native :meth:`receive_from_child` (the supervisor absorb path).
 
         Storage and the pending-upward queue consume the columns directly;
         a batch wrapper is created only when a layer-2 aggregator is
-        configured (aggregation techniques operate on batches).
+        configured (aggregation techniques operate on batches).  Returns
+        the columns that were stored (the aggregator-reduced ones when one
+        is configured) so the caller can log exactly what the tier holds.
         """
         if child_node_id not in self.children:
             self.register_child(child_node_id)
         if self.aggregator is not None:
             reduced = self.aggregator.apply(ReadingBatch.from_columns(columns)).batch
             self.storage.ingest_batch(reduced, mark_for_upward=True)
-            return
+            return reduced.columns
         self.storage.ingest_columns(columns, mark_for_upward=True)
+        return columns
 
     def drain_for_upward(self) -> ReadingBatch:
         return self.storage.drain_pending_upward()
 
     def enforce_retention(self, now: float) -> int:
-        return self.storage.enforce_retention(now)
+        evicted = self.storage.enforce_retention(now)
+        if self.segment_log is not None:
+            # Durable tiers age out whole segments: one index scan over
+            # record headers (O(1) per segment), never per-row surgery.
+            max_age = getattr(self.storage.retention, "max_age_seconds", None)
+            if max_age is not None:
+                self.segment_log.drop_older_than(now - max_age)
+        return evicted
 
 
 class CloudNode(_BaseNode):

@@ -275,6 +275,8 @@ class ShardSupervisor:
         max_restarts: int = DEFAULT_MAX_RESTARTS,
         inline: bool = False,
         frame_format: Optional[str] = None,
+        durable_dir: Optional[str] = None,
+        durable_fog2: bool = False,
     ) -> None:
         if workers <= 0:
             raise ConfigurationError("workers must be positive")
@@ -283,7 +285,13 @@ class ShardSupervisor:
         self.catalog = catalog
         self.max_restarts = max_restarts
         self.inline = inline
-        self.architecture = F2CDataManagement(catalog=catalog)
+        # Durable segment logs attach to the supervisor-side architecture:
+        # the broad tiers (fog L2 absorb, fog L2 → cloud sync) live here,
+        # so the sharded absorb path appends and fsyncs exactly like the
+        # single-process scheduler.
+        self.architecture = F2CDataManagement(
+            catalog=catalog, durable_dir=durable_dir, durable_fog2=durable_fog2
+        )
         self.failure_state = FailureState()
         self.worker_faults: List[Dict[str, Any]] = []
         self.dropped_ipc_frames = 0
@@ -595,6 +603,8 @@ def run_sharded(
     max_restarts: int = DEFAULT_MAX_RESTARTS,
     inline: bool = False,
     frame_format: Optional[str] = None,
+    durable_dir: Optional[str] = None,
+    durable_fog2: bool = False,
 ) -> ShardedRunResult:
     """Run *workload* sharded over *workers* ingest processes.
 
@@ -604,6 +614,8 @@ def run_sharded(
     deterministic coverage of the whole pipeline.  ``frame_format`` picks
     the BATCH frame codec (``"binary"`` sidecar shape or ``"binary-v2"``
     extended frames); ``None`` follows ``REPRO_FRAME_FORMAT``.
+    ``durable_dir`` / ``durable_fog2`` attach durable segment logs to the
+    supervisor's broad tiers (see :mod:`repro.storage.segments`).
     """
     supervisor = ShardSupervisor(
         workers=workers,
@@ -613,5 +625,7 @@ def run_sharded(
         max_restarts=max_restarts,
         inline=inline,
         frame_format=frame_format,
+        durable_dir=durable_dir,
+        durable_fog2=durable_fog2,
     )
     return supervisor.run()

@@ -39,6 +39,12 @@ class DisseminationPolicy:
     allowed_consumers: Sequence[str] = field(default_factory=tuple)
     anonymize: bool = False
 
+    def __post_init__(self) -> None:
+        # Snapshot the consumer list: a frozen policy holding a
+        # caller-owned list is not frozen at all — mutating the list after
+        # archive() would silently change access control.
+        object.__setattr__(self, "allowed_consumers", tuple(self.allowed_consumers))
+
     def permits(self, consumer: str) -> bool:
         """May *consumer* read a dataset under this policy?"""
         if self.access_level == AccessLevel.PUBLIC:
@@ -58,6 +64,13 @@ class ArchiveEntry:
     provenance: Dict[str, str] = field(default_factory=dict)
     policy: DisseminationPolicy = field(default_factory=DisseminationPolicy)
     expiry: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # Same aliasing hazard as DisseminationPolicy: lineage and
+        # provenance must not track caller-side mutations of the sequences
+        # they were built from.
+        object.__setattr__(self, "lineage", tuple(self.lineage))
+        object.__setattr__(self, "provenance", dict(self.provenance))
 
     @property
     def size_bytes(self) -> int:
@@ -88,6 +101,11 @@ class CloudArchive:
         self.name = name
         self._entries: Dict[str, List[ArchiveEntry]] = {}
         self._archived_bytes = 0
+        # Per-dataset monotonic version counter.  Deriving the next version
+        # from len(versions) reissues live (or previously issued) version
+        # numbers once purge_expired has removed entries; this counter only
+        # ever grows, surviving purges and whole-dataset removal.
+        self._next_version: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -106,9 +124,11 @@ class CloudArchive:
         if not dataset:
             raise ValidationError("dataset name must be non-empty")
         versions = self._entries.setdefault(dataset, [])
+        version = self._next_version.get(dataset, 0) + 1
+        self._next_version[dataset] = version
         entry = ArchiveEntry(
             dataset=dataset,
-            version=len(versions) + 1,
+            version=version,
             batch=batch.copy(),
             archived_at=archived_at,
             lineage=tuple(lineage),
@@ -138,9 +158,14 @@ class CloudArchive:
 
     def get(self, dataset: str, version: int) -> ArchiveEntry:
         versions = self.versions(dataset)
-        for entry in versions:
-            if entry.version == version:
-                return entry
+        matches = [entry for entry in versions if entry.version == version]
+        if len(matches) > 1:
+            raise StorageError(
+                f"dataset {dataset!r} holds {len(matches)} entries for version "
+                f"{version}; the archive index is corrupt"
+            )
+        if matches:
+            return matches[0]
         raise StorageError(f"dataset {dataset!r} has no version {version}")
 
     def read(self, dataset: str, consumer: str, version: Optional[int] = None) -> ReadingBatch:

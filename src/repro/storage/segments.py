@@ -1,0 +1,490 @@
+"""Durable append-only segment logs for the broad storage tiers.
+
+Everything the reproduction stores is in process memory; the paper's cloud
+tier, however, is the *permanent* home of city data.  This module adds the
+on-disk substrate: every batch synced into a broad tier (the cloud always,
+fog layer 2 optionally) is appended to a per-node :class:`SegmentLog` as one
+length-prefixed ``\\x00RBS`` record — the same CRC-framed stream layout the
+sharded runtime ships over worker pipes — and fsync'd once per sync-point
+boundary.
+
+One record = one *segment*: a small fixed envelope (record version, row
+count, sync time, the batch's timestamp span, the delivering child node)
+followed by the batch itself as an **extended v2 column frame**
+(:meth:`~repro.sensors.readings.ReadingColumns.encode_frame_extended`), so
+tags and fog-node attribution survive the disk round trip and replay
+reproduces the cloud contents — and therefore the SHA-256 cloud digest —
+byte for byte.
+
+Durability contract
+-------------------
+* Appends happen inside the data-movement scheduler as each batch lands in
+  the tier; :meth:`SegmentLog.commit` (flush + ``fsync``) runs once per
+  sync-point boundary.  A crash between boundaries can lose at most the
+  un-fsync'd tail of the current round — never a prefix, never part of a
+  record.
+* On open the log rebuilds its in-memory per-(child, time-window) segment
+  index by scanning record envelopes — no frame is decoded.  A truncated or
+  corrupt tail record is dropped-and-counted (``dropped_records`` /
+  ``dropped_bytes``, the ``dropped_ipc_frames`` discipline) and the file is
+  truncated back to the last intact record boundary so subsequent appends
+  land on a valid stream.  A damaged record is rejected whole, never
+  partially ingested.
+* Segment payloads are decoded lazily: the index scan, TTL drops and
+  byte accounting never touch frame bytes; :meth:`SegmentLog.read` decodes
+  one frame on demand (cold queries, replay).
+* TTL eviction on a durable tier becomes an O(#segments) index drop
+  (:meth:`SegmentLog.drop_older_than`) instead of per-row store surgery;
+  the bytes are reclaimed by :meth:`SegmentLog.compact`.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import StorageError, ValidationError
+from repro.common.serialization import (
+    FrameStreamReader,
+    FrameStreamWriter,
+    StreamFrameError,
+)
+from repro.sensors.readings import ReadingColumns
+
+#: Layout version of the segment envelope (bumped on incompatible change).
+SEGMENT_RECORD_VERSION = 1
+
+#: File suffix of one node's segment log inside the durable directory.
+SEGMENT_LOG_SUFFIX = ".seglog"
+
+# Envelope at the head of every record payload: everything the index needs,
+# so reopening scans headers without decoding (or decompressing) any frame.
+#   u8  record version | u16 child-id length | u32 rows
+#   f64 sync time      | f64 min timestamp   | f64 max timestamp
+_ENVELOPE = struct.Struct("<BHIddd")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """Index entry for one appended record (no payload bytes held)."""
+
+    child_id: str  #: node that delivered the batch into the tier
+    sync_time: float  #: sync-point time the batch arrived at
+    t_min: float  #: smallest reading timestamp in the batch
+    t_max: float  #: largest reading timestamp in the batch
+    rows: int
+    offset: int  #: byte offset of the stream record in the log file
+    length: int  #: on-disk size of the stream record (framing included)
+
+    def overlaps(self, since: float, until: float) -> bool:
+        """Does the segment's time window intersect ``[since, until)``?"""
+        return self.t_min < until and self.t_max >= since
+
+
+class SegmentLog:
+    """Append-only ``\\x00RBS`` record log for one broad-tier node.
+
+    Opening an existing file rebuilds the segment index from record
+    envelopes and repairs a damaged tail (truncate-and-count).  The same
+    open handle serves appends and lazy segment reads.
+    """
+
+    def __init__(self, path: str, node_id: Optional[str] = None) -> None:
+        self.path = os.fspath(path)
+        self.node_id = node_id if node_id is not None else os.path.basename(self.path)
+        self.dropped_records = 0
+        self.dropped_bytes = 0
+        self.dropped_segments = 0
+        self.dropped_segment_rows = 0
+        self.appended_rows = 0
+        self._segments: List[Segment] = []
+        self._by_child: Dict[str, List[Segment]] = {}
+        self._file = open(self.path, "a+b")
+        self._writer = FrameStreamWriter(self._file.write)
+        self._end = 0
+        self._dirty = False
+        self._rebuild_index()
+
+    # ------------------------------------------------------------------ #
+    # Open-time index rebuild and tail repair
+    # ------------------------------------------------------------------ #
+    def _rebuild_index(self) -> None:
+        fh = self._file
+        size = os.fstat(fh.fileno()).st_size
+        fh.seek(0)
+        reader = FrameStreamReader(fh.read)
+        offset = 0
+        while True:
+            try:
+                payload = reader.read_frame()
+            except StreamFrameError:
+                # Damaged tail (torn write, bit rot): everything from the
+                # last intact boundary is dropped whole and counted, and
+                # the file is cut back so new appends extend a valid
+                # stream.  Nothing partial ever reaches a store.
+                self.dropped_records += 1
+                self.dropped_bytes += size - offset
+                fh.seek(offset)
+                fh.truncate(offset)
+                break
+            if payload is None:
+                break
+            end = fh.tell()
+            try:
+                segment = self._parse_envelope(payload, offset, end - offset)
+            except (struct.error, ValueError):
+                # CRC-valid record with an unknown envelope (foreign or
+                # future layout): skip-and-count, later records stay valid.
+                self.dropped_records += 1
+                self.dropped_bytes += end - offset
+                offset = end
+                continue
+            self._index(segment)
+            offset = end
+        self._end = offset
+
+    @staticmethod
+    def _parse_envelope(payload: bytes, offset: int, length: int) -> Segment:
+        version, child_len, rows, sync_time, t_min, t_max = _ENVELOPE.unpack_from(payload)
+        if version != SEGMENT_RECORD_VERSION:
+            raise ValueError(f"unsupported segment record version {version}")
+        head = _ENVELOPE.size
+        if len(payload) < head + child_len:
+            raise ValueError("segment envelope truncated")
+        child_id = payload[head : head + child_len].decode("utf-8")
+        return Segment(
+            child_id=child_id,
+            sync_time=sync_time,
+            t_min=t_min,
+            t_max=t_max,
+            rows=rows,
+            offset=offset,
+            length=length,
+        )
+
+    def _index(self, segment: Segment) -> None:
+        self._segments.append(segment)
+        self._by_child.setdefault(segment.child_id, []).append(segment)
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+    def append(self, child_id: str, columns: ReadingColumns, sync_time: float) -> Optional[Segment]:
+        """Append one synced batch as a segment; returns its index entry.
+
+        Empty batches are not recorded (nothing reached the tier).  The
+        record is buffered; it is on disk for sure only after the next
+        :meth:`commit` — the per-sync-point boundary the durability
+        contract is defined at.
+        """
+        if not len(columns):
+            return None
+        timestamps = columns.timestamps
+        t_min, t_max = min(timestamps), max(timestamps)
+        frame = columns.encode_frame_extended()
+        child = child_id.encode("utf-8")
+        envelope = _ENVELOPE.pack(
+            SEGMENT_RECORD_VERSION, len(child), len(columns), sync_time, t_min, t_max
+        )
+        fh = self._file
+        fh.seek(0, os.SEEK_END)
+        written = self._writer.write_frame(envelope + child + frame)
+        segment = Segment(
+            child_id=child_id,
+            sync_time=sync_time,
+            t_min=t_min,
+            t_max=t_max,
+            rows=len(columns),
+            offset=self._end,
+            length=written,
+        )
+        self._end += written
+        self.appended_rows += len(columns)
+        self._dirty = True
+        self._index(segment)
+        return segment
+
+    def commit(self) -> None:
+        """Flush buffered records and ``fsync`` — the sync-point barrier.
+
+        A no-op on a clean log: a deployment whose sync round only touched
+        some tiers does not pay an ``fsync`` per untouched log.
+        """
+        if not self._dirty:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # Index access and lazy reads
+    # ------------------------------------------------------------------ #
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        return tuple(self._segments)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def segments_overlapping(
+        self,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        child_id: Optional[str] = None,
+    ) -> List[Segment]:
+        """Index lookup: segments whose time window intersects the query."""
+        pool = self._segments if child_id is None else self._by_child.get(child_id, [])
+        return [segment for segment in pool if segment.overlaps(since, until)]
+
+    def oldest_time(self) -> Optional[float]:
+        """Smallest reading timestamp still covered by a live segment."""
+        if not self._segments:
+            return None
+        return min(segment.t_min for segment in self._segments)
+
+    def read(self, segment: Segment) -> ReadingColumns:
+        """Decode one segment's batch (the lazy ``decode_frame`` path)."""
+        fh = self._file
+        fh.flush()
+        fh.seek(segment.offset)
+        data = fh.read(segment.length)
+        if len(data) != segment.length:
+            raise StorageError(
+                f"segment log {self.path!r}: record at offset {segment.offset} "
+                "is shorter than its index entry"
+            )
+        payload = FrameStreamReader(io.BytesIO(data).read).read_frame()
+        child_len = _ENVELOPE.unpack_from(payload)[1]
+        return ReadingColumns.decode_frame(payload[_ENVELOPE.size + child_len :])
+
+    def replay(self) -> Iterator[Tuple[Segment, ReadingColumns]]:
+        """Yield every live segment with its decoded batch, in append order."""
+        for segment in list(self._segments):
+            yield segment, self.read(segment)
+
+    # ------------------------------------------------------------------ #
+    # Retention
+    # ------------------------------------------------------------------ #
+    def drop_older_than(self, cutoff: float) -> int:
+        """Drop segments wholly older than *cutoff* from the index.
+
+        The durable-tier TTL path: one index scan over segment headers
+        (never rows), dropping each expired segment in O(1).  Returns the
+        number of segments dropped.  Disk bytes are reclaimed separately
+        by :meth:`compact`; until then (or after a reopen followed by the
+        next retention pass) the dropped records are simply dead weight.
+        """
+        kept = [segment for segment in self._segments if segment.t_max >= cutoff]
+        dropped = len(self._segments) - len(kept)
+        if not dropped:
+            return 0
+        self.dropped_segments += dropped
+        self.dropped_segment_rows += sum(
+            segment.rows for segment in self._segments if segment.t_max < cutoff
+        )
+        self._segments = kept
+        self._by_child = {}
+        for segment in kept:
+            self._by_child.setdefault(segment.child_id, []).append(segment)
+        return dropped
+
+    def compact(self) -> int:
+        """Rewrite the file keeping only live segments; returns bytes freed.
+
+        Copies the surviving records into a sibling temp file and atomically
+        replaces the log, then re-points the index at the new offsets.
+        """
+        fh = self._file
+        fh.flush()
+        before = self._end
+        temp_path = self.path + ".compact"
+        survivors: List[Segment] = []
+        offset = 0
+        with open(temp_path, "wb") as out:
+            for segment in self._segments:
+                fh.seek(segment.offset)
+                record = fh.read(segment.length)
+                out.write(record)
+                survivors.append(
+                    Segment(
+                        child_id=segment.child_id,
+                        sync_time=segment.sync_time,
+                        t_min=segment.t_min,
+                        t_max=segment.t_max,
+                        rows=segment.rows,
+                        offset=offset,
+                        length=segment.length,
+                    )
+                )
+                offset += segment.length
+            out.flush()
+            os.fsync(out.fileno())
+        self._file.close()
+        os.replace(temp_path, self.path)
+        self._file = open(self.path, "a+b")
+        self._writer = FrameStreamWriter(self._file.write)
+        self._dirty = False  # every surviving record was fsync'd pre-replace
+        self._segments = survivors
+        self._by_child = {}
+        for segment in survivors:
+            self._by_child.setdefault(segment.child_id, []).append(segment)
+        self._end = offset
+        return before - offset
+
+    # ------------------------------------------------------------------ #
+    # Reporting / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        return {
+            "node_id": self.node_id,
+            "path": self.path,
+            "segments": len(self._segments),
+            "appended_rows": self.appended_rows,
+            "log_bytes": self._end,
+            "dropped_records": self.dropped_records,
+            "dropped_bytes": self.dropped_bytes,
+            "dropped_segments": self.dropped_segments,
+            "dropped_segment_rows": self.dropped_segment_rows,
+        }
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SegmentLog(node={self.node_id!r}, segments={len(self._segments)})"
+
+
+def _log_filename(node_id: str) -> str:
+    return node_id.replace("/", "__") + SEGMENT_LOG_SUFFIX
+
+
+def _node_id_from_filename(filename: str) -> str:
+    return filename[: -len(SEGMENT_LOG_SUFFIX)].replace("__", "/")
+
+
+class DurableTierLogs:
+    """The durable directory: one :class:`SegmentLog` per broad-tier node.
+
+    Owned by :class:`~repro.core.architecture.F2CDataManagement` when the
+    deployment is configured with ``durable_dir``; the cloud log is always
+    kept, fog layer-2 logs when ``fog2`` durability is on.  Restoring a
+    crashed deployment replays the cloud log through the cloud's normal
+    receive path (store + preservation/archive rebuild in original order)
+    and rehydrates fog L2 stores from their own logs when present, else by
+    mirroring the cloud records of their district.
+    """
+
+    def __init__(self, directory: str, fog2: bool = False) -> None:
+        self.directory = os.fspath(directory)
+        if not self.directory:
+            raise ValidationError("durable directory must be non-empty")
+        os.makedirs(self.directory, exist_ok=True)
+        self.fog2_enabled = bool(fog2)
+        self.replayed_records = 0
+        self.replayed_rows = 0
+        self._logs: Dict[str, SegmentLog] = {}
+
+    def log_for(self, node_id: str) -> SegmentLog:
+        """The node's log, opened (and its index rebuilt) on first use."""
+        log = self._logs.get(node_id)
+        if log is None:
+            path = os.path.join(self.directory, _log_filename(node_id))
+            log = self._logs[node_id] = SegmentLog(path, node_id=node_id)
+        return log
+
+    def existing_node_ids(self) -> List[str]:
+        """Node ids that already have a log file in the directory."""
+        return sorted(
+            _node_id_from_filename(name)
+            for name in os.listdir(self.directory)
+            if name.endswith(SEGMENT_LOG_SUFFIX)
+        )
+
+    def commit(self) -> None:
+        """fsync every open log — called once per sync-point boundary."""
+        for log in self._logs.values():
+            log.commit()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def restore(self, architecture) -> Dict[str, int]:
+        """Replay the logs into a freshly built *architecture*.
+
+        Must run on a deployment that has not ingested yet.  Cloud records
+        go through :meth:`CloudNode.receive_from_fog`, so the store *and*
+        the preservation block (archive versions, lineage) are rebuilt in
+        the original arrival order — which is why the post-restore cloud
+        digest is byte-identical.  Fog L1 memory died with the process;
+        the fog L1 stores are marked non-authoritative so queries fall
+        through to the restored broad tiers.
+        """
+        from repro.common.errors import RoutingError
+        from repro.sensors.readings import ReadingBatch
+
+        counters = {"replayed_records": 0, "replayed_rows": 0, "fog2_mirrored_records": 0}
+        restored_fog2 = set()
+        for fog2 in architecture.fog2_nodes():
+            log = getattr(fog2, "segment_log", None)
+            if log is None or not log.segment_count:
+                continue
+            for _, columns in log.replay():
+                fog2.storage.ingest_columns(columns, mark_for_upward=False)
+                counters["replayed_records"] += 1
+                counters["replayed_rows"] += len(columns)
+            restored_fog2.add(fog2.node_id)
+        cloud_log = getattr(architecture.cloud, "segment_log", None)
+        if cloud_log is not None:
+            for segment, columns in cloud_log.replay():
+                if segment.child_id not in restored_fog2:
+                    # The delivering fog L2 node held exactly the rows it
+                    # synced upward (upward drains copy, they do not
+                    # remove), so the cloud log doubles as its backup.
+                    try:
+                        fog2 = architecture.fog2_node(segment.child_id)
+                    except RoutingError:
+                        fog2 = None
+                    if fog2 is not None:
+                        fog2.storage.ingest_columns(columns, mark_for_upward=False)
+                        counters["fog2_mirrored_records"] += 1
+                batch = ReadingBatch.from_columns(columns)
+                architecture.cloud.receive_from_fog(segment.child_id, batch, segment.sync_time)
+                counters["replayed_records"] += 1
+                counters["replayed_rows"] += len(columns)
+        architecture.merge_fog1_stats(
+            {fog1.node_id: fog1.stats() for fog1 in architecture.fog1_nodes()}
+        )
+        self.replayed_records += counters["replayed_records"]
+        self.replayed_rows += counters["replayed_rows"]
+        return counters
+
+    # ------------------------------------------------------------------ #
+    # Reporting / lifecycle
+    # ------------------------------------------------------------------ #
+    def report(self) -> Dict[str, object]:
+        logs = {node_id: log.stats() for node_id, log in sorted(self._logs.items())}
+        return {
+            "enabled": True,
+            "directory": self.directory,
+            "fog2": self.fog2_enabled,
+            "segments": sum(stats["segments"] for stats in logs.values()),
+            "appended_rows": sum(stats["appended_rows"] for stats in logs.values()),
+            "dropped_log_records": sum(stats["dropped_records"] for stats in logs.values()),
+            "dropped_log_bytes": sum(stats["dropped_bytes"] for stats in logs.values()),
+            "replayed_records": self.replayed_records,
+            "replayed_rows": self.replayed_rows,
+            "logs": logs,
+        }
+
+    def close(self) -> None:
+        for log in self._logs.values():
+            log.close()

@@ -27,6 +27,7 @@ PIPELINES = (
     "columnar_frames_binary",
     "columnar_frames_binary_v2",
     "direct_batch",
+    "direct_batch_durable",
 )
 
 
@@ -110,6 +111,24 @@ class TestIngestBenchmarkSmoke:
         # compresses against the shared dictionary — same sync points, so
         # it must ship fewer IPC bytes, not just fewer wire bytes.
         assert result["ipc_bytes"]["v2_shrink_factor"] > 1.0
+
+    def test_durable_leg_schema_and_digest(self, smoke_result):
+        # run_benchmark raises when the durable leg's cloud digest diverges
+        # from direct_batch, so a returned result implies byte-identity.
+        result, _ = smoke_result
+        durable = result["durable"]
+        assert durable["digest_verified"] is True
+        assert durable["gate_max_overhead"] == 1.5
+        assert durable["overhead_vs_direct"] > 0
+        assert durable["segments"] > 0
+        assert durable["log_bytes"] > 0
+        stats = result["pipelines"]["direct_batch_durable"]
+        assert stats["cloud_digest"] == result["pipelines"]["direct_batch"]["cloud_digest"]
+        # The ≤1.5x wall-clock gate itself is asserted by the CI durability
+        # leg on the city-hour workload, where encode cost amortizes; the
+        # smoke workload is milliseconds and only the ratio's presence and a
+        # catastrophic ceiling are checked here.
+        assert durable["overhead_vs_direct"] < 10.0
 
     def test_batching_not_slower_than_per_message(self, smoke_result):
         result, _ = smoke_result

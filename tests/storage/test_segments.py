@@ -1,0 +1,317 @@
+"""Unit tests for the durable segment log (repro.storage.segments).
+
+Covers the on-disk contract in isolation: append/index round trips,
+reopen-time index rebuild from record envelopes, truncated/corrupt tail
+repair (drop-and-count, never a partial record), unknown-envelope skipping,
+O(#segments) TTL drops and compaction.  The end-to-end crash/replay digest
+proofs live in tests/integration/test_durability.py.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.common.errors import StorageError, ValidationError
+from repro.common.serialization import encode_stream_frame
+from repro.sensors.readings import ReadingColumns
+from repro.storage.segments import (
+    _ENVELOPE,
+    SEGMENT_LOG_SUFFIX,
+    DurableTierLogs,
+    SegmentLog,
+)
+from tests.conftest import make_reading
+
+
+def columns_of(
+    count: int = 3,
+    start: float = 0.0,
+    step: float = 60.0,
+    fog_node_id: str = "fog1/d-01/s-01",
+    prefix: str = "sensor",
+) -> ReadingColumns:
+    """Columns with per-row tags and fog attribution, like acquired data."""
+    return ReadingColumns.from_readings(
+        make_reading(
+            sensor_id=f"{prefix}-{index}",
+            value=20.0 + index,
+            timestamp=start + index * step,
+            fog_node_id=fog_node_id,
+            tags={"section": "s-01", "row": str(index)},
+        )
+        for index in range(count)
+    )
+
+
+def rows_of(columns: ReadingColumns):
+    return list(
+        zip(
+            columns.timestamps,
+            columns.sensor_ids,
+            columns.values,
+            columns.categories,
+            columns.fog_node_ids,
+            columns.tags,
+        )
+    )
+
+
+@pytest.fixture()
+def log_path(tmp_path):
+    return str(tmp_path / ("cloud" + SEGMENT_LOG_SUFFIX))
+
+
+class TestAppendAndIndex:
+    def test_append_returns_the_index_entry(self, log_path):
+        log = SegmentLog(log_path, node_id="cloud")
+        columns = columns_of(4, start=100.0)
+        segment = log.append("fog2/d-01", columns, sync_time=900.0)
+        assert segment.child_id == "fog2/d-01"
+        assert segment.sync_time == 900.0
+        assert segment.t_min == 100.0
+        assert segment.t_max == 100.0 + 3 * 60.0
+        assert segment.rows == 4
+        assert segment.offset == 0
+        assert log.segment_count == 1
+        assert log.appended_rows == 4
+        log.close()
+
+    def test_empty_batches_are_not_recorded(self, log_path):
+        log = SegmentLog(log_path)
+        assert log.append("fog2/d-01", ReadingColumns(), sync_time=900.0) is None
+        assert log.segment_count == 0
+        log.close()
+
+    def test_segments_overlapping_filters_by_window_and_child(self, log_path):
+        log = SegmentLog(log_path)
+        first = log.append("fog2/d-01", columns_of(2, start=0.0), sync_time=900.0)
+        second = log.append("fog2/d-02", columns_of(2, start=1000.0), sync_time=1800.0)
+        assert log.segments_overlapping(0.0, 100.0) == [first]
+        assert log.segments_overlapping(0.0, 5000.0) == [first, second]
+        assert log.segments_overlapping(0.0, 5000.0, child_id="fog2/d-02") == [second]
+        # Half-open window: a segment ending exactly at `since` overlaps,
+        # one starting at `until` does not.
+        assert log.segments_overlapping(first.t_max, first.t_max + 1.0) == [first]
+        assert log.segments_overlapping(second.t_max + 1.0, 9000.0) == []
+        assert log.oldest_time() == 0.0
+        log.close()
+
+    def test_read_decodes_the_exact_rows(self, log_path):
+        log = SegmentLog(log_path)
+        columns = columns_of(5, start=42.0)
+        segment = log.append("fog2/d-01", columns, sync_time=900.0)
+        decoded = log.read(segment)
+        assert rows_of(decoded) == rows_of(columns)
+        log.close()
+
+
+class TestReopen:
+    def test_index_rebuilds_from_envelopes(self, log_path):
+        log = SegmentLog(log_path, node_id="cloud")
+        original = [
+            log.append("fog2/d-01", columns_of(3, start=0.0), sync_time=900.0),
+            log.append("fog2/d-02", columns_of(2, start=500.0), sync_time=900.0),
+            log.append("fog2/d-01", columns_of(4, start=1000.0), sync_time=1800.0),
+        ]
+        log.commit()
+        log.close()
+
+        reopened = SegmentLog(log_path, node_id="cloud")
+        assert reopened.segments == tuple(original)
+        assert reopened.dropped_records == 0
+        assert [seg.child_id for seg in reopened.segments_overlapping(child_id="fog2/d-01")] == [
+            "fog2/d-01",
+            "fog2/d-01",
+        ]
+        reopened.close()
+
+    def test_replay_round_trips_tags_and_fog_ids(self, log_path):
+        log = SegmentLog(log_path)
+        batches = [columns_of(3, start=i * 1000.0, prefix=f"s{i}") for i in range(3)]
+        for i, columns in enumerate(batches):
+            log.append("fog2/d-01", columns, sync_time=(i + 1) * 900.0)
+        log.commit()
+        log.close()
+
+        reopened = SegmentLog(log_path)
+        replayed = [columns for _, columns in reopened.replay()]
+        assert [rows_of(c) for c in replayed] == [rows_of(c) for c in batches]
+        reopened.close()
+
+    def test_appends_continue_after_reopen(self, log_path):
+        log = SegmentLog(log_path)
+        log.append("fog2/d-01", columns_of(2, start=0.0), sync_time=900.0)
+        log.commit()
+        log.close()
+
+        reopened = SegmentLog(log_path)
+        added = reopened.append("fog2/d-02", columns_of(2, start=100.0), sync_time=1800.0)
+        assert added.offset == reopened.segments[0].length
+        reopened.commit()
+        reopened.close()
+
+        third = SegmentLog(log_path)
+        assert third.segment_count == 2
+        assert third.dropped_records == 0
+        third.close()
+
+
+class TestTailRepair:
+    def _two_record_log(self, log_path):
+        log = SegmentLog(log_path)
+        log.append("fog2/d-01", columns_of(3, start=0.0), sync_time=900.0)
+        log.append("fog2/d-02", columns_of(3, start=1000.0), sync_time=1800.0)
+        log.commit()
+        log.close()
+
+    def test_truncated_tail_is_dropped_and_counted(self, log_path):
+        self._two_record_log(log_path)
+        size = os.path.getsize(log_path)
+        with open(log_path, "r+b") as fh:
+            fh.truncate(size - 7)  # tear the last record mid-write
+
+        log = SegmentLog(log_path)
+        assert log.segment_count == 1  # the torn record never half-ingests
+        assert log.dropped_records == 1
+        assert log.dropped_bytes > 0
+        assert log.segments[0].child_id == "fog2/d-01"
+        # The file was cut back to the last intact boundary...
+        assert os.path.getsize(log_path) == log.segments[0].length
+        # ...so appends land on a valid stream again.
+        log.append("fog2/d-03", columns_of(2, start=2000.0), sync_time=2700.0)
+        log.commit()
+        log.close()
+        healed = SegmentLog(log_path)
+        assert [seg.child_id for seg in healed.segments] == ["fog2/d-01", "fog2/d-03"]
+        assert healed.dropped_records == 0
+        healed.close()
+
+    def test_corrupt_tail_crc_is_dropped_whole(self, log_path):
+        self._two_record_log(log_path)
+        size = os.path.getsize(log_path)
+        with open(log_path, "r+b") as fh:
+            fh.seek(size - 3)
+            byte = fh.read(1)
+            fh.seek(size - 3)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+
+        log = SegmentLog(log_path)
+        assert log.segment_count == 1
+        assert log.dropped_records == 1
+        assert os.path.getsize(log_path) == log.segments[0].length
+        log.close()
+
+    def test_unknown_envelope_version_is_skipped_not_truncated(self, log_path):
+        log = SegmentLog(log_path)
+        log.append("fog2/d-01", columns_of(2, start=0.0), sync_time=900.0)
+        log.commit()
+        log.close()
+        # A CRC-valid record with a future envelope layout, followed by a
+        # record today's layout understands: the foreign record is counted
+        # and skipped, the later one stays readable.
+        foreign = _ENVELOPE.pack(99, 0, 1, 900.0, 0.0, 0.0)
+        with open(log_path, "ab") as fh:
+            fh.write(encode_stream_frame(foreign))
+        log = SegmentLog(log_path)
+        log.append("fog2/d-02", columns_of(2, start=1000.0), sync_time=1800.0)
+        log.commit()
+        log.close()
+
+        reopened = SegmentLog(log_path)
+        assert [seg.child_id for seg in reopened.segments] == ["fog2/d-01", "fog2/d-02"]
+        assert reopened.dropped_records == 1
+        assert reopened.dropped_bytes == len(encode_stream_frame(foreign))
+        reopened.close()
+
+    def test_short_read_raises_storage_error(self, log_path):
+        from dataclasses import replace
+
+        log = SegmentLog(log_path)
+        segment = log.append("fog2/d-01", columns_of(2), sync_time=900.0)
+        log.commit()
+        with pytest.raises(StorageError):
+            log.read(replace(segment, length=segment.length + 100))
+        log.close()
+
+
+class TestRetention:
+    def test_drop_older_than_is_an_index_operation(self, log_path):
+        log = SegmentLog(log_path)
+        log.append("fog2/d-01", columns_of(2, start=0.0), sync_time=900.0)
+        log.append("fog2/d-01", columns_of(3, start=5000.0), sync_time=5900.0)
+        size_before = log.stats()["log_bytes"]
+
+        assert log.drop_older_than(1000.0) == 1
+        assert log.dropped_segments == 1
+        assert log.dropped_segment_rows == 2
+        assert log.segment_count == 1
+        assert log.oldest_time() == 5000.0
+        assert log.segments_overlapping(child_id="fog2/d-01") == list(log.segments)
+        # Dropping is index-only; the bytes wait for compact().
+        assert log.stats()["log_bytes"] == size_before
+        assert log.drop_older_than(1000.0) == 0
+        log.close()
+
+    def test_straddling_segments_survive(self, log_path):
+        log = SegmentLog(log_path)
+        log.append("fog2/d-01", columns_of(3, start=0.0, step=1000.0), sync_time=900.0)
+        assert log.drop_older_than(500.0) == 0  # t_max is past the cutoff
+        assert log.segment_count == 1
+        log.close()
+
+    def test_compact_reclaims_dropped_bytes(self, log_path):
+        log = SegmentLog(log_path)
+        log.append("fog2/d-01", columns_of(2, start=0.0), sync_time=900.0)
+        keeper = columns_of(3, start=5000.0)
+        log.append("fog2/d-02", keeper, sync_time=5900.0)
+        log.commit()
+        log.drop_older_than(1000.0)
+
+        freed = log.compact()
+        assert freed > 0
+        assert log.segment_count == 1
+        assert log.segments[0].offset == 0
+        assert os.path.getsize(log.path) == log.segments[0].length
+        # Reads and appends still work against the rewritten file.
+        assert rows_of(log.read(log.segments[0])) == rows_of(keeper)
+        log.append("fog2/d-03", columns_of(1, start=9000.0), sync_time=9900.0)
+        log.commit()
+        log.close()
+
+        reopened = SegmentLog(log_path)
+        assert [seg.child_id for seg in reopened.segments] == ["fog2/d-02", "fog2/d-03"]
+        assert reopened.dropped_records == 0
+        reopened.close()
+
+
+class TestDurableTierLogs:
+    def test_log_for_caches_and_names_files(self, tmp_path):
+        logs = DurableTierLogs(str(tmp_path / "state"))
+        log = logs.log_for("fog2/district-01")
+        assert logs.log_for("fog2/district-01") is log
+        log.append("fog1/district-01/section-01", columns_of(2), sync_time=900.0)
+        logs.commit()
+        assert os.path.exists(
+            os.path.join(str(tmp_path / "state"), "fog2__district-01" + SEGMENT_LOG_SUFFIX)
+        )
+        assert logs.existing_node_ids() == ["fog2/district-01"]
+        logs.close()
+
+    def test_empty_directory_rejected(self):
+        with pytest.raises(ValidationError):
+            DurableTierLogs("")
+
+    def test_report_totals(self, tmp_path):
+        logs = DurableTierLogs(str(tmp_path), fog2=True)
+        logs.log_for("cloud").append("fog2/d-01", columns_of(3), sync_time=900.0)
+        logs.log_for("fog2/d-01").append("fog1/d-01/s-01", columns_of(2), sync_time=900.0)
+        report = logs.report()
+        assert report["enabled"] is True
+        assert report["fog2"] is True
+        assert report["segments"] == 2
+        assert report["appended_rows"] == 5
+        assert report["dropped_log_records"] == 0
+        assert set(report["logs"]) == {"cloud", "fog2/d-01"}
+        logs.close()
