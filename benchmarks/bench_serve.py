@@ -1,0 +1,205 @@
+"""Service-mode query latency under concurrent load (PR 9's tentpole).
+
+Runs :func:`repro.api.serve` on the wall clock at a fixed ingest rate
+(``tick_interval_s`` between rounds) while N client threads hammer the
+live deployment with a mixed query workload — a city-wide window, a
+one-section window and a per-category window, round-robin.  Each client
+times every ``submit_query`` call; the recorded distribution is the
+latency a consumer of the long-running service observes *while rounds
+keep landing*, lock contention included.
+
+Two gates keep the numbers honest:
+
+* **determinism** — before the timed run, a virtual-clock serve of the
+  same workload must reproduce the run-to-completion cloud digest
+  byte-for-byte (a mismatch aborts the benchmark);
+* **liveness** — every client must complete at least ``min_samples``
+  queries, so an ingest loop that starves readers cannot record an
+  empty (vacuously fast) distribution.
+
+Results are written to ``benchmarks/results/BENCH_serve.json``
+(``schema: bench_serve/v1``).  Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from typing import Dict, List
+
+from repro.api import run_workload, serve
+from repro.common.clock import VirtualClock
+from repro.runtime.shards import ShardedWorkload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_serve.json"
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of *samples* (q in [0, 1])."""
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))]
+
+
+def summarize_latencies(samples: List[float]) -> Dict[str, object]:
+    return {
+        "samples": len(samples),
+        "p50_ms": percentile(samples, 0.50) * 1e3,
+        "p90_ms": percentile(samples, 0.90) * 1e3,
+        "p99_ms": percentile(samples, 0.99) * 1e3,
+        "max_ms": max(samples) * 1e3,
+        "mean_ms": (sum(samples) / len(samples)) * 1e3,
+    }
+
+
+def client_worker(handle, section: str, latencies: Dict[str, List[float]]) -> None:
+    """One service consumer: mixed query shapes, every call timed."""
+    kinds = (
+        ("city_window", dict(since=0.0, until=3600.0)),
+        ("section_window", dict(since=0.0, until=3600.0, section_id=section)),
+        ("category_window", dict(since=0.0, until=3600.0, category="energy")),
+    )
+    index = 0
+    while handle.running:
+        name, kwargs = kinds[index % len(kinds)]
+        begin = time.perf_counter()
+        handle.submit_query(**kwargs)
+        latencies[name].append(time.perf_counter() - begin)
+        index += 1
+
+
+def run_benchmark(
+    devices_per_type: int = 20,
+    seed: int = 7,
+    duration_s: float = 3600.0,
+    round_s: float = 300.0,
+    clients: int = 4,
+    tick_interval_s: float = 0.15,
+    min_samples: int = 50,
+    gate: bool = True,
+) -> Dict[str, object]:
+    workload = ShardedWorkload.stream_rounds(
+        devices_per_type=devices_per_type,
+        seed=seed,
+        duration_s=duration_s,
+        round_s=round_s,
+    )
+
+    # Determinism gate: a virtual-clock serve of this workload reproduces
+    # the run-to-completion digest before any wall-clock number is trusted.
+    reference = run_workload(workload).cloud_digest()
+    check = serve(workload, clock=VirtualClock(seed=seed))
+    check.drain(timeout=300)
+    virtual_digest = check.cloud_digest()
+    check.shutdown()
+    if gate and virtual_digest != reference:
+        raise RuntimeError(
+            f"virtual-clock serve digest {virtual_digest} != run digest {reference}"
+        )
+
+    handle = serve(workload, serve_tick_interval_s=tick_interval_s)
+    section = handle.client.system.city.sections[0].section_id
+    per_client: List[Dict[str, List[float]]] = [
+        {"city_window": [], "section_window": [], "category_window": []}
+        for _ in range(clients)
+    ]
+    threads = [
+        threading.Thread(target=client_worker, args=(handle, section, latencies))
+        for latencies in per_client
+    ]
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    drained = handle.drain(timeout=600)
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - begin
+    if gate and not drained:
+        raise RuntimeError("the serve loop did not drain within the timeout")
+    stats = handle.shutdown()
+    if gate and handle.cloud_digest() != reference:
+        raise RuntimeError("the timed serve run diverged from the run digest")
+
+    by_kind = {
+        kind: [s for latencies in per_client for s in latencies[kind]]
+        for kind in per_client[0]
+    }
+    all_samples = [s for samples in by_kind.values() for s in samples]
+    samples_per_client = [
+        sum(len(samples) for samples in latencies.values())
+        for latencies in per_client
+    ]
+    if gate and min(samples_per_client) < min_samples:
+        raise RuntimeError(
+            f"a client completed only {min(samples_per_client)} queries "
+            f"(floor {min_samples}) — the ingest loop starved readers"
+        )
+
+    return {
+        "schema": "bench_serve/v1",
+        "workload": {
+            "devices_per_type": devices_per_type,
+            "seed": seed,
+            "duration_s": duration_s,
+            "round_s": round_s,
+            "rounds": stats["total_rounds"],
+            "readings_ingested": stats["readings_ingested"],
+        },
+        "service": {
+            "clients": clients,
+            "tick_interval_s": tick_interval_s,
+            "wall_s": wall_s,
+            "rounds_ingested": stats["rounds_ingested"],
+            "syncs_completed": stats["syncs_completed"],
+            "queries_served": stats["queries_served"],
+            "queries_per_sec": len(all_samples) / wall_s if wall_s else None,
+            "samples_per_client": samples_per_client,
+        },
+        "determinism": {
+            "cloud_sha256": reference,
+            "virtual_clock_matches_run": virtual_digest == reference,
+        },
+        "environment": {"cpu_count": os.cpu_count()},
+        "latency": summarize_latencies(all_samples),
+        "latency_by_kind": {
+            kind: summarize_latencies(samples) for kind, samples in by_kind.items()
+        },
+    }
+
+
+def main(output: pathlib.Path = DEFAULT_OUTPUT, **kwargs) -> Dict[str, object]:
+    result = run_benchmark(**kwargs)
+    output.parent.mkdir(exist_ok=True)
+    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    service = result["service"]
+    latency = result["latency"]
+    print(
+        f"served {service['rounds_ingested']} rounds in {service['wall_s']:.1f}s "
+        f"with {service['clients']} concurrent clients "
+        f"({service['queries_served']:,} queries answered)"
+    )
+    print(
+        f"  query latency: p50 {latency['p50_ms']:.3f} ms, "
+        f"p99 {latency['p99_ms']:.3f} ms, max {latency['max_ms']:.3f} ms "
+        f"over {latency['samples']:,} samples"
+    )
+    for kind, stats in result["latency_by_kind"].items():
+        print(
+            f"  {kind:18s} p50 {stats['p50_ms']:9.3f} ms   "
+            f"p99 {stats['p99_ms']:9.3f} ms   ({stats['samples']:,} samples)"
+        )
+    print(
+        "  virtual-clock digest matches the run digest: "
+        f"{result['determinism']['virtual_clock_matches_run']}"
+    )
+    print(f"wrote {output}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

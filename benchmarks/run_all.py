@@ -90,6 +90,7 @@ def collect_json_results(include_ingest: bool = True) -> dict:
             sys.path.insert(0, bench_dir)
         from bench_ingest_throughput import run_benchmark
         from bench_query_latency import run_benchmark as run_query_benchmark
+        from bench_serve import run_benchmark as run_serve_benchmark
 
         # Modest workloads: meaningful numbers in a few seconds.
         results["ingest_throughput"] = run_benchmark(
@@ -99,6 +100,13 @@ def collect_json_results(include_ingest: bool = True) -> dict:
         # full-size run, not on this quick small-workload pass.
         results["query_latency"] = run_query_benchmark(
             devices_per_type=10, repetitions=50, gate=False
+        )
+        results["serve_latency"] = run_serve_benchmark(
+            devices_per_type=5,
+            duration_s=1800.0,
+            round_s=300.0,
+            tick_interval_s=0.05,
+            gate=False,
         )
     return results
 

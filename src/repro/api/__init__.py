@@ -37,6 +37,15 @@ Durability (crash recovery from segment logs)::
     client = recover(durable_dir="state/")
     client.cloud_digest()  # byte-identical to the uncrashed run
 
+Service mode (long-running: paced ingest + concurrent queries)::
+
+    from repro.api import serve
+
+    with serve(transport="frames-binary-v2", serve_inbox_limit=4096) as handle:
+        result = handle.submit_query(category="energy")   # live, any time
+        handle.drain()                                    # workload finishes
+        handle.health()["serve"]                          # loop counters
+
 The pre-facade entry points on
 :class:`~repro.core.architecture.F2CDataManagement` (``ingest_readings``,
 ``ingest_columns``, ``attach_broker``, ``flush_broker``,
@@ -46,10 +55,11 @@ deprecated and warn.  The exported surface below is contract-tested
 snapshot deliberately.
 """
 
-from repro.api.client import F2CClient, connect, recover, run_workload
+from repro.api.client import F2CClient, connect, recover, run_workload, serve
 from repro.api.config import TRANSPORTS, PipelineConfig
 from repro.api.pipeline import IngestSession, Pipeline
 from repro.api.query import QueryResult, QueryService, QuerySummary, TierSlice
+from repro.api.serving import ServeHandle
 
 __all__ = [
     "F2CClient",
@@ -59,9 +69,11 @@ __all__ = [
     "QueryResult",
     "QueryService",
     "QuerySummary",
+    "ServeHandle",
     "TRANSPORTS",
     "TierSlice",
     "connect",
     "recover",
     "run_workload",
+    "serve",
 ]

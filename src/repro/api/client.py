@@ -51,6 +51,7 @@ class F2CClient:
         self.queries = QueryService(
             pipeline.system if system is None else system,
             cache_bytes=pipeline.config.query_cache_bytes,
+            cold_store_bytes=pipeline.config.cold_store_cache_bytes,
         )
 
     # ------------------------------------------------------------------ #
@@ -146,18 +147,27 @@ class F2CClient:
         * ``worker_restarts`` / ``worker_faults`` — shards re-run from seed
           after a worker death or protocol damage.
         * ``queries`` — served-from counters and cache behaviour of the
-          read side.
+          read side (including the cold-store LRU's bytes and evictions).
+        * ``broker`` — the attached broker's delivery/overload counters
+          (``{"attached": False}`` when no broker is attached): published /
+          delivered / shed messages, per-client shed attribution, the
+          configured inbox bound and the current parked backlog.
         * ``durable`` — the segment-log report (``{"enabled": False}`` on a
           memory-only deployment): per-log segment/byte counts and how many
           damaged tail records were dropped-and-counted.
         """
         sharded = self.sharded
+        broker = self.system._broker
+        broker_stats: Dict[str, Any] = {"attached": False}
+        if broker is not None:
+            broker_stats = {"attached": True, **broker.stats()}
         return {
             "dropped_payloads": self.system.dropped_payloads,
             "dropped_ipc_frames": sharded.dropped_ipc_frames if sharded is not None else 0,
             "worker_restarts": sharded.worker_restarts if sharded is not None else 0,
             "worker_faults": list(sharded.worker_faults) if sharded is not None else [],
             "queries": self.queries.stats(),
+            "broker": broker_stats,
             "durable": self.system.durable_report(),
         }
 
@@ -247,6 +257,35 @@ def run_workload(
     if config is None:
         config = PipelineConfig(**config_kwargs)
     return Pipeline(config, catalog=catalog, city=city).run(workload)
+
+
+def serve(
+    workload: Optional["ShardedWorkload"] = None,
+    config: Optional[PipelineConfig] = None,
+    *,
+    clock=None,
+    catalog=None,
+    city=None,
+    broker=None,
+    **config_kwargs,
+):
+    """Start a workload as a long-running service; returns a ``ServeHandle``.
+
+    The service-mode sibling of :func:`run_workload`: a background thread
+    advances ingest rounds on a clock (``serve_tick_interval_s`` between
+    rounds; pass a :class:`~repro.common.clock.VirtualClock` as *clock*
+    for a deterministic instant-paced run) while the returned
+    :class:`~repro.api.serving.ServeHandle` answers queries concurrently
+    from the same deployment.  ``handle.drain()`` waits for natural
+    completion; ``handle.shutdown()`` stops gracefully (the in-flight
+    round or sync point completes and the durable logs are committed).
+    See :mod:`repro.api.serving` for the concurrency/consistency model.
+    """
+    if config is not None and config_kwargs:
+        raise TypeError("pass either a PipelineConfig or config keywords, not both")
+    if config is None:
+        config = PipelineConfig(**config_kwargs)
+    return Pipeline(config, catalog=catalog, city=city).serve(workload, clock=clock, broker=broker)
 
 
 def recover(

@@ -69,6 +69,29 @@ class PipelineConfig:
         (:class:`~repro.api.query.QueryService`'s LRU); least-recently-hit
         windows are evicted once accounted bytes exceed it.  ``0`` disables
         memoization entirely.
+    cold_store_cache_bytes:
+        Byte budget for the query service's hydrated cold stores (shadow
+        :class:`~repro.storage.tiered.TieredStore`\\ s replayed from durable
+        segment logs); least-recently-served nodes are evicted once the
+        accounted bytes exceed it.  ``0`` disables cold-store caching (each
+        cold window rehydrates and discards).
+    serve_tick_interval_s:
+        :meth:`~repro.api.pipeline.Pipeline.serve` pacing: how long the
+        serve loop waits before each ingest round.  ``0`` (the default)
+        ticks as fast as possible; a :class:`~repro.common.clock.VirtualClock`
+        passed to ``serve()`` makes the wait virtual (instant and
+        deterministic) whatever the interval.
+    serve_inbox_limit:
+        Per-client broker inbox bound (messages) for brokers the serve
+        loop builds; overflow sheds and is counted in
+        :meth:`~repro.messaging.broker.Broker.stats` / the client's
+        ``health()``.  ``None`` (the default) keeps inboxes unbounded,
+        matching run-to-completion behaviour.
+    serve_drain_timeout_s:
+        Default timeout for :meth:`~repro.api.serving.ServeHandle.drain` /
+        ``shutdown(drain=True)``: how long to wait for the serve loop to
+        finish its workload (and, after a stop request, for the in-flight
+        round or sync point to complete) before giving up.
     durable_dir:
         Directory for the durable segment logs
         (:mod:`repro.storage.segments`).  When set, every batch synced
@@ -91,8 +114,12 @@ class PipelineConfig:
     fog2_sync_interval_s: Optional[float] = None
     inline_workers: bool = False
     query_cache_bytes: int = 8 * 1024 * 1024
+    cold_store_cache_bytes: int = 64 * 1024 * 1024
     durable_dir: Optional[str] = None
     durable_fog2: bool = False
+    serve_tick_interval_s: float = 0.0
+    serve_inbox_limit: Optional[int] = None
+    serve_drain_timeout_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:
@@ -126,6 +153,16 @@ class PipelineConfig:
             raise ConfigurationError("inline_workers requires the 'sharded' transport")
         if self.query_cache_bytes < 0:
             raise ConfigurationError("query_cache_bytes must be non-negative (0 disables)")
+        if self.cold_store_cache_bytes < 0:
+            raise ConfigurationError("cold_store_cache_bytes must be non-negative (0 disables)")
+        if self.serve_tick_interval_s < 0:
+            raise ConfigurationError("serve_tick_interval_s must be non-negative")
+        if self.serve_inbox_limit is not None and self.serve_inbox_limit < 1:
+            raise ConfigurationError(
+                "serve_inbox_limit must be a positive message count (or None for unbounded)"
+            )
+        if self.serve_drain_timeout_s <= 0:
+            raise ConfigurationError("serve_drain_timeout_s must be positive")
         if self.durable_dir is not None and not self.durable_dir:
             raise ConfigurationError("durable_dir must be a non-empty path (or None)")
         if self.durable_fog2 and self.durable_dir is None:

@@ -38,6 +38,7 @@ from repro.api.config import PipelineConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.api.client import F2CClient
+    from repro.api.serving import ServeHandle
     from repro.core.architecture import F2CDataManagement
     from repro.runtime.shards import ShardedWorkload
 
@@ -554,6 +555,91 @@ class Pipeline:
                 ingested += 1
             system.synchronise(now=sync_time)
         return F2CClient(system=system, pipeline=pipeline, session=session)
+
+    def serve(
+        self,
+        workload: Optional["ShardedWorkload"] = None,
+        *,
+        clock=None,
+        broker: Optional[Broker] = None,
+    ) -> "ServeHandle":
+        """Run *workload* as a long-running service and return its handle.
+
+        The service shape of :meth:`run`: the same rounds and sync points,
+        applied in the same order — so the final cloud digest is
+        byte-identical — but advanced by a background thread on a clock
+        (``config.serve_tick_interval_s`` between rounds) while the
+        returned :class:`~repro.api.serving.ServeHandle` answers queries
+        concurrently from the same deployment.  Pass a
+        :class:`~repro.common.clock.VirtualClock` as *clock* for a
+        deterministic instant-pacing run; omit it to pace on the wall
+        clock.
+
+        For broker transports the serve loop builds its broker with the
+        config's ``serve_inbox_limit`` (bounded per-client inboxes;
+        overflow sheds and is counted).  For the ``sharded`` transport the
+        background thread runs the supervisor fan-in itself — queries
+        resolve against the broad tiers while workers stream, and
+        ``shutdown`` drains gracefully at the next sync barrier.
+
+        See :mod:`repro.api.serving` for the concurrency/consistency model.
+        """
+        from repro.api.client import F2CClient
+        from repro.api.serving import ServeHandle
+        from repro.runtime.shards import ShardedWorkload, WorkerSpec, build_shard_rounds
+        from repro.sensors.catalog import BARCELONA_CATALOG
+        from repro.sensors.generator import ReadingGenerator
+
+        config = self.config
+        if workload is None:
+            workload = ShardedWorkload.golden()
+        catalog = self._catalog if self._catalog is not None else BARCELONA_CATALOG
+        if config.transport == "sharded":
+            from repro.runtime.supervisor import ShardSupervisor
+
+            supervisor = ShardSupervisor(
+                workers=config.workers,
+                workload=workload,
+                catalog=catalog,
+                inline=config.inline_workers,
+                frame_format=config.resolved_frame_format(),
+                durable_dir=config.durable_dir,
+                durable_fog2=config.durable_fog2,
+            )
+            client = F2CClient(
+                system=supervisor.architecture,
+                pipeline=Pipeline(config, system=supervisor.architecture, catalog=catalog),
+            )
+            return ServeHandle(
+                client,
+                workload=workload,
+                supervisor=supervisor,
+                clock=clock,
+                tick_interval_s=config.serve_tick_interval_s,
+                drain_timeout_s=config.serve_drain_timeout_s,
+            )
+
+        # Single process: regenerate the workload exactly like run() does,
+        # then let the handle's thread pace it round by round.
+        system = self._build_system(catalog)
+        pipeline = Pipeline(config, system=system, catalog=catalog)
+        generator = ReadingGenerator(
+            catalog, devices_per_type=workload.devices_per_type, seed=workload.seed
+        )
+        spec = WorkerSpec(shard_index=0, workers=1, workload=workload, catalog=catalog)
+        rounds = build_shard_rounds(spec, system, generator)
+        if broker is None and config.uses_broker():
+            broker = Broker(inbox_limit=config.serve_inbox_limit)
+        session = pipeline.session(broker=broker)
+        client = F2CClient(system=system, pipeline=pipeline, session=session, broker=broker)
+        return ServeHandle(
+            client,
+            workload=workload,
+            rounds=rounds,
+            clock=clock,
+            tick_interval_s=config.serve_tick_interval_s,
+            drain_timeout_s=config.serve_drain_timeout_s,
+        )
 
 
 class IngestSession:

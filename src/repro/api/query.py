@@ -28,7 +28,9 @@ fog layer-2 node, and everything older from the cloud.
   hydrates a shadow store by replaying the log (decoding one frame per
   segment, lazily, only when a cold window is actually asked for) and serves
   the whole slice from it — row-identical to the in-memory engine, same
-  per-tier attribution, cached until the log's contents change;
+  per-tier attribution, cached (in a byte-bounded LRU of its own, capacity
+  :attr:`~repro.api.config.PipelineConfig.cold_store_cache_bytes`) until
+  the log's contents change or the budget evicts it;
 * hot windows are memoized in a **byte-accounted LRU** (capacity set by
   :attr:`~repro.api.config.PipelineConfig.query_cache_bytes`); the owning
   client invalidates it on every ingest/synchronise, and evictions are
@@ -190,6 +192,9 @@ class QueryService:
     #: Default memo capacity (bytes) when no config names one.
     DEFAULT_CACHE_BYTES = 8 * 1024 * 1024
 
+    #: Default hydrated cold-store capacity (bytes) when no config names one.
+    DEFAULT_COLD_STORE_BYTES = 64 * 1024 * 1024
+
     # Byte accounting for the memo: each entry is charged the *measured*
     # footprint of its frozen columns (:meth:`ReadingColumns.memory_bytes`
     # — packed buffers at itemsize per row, list columns at a pointer per
@@ -207,6 +212,7 @@ class QueryService:
         self,
         system: "F2CDataManagement",
         cache_bytes: int = DEFAULT_CACHE_BYTES,
+        cold_store_bytes: int = DEFAULT_COLD_STORE_BYTES,
     ) -> None:
         self.system = system
         #: key -> (memoized result, accounted cost); ordered oldest-hit first.
@@ -227,12 +233,19 @@ class QueryService:
         #: per section chain (the pre-partitioned behaviour); kept as an
         #: A/B lever for the benchmark and the equivalence suite.
         self.partitioned_scatter = True
-        #: node_id -> (log state key, hydrated shadow store): the cold
-        #: serving stores, rebuilt only when the backing segment log's
-        #: contents change (the state key covers appends and drops), so
-        #: they survive :meth:`invalidate` — an ingest that did not touch
-        #: the log cannot stale them.
-        self._cold_stores: Dict[str, Tuple[tuple, object]] = {}
+        #: node_id -> (log state key, hydrated shadow store, accounted
+        #: bytes): the cold serving stores, rebuilt only when the backing
+        #: segment log's contents change (the state key covers appends and
+        #: drops), so they survive :meth:`invalidate` — an ingest that did
+        #: not touch the log cannot stale them.  Byte-bounded LRU (same
+        #: accounting as the window memo): a whole segment log hydrated
+        #: into memory is the most expensive thing the service caches, so
+        #: under a long-running serve loop with TTL eviction the shadow
+        #: stores must not grow without limit.
+        self._cold_stores: "OrderedDict[str, Tuple[tuple, object, int]]" = OrderedDict()
+        self._cold_store_bytes = 0
+        self.cold_store_capacity_bytes = max(0, int(cold_store_bytes))
+        self.cold_store_evictions = 0
         self.cold_segment_queries = 0
         self.cold_store_builds = 0
         self.queries_served = 0
@@ -714,18 +727,42 @@ class QueryService:
         attribution carried in the extended frames — to what the in-memory
         engine would have answered before eviction.  Frames are decoded
         here, one per segment, only when a cold window is actually served.
+
+        Hydrated stores live in a byte-accounted LRU (capacity
+        :attr:`cold_store_capacity_bytes`, measured with the same
+        :meth:`ReadingColumns.memory_bytes` accounting as the window memo):
+        least-recently-served nodes are evicted over budget, and a single
+        hydration larger than the whole budget is served uncached — the
+        same rule the memo applies to oversized results.
         """
         state = (log.segment_count, log.appended_rows, log.dropped_segments)
         cached = self._cold_stores.get(node_id)
-        if cached is not None and cached[0] == state:
-            return cached[1]
+        if cached is not None:
+            if cached[0] == state:
+                self._cold_stores.move_to_end(node_id)
+                return cached[1]
+            # The log changed under the cached shadow: reclaim its bytes
+            # before rebuilding (replacement, not eviction).
+            del self._cold_stores[node_id]
+            self._cold_store_bytes -= cached[2]
         from repro.storage.tiered import TieredStore
 
         store = TieredStore(name=f"{node_id}:cold")
+        cost = self._CACHE_ENTRY_OVERHEAD
         for _segment, columns in log.replay():
             store.ingest_columns(columns, mark_for_upward=False)
-        self._cold_stores[node_id] = (state, store)
+            cost += columns.memory_bytes()
         self.cold_store_builds += 1
+        capacity = self.cold_store_capacity_bytes
+        if capacity <= 0 or cost > capacity:
+            return store
+        self._cold_stores[node_id] = (state, store, cost)
+        self._cold_store_bytes += cost
+        cold_stores = self._cold_stores
+        while self._cold_store_bytes > capacity:
+            _, (_, _, evicted_cost) = cold_stores.popitem(last=False)
+            self._cold_store_bytes -= evicted_cost
+            self.cold_store_evictions += 1
         return store
 
     def _query_at(self, node, tier, fog1, since, until, sensor_id, category) -> ReadingColumns:
@@ -767,6 +804,10 @@ class QueryService:
             "sketch_cache_hits": self.sketch_cache_hits,
             "cold_segment_queries": self.cold_segment_queries,
             "cold_store_builds": self.cold_store_builds,
+            "cold_stores": len(self._cold_stores),
+            "cold_store_bytes": self._cold_store_bytes,
+            "cold_store_capacity_bytes": self.cold_store_capacity_bytes,
+            "cold_store_evictions": self.cold_store_evictions,
             "queries_by_tier": dict(self.queries_by_tier),
             "rows_by_tier": dict(self.rows_by_tier),
         }

@@ -8,6 +8,7 @@ Usage (after installation)::
     python -m repro compare [--no-compression]
     python -m repro simulate [--hours 6] [--scale 0.00005]
     python -m repro ingest [--transport frames-binary] [--workers 4] [--json]
+    python -m repro serve [--virtual-clock] [--clients 4] [--inbox-limit 64] [--json]
     python -m repro query --since 0 --until 900 [--category energy] [--json]
 
 The reproduction subcommands print the same text the benchmark harness
@@ -16,8 +17,10 @@ pipeline on a sampled sensor population and reports the measured per-layer
 traffic next to the analytic estimate.  ``ingest`` and ``query`` drive the
 :mod:`repro.api` client: ``ingest`` runs a seeded workload through any
 transport (including the multi-process sharded runtime) and reports the
-deployment summary + health counters; ``query`` runs the same workload and
-then answers a nearest-tier hierarchical query with per-tier attribution.
+deployment summary + health counters; ``serve`` runs it as a long-running
+service (paced rounds + concurrent querier threads, deterministic under
+``--virtual-clock``); ``query`` runs the same workload and then answers a
+nearest-tier hierarchical query with per-tier attribution.
 """
 
 from __future__ import annotations
@@ -107,6 +110,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_workload_arguments(ingest)
 
+    serve = subparsers.add_parser(
+        "serve", help="run a seeded workload as a service with concurrent queriers"
+    )
+    add_workload_arguments(serve)
+    serve.add_argument(
+        "--virtual-clock",
+        action="store_true",
+        help="pace rounds on a seeded virtual clock (instant, deterministic digest)",
+    )
+    serve.add_argument(
+        "--tick-interval",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="seconds between ingest rounds (default 0: as fast as possible)",
+    )
+    serve.add_argument(
+        "--inbox-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound broker inboxes at N messages (overflow sheds and is counted)",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent querier threads run against the live service (default 4)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="seconds to wait for the workload to finish (default 120)",
+    )
+
     query = subparsers.add_parser(
         "query", help="run a seeded workload, then answer a nearest-tier query"
     )
@@ -188,8 +229,8 @@ def _cmd_simulate(hours: int, scale: float, seed: int) -> str:
     return comparison.format()
 
 
-def _run_workload_from_args(args) -> "object":
-    """Build and run the seeded workload the ingest/query subcommands share."""
+def _workload_and_config_from_args(args, **config_overrides):
+    """Build the seeded workload + config the ingest/query/serve subcommands share."""
     from repro.runtime.shards import ShardedWorkload
 
     if args.devices_per_type <= 0:
@@ -214,7 +255,14 @@ def _run_workload_from_args(args) -> "object":
         workers=args.workers,
         inline_workers=args.inline_workers,
         durable_dir=args.durable_dir,
+        **config_overrides,
     )
+    return workload, config
+
+
+def _run_workload_from_args(args) -> "object":
+    """Build and run the seeded workload the ingest/query subcommands share."""
+    workload, config = _workload_and_config_from_args(args)
     return run_workload(workload, config)
 
 
@@ -280,6 +328,82 @@ def _cmd_summarize(args, client) -> str:
         f"  {category}: ~{summary.distinct_sensors(category):.0f} distinct sensors"
         for category in summary.categories()
     )
+    return "\n".join(lines)
+
+
+def _cmd_serve(args) -> str:
+    import threading
+    import time
+
+    from repro.api import serve
+    from repro.common.clock import VirtualClock
+
+    if args.clients < 0:
+        raise SystemExit("--clients must be non-negative")
+    if args.tick_interval < 0:
+        raise SystemExit("--tick-interval must be non-negative")
+    if args.drain_timeout <= 0:
+        raise SystemExit("--drain-timeout must be positive")
+    workload, config = _workload_and_config_from_args(
+        args,
+        serve_tick_interval_s=args.tick_interval,
+        serve_inbox_limit=args.inbox_limit,
+        serve_drain_timeout_s=args.drain_timeout,
+    )
+    clock = VirtualClock(seed=args.seed) if args.virtual_clock else None
+    handle = serve(workload, config, clock=clock)
+    queries_per_client = [0] * args.clients
+
+    def querier(slot: int) -> None:
+        while handle.running:
+            handle.submit_query()
+            queries_per_client[slot] += 1
+            time.sleep(0.001)
+
+    threads = [
+        threading.Thread(target=querier, args=(slot,), daemon=True)
+        for slot in range(args.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    drained = handle.drain()
+    for thread in threads:
+        thread.join()
+    stats = handle.shutdown()
+    digest = handle.cloud_digest()
+    health = handle.health()
+    if args.json:
+        return json.dumps(
+            {
+                "transport": args.transport,
+                "virtual_clock": args.virtual_clock,
+                "drained": drained,
+                "cloud_sha256": digest,
+                "serve": stats,
+                "client_queries": queries_per_client,
+                "broker": health["broker"],
+                "dropped_payloads": health["dropped_payloads"],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    clock_kind = "virtual clock" if args.virtual_clock else "wall clock"
+    lines = [
+        f"Served the seeded workload via transport {args.transport!r} ({clock_kind}):",
+        f"  drained: {drained}",
+        f"  cloud sha256: {digest}",
+    ]
+    lines.extend(f"  {key}: {value}" for key, value in stats.items())
+    lines.append(
+        f"  client queries: {sum(queries_per_client)} across {args.clients} threads"
+    )
+    broker = health["broker"]
+    if broker["attached"]:
+        lines.append(
+            f"  broker: published={broker['published']} delivered={broker['delivered']} "
+            f"shed={broker['shed_messages']} inbox_limit={broker['inbox_limit']}"
+        )
+    lines.append(f"  dropped payloads: {health['dropped_payloads']}")
     return "\n".join(lines)
 
 
@@ -362,6 +486,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output = _cmd_simulate(args.hours, args.scale, args.seed)
     elif args.command == "ingest":
         output = _cmd_ingest(args)
+    elif args.command == "serve":
+        output = _cmd_serve(args)
     elif args.command == "query":
         output = _cmd_query(args)
     else:  # pragma: no cover - argparse enforces the choices

@@ -8,6 +8,7 @@ Barcelona runs in milliseconds and produces deterministic timestamps; the
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Protocol
 
@@ -24,6 +25,10 @@ class WallClock:
 
     def now(self) -> float:
         return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        """Really wait (``time.sleep``)."""
+        time.sleep(seconds)
 
 
 class SimulatedClock:
@@ -58,3 +63,58 @@ class SimulatedClock:
 
     def __repr__(self) -> str:
         return f"SimulatedClock(now={self._now})"
+
+
+class VirtualClock:
+    """A seeded virtual time source for deterministic long-running serve runs.
+
+    Behaves like :class:`SimulatedClock` plus a ``sleep`` verb: a serve
+    loop paced by a virtual clock "waits" for its tick interval by advancing
+    virtual time instantly, so a whole service day replays in milliseconds
+    while every pacing decision the loop makes is reproducible.  With
+    ``jitter_s > 0`` each sleep overshoots by a pseudo-random amount drawn
+    from ``random.Random(seed)`` — deterministic scheduling noise, the same
+    sequence every run with the same seed.
+
+    The clock never waits on real time and only moves forward.
+    """
+
+    def __init__(self, start: float = 0.0, seed: int = 0, jitter_s: float = 0.0) -> None:
+        if jitter_s < 0:
+            raise ValueError(f"jitter_s must be non-negative, got {jitter_s}")
+        self._now = float(start)
+        self._rng = random.Random(seed)
+        self._jitter_s = float(jitter_s)
+        #: Number of sleeps taken (one per serve tick when pacing a loop).
+        self.sleeps = 0
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> float:
+        """Advance virtual time by *seconds* (plus seeded jitter), instantly."""
+        if seconds < 0:
+            raise ValueError(f"cannot sleep for negative time: {seconds}")
+        overshoot = self._rng.uniform(0.0, self._jitter_s) if self._jitter_s else 0.0
+        self._now += seconds + overshoot
+        self.sleeps += 1
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by *seconds* (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock to an absolute *timestamp* (must not be in the past)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, requested={timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now}, sleeps={self.sleeps})"

@@ -154,6 +154,10 @@ class F2CDataManagement:
         # processes that actually ran each node's acquisition; overlays the
         # local (empty) node stats in storage_report.
         self._fog1_stats_override: Dict[str, Dict[str, object]] = {}
+        # True once acquisition is known to run in worker processes (the
+        # sharded runtime): every local fog L1 store is then empty and
+        # non-authoritative, even before the workers' FINAL stats merge.
+        self._fog1_remote = False
         # The repro.api Pipeline engine every write entry point (new facade
         # and deprecated shims alike) runs through; built on first use.
         self._api_pipeline = None
@@ -456,16 +460,29 @@ class F2CDataManagement:
             self.fog1_node(node_id)  # validates the id
             self._fog1_stats_override[node_id] = dict(stats)
 
+    def mark_fog1_remote(self) -> None:
+        """Declare every fog layer-1 store non-authoritative up front.
+
+        The sharded supervisor calls this when its run starts: acquisition
+        happens in worker processes, so the local fog L1 stores are empty
+        for the whole run — not only after the workers' FINAL statistics
+        merge.  Queries served *during* the run (the serve mode) then
+        resolve to fog layer 2 / cloud immediately instead of trusting an
+        empty local store.
+        """
+        self._fog1_remote = True
+
     def fog1_store_is_authoritative(self, node_id: str) -> bool:
         """Whether *node_id*'s local store actually holds its section's data.
 
-        False after :meth:`merge_fog1_stats` named the node: its acquisition
+        False after :meth:`merge_fog1_stats` named the node (its acquisition
         ran in a worker process, so the supervisor-local store is empty and
-        readers (the :mod:`repro.api` query service) must fall through to
-        fog layer 2 / cloud for its area.
+        readers — the :mod:`repro.api` query service — must fall through to
+        fog layer 2 / cloud for its area), and for every node once
+        :meth:`mark_fog1_remote` declared acquisition remote.
         """
         self.fog1_node(node_id)  # validates the id
-        return node_id not in self._fog1_stats_override
+        return not self._fog1_remote and node_id not in self._fog1_stats_override
 
     # ------------------------------------------------------------------ #
     # Data movement & reporting

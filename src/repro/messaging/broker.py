@@ -80,12 +80,28 @@ class Broker:
       :meth:`flush_inboxes`.  This is the high-throughput path: consumers
       that process a whole inbox at once (e.g. a fog node running its
       acquisition block per batch) avoid paying per-message overheads.
+
+    Inboxes are **bounded** when the broker is built with *inbox_limit*: a
+    batched client whose inbox is full sheds further matching messages (QoS
+    0 overload behaviour) instead of growing without bound under a
+    long-running serve loop.  Every shed is counted — per client and in
+    total (:meth:`stats`), never silent.  Likewise, a batched client that
+    unsubscribes loses its parked inbox (counted as shed), and messages
+    published between that unsubscribe and a later re-subscribe — which no
+    inbox existed to hold — are counted as shed too, so
+    ``published-to-batched = delivered + shed`` holds across the client's
+    whole subscribe/unsubscribe history.
     """
 
     _TOPIC_CACHE_LIMIT = 65_536
 
-    def __init__(self, name: str = "broker") -> None:
+    def __init__(self, name: str = "broker", inbox_limit: Optional[int] = None) -> None:
+        if inbox_limit is not None and inbox_limit < 1:
+            raise ConfigurationError(
+                f"inbox_limit must be a positive message count (or None), got {inbox_limit}"
+            )
         self.name = name
+        self._inbox_limit = inbox_limit
         self._subscriptions: List[_Subscription] = []
         self._retained: Dict[str, Message] = {}
         self._pending_acks: Dict[Tuple[str, int], Message] = {}
@@ -96,13 +112,23 @@ class Broker:
         # matching into a dict hit.  A cached topic is by construction an
         # already-validated one, so the hot publish path pays exactly one
         # dict lookup per message — validation and matching both run only on
-        # the miss path.  The cache is invalidated whenever the subscription
-        # set changes.
-        self._match_cache: Dict[str, List[_Subscription]] = {}
+        # the miss path.  Each entry also carries the gap clients (batched
+        # unsubscribers, see _gap_filters) whose dropped filters match the
+        # topic, so shed accounting rides the same dict hit.  The cache is
+        # invalidated whenever the subscription set changes — which is also
+        # the only time _gap_filters changes.
+        self._match_cache: Dict[str, Tuple[List[_Subscription], Tuple[str, ...]]] = {}
+        # client id -> the batched filter levels it dropped on unsubscribe
+        # while still unsubscribed.  Messages matching these have no inbox
+        # to land in; they are counted as shed until the client
+        # re-subscribes batched (which clears its gap entry).
+        self._gap_filters: Dict[str, List[Tuple[str, ...]]] = {}
         self._message_ids = itertools.count(1)
         self._published_count = 0
         self._delivered_count = 0
         self._published_bytes = 0
+        self._shed_messages = 0
+        self._shed_by_client: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Subscription management
@@ -133,12 +159,30 @@ class Broker:
         )
         self._subscriptions.append(subscription)
         self._match_cache.clear()
+        if batched:
+            # A batched re-subscribe closes the client's unsubscribe gap:
+            # from here on matching messages land in a live inbox again.
+            self._gap_filters.pop(client_id, None)
         for topic, message in self._retained.items():
             if topic_matches(topic_filter, topic):
                 self._deliver(subscription, message)
 
     def unsubscribe(self, client_id: str, topic_filter: Optional[str] = None) -> int:
-        """Remove a client's subscriptions (all of them, or one filter)."""
+        """Remove a client's subscriptions (all of them, or one filter).
+
+        A batched client that loses its last batched subscription also
+        loses its parked inbox — those messages can never be delivered and
+        are counted as shed, as are messages matching the dropped batched
+        filters published before the client re-subscribes (see
+        :meth:`stats`).
+        """
+        removed_batched = [
+            s.filter_levels
+            for s in self._subscriptions
+            if s.client_id == client_id
+            and s.batched
+            and (topic_filter is None or s.topic_filter == topic_filter)
+        ]
         before = len(self._subscriptions)
         self._subscriptions = [
             s
@@ -147,9 +191,18 @@ class Broker:
         ]
         self._match_cache.clear()
         # A client with no remaining batched subscriptions can never receive
-        # its parked messages; drop the inbox rather than report ghosts.
+        # its parked messages; shed the inbox (counted, never silent) rather
+        # than report ghosts, and remember the dropped filters so messages
+        # published during the unsubscribe gap are counted as shed too.
         if not any(s.client_id == client_id and s.batched for s in self._subscriptions):
-            self._inboxes.pop(client_id, None)
+            inbox = self._inboxes.pop(client_id, None)
+            if inbox:
+                self._count_shed(client_id, len(inbox))
+            if removed_batched:
+                gaps = self._gap_filters.setdefault(client_id, [])
+                for levels in removed_batched:
+                    if levels not in gaps:
+                        gaps.append(levels)
         return before - len(self._subscriptions)
 
     def subscriptions_for(self, client_id: str) -> List[str]:
@@ -167,8 +220,8 @@ class Broker:
         timestamp: float = 0.0,
     ) -> Message:
         """Publish *payload* on *topic* and deliver to matching subscribers."""
-        matching = self._match_cache.get(topic)
-        if matching is None:
+        cached = self._match_cache.get(topic)
+        if cached is None:
             # Miss path: validate once, then match once — a cache hit means
             # the topic was already validated, so the hot path skips both.
             validate_topic(topic, allow_wildcards=False)
@@ -179,7 +232,18 @@ class Broker:
                 self._match_cache.clear()
             topic_levels = topic.split("/")
             matching = [s for s in self._subscriptions if match_levels(s.filter_levels, topic_levels)]
-            self._match_cache[topic] = matching
+            gap_clients = tuple(
+                client_id
+                for client_id, filters in self._gap_filters.items()
+                if any(match_levels(levels, topic_levels) for levels in filters)
+            )
+            cached = self._match_cache[topic] = (matching, gap_clients)
+        matching, gap_clients = cached
+        for client_id in gap_clients:
+            # The message would have been parked for this batched client,
+            # but it unsubscribed and has not re-subscribed: no inbox
+            # exists.  Count the miss instead of losing it silently.
+            self._count_shed(client_id)
         message = Message(
             topic=topic,
             payload=bytes(payload),
@@ -233,9 +297,20 @@ class Broker:
             timestamp=timestamp,
         )
 
+    def _count_shed(self, client_id: str, count: int = 1) -> None:
+        self._shed_messages += count
+        self._shed_by_client[client_id] = self._shed_by_client.get(client_id, 0) + count
+
     def _deliver(self, subscription: _Subscription, message: Message) -> None:
         if subscription.batched:
-            self._inboxes.setdefault(subscription.client_id, []).append(message)
+            inbox = self._inboxes.setdefault(subscription.client_id, [])
+            limit = self._inbox_limit
+            if limit is not None and len(inbox) >= limit:
+                # Bounded inbox: overload sheds (QoS 0) and is counted —
+                # the parked backlog never grows without bound.
+                self._count_shed(subscription.client_id)
+                return
+            inbox.append(message)
             self._delivered_count += 1
             return
         effective_qos = min(subscription.qos, message.qos)
@@ -268,8 +343,8 @@ class Broker:
 
         Returns the number of messages actually handed to a handler.  Parked
         messages whose batched subscription has since been removed are
-        dropped (QoS 0) and not counted.  Bulk consumers that want a single
-        callback per inbox should use :meth:`drain_inbox` instead.
+        dropped (QoS 0) and counted as shed.  Bulk consumers that want a
+        single callback per inbox should use :meth:`drain_inbox` instead.
         """
         flushed = 0
         targets = [client_id] if client_id is not None else list(self._inboxes.keys())
@@ -283,8 +358,11 @@ class Broker:
             ]
             if not subscriptions:
                 # Documented QoS 0 behaviour: parked messages whose batched
-                # subscription is gone are dropped, not kept.
-                self.drain_inbox(target)
+                # subscription is gone are dropped, not kept — but the drop
+                # is counted, never silent.
+                dropped = self.drain_inbox(target)
+                if dropped:
+                    self._count_shed(target, len(dropped))
                 continue
             for message in self.drain_inbox(target):
                 handled = False
@@ -360,3 +438,33 @@ class Broker:
     @property
     def published_bytes(self) -> int:
         return self._published_bytes
+
+    @property
+    def shed_count(self) -> int:
+        """Messages shed (bounded-inbox overflow, unsubscribe drops, gaps)."""
+        return self._shed_messages
+
+    @property
+    def inbox_limit(self) -> Optional[int]:
+        """Per-client inbox bound (messages); ``None`` means unbounded."""
+        return self._inbox_limit
+
+    def stats(self) -> Dict[str, object]:
+        """Delivery/overload counters (folded into the client's health).
+
+        ``shed_messages`` sums every counted loss: bounded-inbox overflow,
+        inboxes dropped at unsubscribe, parked messages flushed after their
+        subscription was removed, and messages published in a batched
+        client's unsubscribe→re-subscribe gap.  ``inbox_depth`` is the
+        total backlog currently parked across all inboxes.
+        """
+        return {
+            "published": self._published_count,
+            "delivered": self._delivered_count,
+            "published_bytes": self._published_bytes,
+            "shed_messages": self._shed_messages,
+            "shed_by_client": dict(self._shed_by_client),
+            "inbox_limit": self._inbox_limit,
+            "inbox_depth": sum(len(inbox) for inbox in self._inboxes.values()),
+            "gap_clients": sorted(self._gap_filters),
+        }

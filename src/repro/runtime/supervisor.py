@@ -33,7 +33,9 @@ from __future__ import annotations
 
 import io
 import os
+import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -107,6 +109,12 @@ class ShardedRunResult:
     #: Total bytes the supervisor read off worker IPC streams (stream
     #: framing included) — what the bench harness records per leg.
     ipc_bytes: int = 0
+    #: True when :meth:`ShardSupervisor.request_stop` ended the run after a
+    #: completed sync point but before the workload's last one.  The broad
+    #: tiers hold every *committed* boundary; the workers' FINAL statistics
+    #: were never collected, so fog L1 entries in ``storage`` are the local
+    #: (empty) ones.
+    stopped_early: bool = False
 
     def golden_report(self) -> Dict[str, Any]:
         """The report shape of the ``ingest_golden.json`` fixture."""
@@ -297,6 +305,15 @@ class ShardSupervisor:
         self.dropped_ipc_frames = 0
         self.worker_restarts = 0
         self.ipc_bytes_received = 0
+        # Serve-mode hooks: a lock held around each sync point's absorb +
+        # fog2→cloud sync (so concurrent readers never observe a
+        # half-absorbed barrier), a callback fired — under that same lock —
+        # after each completed sync point, and a graceful-stop flag checked
+        # between sync points (the in-flight barrier always completes and
+        # commits its durable logs before the run exits).
+        self.sync_lock: Optional[threading.Lock] = None
+        self.on_sync_complete = None
+        self._stop_requested = threading.Event()
         self._context = None
         self._shards = [
             _ShardHandle(
@@ -506,6 +523,22 @@ class ShardSupervisor:
     # ------------------------------------------------------------------ #
     # The run
     # ------------------------------------------------------------------ #
+    def request_stop(self) -> None:
+        """Ask the run to drain gracefully after the in-flight sync point.
+
+        Safe from any thread.  The supervisor finishes the barrier it is
+        collecting (a partially absorbed sync point can never be observed),
+        commits the durable logs, and returns a result with
+        ``stopped_early=True``; remaining sync points are skipped and the
+        workers' FINAL statistics are not collected (their processes are
+        torn down by the run's cleanup).
+        """
+        self._stop_requested.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_requested.is_set()
+
     def run(self) -> ShardedRunResult:
         try:
             return self._run()
@@ -533,8 +566,15 @@ class ShardSupervisor:
         begin_run = time.perf_counter()
 
         architecture = self.architecture
+        # Readers may query this architecture while the run streams (the
+        # serve mode): the local fog L1 stores never hold data here, so
+        # they are non-authoritative from the start, not only after the
+        # workers' FINAL statistics merge.
+        architecture.mark_fog1_remote()
         canonical_node_order = [fog1.node_id for fog1 in architecture.fog1_nodes()]
         total_absorbed = 0
+        stopped_early = False
+        total_syncs = len(self.workload.sync_plan)
         for sync_index, (_, sync_time) in enumerate(self.workload.sync_plan):
             batches_by_node: Dict[str, Any] = {}
             edge_transfers: List[Dict[str, Any]] = []
@@ -544,15 +584,51 @@ class ShardSupervisor:
                 edge_transfers.extend(shard_edges)
             # Absorb in canonical city-section order — the order the
             # in-process scheduler drains fog L1 nodes — so the merged
-            # outcome is independent of worker scheduling and count.
-            for node_id in canonical_node_order:
-                columns = batches_by_node.get(node_id)
-                if columns is None:
-                    continue
-                total_absorbed += len(columns)
-                architecture.receive_worker_columns(node_id, columns, now=sync_time)
-            architecture.merge_edge_transfers(edge_transfers)
-            architecture.scheduler.sync_fog2_to_cloud(now=sync_time)
+            # outcome is independent of worker scheduling and count.  Under
+            # a serve lock the whole barrier (absorb + upward sync + the
+            # completion hook) is one atomic step to concurrent readers.
+            with self.sync_lock if self.sync_lock is not None else nullcontext():
+                for node_id in canonical_node_order:
+                    columns = batches_by_node.get(node_id)
+                    if columns is None:
+                        continue
+                    total_absorbed += len(columns)
+                    architecture.receive_worker_columns(node_id, columns, now=sync_time)
+                architecture.merge_edge_transfers(edge_transfers)
+                architecture.scheduler.sync_fog2_to_cloud(now=sync_time)
+                if self.on_sync_complete is not None:
+                    self.on_sync_complete(sync_index)
+            if self._stop_requested.is_set() and sync_index + 1 < total_syncs:
+                # Graceful drain: the in-flight sync point completed and
+                # its durable records were committed by the sync itself;
+                # flush once more explicitly and exit without collecting
+                # FINAL (the workers are torn down by run()'s cleanup).
+                stopped_early = True
+                break
+        if stopped_early:
+            if architecture.durable is not None:
+                architecture.durable.commit()
+            end = time.perf_counter()
+            return ShardedRunResult(
+                workers=self.workers,
+                architecture=architecture,
+                traffic=architecture.traffic_report(),
+                storage=architecture.storage_report(),
+                total_readings_absorbed=total_absorbed,
+                dropped_ipc_frames=self.dropped_ipc_frames,
+                worker_restarts=self.worker_restarts,
+                failure_state=self.failure_state,
+                wall_s=end - begin_total,
+                run_s=end - begin_run,
+                worker_faults=list(self.worker_faults),
+                ipc_bytes=self.ipc_bytes_received
+                + sum(
+                    getattr(shard.channel, "bytes_read", 0)
+                    for shard in self._shards
+                    if shard.channel is not None
+                ),
+                stopped_early=True,
+            )
 
         for shard in self._shards:
             while True:

@@ -86,6 +86,19 @@ class TestCacheBound:
     def test_negative_capacity_is_a_configuration_error(self):
         with pytest.raises(ConfigurationError, match="query_cache_bytes"):
             PipelineConfig(query_cache_bytes=-1)
+        with pytest.raises(ConfigurationError, match="cold_store_cache_bytes"):
+            PipelineConfig(cold_store_cache_bytes=-1)
+
+    def test_cold_store_capacity_defaults_and_stats_keys(
+        self, small_city, small_catalog
+    ):
+        client = _client(small_city, small_catalog)
+        service = client.queries
+        assert service.cold_store_capacity_bytes == QueryService.DEFAULT_COLD_STORE_BYTES
+        stats = service.stats()
+        assert stats["cold_stores"] == 0
+        assert stats["cold_store_bytes"] == 0
+        assert stats["cold_store_evictions"] == 0
 
     def test_invalidate_is_not_an_eviction(self, small_city, small_catalog):
         client = _client(small_city, small_catalog)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.clock import SimulatedClock, WallClock
+from repro.common.clock import SimulatedClock, VirtualClock, WallClock
 from repro.common.events import Event, EventBus
 from repro.common.ids import IdGenerator
 
@@ -40,6 +40,57 @@ class TestWallClock:
         first = clock.now()
         second = clock.now()
         assert second >= first
+
+
+class TestVirtualClock:
+    def test_sleep_advances_instantly(self):
+        clock = VirtualClock(start=10.0)
+        assert clock.sleep(5.0) == 15.0
+        assert clock.now() == 15.0
+        assert clock.sleeps == 1
+
+    def test_zero_sleep_still_counts_a_tick(self):
+        clock = VirtualClock()
+        clock.sleep(0.0)
+        assert clock.now() == 0.0
+        assert clock.sleeps == 1
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        a = VirtualClock(seed=7, jitter_s=1.0)
+        b = VirtualClock(seed=7, jitter_s=1.0)
+        times_a = [a.sleep(10.0) for _ in range(5)]
+        times_b = [b.sleep(10.0) for _ in range(5)]
+        assert times_a == times_b
+        # Jitter only ever overshoots: each sleep is >= the nominal interval.
+        previous = 0.0
+        for timestamp in times_a:
+            assert timestamp - previous >= 10.0
+            previous = timestamp
+
+    def test_different_seeds_diverge(self):
+        a = VirtualClock(seed=1, jitter_s=1.0)
+        b = VirtualClock(seed=2, jitter_s=1.0)
+        assert [a.sleep(1.0) for _ in range(3)] != [b.sleep(1.0) for _ in range(3)]
+
+    def test_no_jitter_is_exact(self):
+        clock = VirtualClock(seed=99)
+        assert [clock.sleep(1.5) for _ in range(3)] == [1.5, 3.0, 4.5]
+
+    def test_advance_like_simulated_clock(self):
+        clock = VirtualClock(start=5.0)
+        assert clock.advance(2.0) == 7.0
+        assert clock.advance_to(10.0) == 10.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            VirtualClock(jitter_s=-1.0)
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.sleep(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(-1.0)
 
 
 class TestIdGenerator:

@@ -238,6 +238,68 @@ class TestCrashReplayBattery:
 
 
 # --------------------------------------------------------------------------- #
+# Unclean serve shutdown: the service loop killed mid-run recovers too
+# --------------------------------------------------------------------------- #
+SERVE_CRASH_CHILD = """
+import os, sys
+sys.path.insert(0, {src!r})
+from repro.core.movement import DataMovementScheduler
+
+kill_after = {kill_after}
+calls = [0]
+original = DataMovementScheduler.sync_fog2_to_cloud
+
+def dying(self, now=None):
+    out = original(self, now)
+    calls[0] += 1
+    if calls[0] == kill_after:
+        os._exit({exit_code})  # kill the whole process from the serve thread
+    return out
+
+DataMovementScheduler.sync_fog2_to_cloud = dying
+from repro.api import serve
+from repro.common.clock import VirtualClock
+from repro.runtime import ShardedWorkload
+workload = ShardedWorkload.stream_rounds(**{workload!r})
+handle = serve(workload, clock=VirtualClock(), durable_dir={durable_dir!r})
+handle.drain(timeout=240)
+"""
+
+
+class TestServeCrashRecovery:
+    """ISSUE satellite: ``recover()`` after an *unclean* serve shutdown.
+
+    The serve loop dies mid-workload (``os._exit`` on its background
+    thread, taking the process down with rounds still pending — no drain,
+    no graceful commit); recovery from the segment logs alone must land on
+    exactly the last committed sync boundary's golden digest.
+    """
+
+    @pytest.mark.parametrize("kill_after", [1, 2], ids=lambda k: f"sync{k}")
+    def test_killed_serve_recovers_the_last_committed_boundary(
+        self, golden, tmp_path, kill_after
+    ):
+        state = str(tmp_path / "state")
+        child = SERVE_CRASH_CHILD.format(
+            src=SRC_PATH,
+            kill_after=kill_after,
+            exit_code=CRASH_EXIT,
+            workload=golden["stream_workload"],
+            durable_dir=state,
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", child], capture_output=True, text=True, timeout=300
+        )
+        assert proc.returncode == CRASH_EXIT, proc.stderr
+
+        client = recover(durable_dir=state, catalog=BARCELONA_CATALOG)
+        assert client.cloud_digest() == golden["boundary_cloud_sha256"][kill_after - 1]
+        report = client.health()["durable"]
+        assert report["dropped_log_records"] == 0  # the boundary was fsync'd
+        client.system.durable.close()
+
+
+# --------------------------------------------------------------------------- #
 # Tail damage: dropped-and-counted, never a partial ingest
 # --------------------------------------------------------------------------- #
 class TestTornTail:
@@ -356,6 +418,63 @@ class TestColdSegmentQueries:
         durable.queries.invalidate()  # result memo cleared, cold cache kept
         durable.query(since=0.0, until=900.0)
         assert durable.queries.stats()["cold_store_builds"] == builds
+
+    def test_cold_store_lru_bound_and_eviction_visibility(self, golden, tmp_path):
+        """ISSUE satellite: hydrated cold stores live in a byte-accounted
+        LRU; evictions are counted and surface through health()."""
+        durable = run_workload(
+            stream_workload(golden),
+            durable_dir=str(tmp_path / "state"),
+            durable_fog2=True,
+        )
+        evict_fog_stores(durable)
+        service = durable.queries
+        durable.query(since=0.0, until=900.0, section_id="district-01/section-01")
+        durable.query(since=0.0, until=900.0, section_id="district-02/section-01")
+        resident = service.stats()["cold_store_bytes"]
+        assert resident > 0
+        assert service.stats()["cold_stores"] == 2  # one shadow per fog2 node
+        # Shrink the budget to exactly the resident set: a third district's
+        # hydration must evict the least-recently-served shadow store.
+        service.cold_store_capacity_bytes = resident
+        durable.query(since=0.0, until=900.0, section_id="district-03/section-01")
+        stats = service.stats()
+        assert stats["cold_store_evictions"] >= 1
+        assert stats["cold_store_bytes"] <= stats["cold_store_capacity_bytes"]
+        health = durable.health()["queries"]
+        assert health["cold_store_evictions"] == stats["cold_store_evictions"]
+        assert health["cold_store_capacity_bytes"] == resident
+        durable.system.durable.close()
+
+    def test_oversized_hydration_is_served_uncached(self, golden, tmp_path):
+        durable = run_workload(
+            stream_workload(golden),
+            durable_dir=str(tmp_path / "state"),
+            durable_fog2=True,
+        )
+        evict_fog_stores(durable)
+        service = durable.queries
+        service.cold_store_capacity_bytes = 1  # smaller than any hydration
+        window = {"since": 0.0, "until": 900.0, "section_id": "district-01/section-01"}
+        first = durable.query(**window)
+        assert len(first) > 0  # still answered, just not cached
+        assert service.stats()["cold_stores"] == 0
+        assert service.stats()["cold_store_evictions"] == 0  # refused up front
+        builds = service.stats()["cold_store_builds"]
+        service.invalidate()  # drop the window memo so the store is consulted
+        durable.query(**window)
+        assert service.stats()["cold_store_builds"] > builds  # rebuilt per use
+        durable.system.durable.close()
+
+    def test_cold_store_capacity_flows_from_config(self, golden, tmp_path):
+        durable = run_workload(
+            stream_workload(golden),
+            durable_dir=str(tmp_path / "state"),
+            cold_store_cache_bytes=12345,
+        )
+        assert durable.queries.cold_store_capacity_bytes == 12345
+        assert durable.health()["queries"]["cold_store_capacity_bytes"] == 12345
+        durable.system.durable.close()
 
     def test_ttl_eviction_drops_whole_segments_from_the_index(self, golden, tmp_path):
         durable = run_workload(

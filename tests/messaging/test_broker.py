@@ -208,7 +208,7 @@ class TestBatchedInboxes:
         broker.publish("a/b", b"2")
         assert len(received) == 1
 
-    def test_flush_after_unsubscribe_drops_without_counting(self, broker):
+    def test_unsubscribe_drops_inbox_and_counts_shed(self, broker):
         received = []
         broker.subscribe("c1", "a/#", received.append, batched=True)
         broker.publish("a/b", b"1")
@@ -216,6 +216,8 @@ class TestBatchedInboxes:
         assert broker.inbox_size("c1") == 0  # ghost inbox dropped
         assert broker.flush_inboxes() == 0
         assert received == []
+        assert broker.shed_count == 1  # the parked message, counted not silent
+        assert broker.stats()["shed_by_client"] == {"c1": 1}
 
     def test_topic_cache_capped(self, broker):
         broker._TOPIC_CACHE_LIMIT = 8
@@ -233,6 +235,100 @@ class TestBatchedInboxes:
         assert broker.inbox_size("c1") == 1  # one inbox copy per client
         assert broker.flush_inboxes() == 1
         assert len(wide) == 1 and len(narrow) == 1  # both handlers ran once
+
+
+class TestBoundedInboxes:
+    """Bounded batched inboxes: overflow sheds, and every shed is counted."""
+
+    def test_invalid_inbox_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Broker(inbox_limit=0)
+        with pytest.raises(ConfigurationError):
+            Broker(inbox_limit=-5)
+
+    def test_unbounded_by_default(self, broker):
+        assert broker.inbox_limit is None
+        broker.subscribe("c1", "a/#", lambda m: None, batched=True)
+        for i in range(100):
+            broker.publish("a/b", str(i).encode())
+        assert broker.inbox_size("c1") == 100
+        assert broker.shed_count == 0
+
+    def test_full_inbox_sheds_overflow(self):
+        broker = Broker(inbox_limit=2)
+        broker.subscribe("c1", "a/#", lambda m: None, batched=True)
+        for i in range(5):
+            broker.publish("a/b", str(i).encode())
+        assert broker.inbox_size("c1") == 2
+        assert [m.payload for m in broker.drain_inbox("c1")] == [b"0", b"1"]
+        assert broker.shed_count == 3
+        assert broker.stats()["shed_by_client"] == {"c1": 3}
+        # Conservation over the batched client's history.
+        assert broker.published_count == broker.delivered_count + broker.shed_count
+
+    def test_drain_frees_capacity(self):
+        broker = Broker(inbox_limit=1)
+        broker.subscribe("c1", "a/#", lambda m: None, batched=True)
+        broker.publish("a/b", b"1")
+        broker.drain_inbox("c1")
+        broker.publish("a/b", b"2")
+        assert broker.inbox_size("c1") == 1
+        assert broker.shed_count == 0
+
+    def test_immediate_subscribers_never_shed(self):
+        received = []
+        broker = Broker(inbox_limit=1)
+        broker.subscribe("now", "a/#", received.append)
+        for i in range(5):
+            broker.publish("a/b", str(i).encode())
+        assert len(received) == 5
+        assert broker.shed_count == 0
+
+    def test_resubscribe_gap_counted_as_shed(self, broker):
+        parked = []
+        broker.subscribe("c1", "a/#", parked.append, batched=True)
+        broker.publish("a/b", b"held")           # parked
+        broker.unsubscribe("c1")                 # inbox dropped: 1 shed
+        broker.publish("a/b", b"gap-1")          # no inbox exists: shed
+        broker.publish("a/b", b"gap-2")          # shed
+        assert broker.stats()["gap_clients"] == ["c1"]
+        broker.subscribe("c1", "a/#", parked.append, batched=True)  # gap closes
+        broker.publish("a/b", b"after")          # parked again
+        assert broker.inbox_size("c1") == 1
+        assert broker.shed_count == 3
+        assert broker.stats()["shed_by_client"] == {"c1": 3}
+        assert broker.stats()["gap_clients"] == []
+
+    def test_gap_only_counts_matching_topics(self, broker):
+        broker.subscribe("c1", "a/#", lambda m: None, batched=True)
+        broker.unsubscribe("c1")
+        broker.publish("b/c", b"elsewhere")      # never matched c1's filter
+        assert broker.shed_count == 0
+        broker.publish("a/b", b"missed")
+        assert broker.shed_count == 1
+
+    def test_gap_shed_rides_the_match_cache(self, broker):
+        broker.subscribe("c1", "a/#", lambda m: None, batched=True)
+        broker.unsubscribe("c1")
+        broker.publish("a/b", b"1")              # miss path computes gap clients
+        broker.publish("a/b", b"2")              # hot path: cached gap entry
+        assert broker.shed_count == 2
+
+    def test_stats_shape(self):
+        broker = Broker(inbox_limit=4)
+        broker.subscribe("c1", "a/#", lambda m: None, batched=True)
+        broker.publish("a/b", b"123")
+        stats = broker.stats()
+        assert stats == {
+            "published": 1,
+            "delivered": 1,
+            "published_bytes": 3,
+            "shed_messages": 0,
+            "shed_by_client": {},
+            "inbox_limit": 4,
+            "inbox_depth": 1,
+            "gap_clients": [],
+        }
 
 
 class TestPublishTopicMemoization:
