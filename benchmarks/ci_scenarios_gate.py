@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""CI gate: the chaos hooks cost nothing when disabled.
+
+Runs the ``bench_scenarios`` A/B (plain run vs hookless serve vs armed
+no-op hook, best-of-N each) and fails when:
+
+* the three cloud digests differ — the hook plumbing perturbed the data
+  plane, a correctness failure;
+* an armed no-op round hook costs more than ``MAX_HOOK_OVERHEAD`` over the
+  hookless serve loop — the per-round hook dispatch is not free;
+* the hookless serve loop exceeds the loose ``MAX_SERVE_BACKSTOP_VS_RUN``
+  backstop over the plain blocking run — catches a regression hiding in
+  the serve path itself.
+
+Writes the measurement to ``benchmarks/results/BENCH_scenarios_ci.json``
+so the CI run leaves a record (the committed numbers live in
+``BENCH_scenarios.json``).
+
+Usage: ``PYTHONPATH=src python benchmarks/ci_scenarios_gate.py``
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from bench_scenarios import (  # noqa: E402
+    MAX_HOOK_OVERHEAD,
+    MAX_SERVE_BACKSTOP_VS_RUN,
+    run_benchmark,
+)
+
+OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_scenarios_ci.json"
+
+
+def main() -> int:
+    record = run_benchmark()
+    record["schema"] = "bench_scenarios_ci/v1"
+    OUTPUT.parent.mkdir(exist_ok=True)
+    OUTPUT.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    hook_overhead = record["noop_hook_overhead_vs_hookless"]
+    serve_overhead = record["hookless_overhead_vs_run"]
+    print(
+        f"city-hour ({record['workload']['total_readings']:,} readings): "
+        f"no-op hook {hook_overhead:.3f}x vs hookless "
+        f"(gate <= {MAX_HOOK_OVERHEAD}x); hookless serve {serve_overhead:.3f}x "
+        f"vs run (backstop <= {MAX_SERVE_BACKSTOP_VS_RUN}x)"
+    )
+    if not record["digests_identical"]:
+        print("FAIL: hook plumbing changed the cloud digest")
+        return 1
+    if hook_overhead > MAX_HOOK_OVERHEAD:
+        print(
+            f"FAIL: armed no-op hook costs {hook_overhead:.3f}x "
+            f"(gate <= {MAX_HOOK_OVERHEAD}x)"
+        )
+        return 1
+    if serve_overhead > MAX_SERVE_BACKSTOP_VS_RUN:
+        print(
+            f"FAIL: hookless serve {serve_overhead:.3f}x vs run "
+            f"(backstop <= {MAX_SERVE_BACKSTOP_VS_RUN}x)"
+        )
+        return 1
+    print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

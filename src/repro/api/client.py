@@ -53,6 +53,22 @@ class F2CClient:
             cache_bytes=pipeline.config.query_cache_bytes,
             cold_store_bytes=pipeline.config.cold_store_cache_bytes,
         )
+        self._injector = None
+
+    @property
+    def injector(self):
+        """A lazily-built :class:`~repro.core.faults.FailureInjector` over
+        this deployment.
+
+        One injector per client: every ``fail``/``recover``/``failover``
+        call is reflected in :meth:`health`'s ``availability`` section, so
+        chaos tooling and operators read the same surface.
+        """
+        if self._injector is None:
+            from repro.core.faults import FailureInjector
+
+            self._injector = FailureInjector(self.system)
+        return self._injector
 
     # ------------------------------------------------------------------ #
     # Deployment access
@@ -155,20 +171,85 @@ class F2CClient:
         * ``durable`` — the segment-log report (``{"enabled": False}`` on a
           memory-only deployment): per-log segment/byte counts and how many
           damaged tail records were dropped-and-counted.
+        * ``conservation`` — the unified loss ledger: every counted loss
+          (broker payload drops, IPC frame drops, shed messages, torn
+          durable-log records) plus per-tier ingest/store/evict/pending
+          aggregates, so auditors check ``offered == ingested + losses``
+          against one surface.  The scattered top-level keys remain as
+          aliases.
+        * ``availability`` — the failure injector's
+          :class:`~repro.core.faults.AvailabilityReport` (all-healthy
+          numbers when no failure was ever injected).
         """
         sharded = self.sharded
         broker = self.system._broker
         broker_stats: Dict[str, Any] = {"attached": False}
         if broker is not None:
             broker_stats = {"attached": True, **broker.stats()}
+        durable = self.system.durable_report()
+        dropped_ipc = sharded.dropped_ipc_frames if sharded is not None else 0
         return {
             "dropped_payloads": self.system.dropped_payloads,
-            "dropped_ipc_frames": sharded.dropped_ipc_frames if sharded is not None else 0,
+            "dropped_ipc_frames": dropped_ipc,
             "worker_restarts": sharded.worker_restarts if sharded is not None else 0,
             "worker_faults": list(sharded.worker_faults) if sharded is not None else [],
             "queries": self.queries.stats(),
             "broker": broker_stats,
-            "durable": self.system.durable_report(),
+            "durable": durable,
+            "conservation": self._conservation_ledger(broker_stats, durable, dropped_ipc),
+            "availability": self.injector.availability().as_dict(),
+        }
+
+    def _conservation_ledger(
+        self,
+        broker_stats: Dict[str, Any],
+        durable: Dict[str, Any],
+        dropped_ipc_frames: int,
+    ) -> Dict[str, Any]:
+        """One ledger for every counted loss plus per-tier aggregates.
+
+        ``total_counted_losses`` sums the mutually-exclusive loss channels:
+        undecodable payloads dropped at fog L1, IPC frames lost on the
+        worker streams, broker messages shed (bounded inboxes, partitions,
+        unsubscribe gaps) and torn durable-log records.  Corrupted messages
+        are a *cause*, not an extra channel — an undecodable corrupted frame
+        is already counted in ``dropped_payloads`` — so they are reported
+        but not summed.
+        """
+        dropped_log_records = int(durable.get("dropped_log_records", 0)) if durable.get("enabled") else 0
+        dropped_log_bytes = int(durable.get("dropped_log_bytes", 0)) if durable.get("enabled") else 0
+        shed_messages = int(broker_stats.get("shed_messages", 0))
+        tiers: Dict[str, Dict[str, int]] = {}
+        for stats in self.system.storage_report().values():
+            layer = str(stats.get("layer", "unknown"))
+            entry = tiers.setdefault(
+                layer,
+                {
+                    "ingested_readings": 0,
+                    "stored_readings": 0,
+                    "evicted_readings": 0,
+                    "pending_upward": 0,
+                    # Fog L1 acquisition refusals (quality/aggregation) —
+                    # zero at broader tiers, which ingest admitted data.
+                    "rejected_readings": 0,
+                },
+            )
+            for key in entry:
+                entry[key] += int(stats.get(key, 0))
+        return {
+            "dropped_payloads": self.system.dropped_payloads,
+            "dropped_ipc_frames": dropped_ipc_frames,
+            "shed_messages": shed_messages,
+            "corrupted_messages": int(broker_stats.get("corrupted_messages", 0)),
+            "dropped_log_records": dropped_log_records,
+            "dropped_log_bytes": dropped_log_bytes,
+            "total_counted_losses": (
+                self.system.dropped_payloads
+                + dropped_ipc_frames
+                + shed_messages
+                + dropped_log_records
+            ),
+            "tiers": tiers,
         }
 
     def summary(self) -> Dict[str, Any]:
@@ -267,6 +348,8 @@ def serve(
     catalog=None,
     city=None,
     broker=None,
+    round_hook=None,
+    worker_faults=None,
     **config_kwargs,
 ):
     """Start a workload as a long-running service; returns a ``ServeHandle``.
@@ -285,7 +368,13 @@ def serve(
         raise TypeError("pass either a PipelineConfig or config keywords, not both")
     if config is None:
         config = PipelineConfig(**config_kwargs)
-    return Pipeline(config, catalog=catalog, city=city).serve(workload, clock=clock, broker=broker)
+    return Pipeline(config, catalog=catalog, city=city).serve(
+        workload,
+        clock=clock,
+        broker=broker,
+        round_hook=round_hook,
+        worker_faults=worker_faults,
+    )
 
 
 def recover(

@@ -562,6 +562,8 @@ class Pipeline:
         *,
         clock=None,
         broker: Optional[Broker] = None,
+        round_hook=None,
+        worker_faults=None,
     ) -> "ServeHandle":
         """Run *workload* as a long-running service and return its handle.
 
@@ -582,6 +584,13 @@ class Pipeline:
         resolve against the broad tiers while workers stream, and
         ``shutdown`` drains gracefully at the next sync barrier.
 
+        *round_hook* (round-ticking transports only) is called as
+        ``round_hook(handle, round_index, readings)`` under the serve lock
+        before each round lands — the scenario engine's fault-injection
+        point.  *worker_faults* (sharded only) schedules deterministic
+        per-shard worker kills (see
+        :class:`~repro.runtime.shards.WorkerFault`).
+
         See :mod:`repro.api.serving` for the concurrency/consistency model.
         """
         from repro.api.client import F2CClient
@@ -597,6 +606,11 @@ class Pipeline:
         if config.transport == "sharded":
             from repro.runtime.supervisor import ShardSupervisor
 
+            if round_hook is not None:
+                raise ConfigurationError(
+                    "round_hook is not supported on the sharded transport "
+                    "(rounds run inside the workers); schedule worker_faults instead"
+                )
             supervisor = ShardSupervisor(
                 workers=config.workers,
                 workload=workload,
@@ -605,6 +619,7 @@ class Pipeline:
                 frame_format=config.resolved_frame_format(),
                 durable_dir=config.durable_dir,
                 durable_fog2=config.durable_fog2,
+                faults=worker_faults,
             )
             client = F2CClient(
                 system=supervisor.architecture,
@@ -621,6 +636,11 @@ class Pipeline:
 
         # Single process: regenerate the workload exactly like run() does,
         # then let the handle's thread pace it round by round.
+        if worker_faults:
+            raise ConfigurationError(
+                "worker_faults requires the sharded transport; use round_hook "
+                "to inject faults into round-ticking transports"
+            )
         system = self._build_system(catalog)
         pipeline = Pipeline(config, system=system, catalog=catalog)
         generator = ReadingGenerator(
@@ -639,6 +659,7 @@ class Pipeline:
             clock=clock,
             tick_interval_s=config.serve_tick_interval_s,
             drain_timeout_s=config.serve_drain_timeout_s,
+            round_hook=round_hook,
         )
 
 
@@ -658,6 +679,12 @@ class IngestSession:
             )
         self.pipeline = pipeline
         self.config = config
+        #: Narrow observation hook (the scenario engine's ingest tap):
+        #: called as ``on_ingest(offered, counts)`` after every
+        #: :meth:`ingest`, where *offered* is the number of readings handed
+        #: to the transport and *counts* the per-node acquisition dict the
+        #: call returns.  ``None`` (the default) costs one falsy check.
+        self.on_ingest = None
         self.broker: Optional[Broker] = None
         if config.uses_broker():
             self.broker = broker if broker is not None else Broker()
@@ -686,9 +713,11 @@ class IngestSession:
         """
         transport = self.config.transport
         pipeline = self.pipeline
+        if self.on_ingest is not None and not hasattr(readings, "__len__"):
+            readings = list(readings)
         if transport == "direct":
-            return pipeline.ingest_rows(readings, now=now, default_section=default_section)
-        if transport == "broker-csv":
+            counts = pipeline.ingest_rows(readings, now=now, default_section=default_section)
+        elif transport == "broker-csv":
             published = pipeline.publish_csv(
                 self.broker,
                 readings,
@@ -696,19 +725,24 @@ class IngestSession:
                 default_section=default_section,
             )
             if self.config.batched:
-                return pipeline.flush_broker(now=now)
-            return {fog1_node_id(section): count for section, count in published.items()}
-        # Frame transports: one column frame per section, then one flush.
-        timestamp = now if now is not None else pipeline.system.simulator.clock.now()
-        pipeline.publish_frames(
-            self.broker,
-            readings,
-            city_slug=self.config.city_slug,
-            default_section=default_section,
-            timestamp=timestamp,
-            frame_format=self.config.resolved_frame_format(),
-        )
-        return pipeline.flush_broker(now=now)
+                counts = pipeline.flush_broker(now=now)
+            else:
+                counts = {fog1_node_id(section): count for section, count in published.items()}
+        else:
+            # Frame transports: one column frame per section, then one flush.
+            timestamp = now if now is not None else pipeline.system.simulator.clock.now()
+            pipeline.publish_frames(
+                self.broker,
+                readings,
+                city_slug=self.config.city_slug,
+                default_section=default_section,
+                timestamp=timestamp,
+                frame_format=self.config.resolved_frame_format(),
+            )
+            counts = pipeline.flush_broker(now=now)
+        if self.on_ingest is not None:
+            self.on_ingest(len(readings), counts)
+        return counts
 
     def synchronise(self, now: Optional[float] = None) -> Dict[str, Dict[str, int]]:
         """Move pending data fog L1 → fog L2 → cloud immediately."""

@@ -89,6 +89,7 @@ class ServeHandle:
         clock=None,
         tick_interval_s: float = 0.0,
         drain_timeout_s: float = 30.0,
+        round_hook=None,
     ) -> None:
         if (rounds is None) == (supervisor is None):
             raise ConfigurationError(
@@ -105,6 +106,12 @@ class ServeHandle:
         self._clock = clock
         self._tick_interval_s = float(tick_interval_s)
         self._drain_timeout_s = float(drain_timeout_s)
+        # Narrow chaos hook (the scenario engine's injection point): called
+        # as ``round_hook(handle, round_index, readings)`` under the serve
+        # lock immediately before each round is ingested, so injected
+        # faults land exactly on round boundaries, atomic with queries.
+        # ``None`` (the default) costs one falsy check per round.
+        self._round_hook = round_hook
         self._lock = threading.RLock()
         self._stop = threading.Event()
         self._finished = threading.Event()
@@ -167,6 +174,8 @@ class ServeHandle:
                         return
                     timestamp, readings = rounds[ingested]
                     with self._lock:
+                        if self._round_hook is not None:
+                            self._round_hook(self, ingested, readings)
                         if readings:
                             self.readings_offered += len(readings)
                             counts = session.ingest(readings, now=timestamp)
@@ -281,6 +290,18 @@ class ServeHandle:
                 report["dropped_ipc_frames"] = self.result.dropped_ipc_frames
                 report["worker_restarts"] = self.result.worker_restarts
                 report["worker_faults"] = list(self.result.worker_faults)
+                ledger = report.get("conservation")
+                if ledger is not None:
+                    # Keep the unified ledger consistent with the overrides:
+                    # a finished sharded serve reports the run result's IPC
+                    # drops, not the client's pre-run zeros.
+                    ledger["dropped_ipc_frames"] = self.result.dropped_ipc_frames
+                    ledger["total_counted_losses"] = (
+                        ledger["dropped_payloads"]
+                        + ledger["dropped_ipc_frames"]
+                        + ledger["shed_messages"]
+                        + ledger["dropped_log_records"]
+                    )
             report["serve"] = self.stats()
             return report
 

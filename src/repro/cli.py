@@ -10,6 +10,7 @@ Usage (after installation)::
     python -m repro ingest [--transport frames-binary] [--workers 4] [--json]
     python -m repro serve [--virtual-clock] [--clients 4] [--inbox-limit 64] [--json]
     python -m repro query --since 0 --until 900 [--category energy] [--json]
+    python -m repro scenarios [--select corrupt] [--processes] [--json]
 
 The reproduction subcommands print the same text the benchmark harness
 writes under ``benchmarks/results/``; ``simulate`` runs the event-level
@@ -20,7 +21,9 @@ transport (including the multi-process sharded runtime) and reports the
 deployment summary + health counters; ``serve`` runs it as a long-running
 service (paced rounds + concurrent querier threads, deterministic under
 ``--virtual-clock``); ``query`` runs the same workload and then answers a
-nearest-tier hierarchical query with per-tier attribution.
+nearest-tier hierarchical query with per-tier attribution.  ``scenarios``
+runs the seeded chaos matrix (:mod:`repro.scenarios`) and audits every
+run against the invariant registry, exiting non-zero on any violation.
 """
 
 from __future__ import annotations
@@ -147,6 +150,28 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="seconds to wait for the workload to finish (default 120)",
     )
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="run the chaos scenario matrix and audit every invariant",
+    )
+    scenarios.add_argument(
+        "--select",
+        default=None,
+        metavar="SUBSTR",
+        help="run only scenarios whose name contains SUBSTR",
+    )
+    scenarios.add_argument(
+        "--processes",
+        action="store_true",
+        help="run sharded scenarios over real forked workers instead of in-process",
+    )
+    scenarios.add_argument(
+        "--update-digests",
+        action="store_true",
+        help="rewrite the committed per-scenario digest table from this run",
+    )
+    scenarios.add_argument("--json", action="store_true", help="machine-readable output")
 
     query = subparsers.add_parser(
         "query", help="run a seeded workload, then answer a nearest-tier query"
@@ -472,6 +497,22 @@ def _cmd_query(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_scenarios(args) -> tuple:
+    """Run the chaos matrix; exit non-zero when any invariant fails."""
+    from repro.scenarios import run_matrix
+
+    report = run_matrix(
+        select=args.select,
+        processes=args.processes,
+        update_digests=args.update_digests,
+    )
+    if args.json:
+        output = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    else:
+        output = report.render()
+    return output, 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "table1":
@@ -490,6 +531,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output = _cmd_serve(args)
     elif args.command == "query":
         output = _cmd_query(args)
+    elif args.command == "scenarios":
+        output, code = _cmd_scenarios(args)
+        print(output)
+        return code
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {args.command!r}")
     print(output)

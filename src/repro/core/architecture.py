@@ -264,6 +264,22 @@ class F2CDataManagement:
     def section_of_sensor(self, sensor_id: str) -> Optional[str]:
         return self._sensor_to_section.get(sensor_id)
 
+    def sensors_in_section(self, section_id: str) -> List[str]:
+        """Sensor ids explicitly assigned to *section_id* (insertion order).
+
+        Only explicit :meth:`assign_sensor` assignments are known here;
+        hash-spread sensors have no recorded home.  Failover tooling uses
+        this to re-home a failed section's sensors onto the replacement
+        node's section.
+        """
+        if section_id not in self._fog1_id_by_section:
+            raise ConfigurationError(f"unknown section: {section_id}")
+        return [
+            sensor_id
+            for sensor_id, assigned in self._sensor_to_section.items()
+            if assigned == section_id
+        ]
+
     def spread_section(self, sensor_id: str) -> str:
         """Deterministic section for a sensor with no explicit assignment.
 

@@ -79,17 +79,43 @@ class AvailabilityReport:
             return 0.0
         return self.cloud_reachable_districts / self.total_districts
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (surfaced through ``F2CClient.health()``)."""
+        return {
+            "total_sections": self.total_sections,
+            "served_sections": self.served_sections,
+            "failed_fog1_nodes": self.failed_fog1_nodes,
+            "failed_fog2_nodes": self.failed_fog2_nodes,
+            "cloud_reachable_districts": self.cloud_reachable_districts,
+            "total_districts": self.total_districts,
+            "section_availability": self.section_availability,
+            "cloud_path_availability": self.cloud_path_availability,
+        }
+
 
 class FailureInjector:
-    """Injects node/link failures into an F2C deployment and drives failover."""
+    """Injects node/link failures into an F2C deployment and drives failover.
 
-    def __init__(self, architecture: F2CDataManagement) -> None:
-        self.architecture = architecture
+    Accepts the legacy :class:`F2CDataManagement` directly, or any facade
+    that wraps one and exposes it as a ``system`` attribute
+    (:class:`~repro.api.client.F2CClient`,
+    :class:`~repro.api.pipeline.Pipeline` results, …) — the injector always
+    operates on the underlying architecture.
+    """
+
+    def __init__(self, architecture) -> None:
+        unwrapped = getattr(architecture, "system", architecture)
+        if not isinstance(unwrapped, F2CDataManagement):
+            raise ConfigurationError(
+                "FailureInjector needs an F2CDataManagement or a facade exposing "
+                f"one via .system, got {type(architecture).__name__}"
+            )
+        self.architecture: F2CDataManagement = unwrapped
         self.state = FailureState()
         self.failovers: List[FailoverRecord] = []
         #: section -> node currently serving it (after any failover).
         self._serving_node: Dict[str, str] = {
-            fog1.section_id: fog1.node_id for fog1 in architecture.fog1_nodes()
+            fog1.section_id: fog1.node_id for fog1 in unwrapped.fog1_nodes()
         }
 
     # ------------------------------------------------------------------ #
@@ -149,6 +175,19 @@ class FailureInjector:
         self._serving_node[failed.section_id] = replacement
         self.failovers.append(record)
         return [record]
+
+    def isolate_node_store(self, node_id: str) -> None:
+        """Mark a fog L1 node's local store non-authoritative for readers.
+
+        A failed node's data plane is unreachable even though the simulated
+        store object still holds its rows.  Overlaying the node's own
+        statistics (via ``merge_fog1_stats``) preserves the storage report
+        while flipping ``fog1_store_is_authoritative`` to ``False``, so live
+        queries for its area fall through to fog layer 2 / cloud instead of
+        silently reading a store the outage made unreachable.
+        """
+        node = self.architecture.fog1_node(node_id)
+        self.architecture.merge_fog1_stats({node_id: node.stats()})
 
     def serving_node_for(self, section_id: str) -> Optional[str]:
         """The fog node currently serving *section_id*, or ``None`` if dark."""

@@ -149,6 +149,12 @@ class FogNodeLevel1(_BaseNode):
             ),
         )
         self.last_acquisition_result: Optional[BlockResult] = None
+        # Cumulative count of readings the acquisition block refused to
+        # admit (quality rejections, aggregation reductions) — the only
+        # sanctioned way a reading vanishes between "offered" and
+        # "ingested" on a lossless transport, so conservation audits need
+        # the running total, not just the last batch's BlockResult.
+        self.rejected_readings = 0
 
     def ingest(self, batch: ReadingBatch, now: float) -> ReadingBatch:
         """Run the acquisition block over *batch* and store the survivors.
@@ -159,8 +165,14 @@ class FogNodeLevel1(_BaseNode):
         """
         acquired, result = self.acquisition.run(batch, now)
         self.last_acquisition_result = result
+        self.rejected_readings += max(0, len(batch) - len(acquired))
         self.storage.ingest_batch(acquired, mark_for_upward=True)
         return acquired
+
+    def stats(self) -> Dict[str, object]:
+        data = super().stats()
+        data["rejected_readings"] = self.rejected_readings
+        return data
 
     def drain_for_upward(self) -> ReadingBatch:
         """Data not yet moved to the parent fog layer-2 node."""

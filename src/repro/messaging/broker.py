@@ -17,8 +17,9 @@ which keeps the simulation deterministic.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import ConfigurationError, RoutingError
 from repro.messaging.topics import match_levels, topic_matches, validate_topic
@@ -129,6 +130,15 @@ class Broker:
         self._published_bytes = 0
         self._shed_messages = 0
         self._shed_by_client: Dict[str, int] = {}
+        # Chaos-injection state (see corrupt_next / partition): pending
+        # payload corruptions and the clients currently cut off.  Both are
+        # deterministic — corruption positions come from a seeded RNG, and
+        # partition losses ride the same counted-shed path as inbox
+        # overflow, so every injected fault remains fully accounted.
+        self._corrupt_pending = 0
+        self._corrupt_rng: Optional[random.Random] = None
+        self._corrupted_count = 0
+        self._partitioned: Set[str] = set()
 
     # ------------------------------------------------------------------ #
     # Subscription management
@@ -209,6 +219,52 @@ class Broker:
         return [s.topic_filter for s in self._subscriptions if s.client_id == client_id]
 
     # ------------------------------------------------------------------ #
+    # Chaos injection (scenario engine hooks)
+    # ------------------------------------------------------------------ #
+    def corrupt_next(self, count: int, seed: int = 0) -> None:
+        """Arm deterministic corruption of the next *count* published payloads.
+
+        Each armed payload has one byte XOR-flipped at a position drawn from
+        a ``random.Random(seed)`` stream, so the same (scenario, seed) pair
+        always mangles the same bytes.  Receivers treat the frame/CSV as
+        undecodable and count it in ``dropped_payloads`` — the corruption is
+        a *counted* loss, never a silent one.  Empty payloads still consume
+        an armed slot (there is nothing to flip).
+        """
+        if count < 0:
+            raise ConfigurationError(f"corrupt count must be non-negative, got {count}")
+        self._corrupt_pending += count
+        if self._corrupt_rng is None:
+            self._corrupt_rng = random.Random(seed)
+
+    def partition(self, client_id: str) -> None:
+        """Cut *client_id* off from the broker (network partition).
+
+        Matching messages published while partitioned are shed-and-counted
+        through the same path as bounded-inbox overflow, so the conservation
+        equation ``published-to-client = delivered + shed`` keeps holding.
+        """
+        self._partitioned.add(client_id)
+
+    def heal(self, client_id: str) -> None:
+        """Reconnect a previously :meth:`partition`-ed client."""
+        self._partitioned.discard(client_id)
+
+    def _maybe_corrupt(self, payload: bytes) -> bytes:
+        if self._corrupt_pending <= 0:
+            return payload
+        self._corrupt_pending -= 1
+        self._corrupted_count += 1
+        if not payload:
+            return payload
+        rng = self._corrupt_rng
+        assert rng is not None
+        position = rng.randrange(len(payload))
+        mangled = bytearray(payload)
+        mangled[position] ^= 0xFF
+        return bytes(mangled)
+
+    # ------------------------------------------------------------------ #
     # Publishing
     # ------------------------------------------------------------------ #
     def publish(
@@ -244,6 +300,8 @@ class Broker:
             # but it unsubscribed and has not re-subscribed: no inbox
             # exists.  Count the miss instead of losing it silently.
             self._count_shed(client_id)
+        if self._corrupt_pending:
+            payload = self._maybe_corrupt(bytes(payload))
         message = Message(
             topic=topic,
             payload=bytes(payload),
@@ -302,6 +360,11 @@ class Broker:
         self._shed_by_client[client_id] = self._shed_by_client.get(client_id, 0) + count
 
     def _deliver(self, subscription: _Subscription, message: Message) -> None:
+        if subscription.client_id in self._partitioned:
+            # A partitioned client is unreachable: the message is shed and
+            # counted (QoS 0 loss), exactly like bounded-inbox overflow.
+            self._count_shed(subscription.client_id)
+            return
         if subscription.batched:
             inbox = self._inboxes.setdefault(subscription.client_id, [])
             limit = self._inbox_limit
@@ -467,4 +530,6 @@ class Broker:
             "inbox_limit": self._inbox_limit,
             "inbox_depth": sum(len(inbox) for inbox in self._inboxes.values()),
             "gap_clients": sorted(self._gap_filters),
+            "corrupted_messages": self._corrupted_count,
+            "partitioned_clients": sorted(self._partitioned),
         }

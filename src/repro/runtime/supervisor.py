@@ -37,7 +37,7 @@ import threading
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError, RoutingError
 from repro.core.architecture import F2CDataManagement
@@ -285,9 +285,25 @@ class ShardSupervisor:
         frame_format: Optional[str] = None,
         durable_dir: Optional[str] = None,
         durable_fog2: bool = False,
+        faults: Optional[Sequence[WorkerFault]] = None,
     ) -> None:
         if workers <= 0:
             raise ConfigurationError("workers must be positive")
+        # Scheduled kills: the scenario engine passes a list of WorkerFaults
+        # (at most one per shard); the legacy singular *fault* still targets
+        # every shard at once, preserving its original semantics.
+        scheduled: Dict[int, WorkerFault] = {}
+        for entry in faults or ():
+            if not 0 <= entry.shard_index < workers:
+                raise ConfigurationError(
+                    f"fault targets shard {entry.shard_index}, but only "
+                    f"{workers} workers exist"
+                )
+            if entry.shard_index in scheduled:
+                raise ConfigurationError(
+                    f"multiple faults scheduled for shard {entry.shard_index}"
+                )
+            scheduled[entry.shard_index] = entry
         self.workers = workers
         self.workload = workload if workload is not None else ShardedWorkload.golden()
         self.catalog = catalog
@@ -322,7 +338,7 @@ class ShardSupervisor:
                     workers=workers,
                     workload=self.workload,
                     catalog=catalog,
-                    fault=fault,
+                    fault=scheduled.get(index, fault),
                     frame_format=frame_format,
                 )
             )
@@ -681,6 +697,7 @@ def run_sharded(
     frame_format: Optional[str] = None,
     durable_dir: Optional[str] = None,
     durable_fog2: bool = False,
+    faults: Optional[Sequence[WorkerFault]] = None,
 ) -> ShardedRunResult:
     """Run *workload* sharded over *workers* ingest processes.
 
@@ -692,6 +709,8 @@ def run_sharded(
     extended frames); ``None`` follows ``REPRO_FRAME_FORMAT``.
     ``durable_dir`` / ``durable_fog2`` attach durable segment logs to the
     supervisor's broad tiers (see :mod:`repro.storage.segments`).
+    ``faults`` schedules per-shard deterministic kills (at most one per
+    shard); the legacy singular ``fault`` still targets every shard.
     """
     supervisor = ShardSupervisor(
         workers=workers,
@@ -703,5 +722,6 @@ def run_sharded(
         frame_format=frame_format,
         durable_dir=durable_dir,
         durable_fog2=durable_fog2,
+        faults=faults,
     )
     return supervisor.run()

@@ -1,0 +1,52 @@
+"""Declarative scenario & chaos engine with invariant auditing.
+
+The subsystem composes machinery the repo already has — the serve mode's
+virtual clock, the :class:`~repro.core.faults.FailureInjector`, scheduled
+worker kills, the broker's shed/partition/corruption counters, durable
+segment logs — into scripted, seeded, *auditable* runs:
+
+* :mod:`~repro.scenarios.spec` — frozen :class:`Scenario` /
+  :class:`FaultEvent` descriptions (load shape × transport × fault
+  schedule), validated at construction.
+* :mod:`~repro.scenarios.executor` — :func:`run_scenario` drives a spec
+  through the serve runtime's narrow chaos hooks and returns a
+  :class:`ScenarioRun` of observations.
+* :mod:`~repro.scenarios.invariants` — the auditor registry
+  (:data:`INVARIANTS`); :func:`audit` checks conservation, query
+  completeness, determinism, durability, and availability.
+* :mod:`~repro.scenarios.runner` — :func:`run_matrix` over
+  :data:`DEFAULT_SCENARIOS`, rendering the scenario × invariant matrix
+  (``python -m repro scenarios``).
+"""
+
+from repro.scenarios.executor import ScenarioRun, run_scenario
+from repro.scenarios.invariants import INVARIANTS, InvariantResult, audit
+from repro.scenarios.runner import (
+    DEFAULT_SCENARIOS,
+    DIGESTS_PATH,
+    MatrixReport,
+    ScenarioReport,
+    load_digests,
+    run_matrix,
+    select_scenarios,
+)
+from repro.scenarios.spec import EVENT_KINDS, LOAD_SHAPES, FaultEvent, Scenario
+
+__all__ = [
+    "DEFAULT_SCENARIOS",
+    "DIGESTS_PATH",
+    "EVENT_KINDS",
+    "INVARIANTS",
+    "LOAD_SHAPES",
+    "FaultEvent",
+    "InvariantResult",
+    "MatrixReport",
+    "Scenario",
+    "ScenarioReport",
+    "ScenarioRun",
+    "audit",
+    "load_digests",
+    "run_matrix",
+    "run_scenario",
+    "select_scenarios",
+]

@@ -1,0 +1,309 @@
+"""The invariant auditor registry: every scenario run, audited the same way.
+
+Each auditor is a pure function over a finished
+:class:`~repro.scenarios.executor.ScenarioRun` (plus the committed digest
+table) returning an :class:`InvariantResult` — ``pass``, ``fail`` (with
+every violated check named), or ``n/a`` when the invariant does not apply
+to the scenario (e.g. durability on a memory-only run).  The registry is
+ordered; :func:`audit` runs all of it and never short-circuits, so one
+report shows every violation at once.
+
+The invariants:
+
+* **conservation** — readings are never lost silently: offered equals
+  ingested plus every *counted* loss (shed, dropped payloads, corrupt
+  frames), and the unified ledger's per-tier aggregates agree — what fog
+  layer 1 ingested reached fog layer 2 and the cloud, with nothing left
+  pending after the final sync.
+* **query_completeness** — the full-window query returns exactly the
+  surviving rows with consistent per-tier attribution; isolated (outaged)
+  stores never serve; mid-run probes stay attribution-consistent.
+* **determinism** — the run reproduces its committed per-scenario digest;
+  fault-free golden-workload scenarios reproduce the golden cloud digest.
+* **durability** — post-crash ``recover()`` lands exactly on the last
+  fsync'd boundary: same digest, no torn records, nothing at-risk
+  resurrected.
+* **availability** — the injector's report tracks the schedule: outages
+  dip section availability unless failover covers them, recovery restores
+  it, and the final state matches the net schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.scenarios.executor import ScenarioRun
+
+#: Auditor signature: (run, committed digest table) -> InvariantResult.
+Auditor = Callable[[ScenarioRun, Dict[str, Any]], "InvariantResult"]
+
+INVARIANTS = (
+    "conservation",
+    "query_completeness",
+    "determinism",
+    "durability",
+    "availability",
+)
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """One cell of the scenario × invariant matrix."""
+
+    name: str
+    status: str  # "pass" | "fail" | "n/a"
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "fail"
+
+
+def _result(name: str, failures: List[str], detail: str = "") -> InvariantResult:
+    if failures:
+        return InvariantResult(name=name, status="fail", detail="; ".join(failures))
+    return InvariantResult(name=name, status="pass", detail=detail)
+
+
+# --------------------------------------------------------------------- #
+# Conservation
+# --------------------------------------------------------------------- #
+def check_conservation(run: ScenarioRun, committed: Dict[str, Any]) -> InvariantResult:
+    failures: List[str] = []
+    ledger = run.health["conservation"]
+    tiers = ledger["tiers"]
+    scenario = run.scenario
+    sharded = scenario.transport == "sharded"
+
+    fog1 = tiers.get("fog_layer_1", {})
+    fog2 = tiers.get("fog_layer_2", {})
+    cloud = tiers.get("cloud", {})
+    ingested = fog1.get("ingested_readings", 0)
+
+    rejected = fog1.get("rejected_readings", 0)
+    if not sharded:
+        offered = run.serve_stats["readings_offered"]
+        counted_losses = run.expected_corrupt_loss
+        if scenario.transport == "broker-csv":
+            # The CSV wire is 1:1 message-per-reading: every shed message
+            # and every dropped payload is exactly one reading.
+            counted_losses += ledger["shed_messages"] + ledger["dropped_payloads"]
+        # Acquisition refusals (quality bar, aggregation) are the one
+        # sanctioned non-transport sink between "offered" and "ingested".
+        if offered != run.serve_stats["readings_ingested"] + counted_losses + rejected:
+            failures.append(
+                f"offered {offered} != ingested {run.serve_stats['readings_ingested']} "
+                f"+ counted losses {counted_losses} + acquisition-rejected {rejected}"
+            )
+        if ingested != run.serve_stats["readings_ingested"]:
+            failures.append(
+                f"fog L1 ledger ingested {ingested} != serve counter "
+                f"{run.serve_stats['readings_ingested']}"
+            )
+        if run.expected_corrupt_loss and ledger["dropped_payloads"] == 0:
+            failures.append("corrupt frames were injected but none were counted as dropped")
+    else:
+        kills = sum(1 for event in scenario.events if event.kind == "worker_kill")
+        if run.health["worker_restarts"] < kills:
+            failures.append(
+                f"{kills} worker kills scheduled but only "
+                f"{run.health['worker_restarts']} restarts recorded"
+            )
+
+    # Tier flow: everything fog L1 ingested reached fog L2 and the cloud,
+    # and nothing is still pending after the final sync.
+    for tier_name, tier in (("fog_layer_1", fog1), ("fog_layer_2", fog2), ("cloud", cloud)):
+        if tier.get("pending_upward", 0) != 0:
+            failures.append(f"{tier_name} pending_upward {tier['pending_upward']} != 0")
+    if fog2.get("ingested_readings") != ingested:
+        failures.append(
+            f"fog L2 ingested {fog2.get('ingested_readings')} != fog L1 ingested {ingested}"
+        )
+    if cloud.get("ingested_readings") != ingested:
+        failures.append(
+            f"cloud ingested {cloud.get('ingested_readings')} != fog L1 ingested {ingested}"
+        )
+    if run.cloud_rows != ingested:
+        failures.append(f"cloud rows {run.cloud_rows} != ingested {ingested}")
+
+    # The ledger's total must agree with its own parts (alias consistency).
+    expected_total = (
+        ledger["dropped_payloads"]
+        + ledger["dropped_ipc_frames"]
+        + ledger["shed_messages"]
+        + ledger["dropped_log_records"]
+    )
+    if ledger["total_counted_losses"] != expected_total:
+        failures.append(
+            f"ledger total {ledger['total_counted_losses']} != sum of parts {expected_total}"
+        )
+    return _result(
+        "conservation",
+        failures,
+        detail=f"ingested={ingested}, losses={ledger['total_counted_losses']}",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Query completeness
+# --------------------------------------------------------------------- #
+def check_query_completeness(run: ScenarioRun, committed: Dict[str, Any]) -> InvariantResult:
+    failures: List[str] = []
+    final = run.final_query
+    rows = final["rows"]
+    if rows != run.cloud_rows:
+        failures.append(f"full-window query rows {rows} != surviving cloud rows {run.cloud_rows}")
+    if sum(final["rows_by_tier"].values()) != rows:
+        failures.append("per-tier row attribution does not sum to the result size")
+    if sum(source["rows"] for source in final["sources"]) != rows:
+        failures.append("per-source row attribution does not sum to the result size")
+    serving = {source["node_id"] for source in final["sources"] if source["rows"]}
+    for node_id in run.isolated_nodes:
+        if node_id in serving:
+            failures.append(f"isolated store {node_id} served rows instead of falling through")
+    for probe in run.midrun_queries:
+        if sum(probe["rows_by_tier"].values()) != probe["rows"]:
+            failures.append(
+                f"round {probe['round_index']}: mid-run tier attribution inconsistent"
+            )
+        if sum(source["rows"] for source in probe["sources"]) != probe["rows"]:
+            failures.append(
+                f"round {probe['round_index']}: mid-run source attribution inconsistent"
+            )
+    return _result(
+        "query_completeness",
+        failures,
+        detail=f"rows={rows}, probes={len(run.midrun_queries)}",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Determinism
+# --------------------------------------------------------------------- #
+def check_determinism(run: ScenarioRun, committed: Dict[str, Any]) -> InvariantResult:
+    failures: List[str] = []
+    name = run.scenario.name
+    expected = committed.get("scenarios", {}).get(name)
+    if expected is None:
+        failures.append(
+            f"no committed digest for scenario {name!r}; run "
+            "`python -m repro scenarios --update-digests` and commit the diff"
+        )
+    elif run.digest != expected:
+        failures.append(f"digest {run.digest} != committed {expected}")
+    if run.scenario.expect_golden:
+        golden = committed.get("golden_cloud_sha256")
+        if golden is None:
+            failures.append("digest table has no golden_cloud_sha256 entry")
+        elif run.digest != golden:
+            failures.append(f"fault-free digest {run.digest} != golden {golden}")
+    return _result("determinism", failures, detail=run.digest[:12])
+
+
+# --------------------------------------------------------------------- #
+# Durability
+# --------------------------------------------------------------------- #
+def check_durability(run: ScenarioRun, committed: Dict[str, Any]) -> InvariantResult:
+    if not run.scenario.durable:
+        return InvariantResult(name="durability", status="n/a", detail="memory-only scenario")
+    failures: List[str] = []
+    durable = run.health.get("durable", {})
+    if not durable.get("enabled"):
+        failures.append("scenario is durable but the run reports durable logs disabled")
+    if run.scenario.wants_recovery():
+        if run.recovered_digest != run.boundary_digest:
+            failures.append(
+                f"recovered digest {run.recovered_digest} != boundary {run.boundary_digest}"
+            )
+        recovered = run.recovered_durable or {}
+        if recovered.get("dropped_log_records", 0) != 0:
+            failures.append(
+                f"recovery dropped {recovered.get('dropped_log_records')} log records"
+            )
+        if recovered.get("replayed_rows", 0) <= 0:
+            failures.append("recovery replayed no rows")
+        if run.at_risk_readings <= 0:
+            failures.append("crash_recover scheduled but no at-risk data was ingested")
+    return _result(
+        "durability",
+        failures,
+        detail=f"at_risk={run.at_risk_readings}, replayed="
+        f"{(run.recovered_durable or {}).get('replayed_rows', 0)}",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Availability
+# --------------------------------------------------------------------- #
+def check_availability(run: ScenarioRun, committed: Dict[str, Any]) -> InvariantResult:
+    failures: List[str] = []
+    report = run.health["availability"]
+    total = report["total_sections"]
+    if not 0 <= report["served_sections"] <= total:
+        failures.append("served_sections out of range")
+    if report["cloud_path_availability"] != 1.0:
+        failures.append(
+            f"cloud path availability {report['cloud_path_availability']} != 1.0 "
+            "(no scenario fails fog L2 or the backhaul)"
+        )
+    # Replay the schedule to derive the expected final state: an outage
+    # darkens its section unless failover covered it or recovery undid it.
+    dark: set = set()
+    for event in run.scenario.events:
+        if event.kind == "fog1_outage":
+            if not event.failover:
+                dark.add(event.node_id)
+        elif event.kind == "fog1_recovery":
+            dark.discard(event.node_id)
+    expected_served = total - len(dark)
+    if report["served_sections"] != expected_served:
+        failures.append(
+            f"served_sections {report['served_sections']} != expected {expected_served}"
+        )
+    # Snapshots taken at each event must show the dip/restore live.
+    for applied in run.events_applied:
+        snapshot = applied["availability"]
+        availability = snapshot["section_availability"]
+        if not 0.0 <= availability <= 1.0:
+            failures.append(f"{applied['kind']}: availability {availability} out of range")
+        if applied["kind"] == "fog1_outage":
+            event = next(
+                e
+                for e in run.scenario.events
+                if e.kind == "fog1_outage" and e.node_id == applied["node_id"]
+            )
+            if event.failover and availability != 1.0:
+                failures.append(
+                    f"failover of {applied['node_id']} left availability {availability}"
+                )
+            if not event.failover and availability >= 1.0:
+                failures.append(
+                    f"outage of {applied['node_id']} did not dip availability"
+                )
+        if applied["kind"] == "fog1_recovery" and snapshot["failed_fog1_nodes"] != 0:
+            # All scenarios schedule one outage at a time; after its
+            # recovery no fog L1 node may remain failed.
+            failures.append(
+                f"recovery of {applied['node_id']} left "
+                f"{snapshot['failed_fog1_nodes']} nodes failed"
+            )
+    return _result(
+        "availability",
+        failures,
+        detail=f"sections={report['served_sections']}/{total}",
+    )
+
+
+REGISTRY: Dict[str, Auditor] = {
+    "conservation": check_conservation,
+    "query_completeness": check_query_completeness,
+    "determinism": check_determinism,
+    "durability": check_durability,
+    "availability": check_availability,
+}
+
+
+def audit(run: ScenarioRun, committed: Dict[str, Any]) -> List[InvariantResult]:
+    """Run every registered auditor over *run*; never short-circuits."""
+    return [REGISTRY[name](run, committed) for name in INVARIANTS]

@@ -1,0 +1,262 @@
+"""The scenario matrix runner: execute, audit, and report.
+
+:data:`DEFAULT_SCENARIOS` is the committed matrix — nine seeded scenarios
+covering every load shape, four transports, and every fault-event kind.
+:func:`run_matrix` executes a selection, audits each run against the full
+invariant registry, and returns a :class:`MatrixReport` that renders as a
+scenario × invariant table (or JSON via :meth:`MatrixReport.as_dict`).
+
+Per-scenario digests are committed in ``data/digests.json`` next to this
+module; ``python -m repro scenarios --update-digests`` regenerates the
+table from a fresh run (commit the diff deliberately — a changed digest
+means a changed data plane).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.scenarios.executor import ScenarioRun, run_scenario
+from repro.scenarios.invariants import INVARIANTS, InvariantResult, audit
+from repro.scenarios.spec import FaultEvent, Scenario
+
+DIGESTS_PATH = Path(__file__).resolve().parent / "data" / "digests.json"
+
+#: The section the chaos scenarios target (first section of the default
+#: city) and its first-sibling failover target — stable facts of the
+#: deployment model, spelled out here so the schedule reads literally.
+_TARGET_NODE = "fog1/district-01/section-01"
+
+DEFAULT_SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario(
+        name="steady-direct",
+        load="steady",
+        transport="direct",
+        description="Golden workload over the in-process path; the control run.",
+        expect_golden=True,
+    ),
+    Scenario(
+        name="steady-frames-v2",
+        load="steady",
+        transport="frames-binary-v2",
+        description="Golden workload over shared-dictionary v2 frames; must match golden.",
+        expect_golden=True,
+    ),
+    Scenario(
+        name="diurnal-stream",
+        load="diurnal",
+        transport="direct",
+        description="Every device at its natural cadence, synced per round bucket.",
+    ),
+    Scenario(
+        name="mobile-spread",
+        load="mobile-sensor",
+        transport="direct",
+        description="No fixed homes: every sensor routed by the stable CRC-32 spread.",
+    ),
+    Scenario(
+        name="burst-inbox-squeeze",
+        load="burst",
+        transport="broker-csv",
+        inbox_limit=2,
+        description="Tight rounds into 2-message inboxes; overflow sheds, counted.",
+    ),
+    Scenario(
+        name="broker-partition",
+        load="steady",
+        transport="broker-csv",
+        events=(
+            FaultEvent(kind="broker_partition", round_index=1, node_id=_TARGET_NODE),
+            FaultEvent(kind="broker_heal", round_index=3, node_id=_TARGET_NODE),
+        ),
+        description="One fog node cut off for two rounds; its messages shed, counted.",
+    ),
+    Scenario(
+        name="corrupt-frame-storm",
+        load="steady",
+        transport="frames-binary-v2",
+        events=(FaultEvent(kind="corrupt_round", round_index=2),),
+        description="Every frame of round 2 bit-flipped; CRC rejects all, counted.",
+    ),
+    Scenario(
+        name="fog-outage-failover",
+        load="steady",
+        transport="direct",
+        events=(
+            FaultEvent(
+                kind="fog1_outage", round_index=2, node_id=_TARGET_NODE, failover=True
+            ),
+            FaultEvent(kind="fog1_recovery", round_index=3, node_id=_TARGET_NODE),
+        ),
+        description="Mid-run node outage with failover to a sibling, then recovery.",
+    ),
+    Scenario(
+        name="sharded-worker-crash",
+        load="steady",
+        transport="sharded",
+        workers=2,
+        events=(FaultEvent(kind="worker_kill", round_index=1, shard_index=0),),
+        description="A worker dies after round 1; restart-from-seed reproduces golden.",
+        expect_golden=True,
+    ),
+    Scenario(
+        name="crash-recover-durable",
+        load="steady",
+        transport="direct",
+        durable=True,
+        events=(FaultEvent(kind="crash_recover"),),
+        description="Durable run, crash with un-synced data, recover() to the boundary.",
+        expect_golden=True,
+    ),
+)
+
+
+def load_digests(path: Optional[Path] = None) -> Dict[str, Any]:
+    """The committed per-scenario digest table (empty when missing)."""
+    digest_path = DIGESTS_PATH if path is None else path
+    if not digest_path.exists():
+        return {"scenarios": {}}
+    with digest_path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_digests(table: Dict[str, Any], path: Optional[Path] = None) -> None:
+    digest_path = DIGESTS_PATH if path is None else path
+    digest_path.parent.mkdir(parents=True, exist_ok=True)
+    with digest_path.open("w", encoding="utf-8") as handle:
+        json.dump(table, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@dataclass
+class ScenarioReport:
+    """One audited scenario: the run plus its invariant verdicts."""
+
+    run: ScenarioRun
+    invariants: List[InvariantResult]
+
+    @property
+    def name(self) -> str:
+        return self.run.scenario.name
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.invariants)
+
+    def as_dict(self) -> Dict[str, Any]:
+        scenario = self.run.scenario
+        return {
+            "name": scenario.name,
+            "load": scenario.load,
+            "transport": scenario.transport,
+            "events": [event.kind for event in scenario.events],
+            "digest": self.run.digest,
+            "cloud_rows": self.run.cloud_rows,
+            "ok": self.ok,
+            "invariants": {
+                result.name: {"status": result.status, "detail": result.detail}
+                for result in self.invariants
+            },
+        }
+
+
+@dataclass
+class MatrixReport:
+    """The scenario × invariant matrix of one runner invocation."""
+
+    reports: List[ScenarioReport] = field(default_factory=list)
+    updated_digests: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "invariants": list(INVARIANTS),
+            "scenarios": [report.as_dict() for report in self.reports],
+            "ok": self.ok,
+            "updated_digests": self.updated_digests,
+        }
+
+    def render(self) -> str:
+        """The human-readable matrix (one row per scenario)."""
+        marks = {"pass": "pass", "fail": "FAIL", "n/a": "-"}
+        name_width = max([len(r.name) for r in self.reports] + [len("scenario")])
+        columns = [name_width] + [max(len(name), 4) for name in INVARIANTS]
+        header = ["scenario"] + list(INVARIANTS)
+        lines = [
+            "  ".join(title.ljust(width) for title, width in zip(header, columns)),
+            "  ".join("-" * width for width in columns),
+        ]
+        for report in self.reports:
+            cells = [report.name.ljust(columns[0])]
+            for result, width in zip(report.invariants, columns[1:]):
+                cells.append(marks[result.status].ljust(width))
+            lines.append("  ".join(cells))
+        lines.append("")
+        failed = [report for report in self.reports if not report.ok]
+        for report in failed:
+            for result in report.invariants:
+                if not result.ok:
+                    lines.append(f"FAIL {report.name} / {result.name}: {result.detail}")
+        verdict = "ALL INVARIANTS HOLD" if self.ok else f"{len(failed)} SCENARIO(S) FAILED"
+        lines.append(
+            f"{verdict} ({len(self.reports)} scenarios x {len(INVARIANTS)} invariants)"
+        )
+        return "\n".join(lines)
+
+
+def select_scenarios(
+    scenarios: Sequence[Scenario], select: Optional[str] = None
+) -> List[Scenario]:
+    """Substring-filter *scenarios* by name (all of them when no filter)."""
+    if not select:
+        return list(scenarios)
+    chosen = [scenario for scenario in scenarios if select in scenario.name]
+    if not chosen:
+        raise ConfigurationError(
+            f"no scenario matches {select!r}; available: "
+            + ", ".join(scenario.name for scenario in scenarios)
+        )
+    return chosen
+
+
+def run_matrix(
+    scenarios: Optional[Sequence[Scenario]] = None,
+    *,
+    select: Optional[str] = None,
+    processes: bool = False,
+    update_digests: bool = False,
+    digests_path: Optional[Path] = None,
+) -> MatrixReport:
+    """Execute and audit a scenario matrix.
+
+    ``update_digests=True`` rewrites the committed digest table from this
+    run's observed digests (golden scenarios must still agree with the
+    golden digest, which is preserved) before auditing, so the audit that
+    follows proves the new table is self-consistent.
+    """
+    chosen = select_scenarios(DEFAULT_SCENARIOS if scenarios is None else scenarios, select)
+    runs = [run_scenario(scenario, processes=processes) for scenario in chosen]
+    committed = load_digests(digests_path)
+    if update_digests:
+        table = dict(committed)
+        table.setdefault("scenarios", {})
+        table["scenarios"] = dict(table["scenarios"])
+        for run in runs:
+            table["scenarios"][run.scenario.name] = run.digest
+        golden_runs = [run for run in runs if run.scenario.expect_golden]
+        if golden_runs and "golden_cloud_sha256" not in table:
+            table["golden_cloud_sha256"] = golden_runs[0].digest
+        save_digests(table, digests_path)
+        committed = table
+    report = MatrixReport(
+        reports=[ScenarioReport(run=run, invariants=audit(run, committed)) for run in runs],
+        updated_digests=update_digests,
+    )
+    return report

@@ -69,6 +69,85 @@ class TestHealthReport:
         assert "health" not in client.system.summary()
 
 
+class TestConservationLedger:
+    def test_ledger_unifies_every_loss_channel(self, small_city, small_catalog):
+        client = _client(small_city, small_catalog)
+        ledger = client.health()["conservation"]
+        for key in (
+            "dropped_payloads",
+            "dropped_ipc_frames",
+            "shed_messages",
+            "corrupted_messages",
+            "dropped_log_records",
+            "dropped_log_bytes",
+            "total_counted_losses",
+            "tiers",
+        ):
+            assert key in ledger
+        assert ledger["total_counted_losses"] == 0
+
+    def test_old_top_level_keys_stay_as_aliases(self, small_city, small_catalog):
+        client = _client(
+            small_city, small_catalog, transport="frames-binary", city_slug="toyville"
+        )
+        broker = client.session.broker
+        broker.publish("city/toyville/d-01/s-01/frame", b"\x00RBB garbage", timestamp=2.0)
+        client.ingest([], now=2.0)
+        health = client.health()
+        # The pre-ledger keys still exist and agree with the ledger.
+        assert health["dropped_payloads"] == health["conservation"]["dropped_payloads"] == 1
+        assert health["dropped_ipc_frames"] == health["conservation"]["dropped_ipc_frames"]
+        assert health["conservation"]["total_counted_losses"] == 1
+
+    def test_tier_aggregates_track_ingest(self, small_city, small_catalog):
+        client = _client(small_city, small_catalog)
+        client.ingest(
+            [make_reading(sensor_id="t-1", value=1.0, timestamp=5.0)],
+            now=5.0,
+            default_section="d-01/s-01",
+        )
+        client.synchronise(now=4000.0)
+        tiers = client.health()["conservation"]["tiers"]
+        assert tiers["fog_layer_1"]["ingested_readings"] == 1
+        assert tiers["fog_layer_2"]["ingested_readings"] == 1
+        assert tiers["cloud"]["ingested_readings"] == 1
+        for tier in tiers.values():
+            assert tier["pending_upward"] == 0
+        assert tiers["fog_layer_1"]["rejected_readings"] == 0
+
+    def test_acquisition_rejections_count_in_the_fog1_tier(self, small_city, small_catalog):
+        client = _client(small_city, small_catalog)
+        # A reading claiming a far-future timestamp is hard-rejected by the
+        # quality phase at ingest time.
+        client.ingest(
+            [make_reading(sensor_id="skewed-1", value=1.0, timestamp=5000.0)],
+            now=5.0,
+            default_section="d-01/s-01",
+        )
+        tiers = client.health()["conservation"]["tiers"]
+        assert tiers["fog_layer_1"]["rejected_readings"] == 1
+        assert tiers["fog_layer_1"]["ingested_readings"] == 0
+
+
+class TestAvailabilityInHealth:
+    def test_health_reports_full_availability_when_clean(self, small_city, small_catalog):
+        client = _client(small_city, small_catalog)
+        availability = client.health()["availability"]
+        assert availability["section_availability"] == 1.0
+        assert availability["cloud_path_availability"] == 1.0
+        assert availability["served_sections"] == availability["total_sections"]
+
+    def test_injected_failures_flow_through_the_facade(self, small_city, small_catalog):
+        client = _client(small_city, small_catalog)
+        node = client.system.fog1_nodes()[0]
+        client.injector.fail_node(node.node_id)
+        availability = client.health()["availability"]
+        assert availability["failed_fog1_nodes"] == 1
+        assert availability["served_sections"] == availability["total_sections"] - 1
+        client.injector.recover_node(node.node_id)
+        assert client.health()["availability"]["failed_fog1_nodes"] == 0
+
+
 class TestShardedHealth:
     def test_worker_fault_counters_surface_in_health(self):
         result = run_sharded(

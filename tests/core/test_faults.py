@@ -34,6 +34,24 @@ class TestFailureInjection:
         with pytest.raises(RoutingError):
             injector.fail_link("fog1/d-01/s-01", "cloud")  # no direct link
 
+    def test_double_fail_and_recover_are_idempotent(self, injector, f2c_system):
+        node = f2c_system.fog1_nodes()[0]
+        injector.fail_node(node.node_id)
+        injector.fail_node(node.node_id)  # failing twice is a no-op, not an error
+        assert injector.state.is_node_failed(node.node_id)
+        assert injector.availability().failed_fog1_nodes == 1
+        injector.recover_node(node.node_id)
+        injector.recover_node(node.node_id)  # recovering a healthy node too
+        assert not injector.state.is_node_failed(node.node_id)
+        assert injector.availability().failed_fog1_nodes == 0
+
+    def test_recover_link_is_direction_agnostic(self, injector):
+        injector.fail_link("fog2/d-01", "cloud")
+        injector.recover_link("cloud", "fog2/d-01")  # reversed arguments
+        assert not injector.state.is_link_failed("fog2/d-01", "cloud")
+        assert injector.availability().cloud_path_availability == 1.0
+        injector.recover_link("fog2/d-01", "cloud")  # healthy link: a no-op
+
 
 class TestFailover:
     def test_failover_rehomes_section_to_sibling(self, injector, f2c_system):
@@ -109,6 +127,62 @@ class TestAvailability:
         report = injector.availability()
         assert report.failed_fog2_nodes == 1
         assert report.cloud_reachable_districts == 1
+
+
+class TestFacadeConstruction:
+    def test_accepts_any_facade_exposing_system(self, f2c_system):
+        class Facade:
+            def __init__(self, system):
+                self.system = system
+
+        injector = FailureInjector(Facade(f2c_system))
+        assert injector.architecture is f2c_system
+
+    def test_rejects_objects_without_an_architecture(self):
+        with pytest.raises(ConfigurationError):
+            FailureInjector(object())
+
+    def test_client_facade_shares_one_injector(self, f2c_system):
+        from repro.api.client import F2CClient
+
+        client = F2CClient(f2c_system)
+        assert client.injector is client.injector  # lazy, built once
+        assert client.injector.architecture is f2c_system
+
+
+class TestStoreIsolation:
+    def test_isolated_store_falls_out_of_authority(self, injector, f2c_system):
+        node = f2c_system.fog1_for_section("d-01/s-01")
+        node.ingest(
+            __import__("repro.sensors.readings", fromlist=["ReadingBatch"]).ReadingBatch(
+                [make_reading(size_bytes=22)]
+            ),
+            now=0.0,
+        )
+        assert f2c_system.fog1_store_is_authoritative(node.node_id)
+        injector.isolate_node_store(node.node_id)
+        assert not f2c_system.fog1_store_is_authoritative(node.node_id)
+        # The storage report still carries the node's numbers via the overlay.
+        assert f2c_system.storage_report()[node.node_id]["ingested_readings"] == 1
+
+    def test_isolating_unknown_node_rejected(self, injector):
+        with pytest.raises(RoutingError):
+            injector.isolate_node_store("fog1/ghost")
+
+
+class TestAvailabilityReportDict:
+    def test_as_dict_round_trips_every_field(self, injector, f2c_system):
+        injector.fail_node(f2c_system.fog1_for_section("d-01/s-01").node_id)
+        report = injector.availability()
+        data = report.as_dict()
+        assert data["served_sections"] == report.served_sections
+        assert data["total_sections"] == report.total_sections
+        assert data["failed_fog1_nodes"] == 1
+        assert data["section_availability"] == pytest.approx(report.section_availability)
+        assert data["cloud_path_availability"] == 1.0
+        import json
+
+        json.dumps(data)  # JSON-friendly by contract
 
 
 class TestCentralizedOutage:

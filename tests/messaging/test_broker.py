@@ -328,7 +328,85 @@ class TestBoundedInboxes:
             "inbox_limit": 4,
             "inbox_depth": 1,
             "gap_clients": [],
+            "corrupted_messages": 0,
+            "partitioned_clients": [],
         }
+
+
+class TestChaosInjection:
+    """Scenario-engine injection points: partition and payload corruption."""
+
+    def test_partitioned_immediate_client_sheds_counted(self, broker):
+        received = []
+        broker.subscribe("c1", "a/#", received.append)
+        broker.partition("c1")
+        broker.publish("a/b", b"1")
+        broker.publish("a/b", b"2")
+        assert received == []
+        assert broker.shed_count == 2
+        assert broker.stats()["shed_by_client"] == {"c1": 2}
+        assert broker.stats()["partitioned_clients"] == ["c1"]
+        assert broker.published_count == broker.delivered_count + broker.shed_count
+
+    def test_heal_restores_delivery(self, broker):
+        received = []
+        broker.subscribe("c1", "a/#", received.append)
+        broker.partition("c1")
+        broker.publish("a/b", b"lost")
+        broker.heal("c1")
+        broker.publish("a/b", b"found")
+        assert [m.payload for m in received] == [b"found"]
+        assert broker.shed_count == 1
+        assert broker.stats()["partitioned_clients"] == []
+
+    def test_partitioned_batched_client_sheds_once_per_message(self, broker):
+        broker.subscribe("c1", "a/#", lambda m: None, batched=True)
+        broker.subscribe("c1", "a/b", lambda m: None, batched=True)
+        broker.partition("c1")
+        broker.publish("a/b", b"x")
+        assert broker.inbox_size("c1") == 0
+        assert broker.shed_count == 1  # de-duplicated per client, like delivery
+
+    def test_partition_only_affects_target_client(self, broker):
+        healthy, cut = [], []
+        broker.subscribe("ok", "a/#", healthy.append)
+        broker.subscribe("down", "a/#", cut.append)
+        broker.partition("down")
+        broker.publish("a/b", b"x")
+        assert len(healthy) == 1 and cut == []
+
+    def test_corrupt_next_flips_one_byte_deterministically(self, broker):
+        received = []
+        broker.subscribe("c1", "a/#", received.append)
+        broker.corrupt_next(1, seed=7)
+        broker.publish("a/b", b"hello")
+        broker.publish("a/b", b"hello")  # armed count exhausted
+        assert received[0].payload != b"hello"
+        assert len(received[0].payload) == 5
+        assert sum(a != b for a, b in zip(received[0].payload, b"hello")) == 1
+        assert received[1].payload == b"hello"
+        assert broker.stats()["corrupted_messages"] == 1
+        # Same seed, fresh broker: identical mangled bytes.
+        twin = Broker()
+        seen = []
+        twin.subscribe("c1", "a/#", seen.append)
+        twin.corrupt_next(1, seed=7)
+        twin.publish("a/b", b"hello")
+        assert seen[0].payload == received[0].payload
+
+    def test_corrupt_empty_payload_consumes_slot(self, broker):
+        received = []
+        broker.subscribe("c1", "a/#", received.append)
+        broker.corrupt_next(1, seed=0)
+        broker.publish("a/b", b"")
+        broker.publish("a/b", b"clean")
+        assert received[0].payload == b""
+        assert received[1].payload == b"clean"
+        assert broker.stats()["corrupted_messages"] == 1
+
+    def test_corrupt_negative_count_rejected(self, broker):
+        with pytest.raises(ConfigurationError):
+            broker.corrupt_next(-1)
 
 
 class TestPublishTopicMemoization:

@@ -1,0 +1,154 @@
+"""The default chaos matrix: every invariant holds, deterministically."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.scenarios import (
+    DEFAULT_SCENARIOS,
+    INVARIANTS,
+    audit,
+    load_digests,
+    run_matrix,
+    run_scenario,
+    select_scenarios,
+)
+
+GOLDEN_FIXTURE = (
+    pathlib.Path(__file__).resolve().parents[1] / "integration" / "data" / "durability_golden.json"
+)
+
+
+@pytest.fixture(scope="module")
+def matrix_report():
+    return run_matrix()
+
+
+class TestDefaultMatrix:
+    def test_matrix_meets_the_contract_size(self):
+        assert len(DEFAULT_SCENARIOS) >= 6
+        assert len(INVARIANTS) >= 4
+
+    def test_every_invariant_holds_for_every_scenario(self, matrix_report):
+        failing = [
+            (report.name, result.name, result.detail)
+            for report in matrix_report.reports
+            for result in report.invariants
+            if not result.ok
+        ]
+        assert not failing, failing
+        assert matrix_report.ok
+
+    def test_matrix_covers_every_load_shape_and_fault_kind(self):
+        loads = {scenario.load for scenario in DEFAULT_SCENARIOS}
+        assert loads == {"steady", "burst", "diurnal", "mobile-sensor"}
+        kinds = {event.kind for scenario in DEFAULT_SCENARIOS for event in scenario.events}
+        assert kinds == {
+            "fog1_outage",
+            "fog1_recovery",
+            "broker_partition",
+            "broker_heal",
+            "corrupt_round",
+            "worker_kill",
+            "crash_recover",
+        }
+
+    def test_fault_free_scenarios_reproduce_the_golden_digest(self, matrix_report):
+        committed_golden = json.loads(GOLDEN_FIXTURE.read_text())[
+            "golden_workload_cloud_sha256"
+        ]
+        table = load_digests()
+        assert table["golden_cloud_sha256"] == committed_golden
+        golden_reports = [
+            report for report in matrix_report.reports if report.run.scenario.expect_golden
+        ]
+        assert golden_reports
+        for report in golden_reports:
+            assert report.run.digest == committed_golden, report.name
+
+    def test_every_scenario_has_a_committed_digest(self, matrix_report):
+        table = load_digests()["scenarios"]
+        for report in matrix_report.reports:
+            assert table[report.name] == report.run.digest
+
+    def test_report_serializes_to_json(self, matrix_report):
+        data = matrix_report.as_dict()
+        assert data["ok"] is True
+        assert data["invariants"] == list(INVARIANTS)
+        assert len(data["scenarios"]) == len(DEFAULT_SCENARIOS)
+        json.dumps(data)  # machine-readable by contract
+        rendered = matrix_report.render()
+        assert "ALL INVARIANTS HOLD" in rendered
+        for report in matrix_report.reports:
+            assert report.name in rendered
+
+
+class TestDeterminism:
+    def test_faulty_scenario_runs_twice_identically(self):
+        scenario = next(s for s in DEFAULT_SCENARIOS if s.name == "corrupt-frame-storm")
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        assert first.digest == second.digest
+        assert first.cloud_rows == second.cloud_rows
+        assert first.health["conservation"] == second.health["conservation"]
+
+    def test_audit_is_pure_over_the_run(self):
+        scenario = next(s for s in DEFAULT_SCENARIOS if s.name == "steady-direct")
+        run = run_scenario(scenario)
+        table = load_digests()
+        assert [r.status for r in audit(run, table)] == [r.status for r in audit(run, table)]
+
+    def test_missing_committed_digest_fails_determinism(self):
+        scenario = next(s for s in DEFAULT_SCENARIOS if s.name == "steady-direct")
+        run = run_scenario(scenario)
+        results = {r.name: r for r in audit(run, {"scenarios": {}})}
+        assert results["determinism"].status == "fail"
+        assert "--update-digests" in results["determinism"].detail
+
+
+class TestSelection:
+    def test_select_filters_by_substring(self):
+        chosen = select_scenarios(DEFAULT_SCENARIOS, "steady")
+        assert [s.name for s in chosen] == ["steady-direct", "steady-frames-v2"]
+
+    def test_select_with_no_match_is_an_error(self):
+        with pytest.raises(ConfigurationError):
+            select_scenarios(DEFAULT_SCENARIOS, "no-such-scenario")
+
+
+class TestFaultObservations:
+    def test_outage_scenario_isolates_and_fails_over(self, matrix_report):
+        report = next(r for r in matrix_report.reports if r.name == "fog-outage-failover")
+        run = report.run
+        assert run.isolated_nodes == ["fog1/district-01/section-01"]
+        assert run.failovers and run.failovers[0]["failed_node"] == "fog1/district-01/section-01"
+        # Failover + recovery: every reading still reaches the cloud.
+        assert run.cloud_rows == 420
+
+    def test_partition_scenario_sheds_exactly_the_dark_sections_messages(self, matrix_report):
+        report = next(r for r in matrix_report.reports if r.name == "broker-partition")
+        ledger = report.run.health["conservation"]
+        assert ledger["shed_messages"] > 0
+        offered = report.run.serve_stats["readings_offered"]
+        ingested = report.run.serve_stats["readings_ingested"]
+        assert offered == ingested + ledger["shed_messages"] + ledger["dropped_payloads"]
+
+    def test_corrupt_storm_loses_exactly_one_round(self, matrix_report):
+        report = next(r for r in matrix_report.reports if r.name == "corrupt-frame-storm")
+        run = report.run
+        assert run.expected_corrupt_loss == 105  # one golden round
+        assert run.cloud_rows == 420 - 105
+        assert run.health["conservation"]["corrupted_messages"] > 0
+
+    def test_worker_crash_restarts_and_still_matches_golden(self, matrix_report):
+        report = next(r for r in matrix_report.reports if r.name == "sharded-worker-crash")
+        assert report.run.health["worker_restarts"] == 1
+
+    def test_durable_crash_recovers_to_the_boundary(self, matrix_report):
+        report = next(r for r in matrix_report.reports if r.name == "crash-recover-durable")
+        run = report.run
+        assert run.recovered_digest == run.boundary_digest == run.digest
+        assert run.at_risk_readings > 0
+        assert run.recovered_durable["replayed_rows"] > 0
